@@ -1,0 +1,237 @@
+//! Criterion micro-benchmarks backing the ablation discussion in
+//! EXPERIMENTS.md: the cost of interleaving generation, the four pruning
+//! filters, RDL operations, distributed-lock operations, the datalog store,
+//! and end-to-end interleaving replay.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use er_pi::{ExploreMode, Session, TestSuite};
+use er_pi_datalog::{atom, fact, var, Database, InterleavingStore, Rule};
+use er_pi_dlock::{OrderSequencer, RedisLite, Redlock};
+use er_pi_interleave::{
+    failed_ops_canonical, independence_canonical, replica_specific_canonical, DfsExplorer,
+    ErPiExplorer, FailedOpsRule, Permutations, PruningConfig, RandomExplorer,
+};
+use er_pi_model::{EventId, ReplicaId, Value, Workload};
+use er_pi_rdl::{DeltaSync, OrSet, Rga, StateCrdt};
+use er_pi_subjects::{Bug, TownApp};
+
+fn r(i: u16) -> ReplicaId {
+    ReplicaId::new(i)
+}
+
+/// A 10-event, two-replica workload with three sync pairs.
+fn bench_workload() -> Workload {
+    let mut w = Workload::builder();
+    let mut last = None;
+    for i in 0..4i64 {
+        last = Some(w.update(r((i % 2) as u16), "op", [Value::from(i)]));
+    }
+    for _ in 0..3 {
+        w.sync_split(r(0), r(1), last);
+    }
+    w.build()
+}
+
+fn interleaving_generation(c: &mut Criterion) {
+    let w = bench_workload();
+    let mut group = c.benchmark_group("interleaving-generation");
+    group.bench_function("permutations-1k", |b| {
+        b.iter(|| Permutations::new(10).take(1000).count())
+    });
+    group.bench_function("dfs-1k", |b| {
+        b.iter(|| DfsExplorer::new(&w).take(1000).count())
+    });
+    group.bench_function("random-1k", |b| {
+        b.iter(|| RandomExplorer::new(&w, 7).take(1000).count())
+    });
+    group.bench_function("erpi-grouped-1k", |b| {
+        let config = PruningConfig::default();
+        b.iter(|| ErPiExplorer::new(&w, &config).take(1000).count())
+    });
+    group.finish();
+}
+
+fn pruning_filters(c: &mut Criterion) {
+    let w = bench_workload();
+    let order: Vec<EventId> = w.event_ids().collect();
+    let independent = vec![EventId::new(0), EventId::new(1), EventId::new(2)];
+    let rule = FailedOpsRule {
+        predecessors: vec![EventId::new(0)],
+        successors: vec![EventId::new(1), EventId::new(2)],
+    };
+    let mut group = c.benchmark_group("pruning-filters");
+    group.bench_function("replica-specific", |b| {
+        b.iter(|| replica_specific_canonical(&w, &order, r(1)))
+    });
+    group.bench_function("independence", |b| {
+        b.iter(|| independence_canonical(&order, &independent, &[]))
+    });
+    group.bench_function("failed-ops", |b| {
+        b.iter(|| failed_ops_canonical(&order, &rule))
+    });
+    group.finish();
+}
+
+fn rdl_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rdl");
+    group.bench_function("orset-insert", |b| {
+        b.iter_batched(
+            || OrSet::new(r(0)),
+            |mut set| {
+                for i in 0..64 {
+                    set.insert(i);
+                }
+                set
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("orset-sync-64", |b| {
+        let mut source = OrSet::new(r(0));
+        for i in 0..64 {
+            source.insert(i);
+        }
+        b.iter_batched(
+            || OrSet::new(r(1)),
+            |mut sink| {
+                sink.sync_from(&source);
+                sink
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("rga-push-64", |b| {
+        b.iter_batched(
+            || Rga::new(r(0)),
+            |mut list| {
+                for i in 0..64 {
+                    list.push(i);
+                }
+                list
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("rga-merge-64", |b| {
+        let mut a = Rga::new(r(0));
+        let mut bb = Rga::new(r(1));
+        for i in 0..32 {
+            a.push(i);
+            bb.push(100 + i);
+        }
+        b.iter_batched(
+            || a.clone(),
+            |mut merged| {
+                merged.merge(&bb);
+                merged
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn dlock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dlock");
+    group.bench_function("acquire-release", |b| {
+        let lock = Redlock::single(RedisLite::new(), "bench");
+        b.iter(|| {
+            let guard = lock.try_acquire().expect("uncontended");
+            lock.release(&guard)
+        })
+    });
+    group.bench_function("sequencer-64-tickets", |b| {
+        b.iter_batched(
+            || OrderSequencer::new(RedisLite::new(), "bench-seq"),
+            |seq| {
+                for t in 0..64 {
+                    seq.run_in_order(t, || ());
+                }
+                seq
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn datalog(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datalog");
+    group.bench_function("store-100-interleavings", |b| {
+        let w = bench_workload();
+        let ils: Vec<_> = DfsExplorer::new(&w).take(100).collect();
+        b.iter_batched(
+            || InterleavingStore::new(&w),
+            |mut store| {
+                store.store_all(ils.iter());
+                store
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("transitive-closure-30", |b| {
+        b.iter_batched(
+            || {
+                let mut db = Database::new();
+                for i in 0..30i64 {
+                    db.insert(fact("edge", [i, i + 1]));
+                }
+                db
+            },
+            |mut db| {
+                let rules = vec![
+                    Rule::new(atom("path", [var("X"), var("Y")]))
+                        .when(atom("edge", [var("X"), var("Y")])),
+                    Rule::new(atom("path", [var("X"), var("Z")]))
+                        .when(atom("path", [var("X"), var("Y")]))
+                        .when(atom("edge", [var("Y"), var("Z")])),
+                ];
+                er_pi_datalog::evaluate(&rules, &mut db);
+                db
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay");
+    group.sample_size(20);
+    group.bench_function("town-24-interleavings", |b| {
+        b.iter_batched(
+            || {
+                let mut session = Session::new(TownApp::new(2));
+                session.record(|sys| {
+                    let ev1 = sys.invoke(r(0), "add", [Value::from("otb")]);
+                    sys.sync(r(0), r(1), ev1);
+                    let ev2 = sys.invoke(r(1), "add", [Value::from("ph")]);
+                    sys.sync(r(1), r(0), ev2);
+                    let ev3 = sys.invoke(r(1), "remove", [Value::from("otb")]);
+                    sys.sync(r(1), r(0), ev3);
+                    sys.external(r(0), "transmit");
+                });
+                session
+            },
+            |mut session| session.replay(&TestSuite::new()).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("roshi1-reproduction", |b| {
+        let bug = Bug::by_name("Roshi-1").unwrap();
+        b.iter(|| bug.reproduce(ExploreMode::ErPi, 1000))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    interleaving_generation,
+    pruning_filters,
+    rdl_ops,
+    dlock,
+    datalog,
+    replay
+);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Regenerates Figures 8a and 8b: the number of interleavings and the time
+//! required to reproduce each of the twelve bugs, under ER-π (with its
+//! applicable pruning algorithms), DFS, and Random exploration, capped at
+//! 10 000 interleavings per attempt.
+//!
+//! Also prints the paper's §6.3 aggregate claims, recomputed from the
+//! measured data: how many fewer interleavings (≈5.6× vs DFS, ≈7.4× vs
+//! Rand in the paper) and how much less time (≈2.78× / ≈4.38×) ER-π needs.
+//!
+//! Usage: `fig8 [--part a|b] [--cap N] [--seed N]`
+
+use er_pi::ExploreMode;
+use er_pi_bench::{fmt_found, geomean, log_bar, CAP, RAND_SEED};
+use er_pi_subjects::{Bug, Repro};
+
+struct Row {
+    name: &'static str,
+    erpi: Repro,
+    dfs: Repro,
+    rand: Repro,
+}
+
+fn collect(cap: usize, seed: u64) -> Vec<Row> {
+    Bug::catalogue()
+        .into_iter()
+        .map(|bug| Row {
+            name: bug.name,
+            erpi: bug.reproduce(ExploreMode::ErPi, cap),
+            dfs: bug.reproduce(ExploreMode::Dfs, cap),
+            rand: bug.reproduce(ExploreMode::Random { seed }, cap),
+        })
+        .collect()
+}
+
+fn part_a(rows: &[Row], cap: usize) {
+    println!("Figure 8a. Number of interleavings to reproduce each bug (log10 bars,");
+    println!("↑ = not reproduced after {cap} interleavings).");
+    println!();
+    for row in rows {
+        println!("{}:", row.name);
+        for (mode, repro) in [("ER-π", &row.erpi), ("DFS", &row.dfs), ("Rand", &row.rand)] {
+            println!(
+                "  {:<5} {:>6}  {}",
+                mode,
+                fmt_found(repro.found_at),
+                log_bar(repro.found_at.unwrap_or(cap), cap, 40),
+            );
+        }
+    }
+    println!();
+}
+
+fn part_b(rows: &[Row]) {
+    println!("Figure 8b. Simulated time to reproduce each bug (seconds; host model:");
+    println!("i7 laptop + i5 laptop + Raspberry Pi 3; ↑ = terminated at the cap).");
+    println!();
+    for row in rows {
+        println!("{}:", row.name);
+        for (mode, repro) in [("ER-π", &row.erpi), ("DFS", &row.dfs), ("Rand", &row.rand)] {
+            let marker = if repro.reproduced() { " " } else { "↑" };
+            println!("  {:<5} {:>10.3}s {}", mode, repro.sim_secs, marker);
+        }
+    }
+    println!();
+}
+
+fn summary(rows: &[Row]) {
+    let mut il_vs_dfs = Vec::new();
+    let mut il_vs_rand = Vec::new();
+    let mut t_vs_dfs = Vec::new();
+    let mut t_vs_rand = Vec::new();
+    for row in rows {
+        let e = row.erpi.found_at.expect("ER-π reproduces every bug") as f64;
+        // The paper compares against the baseline's cost; a failed baseline
+        // contributes its full exploration budget (a lower bound).
+        let d = row.dfs.found_at.unwrap_or(row.dfs.explored) as f64;
+        let r = row.rand.found_at.unwrap_or(row.rand.explored) as f64;
+        il_vs_dfs.push(d / e);
+        il_vs_rand.push(r / e);
+        if row.erpi.sim_secs > 0.0 {
+            t_vs_dfs.push(row.dfs.sim_secs / row.erpi.sim_secs);
+            t_vs_rand.push(row.rand.sim_secs / row.erpi.sim_secs);
+        }
+    }
+    println!("§6.3 aggregates (geometric means over the 12 bugs; failed baselines");
+    println!("counted at the cap, i.e. lower bounds):");
+    println!(
+        "  interleavings pruned: ≈{:.1}× vs DFS (paper ≈5.6×), ≈{:.1}× vs Rand (paper ≈7.4×)",
+        geomean(&il_vs_dfs),
+        geomean(&il_vs_rand),
+    );
+    println!(
+        "  time saved:           ≈{:.2}× vs DFS (paper ≈2.78×), ≈{:.2}× vs Rand (paper ≈4.38×)",
+        geomean(&t_vs_dfs),
+        geomean(&t_vs_rand),
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let part = get("--part");
+    let cap: usize = get("--cap").and_then(|v| v.parse().ok()).unwrap_or(CAP);
+    let seed: u64 = get("--seed").and_then(|v| v.parse().ok()).unwrap_or(RAND_SEED);
+
+    let rows = collect(cap, seed);
+    match part.as_deref() {
+        Some("a") => part_a(&rows, cap),
+        Some("b") => part_b(&rows),
+        _ => {
+            part_a(&rows, cap);
+            part_b(&rows);
+        }
+    }
+    summary(&rows);
+}

@@ -1,0 +1,82 @@
+//! Regenerates Figure 9: each pruning algorithm's individual contribution
+//! to the reduction of the number of interleavings, per bug.
+//!
+//! Event grouping's contribution is analytic: `n!/u!` raw interleavings
+//! collapse into every grouped order. The other three algorithms define
+//! equivalence classes over the grouped space; their contribution is the
+//! fraction of that space they merge away, estimated by uniform sampling
+//! (20 000 grouped orders per bug) since the spaces run to `12!` and
+//! beyond.
+
+use er_pi_interleave::{
+    failed_ops_canonical, group_events, independence_canonical, replica_specific_canonical,
+};
+use er_pi_subjects::Bug;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+const SAMPLES: usize = 20_000;
+
+fn main() {
+    println!("Figure 9. Individual algorithm's contribution to the reduction of");
+    println!("the interleavings number ({SAMPLES} uniform samples of each bug's");
+    println!("grouped space; percentages = share of orders merged away).");
+    println!();
+    println!(
+        "{:<13} {:>16} {:>10} {:>10} {:>10}",
+        "bug", "grouping(x)", "replica%", "indep%", "failedops%"
+    );
+    println!("{}", "-".repeat(63));
+    for bug in Bug::catalogue() {
+        let workload = bug.workload();
+        let config = bug.pruning_config();
+        let grouped = group_events(workload, config);
+        let grouping_factor = er_pi_model::reduction_factor(
+            workload.total_orders(),
+            grouped.total_orders(),
+        )
+        .unwrap_or(1);
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut rejected = [0usize; 3]; // replica, independence, failed-ops
+        let mut perm: Vec<usize> = (0..grouped.len()).collect();
+        for _ in 0..SAMPLES {
+            perm.shuffle(&mut rng);
+            let order = grouped.flatten(&perm);
+            if config
+                .target_replica
+                .is_some_and(|t| !replica_specific_canonical(workload, &order, t))
+            {
+                rejected[0] += 1;
+            }
+            if config
+                .independent_sets
+                .iter()
+                .any(|set| !independence_canonical(&order, set, &config.interference))
+            {
+                rejected[1] += 1;
+            }
+            if config
+                .failed_ops
+                .iter()
+                .any(|rule| !failed_ops_canonical(&order, rule))
+            {
+                rejected[2] += 1;
+            }
+        }
+        let pct = |n: usize| 100.0 * n as f64 / SAMPLES as f64;
+        println!(
+            "{:<13} {:>16} {:>9.1}% {:>9.1}% {:>9.1}%",
+            bug.name,
+            grouping_factor,
+            pct(rejected[0]),
+            pct(rejected[1]),
+            pct(rejected[2]),
+        );
+    }
+    println!();
+    println!("grouping(x): raw interleavings merged into each grouped order (n!/u!).");
+    println!("zero columns mean the algorithm's preconditions do not apply to the");
+    println!("bug's workload (no target replica / no declared independence / no");
+    println!("failed-ops rule) — matching the paper's per-bug applicability.");
+}

@@ -1,0 +1,22 @@
+//! Regenerates Table 1: the bug benchmark inventory.
+
+use er_pi_subjects::Bug;
+
+fn main() {
+    println!("Table 1. Bug benchmarks.");
+    println!(
+        "{:<13} {:>7} {:>8}  {:<7} {:<15}",
+        "BugName", "Issue#", "#Events", "Status", "Reason"
+    );
+    println!("{}", "-".repeat(56));
+    for bug in Bug::catalogue() {
+        println!(
+            "{:<13} {:>7} {:>8}  {:<7} {:<15}",
+            bug.name,
+            bug.issue,
+            bug.events(),
+            bug.status.to_string(),
+            bug.reason.unwrap_or("—"),
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Runtime constraint ingestion (paper §5.2).
+//!
+//! "ER-π periodically checks for the presence of JSON files in the
+//! constraints directory. If found, ER-π then consults the files for the new
+//! constraints to apply, thus further reducing the problem space."
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+use er_pi_interleave::PruningConfig;
+
+use crate::ErPiError;
+
+/// Watches a directory for `*.json` constraint files, each containing a
+/// (partial) [`PruningConfig`].
+///
+/// Every file is consumed at most once; [`ConstraintsDir::poll`] returns the
+/// merged configuration of all *new* files since the last poll.
+#[derive(Debug)]
+pub struct ConstraintsDir {
+    dir: PathBuf,
+    consumed: HashSet<PathBuf>,
+}
+
+impl ConstraintsDir {
+    /// Watches `dir` (which does not need to exist yet).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ConstraintsDir { dir: dir.into(), consumed: HashSet::new() }
+    }
+
+    /// The watched directory.
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of files consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.consumed.len()
+    }
+
+    /// Reads all constraint files not seen before; returns the merged new
+    /// constraints, or `None` if there is nothing new.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ErPiError::Constraints`] if a new file exists but cannot be
+    /// read or parsed (the file is *not* marked consumed, so a fixed file is
+    /// picked up on the next poll).
+    pub fn poll(&mut self) -> Result<Option<PruningConfig>, ErPiError> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Ok(None); // absent directory: nothing to ingest
+        };
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| {
+                p.extension().is_some_and(|ext| ext == "json") && !self.consumed.contains(p)
+            })
+            .collect();
+        paths.sort();
+        if paths.is_empty() {
+            return Ok(None);
+        }
+        let mut merged = PruningConfig::default();
+        for path in paths {
+            let text = std::fs::read_to_string(&path).map_err(|e| ErPiError::Constraints {
+                path: path.clone(),
+                cause: e.to_string(),
+            })?;
+            let config: PruningConfig =
+                serde_json::from_str(&text).map_err(|e| ErPiError::Constraints {
+                    path: path.clone(),
+                    cause: e.to_string(),
+                })?;
+            merged.absorb(config);
+            self.consumed.insert(path);
+        }
+        Ok(Some(merged))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_pi_interleave::FailedOpsRule;
+    use er_pi_model::EventId;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "er-pi-constraints-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn absent_directory_is_quietly_empty() {
+        let mut c = ConstraintsDir::new("/definitely/not/here");
+        assert!(c.poll().unwrap().is_none());
+    }
+
+    #[test]
+    fn files_are_consumed_once_and_merged() {
+        let dir = tempdir("merge");
+        let cfg1 = PruningConfig::default().with_independent_set(vec![EventId::new(1)]);
+        let cfg2 = PruningConfig::default().with_failed_ops(FailedOpsRule {
+            predecessors: vec![EventId::new(0)],
+            successors: vec![EventId::new(2), EventId::new(3)],
+        });
+        std::fs::write(dir.join("a.json"), serde_json::to_string(&cfg1).unwrap()).unwrap();
+        std::fs::write(dir.join("b.json"), serde_json::to_string(&cfg2).unwrap()).unwrap();
+        std::fs::write(dir.join("ignored.txt"), "not json").unwrap();
+
+        let mut c = ConstraintsDir::new(&dir);
+        let merged = c.poll().unwrap().expect("new constraints");
+        assert_eq!(merged.independent_sets.len(), 1);
+        assert_eq!(merged.failed_ops.len(), 1);
+        assert_eq!(c.consumed(), 2);
+        // Second poll: nothing new.
+        assert!(c.poll().unwrap().is_none());
+        // A later drop is picked up.
+        let cfg3 = PruningConfig::default().with_group(vec![EventId::new(4), EventId::new(5)]);
+        std::fs::write(dir.join("c.json"), serde_json::to_string(&cfg3).unwrap()).unwrap();
+        let merged = c.poll().unwrap().expect("third file");
+        assert_eq!(merged.extra_groups.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_files_error_but_stay_pending() {
+        let dir = tempdir("bad");
+        std::fs::write(dir.join("bad.json"), "{ not json").unwrap();
+        let mut c = ConstraintsDir::new(&dir);
+        assert!(c.poll().is_err());
+        assert_eq!(c.consumed(), 0);
+        // Fixing the file lets the next poll succeed.
+        std::fs::write(dir.join("bad.json"), "{}").unwrap();
+        assert!(c.poll().unwrap().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,210 @@
+//! Resource profiling — the paper's §8 future-work direction
+//! ("we plan to extend the applicability and usefulness of ER-π for tasks
+//! such as resource profiling"), implemented over the replay machinery.
+//!
+//! A [`ResourceProfile`] breaks a workload's replay cost down per replica
+//! and per event kind under a [`TimeModel`], and aggregates observed
+//! failure rates across a set of replayed runs. Developers use it to spot
+//! hot replicas (e.g. an underpowered edge device dominating replay time)
+//! before scaling out a test campaign.
+
+use er_pi_model::{EventKind, ReplicaId, Workload};
+
+use crate::{RunRecord, TimeModel};
+
+/// Per-replica share of one replay's simulated cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaLoad {
+    /// The replica.
+    pub replica: ReplicaId,
+    /// Events executing at this replica.
+    pub events: usize,
+    /// Local RDL updates among them.
+    pub updates: usize,
+    /// Synchronization events among them (any flavour).
+    pub syncs: usize,
+    /// Simulated cost charged to this replica per replay, microseconds.
+    pub cost_us: u64,
+}
+
+/// A workload's replay-cost profile.
+///
+/// ```
+/// use er_pi::{ResourceProfile, TimeModel};
+/// use er_pi_model::{ReplicaId, Value, Workload};
+///
+/// let mut w = Workload::builder();
+/// let u = w.update(ReplicaId::new(0), "add", [Value::from(1)]);
+/// w.sync_pair(ReplicaId::new(0), ReplicaId::new(2), u);
+/// let w = w.build();
+///
+/// let profile = ResourceProfile::for_workload(&w, &TimeModel::paper_setup());
+/// // The Raspberry Pi replica (id 2) receives the sync — but the fused
+/// // sync executes at the sender, so replica 0 carries the cost here.
+/// assert_eq!(profile.busiest().replica, ReplicaId::new(0));
+/// assert!(profile.run_cost_us() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceProfile {
+    loads: Vec<ReplicaLoad>,
+    reset_cost_us: u64,
+}
+
+impl ResourceProfile {
+    /// Profiles one replay of `workload` under `time`.
+    pub fn for_workload(workload: &Workload, time: &TimeModel) -> Self {
+        let mut loads: Vec<ReplicaLoad> = workload
+            .replicas()
+            .into_iter()
+            .map(|replica| ReplicaLoad {
+                replica,
+                events: 0,
+                updates: 0,
+                syncs: 0,
+                cost_us: 0,
+            })
+            .collect();
+        for event in workload.events() {
+            let Some(load) = loads.iter_mut().find(|l| l.replica == event.replica) else {
+                continue;
+            };
+            load.events += 1;
+            match event.kind {
+                EventKind::LocalUpdate { .. } => load.updates += 1,
+                EventKind::SyncSend { .. }
+                | EventKind::SyncExec { .. }
+                | EventKind::Sync { .. } => load.syncs += 1,
+                EventKind::External { .. } => {}
+            }
+            load.cost_us += time.event_cost_us(event);
+        }
+        ResourceProfile { loads, reset_cost_us: time.reset_cost_us }
+    }
+
+    /// Per-replica loads, in replica order.
+    pub fn loads(&self) -> &[ReplicaLoad] {
+        &self.loads
+    }
+
+    /// The most expensive replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty workload.
+    pub fn busiest(&self) -> &ReplicaLoad {
+        self.loads
+            .iter()
+            .max_by_key(|l| l.cost_us)
+            .expect("profile of a non-empty workload")
+    }
+
+    /// Total simulated cost of one replay, including the checkpoint/reset
+    /// overhead.
+    pub fn run_cost_us(&self) -> u64 {
+        self.loads.iter().map(|l| l.cost_us).sum::<u64>() + self.reset_cost_us
+    }
+
+    /// Projects the cost of a whole campaign of `interleavings` replays,
+    /// in simulated seconds — the planning number behind the paper's
+    /// "seven machine days" remark.
+    pub fn campaign_secs(&self, interleavings: usize) -> f64 {
+        self.run_cost_us() as f64 * interleavings as f64 / 1e6
+    }
+}
+
+/// Failure statistics across a set of replayed runs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FailureStats {
+    /// Runs with at least one failed operation.
+    pub runs_with_failures: usize,
+    /// Total runs inspected.
+    pub runs: usize,
+    /// Total failed operations.
+    pub failed_ops: usize,
+}
+
+impl FailureStats {
+    /// Aggregates over run records (e.g. `Report::runs`).
+    pub fn from_runs(runs: &[RunRecord]) -> Self {
+        FailureStats {
+            runs_with_failures: runs.iter().filter(|r| r.failed_ops > 0).count(),
+            runs: runs.len(),
+            failed_ops: runs.iter().map(|r| r.failed_ops).sum(),
+        }
+    }
+
+    /// Fraction of runs that saw a failure (0 when no runs).
+    pub fn failure_rate(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.runs_with_failures as f64 / self.runs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_pi_model::{Interleaving, Value};
+
+    fn workload() -> Workload {
+        let mut w = Workload::builder();
+        let u0 = w.update(ReplicaId::new(0), "add", [Value::from(1)]);
+        w.update(ReplicaId::new(2), "add", [Value::from(2)]);
+        w.sync_pair(ReplicaId::new(0), ReplicaId::new(1), u0);
+        w.external(ReplicaId::new(1), "read");
+        w.build()
+    }
+
+    #[test]
+    fn loads_partition_the_events() {
+        let profile = ResourceProfile::for_workload(&workload(), &TimeModel::paper_setup());
+        let total: usize = profile.loads().iter().map(|l| l.events).sum();
+        assert_eq!(total, 4);
+        let r0 = &profile.loads()[0];
+        assert_eq!(r0.updates, 1);
+        assert_eq!(r0.syncs, 1);
+    }
+
+    #[test]
+    fn pi_replica_charges_more_per_update() {
+        let profile = ResourceProfile::for_workload(&workload(), &TimeModel::paper_setup());
+        let pi = profile.loads().iter().find(|l| l.replica == ReplicaId::new(2)).unwrap();
+        // One update on the Raspberry Pi profile costs over a millisecond.
+        assert_eq!(pi.updates, 1);
+        assert!(pi.cost_us > 1_000, "Pi op cost: {}", pi.cost_us);
+    }
+
+    #[test]
+    fn campaign_projection_scales_linearly() {
+        let profile = ResourceProfile::for_workload(&workload(), &TimeModel::paper_setup());
+        let one = profile.campaign_secs(1);
+        let ten_k = profile.campaign_secs(10_000);
+        assert!((ten_k / one - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn failure_stats_aggregate() {
+        let runs = vec![
+            RunRecord {
+                interleaving: Interleaving::new(vec![]),
+                observations: vec![],
+                failed_ops: 0,
+                sim_us: 0,
+            },
+            RunRecord {
+                interleaving: Interleaving::new(vec![]),
+                observations: vec![],
+                failed_ops: 3,
+                sim_us: 0,
+            },
+        ];
+        let stats = FailureStats::from_runs(&runs);
+        assert_eq!(stats.runs, 2);
+        assert_eq!(stats.runs_with_failures, 1);
+        assert_eq!(stats.failed_ops, 3);
+        assert!((stats.failure_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(FailureStats::from_runs(&[]).failure_rate(), 0.0);
+    }
+}

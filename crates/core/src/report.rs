@@ -1,0 +1,114 @@
+//! Replay reports.
+
+use er_pi_model::{Interleaving, Value};
+use er_pi_interleave::PruneStats;
+
+/// The record of one replayed interleaving.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// The executed order.
+    pub interleaving: Interleaving,
+    /// Final per-replica observations.
+    pub observations: Vec<Value>,
+    /// How many events failed during the run.
+    pub failed_ops: usize,
+    /// Simulated execution time of this run, microseconds.
+    pub sim_us: u64,
+}
+
+/// One assertion violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Index of the violating run (replay order); `None` for cross-run
+    /// checks, which look at the whole set.
+    pub run: Option<usize>,
+    /// The violated assertion's name.
+    pub assertion: String,
+    /// The assertion's failure message.
+    pub message: String,
+    /// The violating interleaving, if per-run.
+    pub interleaving: Option<Interleaving>,
+}
+
+/// The result of one `Session::replay`.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Exploration mode name ("ER-π", "DFS", "Rand").
+    pub mode: String,
+    /// Number of interleavings replayed.
+    pub explored: usize,
+    /// All assertion violations found.
+    pub violations: Vec<Violation>,
+    /// Replay index of the first violation, if any.
+    pub first_violation_at: Option<usize>,
+    /// Pruning counters (ER-π mode only).
+    pub prune_stats: Option<PruneStats>,
+    /// Mode-specific wasted work (Random mode's shuffle retries).
+    pub wasted_work: u64,
+    /// Wall-clock replay duration, milliseconds.
+    pub wall_ms: u128,
+    /// Total simulated time across all runs, microseconds.
+    pub sim_us: u64,
+    /// Per-run records (kept only when the session retains them).
+    pub runs: Vec<RunRecord>,
+    /// Whether the exploration stopped early (violation or cap).
+    pub stopped_early: bool,
+}
+
+impl Report {
+    /// Returns `true` if no assertion was violated.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Total simulated seconds.
+    pub fn sim_secs(&self) -> f64 {
+        self.sim_us as f64 / 1e6
+    }
+
+    /// Compact one-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "[{}] explored {} interleavings, {} violation(s){}, sim {:.3}s, wall {}ms",
+            self.mode,
+            self.explored,
+            self.violations.len(),
+            self.first_violation_at
+                .map(|i| format!(" (first at #{i})"))
+                .unwrap_or_default(),
+            self.sim_secs(),
+            self.wall_ms,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_mentions_the_essentials() {
+        let report = Report {
+            mode: "ER-π".into(),
+            explored: 19,
+            violations: vec![Violation {
+                run: Some(3),
+                assertion: "inv".into(),
+                message: "boom".into(),
+                interleaving: None,
+            }],
+            first_violation_at: Some(3),
+            ..Report::default()
+        };
+        let s = report.summary();
+        assert!(s.contains("ER-π"));
+        assert!(s.contains("19"));
+        assert!(s.contains("#3"));
+        assert!(!report.passed());
+    }
+
+    #[test]
+    fn empty_report_passes() {
+        assert!(Report::default().passed());
+    }
+}

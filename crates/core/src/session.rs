@@ -1,0 +1,616 @@
+//! The testing session: `ER-π.Start()` … `ER-π.End(assertions)`.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use er_pi_datalog::InterleavingStore;
+use er_pi_interleave::{
+    DfsExplorer, ErPiExplorer, ExploreMode, Explorer, PruneStats, PruningConfig, RandomExplorer,
+};
+use er_pi_model::{
+    EventId, Interleaving, OpDescriptor, ReplicaId, Value, Workload, WorkloadBuilder,
+};
+
+use crate::{
+    CheckContext, ConstraintsDir, CrossContext, ErPiError, InlineExecutor, OpOutcome, Report,
+    RunRecord, SystemModel, TestSuite, TimeModel, Violation,
+};
+
+/// The live, recording instance of the system under test.
+///
+/// During `Session::record`, application code drives its workload through
+/// this handle. Each call executes immediately against the real model *and*
+/// is intercepted as an [`Event`](er_pi_model::Event) — the Rust equivalent
+/// of the paper's RDL proxies (§4.1).
+pub struct LiveSystem<'m, M: SystemModel> {
+    model: &'m M,
+    states: Vec<M::State>,
+    builder: WorkloadBuilder,
+    outcomes: Vec<OpOutcome>,
+}
+
+impl<'m, M: SystemModel> LiveSystem<'m, M> {
+    fn new(model: &'m M) -> Self {
+        LiveSystem {
+            states: model.init_all(),
+            model,
+            builder: WorkloadBuilder::new(),
+            outcomes: Vec::new(),
+        }
+    }
+
+    fn run_last(&mut self, id: EventId) -> EventId {
+        let event = self.builder.event(id).clone();
+        let outcome = self.model.apply(&mut self.states, &event);
+        self.outcomes.push(outcome);
+        id
+    }
+
+    /// Invokes (and records) an RDL function at `replica`.
+    pub fn invoke<A>(&mut self, replica: ReplicaId, function: &str, args: A) -> EventId
+    where
+        A: IntoIterator,
+        A::Item: Into<Value>,
+    {
+        let id = self.builder.update(replica, function, args);
+        self.run_last(id)
+    }
+
+    /// Invokes (and records) a pre-built operation descriptor.
+    pub fn invoke_op(&mut self, replica: ReplicaId, op: OpDescriptor) -> EventId {
+        let id = self.builder.update_op(replica, op);
+        self.run_last(id)
+    }
+
+    /// Performs (and records) a fused synchronization shipping update `of`
+    /// from `from` to `to`.
+    pub fn sync(&mut self, from: ReplicaId, to: ReplicaId, of: EventId) -> EventId {
+        let id = self.builder.sync_pair(from, to, of);
+        self.run_last(id)
+    }
+
+    /// Performs (and records) a fused synchronization with no tracked
+    /// source update.
+    pub fn sync_untracked(&mut self, from: ReplicaId, to: ReplicaId) -> EventId {
+        let id = self.builder.sync_untracked(from, to);
+        self.run_last(id)
+    }
+
+    /// Performs (and records) a split synchronization: a send event followed
+    /// by the matching execute event.
+    pub fn sync_split(
+        &mut self,
+        from: ReplicaId,
+        to: ReplicaId,
+        of: Option<EventId>,
+    ) -> (EventId, EventId) {
+        let send = self.builder.sync_send(from, to, of);
+        self.run_last(send);
+        let exec = self.builder.sync_exec(to, from, send);
+        self.run_last(exec);
+        (send, exec)
+    }
+
+    /// Performs (and records) an external effect at `replica`.
+    pub fn external(&mut self, replica: ReplicaId, label: impl Into<String>) -> EventId {
+        let id = self.builder.external(replica, label);
+        self.run_last(id)
+    }
+
+    /// Declares an explicit causal dependency between recorded events.
+    pub fn depends(&mut self, event: EventId, dep: EventId) {
+        self.builder.depends(event, dep);
+    }
+
+    /// The current live state of `replica` (reads are not recorded).
+    pub fn state(&self, replica: ReplicaId) -> &M::State {
+        &self.states[replica.index()]
+    }
+
+    /// The recorded outcome of `event` during the live run.
+    pub fn outcome(&self, event: EventId) -> &OpOutcome {
+        &self.outcomes[event.index()]
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.builder.len()
+    }
+
+    /// Returns `true` if nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.builder.is_empty()
+    }
+}
+
+/// An exploration source over any of the three modes.
+enum AnyExplorer<'w> {
+    ErPi(ErPiExplorer<'w>),
+    Dfs(DfsExplorer),
+    Rand(RandomExplorer),
+}
+
+impl AnyExplorer<'_> {
+    fn next_il(&mut self) -> Option<Interleaving> {
+        match self {
+            AnyExplorer::ErPi(e) => e.next(),
+            AnyExplorer::Dfs(e) => e.next(),
+            AnyExplorer::Rand(e) => e.next(),
+        }
+    }
+
+    fn mode_name(&self) -> &'static str {
+        match self {
+            AnyExplorer::ErPi(e) => e.name(),
+            AnyExplorer::Dfs(e) => e.name(),
+            AnyExplorer::Rand(e) => e.name(),
+        }
+    }
+
+    fn wasted(&self) -> u64 {
+        match self {
+            AnyExplorer::ErPi(e) => e.wasted_work(),
+            AnyExplorer::Dfs(e) => e.wasted_work(),
+            AnyExplorer::Rand(e) => e.wasted_work(),
+        }
+    }
+
+    fn stats(&self) -> Option<PruneStats> {
+        match self {
+            AnyExplorer::ErPi(e) => Some(e.stats()),
+            _ => None,
+        }
+    }
+}
+
+/// One integration-testing session over a [`SystemModel`].
+///
+/// Mirrors the paper's workflow: [`Session::record`] is State 1 (event
+/// extraction through proxies); [`Session::replay`] runs States 2–4
+/// (generate + prune + persist, execute each interleaving with checkpointed
+/// state, ingest runtime constraints). See the
+/// [crate-level example](crate).
+pub struct Session<M: SystemModel> {
+    model: M,
+    config: PruningConfig,
+    mode: ExploreMode,
+    /// The paper's experiment cap: 10 000 interleavings.
+    max_interleavings: usize,
+    stop_on_first_violation: bool,
+    keep_runs: bool,
+    time: TimeModel,
+    constraints: Option<ConstraintsDir>,
+    constraint_poll_every: usize,
+    persist: bool,
+    workload: Option<Workload>,
+    store: Option<InterleavingStore>,
+}
+
+impl<M: SystemModel> Session<M> {
+    /// Creates a session with default settings: ER-π mode, the paper's
+    /// 10 000-interleaving cap, and the three-host time model.
+    pub fn new(model: M) -> Self {
+        Session {
+            model,
+            config: PruningConfig::default(),
+            mode: ExploreMode::ErPi,
+            max_interleavings: 10_000,
+            stop_on_first_violation: false,
+            keep_runs: false,
+            time: TimeModel::paper_setup(),
+            constraints: None,
+            constraint_poll_every: 100,
+            persist: false,
+            workload: None,
+            store: None,
+        }
+    }
+
+    /// The system under test.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the pruning configuration.
+    pub fn config_mut(&mut self) -> &mut PruningConfig {
+        &mut self.config
+    }
+
+    /// Replaces the pruning configuration.
+    pub fn set_config(&mut self, config: PruningConfig) -> &mut Self {
+        self.config = config;
+        self
+    }
+
+    /// Selects the exploration mode (ER-π, DFS, or Random).
+    pub fn set_mode(&mut self, mode: ExploreMode) -> &mut Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Caps the number of replayed interleavings (paper default: 10 000).
+    pub fn set_cap(&mut self, cap: usize) -> &mut Self {
+        self.max_interleavings = cap;
+        self
+    }
+
+    /// Stops the replay at the first violation (bug-reproduction mode).
+    pub fn set_stop_on_first_violation(&mut self, stop: bool) -> &mut Self {
+        self.stop_on_first_violation = stop;
+        self
+    }
+
+    /// Keeps the full per-run records in the report.
+    pub fn set_keep_runs(&mut self, keep: bool) -> &mut Self {
+        self.keep_runs = keep;
+        self
+    }
+
+    /// Replaces the simulated-time model.
+    pub fn set_time_model(&mut self, time: TimeModel) -> &mut Self {
+        self.time = time;
+        self
+    }
+
+    /// Watches `dir` for runtime constraint files (State 4 of the paper's
+    /// workflow).
+    pub fn watch_constraints(&mut self, dir: impl Into<std::path::PathBuf>) -> &mut Self {
+        self.constraints = Some(ConstraintsDir::new(dir));
+        self
+    }
+
+    /// Persists generated interleavings into the deductive store, queryable
+    /// afterwards via [`Session::store`].
+    pub fn set_persist(&mut self, persist: bool) -> &mut Self {
+        self.persist = persist;
+        self
+    }
+
+    /// `ER-π.Start()` … `ER-π.End()`: runs `drive` against a live instance
+    /// of the system, intercepting every call as an event. Returns the
+    /// extracted workload.
+    pub fn record(&mut self, drive: impl FnOnce(&mut LiveSystem<'_, M>)) -> &Workload {
+        let mut live = LiveSystem::new(&self.model);
+        drive(&mut live);
+        self.workload = Some(live.builder.build());
+        self.workload.as_ref().expect("just set")
+    }
+
+    /// Installs a pre-built workload (used by the bug catalogue, where the
+    /// event sets come from the reported issues).
+    pub fn set_workload(&mut self, workload: Workload) -> &mut Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// The recorded workload, if any.
+    pub fn workload(&self) -> Option<&Workload> {
+        self.workload.as_ref()
+    }
+
+    /// The deductive store filled by the last persisted replay.
+    pub fn store(&self) -> Option<&InterleavingStore> {
+        self.store.as_ref()
+    }
+
+    fn build_explorer<'w>(&self, workload: &'w Workload) -> AnyExplorer<'w> {
+        match self.mode {
+            ExploreMode::ErPi => AnyExplorer::ErPi(ErPiExplorer::new(workload, &self.config)),
+            ExploreMode::Dfs => AnyExplorer::Dfs(DfsExplorer::new(workload)),
+            ExploreMode::Random { seed } => {
+                AnyExplorer::Rand(RandomExplorer::new(workload, seed))
+            }
+        }
+    }
+
+    /// Replays the recorded workload's interleavings and checks `suite`
+    /// after each one — States 2–4 of the paper's workflow.
+    ///
+    /// # Errors
+    ///
+    /// [`ErPiError::NothingRecorded`] without a prior
+    /// [`Session::record`]/[`Session::set_workload`];
+    /// [`ErPiError::Constraints`] if a constraints file is malformed.
+    pub fn replay(&mut self, suite: &TestSuite<M::State>) -> Result<Report, ErPiError> {
+        let workload = self.workload.clone().ok_or(ErPiError::NothingRecorded)?;
+        let started = Instant::now();
+
+        // Ingest any constraints already waiting before generating (the
+        // State 4 → State 2 loop can begin with pre-discovered rules).
+        if let Some(constraints) = self.constraints.as_mut() {
+            if let Some(newer) = constraints.poll()? {
+                self.config.absorb(newer);
+            }
+        }
+
+        let mut explorer = self.build_explorer(&workload);
+        let mode_name = explorer.mode_name().to_owned();
+        let mut executed: HashSet<u64> = HashSet::new();
+        let mut runs: Vec<RunRecord> = Vec::new();
+        let mut violations: Vec<Violation> = Vec::new();
+        let mut first_violation_at = None;
+        let mut sim_us_total: u64 = 0;
+        let mut stopped_early = false;
+        let mut store = self.persist.then(|| InterleavingStore::new(&workload));
+
+        'explore: loop {
+            let Some(il) = explorer.next_il() else {
+                break;
+            };
+            if runs.len() >= self.max_interleavings {
+                stopped_early = true;
+                break;
+            }
+            if !executed.insert(il.fingerprint()) {
+                continue; // already replayed before a regeneration
+            }
+            if let Some(store) = store.as_mut() {
+                store.store(&il);
+            }
+
+            // State 3: checkpointed execution of one interleaving. Fresh
+            // states per run are the checkpoint/reset of §4.3.
+            let exec = InlineExecutor::execute(&self.model, &workload, &il, &self.time);
+            sim_us_total += exec.sim_us;
+            let observations: Vec<Value> =
+                exec.states.iter().map(|s| self.model.observe(s)).collect();
+
+            let run_index = runs.len();
+            let ctx = CheckContext {
+                states: &exec.states,
+                observations: &observations,
+                interleaving: &il,
+                outcomes: &exec.outcomes,
+            };
+            let mut violated = false;
+            for assertion in suite.assertions() {
+                if let Err(message) = assertion.check(&ctx) {
+                    violated = true;
+                    violations.push(Violation {
+                        run: Some(run_index),
+                        assertion: assertion.name().to_owned(),
+                        message,
+                        interleaving: Some(il.clone()),
+                    });
+                }
+            }
+            if violated && first_violation_at.is_none() {
+                first_violation_at = Some(run_index);
+            }
+
+            runs.push(RunRecord {
+                interleaving: il,
+                observations,
+                failed_ops: ctx_failed(&exec.outcomes),
+                sim_us: exec.sim_us,
+            });
+
+            if violated && self.stop_on_first_violation {
+                stopped_early = true;
+                break 'explore;
+            }
+
+            // State 4: periodically ingest runtime constraints and
+            // regenerate the (pruned) interleavings.
+            if let Some(constraints) = self.constraints.as_mut() {
+                if runs.len() % self.constraint_poll_every == 0 {
+                    if let Some(newer) = constraints.poll()? {
+                        self.config.absorb(newer);
+                        if matches!(self.mode, ExploreMode::ErPi) {
+                            explorer = self.build_explorer(&workload);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Cross-interleaving checks (misconceptions #1/#5 detectors).
+        let cross_ctx = CrossContext { runs: &runs };
+        for check in suite.cross_checks() {
+            if let Err(message) = check.check(&cross_ctx) {
+                violations.push(Violation {
+                    run: None,
+                    assertion: check.name().to_owned(),
+                    message,
+                    interleaving: None,
+                });
+            }
+        }
+
+        // Charge the Random mode's shuffle-retry overhead.
+        let wasted = explorer.wasted();
+        sim_us_total += wasted * self.time.shuffle_retry_cost_us;
+
+        self.store = store;
+        Ok(Report {
+            mode: mode_name,
+            explored: runs.len(),
+            first_violation_at,
+            prune_stats: explorer.stats(),
+            wasted_work: wasted,
+            wall_ms: started.elapsed().as_millis(),
+            sim_us: sim_us_total,
+            runs: if self.keep_runs || !suite.cross_checks().is_empty() {
+                runs
+            } else {
+                Vec::new()
+            },
+            violations,
+            stopped_early,
+        })
+    }
+}
+
+fn ctx_failed(outcomes: &[OpOutcome]) -> usize {
+    outcomes.iter().filter(|o| o.is_failed()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_pi_model::{Event, EventKind};
+
+    /// Two-replica register with fused sync: replica states are integers;
+    /// `set(v)` writes locally, sync copies the source value over.
+    struct RegApp;
+
+    impl SystemModel for RegApp {
+        type State = i64;
+
+        fn replicas(&self) -> usize {
+            2
+        }
+
+        fn init(&self, _replica: ReplicaId) -> i64 {
+            0
+        }
+
+        fn apply(&self, states: &mut [i64], event: &Event) -> OpOutcome {
+            match &event.kind {
+                EventKind::LocalUpdate { op } => {
+                    states[event.replica.index()] =
+                        op.arg(0).and_then(Value::as_int).unwrap_or(0);
+                    OpOutcome::Applied
+                }
+                EventKind::Sync { to, .. } => {
+                    states[to.index()] = states[event.replica.index()];
+                    OpOutcome::Applied
+                }
+                _ => OpOutcome::failed("unsupported"),
+            }
+        }
+
+        fn observe(&self, state: &i64) -> Value {
+            Value::from(*state)
+        }
+    }
+
+    fn record_two_writes(session: &mut Session<RegApp>) {
+        let a = ReplicaId::new(0);
+        let b = ReplicaId::new(1);
+        session.record(|sys| {
+            let w1 = sys.invoke(a, "set", [Value::from(1)]);
+            sys.sync(a, b, w1);
+            let w2 = sys.invoke(b, "set", [Value::from(2)]);
+            sys.sync(b, a, w2);
+        });
+    }
+
+    #[test]
+    fn replay_without_recording_errors() {
+        let mut session = Session::new(RegApp);
+        let err = session.replay(&TestSuite::new());
+        assert!(matches!(err, Err(ErPiError::NothingRecorded)));
+    }
+
+    #[test]
+    fn recording_executes_live_and_extracts_events() {
+        let mut session = Session::new(RegApp);
+        let a = ReplicaId::new(0);
+        let workload_len = {
+            session.record(|sys| {
+                let w = sys.invoke(a, "set", [Value::from(9)]);
+                assert_eq!(*sys.state(a), 9, "live execution happens during record");
+                assert_eq!(sys.outcome(w), &OpOutcome::Applied);
+                assert_eq!(sys.len(), 1);
+            });
+            session.workload().unwrap().len()
+        };
+        assert_eq!(workload_len, 1);
+    }
+
+    #[test]
+    fn replay_explores_grouped_space() {
+        let mut session = Session::new(RegApp);
+        record_two_writes(&mut session);
+        let report = session.replay(&TestSuite::new()).unwrap();
+        // 4 events, 2 (update, sync) pairs → 2 units → 2 interleavings.
+        assert_eq!(report.explored, 2);
+        assert_eq!(report.mode, "ER-π");
+        assert!(report.passed());
+        assert!(report.prune_stats.is_some());
+        assert!(report.sim_us > 0);
+    }
+
+    #[test]
+    fn dfs_mode_explores_everything() {
+        let mut session = Session::new(RegApp);
+        record_two_writes(&mut session);
+        session.set_mode(ExploreMode::Dfs);
+        let report = session.replay(&TestSuite::new()).unwrap();
+        assert_eq!(report.explored, 24); // 4!
+        assert_eq!(report.mode, "DFS");
+        assert!(report.prune_stats.is_none());
+    }
+
+    #[test]
+    fn random_mode_is_capped_and_tracks_retries() {
+        let mut session = Session::new(RegApp);
+        record_two_writes(&mut session);
+        session.set_mode(ExploreMode::Random { seed: 5 });
+        session.set_cap(10);
+        let report = session.replay(&TestSuite::new()).unwrap();
+        assert_eq!(report.explored, 10);
+        assert!(report.stopped_early);
+        assert_eq!(report.mode, "Rand");
+    }
+
+    #[test]
+    fn violations_are_reported_with_interleavings() {
+        let mut session = Session::new(RegApp);
+        record_two_writes(&mut session);
+        session.set_mode(ExploreMode::Dfs);
+        // Final convergence only holds when the last sync runs last; many
+        // DFS orders violate it.
+        let suite = TestSuite::new().with(Assertion::replicas_converge("conv"));
+        let report = session.replay(&suite).unwrap();
+        assert!(!report.passed());
+        assert!(report.first_violation_at.is_some());
+        let v = &report.violations[0];
+        assert_eq!(v.assertion, "conv");
+        assert!(v.interleaving.is_some());
+    }
+
+    #[test]
+    fn stop_on_first_violation_halts_early() {
+        let mut session = Session::new(RegApp);
+        record_two_writes(&mut session);
+        session.set_mode(ExploreMode::Dfs);
+        session.set_stop_on_first_violation(true);
+        let suite = TestSuite::new().with(Assertion::replicas_converge("conv"));
+        let report = session.replay(&suite).unwrap();
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.stopped_early);
+        assert_eq!(
+            report.first_violation_at.map(|i| i + 1),
+            Some(report.explored)
+        );
+    }
+
+    #[test]
+    fn persistence_fills_the_deductive_store() {
+        let mut session = Session::new(RegApp);
+        record_two_writes(&mut session);
+        session.set_persist(true);
+        let report = session.replay(&TestSuite::new()).unwrap();
+        let store = session.store().expect("persisted");
+        assert_eq!(store.len(), report.explored);
+        assert!(store.interleaving(0).is_some());
+    }
+
+    #[test]
+    fn cross_checks_see_all_runs() {
+        let mut session = Session::new(RegApp);
+        record_two_writes(&mut session);
+        session.set_mode(ExploreMode::Dfs);
+        let suite = TestSuite::new()
+            .with_cross(crate::CrossCheck::same_state_across_interleavings("stable-a", 0));
+        let report = session.replay(&suite).unwrap();
+        // Different interleavings leave replica 0 in different states.
+        assert!(!report.passed());
+        assert!(report.violations.iter().any(|v| v.run.is_none()));
+        assert!(!report.runs.is_empty(), "cross checks retain runs");
+    }
+
+    use crate::Assertion;
+}

@@ -1,0 +1,120 @@
+//! The system-under-test abstraction.
+
+use er_pi_model::{Event, ReplicaId, Value};
+
+/// The outcome of applying one event during recording or replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpOutcome {
+    /// The event executed and changed (or legitimately read) state.
+    Applied,
+    /// The event failed — e.g. a data-structure constraint refused it, or
+    /// an execute-sync ran before its send under an aggressive interleaving.
+    /// Failed ops are first-class in ER-π: Algorithm 4 prunes around them.
+    Failed {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The event produced an observable value (reads, transmissions).
+    Observed(Value),
+}
+
+impl OpOutcome {
+    /// Convenience constructor for failures.
+    pub fn failed(reason: impl Into<String>) -> Self {
+        OpOutcome::Failed { reason: reason.into() }
+    }
+
+    /// Returns `true` for [`OpOutcome::Failed`].
+    pub fn is_failed(&self) -> bool {
+        matches!(self, OpOutcome::Failed { .. })
+    }
+}
+
+/// A system under integration test: application logic + the RDL it uses.
+///
+/// This is the Rust equivalent of the paper's proxy boundary. The
+/// language-specific proxies of the original (Go AST rewriting, JS monkey
+/// patching, Java dynamic proxies) intercept RDL calls at runtime; here the
+/// same call stream flows through [`SystemModel::apply`], which both the
+/// recording phase and the replay engine drive. Implementations interpret
+/// each [`Event`] against the replica states:
+///
+/// * `LocalUpdate` — invoke the corresponding RDL function at the event's
+///   replica;
+/// * `SyncSend` / `SyncExec` / `Sync` — move operations between replicas
+///   (how is up to the model: state merge, delta shipping, or an explicit
+///   message queue inside `State`);
+/// * `External` — application-level effects (transmissions, reads).
+///
+/// `apply` receives *all* replica states because synchronization inherently
+/// spans two of them.
+pub trait SystemModel {
+    /// Per-replica state (cloneable for checkpoint/reset).
+    type State: Clone;
+
+    /// Number of replicas in the system (the paper's setup uses three).
+    fn replicas(&self) -> usize;
+
+    /// Builds the initial state of one replica.
+    fn init(&self, replica: ReplicaId) -> Self::State;
+
+    /// Executes one event against the states. Must be deterministic given
+    /// `(states, event)` — replay correctness depends on it.
+    fn apply(&self, states: &mut [Self::State], event: &Event) -> OpOutcome;
+
+    /// Projects a replica's state to a comparable [`Value`] — the basis for
+    /// convergence assertions and cross-interleaving comparisons.
+    fn observe(&self, state: &Self::State) -> Value;
+
+    /// Builds all initial states.
+    fn init_all(&self) -> Vec<Self::State> {
+        (0..self.replicas() as u16)
+            .map(|i| self.init(ReplicaId::new(i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_outcome_constructors() {
+        assert!(OpOutcome::failed("nope").is_failed());
+        assert!(!OpOutcome::Applied.is_failed());
+        assert!(!OpOutcome::Observed(Value::from(1)).is_failed());
+        match OpOutcome::failed("reason") {
+            OpOutcome::Failed { reason } => assert_eq!(reason, "reason"),
+            _ => unreachable!(),
+        }
+    }
+
+    struct Dummy;
+
+    impl SystemModel for Dummy {
+        type State = u32;
+
+        fn replicas(&self) -> usize {
+            3
+        }
+
+        fn init(&self, replica: ReplicaId) -> u32 {
+            u32::from(replica.raw())
+        }
+
+        fn apply(&self, states: &mut [u32], event: &Event) -> OpOutcome {
+            states[event.replica.index()] += 1;
+            OpOutcome::Applied
+        }
+
+        fn observe(&self, state: &u32) -> Value {
+            Value::from(i64::from(*state))
+        }
+    }
+
+    #[test]
+    fn init_all_builds_one_state_per_replica() {
+        let states = Dummy.init_all();
+        assert_eq!(states, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Session-level property tests: the pruned exploration relates correctly
+//! to the exhaustive baseline on randomized workloads.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use er_pi::{ExploreMode, OpOutcome, Session, SystemModel, TestSuite};
+use er_pi_model::{Event, EventKind, ReplicaId, Value, Workload};
+
+/// A two-replica register machine: `set(v)` writes locally; a fused sync
+/// copies the sender's value over the receiver's. Deliberately
+/// order-sensitive (last write wins by arrival), so distinct interleavings
+/// produce distinct observations.
+struct RegMachine;
+
+impl SystemModel for RegMachine {
+    type State = i64;
+
+    fn replicas(&self) -> usize {
+        2
+    }
+
+    fn init(&self, _replica: ReplicaId) -> i64 {
+        0
+    }
+
+    fn apply(&self, states: &mut [i64], event: &Event) -> OpOutcome {
+        match &event.kind {
+            EventKind::LocalUpdate { op } => {
+                states[event.replica.index()] = op.arg(0).and_then(Value::as_int).unwrap_or(0);
+                OpOutcome::Applied
+            }
+            EventKind::Sync { to, .. } => {
+                states[to.index()] = states[event.replica.index()];
+                OpOutcome::Applied
+            }
+            _ => OpOutcome::failed("unsupported"),
+        }
+    }
+
+    fn observe(&self, state: &i64) -> Value {
+        Value::from(*state)
+    }
+}
+
+/// A commutative counter machine: `add(v)` adds; sync merges by max.
+/// Order-insensitive by construction.
+struct MaxMachine;
+
+impl SystemModel for MaxMachine {
+    type State = i64;
+
+    fn replicas(&self) -> usize {
+        2
+    }
+
+    fn init(&self, _replica: ReplicaId) -> i64 {
+        0
+    }
+
+    fn apply(&self, states: &mut [i64], event: &Event) -> OpOutcome {
+        match &event.kind {
+            EventKind::LocalUpdate { op } => {
+                let v = op.arg(0).and_then(Value::as_int).unwrap_or(0);
+                let slot = &mut states[event.replica.index()];
+                *slot = (*slot).max(v);
+                OpOutcome::Applied
+            }
+            EventKind::Sync { to, .. } => {
+                let v = states[event.replica.index()];
+                let slot = &mut states[to.index()];
+                *slot = (*slot).max(v);
+                OpOutcome::Applied
+            }
+            _ => OpOutcome::failed("unsupported"),
+        }
+    }
+
+    fn observe(&self, state: &i64) -> Value {
+        Value::from(*state)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Step {
+    Update(u16, i64),
+    Sync(u16),
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u16..2, 1i64..9).prop_map(|(r, v)| Step::Update(r, v)),
+            (0u16..2).prop_map(Step::Sync),
+        ],
+        1..6,
+    )
+}
+
+fn build_workload(steps: &[Step]) -> Workload {
+    let mut w = Workload::builder();
+    let mut last_update = None;
+    for step in steps {
+        match step {
+            Step::Update(r, v) => {
+                last_update = Some(w.update(ReplicaId::new(*r), "set", [Value::from(*v)]));
+            }
+            Step::Sync(r) => {
+                let from = ReplicaId::new(*r);
+                let to = ReplicaId::new(1 - *r);
+                match last_update {
+                    Some(u) => {
+                        w.sync_pair(from, to, u);
+                    }
+                    None => {
+                        w.sync_untracked(from, to);
+                    }
+                }
+            }
+        }
+    }
+    w.build()
+}
+
+fn observation_set<M>(model: M, workload: &Workload, mode: ExploreMode) -> (usize, BTreeSet<Vec<Value>>)
+where
+    M: SystemModel,
+    M::State: 'static,
+{
+    let mut session = Session::new(model);
+    session.set_workload(workload.clone());
+    session.set_mode(mode);
+    session.set_keep_runs(true);
+    session.set_cap(100_000);
+    let report = session.replay(&TestSuite::new()).unwrap();
+    let set = report
+        .runs
+        .iter()
+        .map(|run| run.observations.clone())
+        .collect();
+    (report.explored, set)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// ER-π explores no more interleavings than DFS, and every outcome it
+    /// produces is a DFS outcome (it replays a subset of the raw orders).
+    #[test]
+    fn erpi_outcomes_are_a_subset_of_dfs(steps in arb_steps()) {
+        let workload = build_workload(&steps);
+        let (n_erpi, erpi) = observation_set(RegMachine, &workload, ExploreMode::ErPi);
+        let (n_dfs, dfs) = observation_set(RegMachine, &workload, ExploreMode::Dfs);
+        prop_assert!(n_erpi <= n_dfs);
+        prop_assert!(erpi.is_subset(&dfs), "ER-π produced a non-DFS outcome");
+    }
+
+    /// For an order-insensitive (commutative) system, pruning loses no
+    /// *causally valid* outcome: ER-π's observation set equals the DFS set
+    /// restricted to causally valid interleavings. (Unrestricted DFS also
+    /// replays invalid orders — syncs before the updates they ship — whose
+    /// wasted outcomes ER-π's grouping deliberately skips.)
+    #[test]
+    fn commutative_systems_lose_no_valid_outcome(steps in arb_steps()) {
+        let workload = build_workload(&steps);
+        let (_, erpi) = observation_set(MaxMachine, &workload, ExploreMode::ErPi);
+
+        // DFS over causally valid orders only.
+        let mut session = Session::new(MaxMachine);
+        session.set_workload(workload.clone());
+        session.set_mode(ExploreMode::Dfs);
+        session.set_keep_runs(true);
+        session.set_cap(100_000);
+        let report = session.replay(&TestSuite::new()).unwrap();
+        let dfs_valid: BTreeSet<Vec<Value>> = report
+            .runs
+            .iter()
+            .filter(|run| workload.is_causally_valid(&run.interleaving))
+            .map(|run| run.observations.clone())
+            .collect();
+        prop_assert_eq!(erpi, dfs_valid);
+    }
+
+    /// Random mode (uncapped within the space) covers exactly the DFS
+    /// outcome set too — it is the same space in a different order.
+    #[test]
+    fn random_covers_the_same_space(steps in arb_steps()) {
+        let workload = build_workload(&steps);
+        let (n_rand, rand) = observation_set(RegMachine, &workload, ExploreMode::Random { seed: 11 });
+        let (n_dfs, dfs) = observation_set(RegMachine, &workload, ExploreMode::Dfs);
+        prop_assert_eq!(n_rand, n_dfs);
+        prop_assert_eq!(rand, dfs);
+    }
+}

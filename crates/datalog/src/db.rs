@@ -1,0 +1,204 @@
+//! The fact database.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Atom, Const, Term};
+
+/// A set of relations holding ground facts, with pattern queries and JSON
+/// persistence.
+///
+/// ```
+/// use er_pi_datalog::{atom, fact, var, Database};
+///
+/// let mut db = Database::new();
+/// db.insert(fact("pos", [0, 0, 5]));
+/// db.insert(fact("pos", [0, 1, 3]));
+///
+/// let hits = db.query(&atom("pos", [0.into(), var("Idx"), var("Ev")]));
+/// assert_eq!(hits.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Database {
+    relations: BTreeMap<String, BTreeSet<Vec<Const>>>,
+}
+
+/// One query answer: variable name → bound constant.
+pub type Bindings = HashMap<String, Const>;
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a ground fact. Returns `true` if it was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fact` contains variables.
+    pub fn insert(&mut self, fact: Atom) -> bool {
+        let tuple = fact.ground_tuple();
+        self.relations.entry(fact.relation).or_default().insert(tuple)
+    }
+
+    /// Returns `true` if the ground fact is present.
+    pub fn contains(&self, fact: &Atom) -> bool {
+        self.relations
+            .get(&fact.relation)
+            .is_some_and(|rel| rel.contains(&fact.ground_tuple()))
+    }
+
+    /// All tuples of `relation` (empty slice view if absent).
+    pub fn relation(&self, relation: &str) -> Vec<&Vec<Const>> {
+        self.relations
+            .get(relation)
+            .map(|rel| rel.iter().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of facts in `relation`.
+    pub fn relation_len(&self, relation: &str) -> usize {
+        self.relations.get(relation).map_or(0, BTreeSet::len)
+    }
+
+    /// Total fact count.
+    pub fn len(&self) -> usize {
+        self.relations.values().map(BTreeSet::len).sum()
+    }
+
+    /// Returns `true` if no facts exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Relation names, sorted.
+    pub fn relation_names(&self) -> Vec<&str> {
+        self.relations.keys().map(String::as_str).collect()
+    }
+
+    /// Matches `pattern` against the facts of its relation, returning one
+    /// [`Bindings`] per matching tuple. Repeated variables must unify.
+    pub fn query(&self, pattern: &Atom) -> Vec<Bindings> {
+        let Some(rel) = self.relations.get(&pattern.relation) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        'tuples: for tuple in rel {
+            if tuple.len() != pattern.terms.len() {
+                continue;
+            }
+            let mut bindings = Bindings::new();
+            for (term, value) in pattern.terms.iter().zip(tuple) {
+                match term {
+                    Term::Const(c) => {
+                        if c != value {
+                            continue 'tuples;
+                        }
+                    }
+                    Term::Var(v) => match bindings.get(v) {
+                        Some(bound) if bound != value => continue 'tuples,
+                        Some(_) => {}
+                        None => {
+                            bindings.insert(v.clone(), value.clone());
+                        }
+                    },
+                }
+            }
+            out.push(bindings);
+        }
+        out
+    }
+
+    /// Serializes the database to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("database serializes")
+    }
+
+    /// Restores a database from [`Database::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fact, var};
+
+    #[test]
+    fn insert_is_set_semantics() {
+        let mut db = Database::new();
+        assert!(db.insert(fact("r", [1])));
+        assert!(!db.insert(fact("r", [1])));
+        assert_eq!(db.len(), 1);
+        assert!(db.contains(&fact("r", [1])));
+        assert!(!db.contains(&fact("r", [2])));
+    }
+
+    #[test]
+    fn query_binds_variables() {
+        let mut db = Database::new();
+        db.insert(fact("edge", [1, 2]));
+        db.insert(fact("edge", [1, 3]));
+        db.insert(fact("edge", [2, 3]));
+        let hits = db.query(&crate::atom("edge", [Term::from(1), var("Y")]));
+        let mut ys: Vec<i64> = hits
+            .iter()
+            .map(|b| match &b["Y"] {
+                Const::Int(i) => *i,
+                _ => panic!(),
+            })
+            .collect();
+        ys.sort_unstable();
+        assert_eq!(ys, vec![2, 3]);
+    }
+
+    #[test]
+    fn repeated_variables_must_unify() {
+        let mut db = Database::new();
+        db.insert(fact("pair", [1, 1]));
+        db.insert(fact("pair", [1, 2]));
+        let hits = db.query(&crate::atom("pair", [var("X"), var("X")]));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0]["X"], Const::Int(1));
+    }
+
+    #[test]
+    fn arity_mismatches_do_not_match() {
+        let mut db = Database::new();
+        db.insert(fact("r", [1, 2]));
+        assert!(db.query(&crate::atom("r", [var("X")])).is_empty());
+    }
+
+    #[test]
+    fn unknown_relation_queries_are_empty() {
+        let db = Database::new();
+        assert!(db.query(&crate::atom("none", [var("X")])).is_empty());
+        assert_eq!(db.relation_len("none"), 0);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut db = Database::new();
+        db.insert(fact("pos", [0, 1, 2]));
+        db.insert(fact("name", ["alpha"]));
+        let json = db.to_json();
+        let back = Database::from_json(&json).unwrap();
+        assert_eq!(back, db);
+        assert!(Database::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn relation_names_sorted() {
+        let mut db = Database::new();
+        db.insert(fact("zeta", [1]));
+        db.insert(fact("alpha", [1]));
+        assert_eq!(db.relation_names(), vec!["alpha", "zeta"]);
+    }
+}

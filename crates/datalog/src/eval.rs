@@ -1,0 +1,220 @@
+//! Bottom-up (semi-naive) rule evaluation.
+
+use crate::db::Bindings;
+use crate::{Atom, BodyItem, Database, Rule, Term};
+
+fn substitute(atom: &Atom, bindings: &Bindings) -> Atom {
+    Atom {
+        relation: atom.relation.clone(),
+        terms: atom
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => bindings
+                    .get(v)
+                    .map(|c| Term::Const(c.clone()))
+                    .unwrap_or_else(|| t.clone()),
+                Term::Const(_) => t.clone(),
+            })
+            .collect(),
+    }
+}
+
+fn resolve(term: &Term, bindings: &Bindings) -> Option<crate::Const> {
+    match term {
+        Term::Const(c) => Some(c.clone()),
+        Term::Var(v) => bindings.get(v).cloned(),
+    }
+}
+
+/// Evaluates one rule, requiring the relational subgoal at `delta_pos` to
+/// match against `delta` (semi-naive restriction); everything else matches
+/// against `full`. Returns the derived ground heads.
+fn derive(rule: &Rule, full: &Database, delta: &Database, delta_pos: usize) -> Vec<Atom> {
+    let mut states: Vec<Bindings> = vec![Bindings::new()];
+    let mut atom_index = 0usize;
+    for item in &rule.body {
+        match item {
+            BodyItem::Atom(pattern) => {
+                let source = if atom_index == delta_pos { delta } else { full };
+                atom_index += 1;
+                let mut next = Vec::new();
+                for bindings in &states {
+                    let concrete = substitute(pattern, bindings);
+                    for hit in source.query(&concrete) {
+                        let mut merged = bindings.clone();
+                        merged.extend(hit);
+                        next.push(merged);
+                    }
+                }
+                states = next;
+            }
+            BodyItem::Compare { op, lhs, rhs } => {
+                states.retain(|bindings| {
+                    match (resolve(lhs, bindings), resolve(rhs, bindings)) {
+                        (Some(a), Some(b)) => op.apply(&a, &b),
+                        // Unbound operands: the comparison cannot hold yet;
+                        // rules should order comparisons after the atoms
+                        // binding their variables.
+                        _ => false,
+                    }
+                });
+            }
+        }
+        if states.is_empty() {
+            return Vec::new();
+        }
+    }
+    states
+        .into_iter()
+        .map(|bindings| {
+            let head = substitute(&rule.head, &bindings);
+            assert!(
+                head.is_ground(),
+                "rule is not range-restricted: {} leaves variables unbound",
+                rule
+            );
+            head
+        })
+        .collect()
+}
+
+fn relational_subgoals(rule: &Rule) -> usize {
+    rule.body
+        .iter()
+        .filter(|i| matches!(i, BodyItem::Atom(_)))
+        .count()
+}
+
+/// Runs `rules` bottom-up over `db` until fixpoint (semi-naive: each
+/// iteration only joins through the facts derived in the previous one).
+/// Returns the number of new facts derived.
+///
+/// # Panics
+///
+/// Panics if a rule's head still contains variables after applying its body
+/// bindings (not range-restricted).
+pub fn evaluate(rules: &[Rule], db: &mut Database) -> usize {
+    let mut total_new = 0usize;
+    // Initial delta: everything currently in the database.
+    let mut delta = db.clone();
+    loop {
+        let mut next_delta = Database::new();
+        for rule in rules {
+            let n = relational_subgoals(rule).max(1);
+            for delta_pos in 0..n {
+                for head in derive(rule, db, &delta, delta_pos) {
+                    if !db.contains(&head) && !next_delta.contains(&head) {
+                        next_delta.insert(head);
+                    }
+                }
+            }
+        }
+        if next_delta.is_empty() {
+            return total_new;
+        }
+        for name in next_delta.relation_names().to_vec() {
+            for tuple in next_delta.relation(name) {
+                let fact = Atom {
+                    relation: name.to_owned(),
+                    terms: tuple.iter().cloned().map(Term::Const).collect(),
+                };
+                if db.insert(fact) {
+                    total_new += 1;
+                }
+            }
+        }
+        delta = next_delta;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{atom, fact, var, CmpOp};
+
+    #[test]
+    fn transitive_closure() {
+        let mut db = Database::new();
+        for (a, b) in [(1, 2), (2, 3), (3, 4)] {
+            db.insert(fact("edge", [a, b]));
+        }
+        let rules = vec![
+            Rule::new(atom("path", [var("X"), var("Y")]))
+                .when(atom("edge", [var("X"), var("Y")])),
+            Rule::new(atom("path", [var("X"), var("Z")]))
+                .when(atom("path", [var("X"), var("Y")]))
+                .when(atom("edge", [var("Y"), var("Z")])),
+        ];
+        let new = evaluate(&rules, &mut db);
+        assert_eq!(db.relation_len("path"), 6); // 1-2,2-3,3-4,1-3,2-4,1-4
+        assert_eq!(new, 6);
+        assert!(db.contains(&fact("path", [1, 4])));
+        assert!(!db.contains(&fact("path", [4, 1])));
+    }
+
+    #[test]
+    fn evaluation_is_idempotent() {
+        let mut db = Database::new();
+        db.insert(fact("edge", [1, 2]));
+        let rules = vec![Rule::new(atom("path", [var("X"), var("Y")]))
+            .when(atom("edge", [var("X"), var("Y")]))];
+        assert_eq!(evaluate(&rules, &mut db), 1);
+        assert_eq!(evaluate(&rules, &mut db), 0, "second run derives nothing");
+    }
+
+    #[test]
+    fn comparisons_filter_derivations() {
+        let mut db = Database::new();
+        for i in 0..5i64 {
+            db.insert(fact("num", [i]));
+        }
+        let rules = vec![Rule::new(atom("big", [var("X")]))
+            .when(atom("num", [var("X")]))
+            .filter(var("X"), CmpOp::Gt, Term::from(2))];
+        evaluate(&rules, &mut db);
+        assert_eq!(db.relation_len("big"), 2); // 3 and 4
+        assert!(db.contains(&fact("big", [3])));
+        assert!(!db.contains(&fact("big", [2])));
+    }
+
+    #[test]
+    fn join_across_two_relations() {
+        let mut db = Database::new();
+        db.insert(fact("parent", ["ada", "byron"]));
+        db.insert(fact("parent", ["byron", "carol"]));
+        db.insert(fact("female", ["ada"]));
+        let rules = vec![Rule::new(atom("grandmother", [var("G"), var("C")]))
+            .when(atom("female", [var("G")]))
+            .when(atom("parent", [var("G"), var("P")]))
+            .when(atom("parent", [var("P"), var("C")]))];
+        evaluate(&rules, &mut db);
+        assert!(db.contains(&fact("grandmother", ["ada", "carol"])));
+        assert_eq!(db.relation_len("grandmother"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "range-restricted")]
+    fn unbound_head_variable_panics() {
+        let mut db = Database::new();
+        db.insert(fact("a", [1]));
+        let rules =
+            vec![Rule::new(atom("b", [var("X"), var("FREE")])).when(atom("a", [var("X")]))];
+        evaluate(&rules, &mut db);
+    }
+
+    #[test]
+    fn self_join_counts_pairs() {
+        let mut db = Database::new();
+        for i in 0..3i64 {
+            db.insert(fact("item", [i]));
+        }
+        // distinct_pair(X, Y) :- item(X), item(Y), X < Y.
+        let rules = vec![Rule::new(atom("distinct_pair", [var("X"), var("Y")]))
+            .when(atom("item", [var("X")]))
+            .when(atom("item", [var("Y")]))
+            .filter(var("X"), CmpOp::Lt, var("Y"))];
+        evaluate(&rules, &mut db);
+        assert_eq!(db.relation_len("distinct_pair"), 3);
+    }
+}

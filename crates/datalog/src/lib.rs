@@ -1,0 +1,49 @@
+//! A small Datalog engine and the deductive interleaving store.
+//!
+//! The paper manages interleavings in Datalog: "ER-π initially stores the
+//! exhaustive set of n! interleavings in Datalog's deductive database, using
+//! logic queries to perform the applicable pruning" (§5.1, Souffle dialect).
+//! This crate substitutes Souffle with a self-contained engine:
+//!
+//! * [`Database`] — relations of ground facts with pattern queries,
+//! * [`Rule`] / [`evaluate`] — positive Datalog with built-in comparisons,
+//!   evaluated bottom-up (semi-naive) to fixpoint,
+//! * [`InterleavingStore`] — the ER-π-specific schema: events and
+//!   interleavings as relations, plus the derived `precedes` relation the
+//!   pruning queries are written against,
+//! * JSON persistence ([`Database::to_json`] / [`Database::from_json`]) —
+//!   the paper *persists* generated interleavings before replaying them
+//!   (§4.2).
+//!
+//! ```
+//! use er_pi_datalog::{atom, fact, var, Database, Rule, evaluate};
+//!
+//! let mut db = Database::new();
+//! db.insert(fact("edge", [1, 2]));
+//! db.insert(fact("edge", [2, 3]));
+//!
+//! // path(X, Y) :- edge(X, Y).
+//! // path(X, Z) :- path(X, Y), edge(Y, Z).
+//! let rules = vec![
+//!     Rule::new(atom("path", [var("X"), var("Y")]))
+//!         .when(atom("edge", [var("X"), var("Y")])),
+//!     Rule::new(atom("path", [var("X"), var("Z")]))
+//!         .when(atom("path", [var("X"), var("Y")]))
+//!         .when(atom("edge", [var("Y"), var("Z")])),
+//! ];
+//! evaluate(&rules, &mut db);
+//! assert!(db.contains(&fact("path", [1, 3])));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod db;
+mod eval;
+mod store;
+mod term;
+
+pub use db::{Bindings, Database};
+pub use eval::evaluate;
+pub use store::InterleavingStore;
+pub use term::{atom, fact, var, Atom, BodyItem, CmpOp, Const, Rule, Term};

@@ -1,0 +1,249 @@
+//! The ER-π deductive interleaving store.
+
+use er_pi_model::{EventId, EventKind, Interleaving, Workload};
+
+use crate::{atom, fact, var, CmpOp, Database, Rule, Term};
+
+/// Stores a workload and its generated interleavings as Datalog relations —
+/// the reproduction of the paper's Souffle-backed persistence (§4.2, §5.1).
+///
+/// Schema:
+///
+/// * `event(Id, Replica, Kind)` — one fact per workload event,
+/// * `pos(Il, Idx, Event)` — one fact per position of each stored
+///   interleaving,
+/// * `il(Il, Len)` — one fact per stored interleaving,
+/// * `precedes(Il, A, B)` — derived: event `A` runs before `B` in `Il`.
+///
+/// ```
+/// use er_pi_datalog::InterleavingStore;
+/// use er_pi_model::{Interleaving, ReplicaId, Value, Workload};
+///
+/// let mut w = Workload::builder();
+/// let x = w.update(ReplicaId::new(0), "add", [Value::from(1)]);
+/// let y = w.update(ReplicaId::new(1), "remove", [Value::from(1)]);
+/// let workload = w.build();
+///
+/// let mut store = InterleavingStore::new(&workload);
+/// store.store(&Interleaving::new(vec![x, y]));
+/// store.store(&Interleaving::new(vec![y, x]));
+/// store.derive_precedes();
+/// assert_eq!(store.interleavings_where_precedes(x, y), vec![0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct InterleavingStore {
+    db: Database,
+    next_il: usize,
+}
+
+impl InterleavingStore {
+    /// Creates a store seeded with `workload`'s event relation.
+    pub fn new(workload: &Workload) -> Self {
+        let mut db = Database::new();
+        for ev in workload.events() {
+            let kind = match &ev.kind {
+                EventKind::LocalUpdate { op } => format!("update:{}", op.function()),
+                EventKind::SyncSend { to, .. } => format!("sync_send:{to}"),
+                EventKind::SyncExec { from, .. } => format!("sync_exec:{from}"),
+                EventKind::Sync { to, .. } => format!("sync:{to}"),
+                EventKind::External { label } => format!("external:{label}"),
+            };
+            db.insert(fact(
+                "event",
+                [
+                    crate::Const::from(ev.id.raw()),
+                    crate::Const::from(ev.replica.raw() as i64),
+                    crate::Const::from(kind),
+                ],
+            ));
+        }
+        InterleavingStore { db, next_il: 0 }
+    }
+
+    /// Persists one interleaving; returns its store id.
+    pub fn store(&mut self, il: &Interleaving) -> usize {
+        let id = self.next_il;
+        self.next_il += 1;
+        self.db.insert(fact("il", [id, il.len()]));
+        for (idx, &ev) in il.iter().enumerate() {
+            self.db.insert(fact("pos", [id, idx, ev.index()]));
+        }
+        id
+    }
+
+    /// Persists a batch; returns the store ids.
+    pub fn store_all<'a>(
+        &mut self,
+        ils: impl IntoIterator<Item = &'a Interleaving>,
+    ) -> Vec<usize> {
+        ils.into_iter().map(|il| self.store(il)).collect()
+    }
+
+    /// Number of stored interleavings.
+    pub fn len(&self) -> usize {
+        self.next_il
+    }
+
+    /// Returns `true` if nothing has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.next_il == 0
+    }
+
+    /// Reconstructs interleaving `id` from its `pos` facts.
+    pub fn interleaving(&self, id: usize) -> Option<Interleaving> {
+        let hits = self.db.query(&atom(
+            "pos",
+            [Term::from(id), var("Idx"), var("Ev")],
+        ));
+        if hits.is_empty() {
+            return None;
+        }
+        let mut slots: Vec<(i64, i64)> = hits
+            .into_iter()
+            .map(|b| {
+                let idx = match &b["Idx"] {
+                    crate::Const::Int(i) => *i,
+                    _ => unreachable!(),
+                };
+                let ev = match &b["Ev"] {
+                    crate::Const::Int(i) => *i,
+                    _ => unreachable!(),
+                };
+                (idx, ev)
+            })
+            .collect();
+        slots.sort_unstable();
+        Some(Interleaving::new(
+            slots.into_iter().map(|(_, ev)| EventId::new(ev as u32)).collect(),
+        ))
+    }
+
+    /// Derives the `precedes(Il, A, B)` relation with the rule
+    /// `precedes(Il, A, B) :- pos(Il, I, A), pos(Il, J, B), I < J.`
+    /// Returns the number of derived facts.
+    pub fn derive_precedes(&mut self) -> usize {
+        let rules = vec![Rule::new(atom(
+            "precedes",
+            [var("Il"), var("A"), var("B")],
+        ))
+        .when(atom("pos", [var("Il"), var("I"), var("A")]))
+        .when(atom("pos", [var("Il"), var("J"), var("B")]))
+        .filter(var("I"), CmpOp::Lt, var("J"))];
+        crate::evaluate(&rules, &mut self.db)
+    }
+
+    /// Store ids of interleavings where `a` precedes `b` (requires a prior
+    /// [`InterleavingStore::derive_precedes`]).
+    pub fn interleavings_where_precedes(&self, a: EventId, b: EventId) -> Vec<usize> {
+        let hits = self.db.query(&atom(
+            "precedes",
+            [var("Il"), Term::from(a.index()), Term::from(b.index())],
+        ));
+        let mut ids: Vec<usize> = hits
+            .into_iter()
+            .map(|bind| match &bind["Il"] {
+                crate::Const::Int(i) => *i as usize,
+                _ => unreachable!(),
+            })
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Read access to the raw database (custom queries).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access to the raw database (custom rules).
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Serializes facts + counter to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&(&self.db, self.next_il)).expect("store serializes")
+    }
+
+    /// Restores a store from [`InterleavingStore::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        let (db, next_il) = serde_json::from_str(json)?;
+        Ok(InterleavingStore { db, next_il })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_pi_model::{ReplicaId, Value};
+
+    fn sample() -> (Workload, Vec<EventId>) {
+        let mut w = Workload::builder();
+        let a = w.update(ReplicaId::new(0), "add", [Value::from(1)]);
+        let s = w.sync_pair(ReplicaId::new(0), ReplicaId::new(1), a);
+        let b = w.update(ReplicaId::new(1), "remove", [Value::from(1)]);
+        (w.build(), vec![a, s, b])
+    }
+
+    #[test]
+    fn workload_events_become_facts() {
+        let (w, _) = sample();
+        let store = InterleavingStore::new(&w);
+        assert_eq!(store.database().relation_len("event"), 3);
+    }
+
+    #[test]
+    fn store_and_reconstruct_roundtrip() {
+        let (w, ids) = sample();
+        let mut store = InterleavingStore::new(&w);
+        let il = Interleaving::new(vec![ids[2], ids[0], ids[1]]);
+        let sid = store.store(&il);
+        assert_eq!(store.interleaving(sid), Some(il));
+        assert_eq!(store.interleaving(99), None);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn precedes_queries_select_matching_interleavings() {
+        let (w, ids) = sample();
+        let mut store = InterleavingStore::new(&w);
+        store.store(&Interleaving::new(vec![ids[0], ids[1], ids[2]])); // il 0
+        store.store(&Interleaving::new(vec![ids[2], ids[0], ids[1]])); // il 1
+        store.derive_precedes();
+        assert_eq!(store.interleavings_where_precedes(ids[0], ids[2]), vec![0]);
+        assert_eq!(store.interleavings_where_precedes(ids[2], ids[0]), vec![1]);
+        assert_eq!(
+            store.interleavings_where_precedes(ids[0], ids[1]),
+            vec![0, 1]
+        );
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let (w, ids) = sample();
+        let mut store = InterleavingStore::new(&w);
+        store.store(&Interleaving::new(vec![ids[0], ids[1], ids[2]]));
+        let json = store.to_json();
+        let back = InterleavingStore::from_json(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(
+            back.interleaving(0),
+            Some(Interleaving::new(vec![ids[0], ids[1], ids[2]]))
+        );
+    }
+
+    #[test]
+    fn batch_store_assigns_sequential_ids() {
+        let (w, ids) = sample();
+        let mut store = InterleavingStore::new(&w);
+        let il1 = Interleaving::new(vec![ids[0], ids[1], ids[2]]);
+        let il2 = Interleaving::new(vec![ids[2], ids[1], ids[0]]);
+        let assigned = store.store_all([&il1, &il2]);
+        assert_eq!(assigned, vec![0, 1]);
+    }
+}

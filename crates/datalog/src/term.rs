@@ -1,0 +1,327 @@
+//! Terms, atoms, and rules.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A ground constant.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Const {
+    /// Integer constant.
+    Int(i64),
+    /// String (symbol) constant.
+    Str(String),
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::Int(i) => write!(f, "{i}"),
+            Const::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for Const {
+    fn from(i: i64) -> Self {
+        Const::Int(i)
+    }
+}
+
+impl From<i32> for Const {
+    fn from(i: i32) -> Self {
+        Const::Int(i64::from(i))
+    }
+}
+
+impl From<u32> for Const {
+    fn from(i: u32) -> Self {
+        Const::Int(i64::from(i))
+    }
+}
+
+impl From<usize> for Const {
+    fn from(i: usize) -> Self {
+        Const::Int(i as i64)
+    }
+}
+
+impl From<&str> for Const {
+    fn from(s: &str) -> Self {
+        Const::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Const {
+    fn from(s: String) -> Self {
+        Const::Str(s)
+    }
+}
+
+/// A term: a variable or a constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Term {
+    /// Named logic variable.
+    Var(String),
+    /// Ground constant.
+    Const(Const),
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl<C: Into<Const>> From<C> for Term {
+    fn from(c: C) -> Self {
+        Term::Const(c.into())
+    }
+}
+
+/// Creates a variable term.
+///
+/// ```
+/// use er_pi_datalog::{var, Term};
+/// assert_eq!(var("X"), Term::Var("X".into()));
+/// ```
+pub fn var(name: &str) -> Term {
+    Term::Var(name.to_owned())
+}
+
+/// An atom: `relation(t1, …, tk)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Atom {
+    /// Relation name.
+    pub relation: String,
+    /// Argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Returns `true` if every term is a constant.
+    pub fn is_ground(&self) -> bool {
+        self.terms.iter().all(|t| matches!(t, Term::Const(_)))
+    }
+
+    /// Extracts the constant tuple of a ground atom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the atom contains variables.
+    pub fn ground_tuple(&self) -> Vec<Const> {
+        self.terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => c.clone(),
+                Term::Var(v) => panic!("atom is not ground: variable {v}"),
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// Builds an atom from mixed terms.
+///
+/// ```
+/// use er_pi_datalog::{atom, var};
+/// let a = atom("pos", [var("IL"), var("Idx"), var("Ev")]);
+/// assert_eq!(a.relation, "pos");
+/// ```
+pub fn atom<T: Into<Term>>(relation: &str, terms: impl IntoIterator<Item = T>) -> Atom {
+    Atom {
+        relation: relation.to_owned(),
+        terms: terms.into_iter().map(Into::into).collect(),
+    }
+}
+
+/// Builds a ground fact.
+///
+/// ```
+/// use er_pi_datalog::fact;
+/// let f = fact("edge", [1, 2]);
+/// assert!(f.is_ground());
+/// ```
+pub fn fact<C: Into<Const>>(relation: &str, consts: impl IntoIterator<Item = C>) -> Atom {
+    Atom {
+        relation: relation.to_owned(),
+        terms: consts.into_iter().map(|c| Term::Const(c.into())).collect(),
+    }
+}
+
+/// Comparison operators available as built-in body items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+}
+
+impl CmpOp {
+    /// Applies the comparison to two constants (integers compare
+    /// numerically, strings lexicographically; mixed types only support
+    /// equality, which is `false`).
+    pub fn apply(self, a: &Const, b: &Const) -> bool {
+        use std::cmp::Ordering;
+        let ord = match (a, b) {
+            (Const::Int(x), Const::Int(y)) => x.cmp(y),
+            (Const::Str(x), Const::Str(y)) => x.cmp(y),
+            _ => {
+                return match self {
+                    CmpOp::Ne => true,
+                    _ => false,
+                }
+            }
+        };
+        matches!(
+            (self, ord),
+            (CmpOp::Lt, Ordering::Less)
+                | (CmpOp::Le, Ordering::Less | Ordering::Equal)
+                | (CmpOp::Gt, Ordering::Greater)
+                | (CmpOp::Ge, Ordering::Greater | Ordering::Equal)
+                | (CmpOp::Eq, Ordering::Equal)
+                | (CmpOp::Ne, Ordering::Less | Ordering::Greater)
+        )
+    }
+}
+
+/// One body item of a rule: a relational atom or a built-in comparison.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BodyItem {
+    /// Relational subgoal.
+    Atom(Atom),
+    /// Built-in comparison between two terms.
+    Compare {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Term,
+        /// Right operand.
+        rhs: Term,
+    },
+}
+
+/// A Datalog rule: `head :- body1, …, bodyk.`
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rule {
+    /// Derived atom.
+    pub head: Atom,
+    /// Subgoals.
+    pub body: Vec<BodyItem>,
+}
+
+impl Rule {
+    /// Starts a rule with the given head.
+    pub fn new(head: Atom) -> Self {
+        Rule { head, body: Vec::new() }
+    }
+
+    /// Adds a relational subgoal.
+    #[must_use]
+    pub fn when(mut self, atom: Atom) -> Self {
+        self.body.push(BodyItem::Atom(atom));
+        self
+    }
+
+    /// Adds a comparison subgoal.
+    #[must_use]
+    pub fn filter(mut self, lhs: Term, op: CmpOp, rhs: Term) -> Self {
+        self.body.push(BodyItem::Compare { op, lhs, rhs });
+        self
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :- ", self.head)?;
+        for (i, item) in self.body.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            match item {
+                BodyItem::Atom(a) => write!(f, "{a}")?,
+                BodyItem::Compare { op, lhs, rhs } => {
+                    let sym = match op {
+                        CmpOp::Lt => "<",
+                        CmpOp::Le => "<=",
+                        CmpOp::Gt => ">",
+                        CmpOp::Ge => ">=",
+                        CmpOp::Eq => "=",
+                        CmpOp::Ne => "!=",
+                    };
+                    write!(f, "{lhs} {sym} {rhs}")?;
+                }
+            }
+        }
+        f.write_str(".")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_display() {
+        assert_eq!(Const::Int(3).to_string(), "3");
+        assert_eq!(Const::from("x").to_string(), "\"x\"");
+    }
+
+    #[test]
+    fn ground_detection() {
+        assert!(fact("r", [1, 2]).is_ground());
+        assert!(!atom("r", [var("X")]).is_ground());
+        assert_eq!(fact("r", [1]).ground_tuple(), vec![Const::Int(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not ground")]
+    fn ground_tuple_rejects_variables() {
+        atom("r", [var("X")]).ground_tuple();
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(CmpOp::Lt.apply(&Const::Int(1), &Const::Int(2)));
+        assert!(!CmpOp::Lt.apply(&Const::Int(2), &Const::Int(2)));
+        assert!(CmpOp::Le.apply(&Const::Int(2), &Const::Int(2)));
+        assert!(CmpOp::Ne.apply(&Const::from("a"), &Const::from("b")));
+        assert!(CmpOp::Eq.apply(&Const::from("a"), &Const::from("a")));
+        // Mixed types: only Ne holds.
+        assert!(CmpOp::Ne.apply(&Const::Int(1), &Const::from("1")));
+        assert!(!CmpOp::Eq.apply(&Const::Int(1), &Const::from("1")));
+        assert!(!CmpOp::Lt.apply(&Const::Int(1), &Const::from("1")));
+    }
+
+    #[test]
+    fn rule_display_reads_like_datalog() {
+        let r = Rule::new(atom("p", [var("X")]))
+            .when(atom("q", [var("X"), var("Y")]))
+            .filter(var("Y"), CmpOp::Gt, Term::from(3));
+        assert_eq!(r.to_string(), "p(X) :- q(X, Y), Y > 3.");
+    }
+}

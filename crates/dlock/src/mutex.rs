@@ -1,0 +1,274 @@
+//! The Redlock-style distributed mutex.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::RedisLite;
+
+/// Redlock tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RedlockConfig {
+    /// Lease duration per acquisition, in milliseconds.
+    pub ttl_ms: u64,
+    /// Maximum acquisition attempts before [`Redlock::acquire`] gives up.
+    pub max_retries: u32,
+    /// Whether to yield the thread between attempts (disable only in
+    /// single-threaded deterministic tests).
+    pub yield_between_retries: bool,
+}
+
+impl Default for RedlockConfig {
+    fn default() -> Self {
+        RedlockConfig { ttl_ms: 10_000, max_retries: 1_000_000, yield_between_retries: true }
+    }
+}
+
+/// Proof of lock ownership.
+///
+/// Carries the random owner token (for guarded release) and the monotone
+/// *fencing token* which downstream resources can use to reject writes from
+/// stale, expired holders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockGuard {
+    /// Random owner identity stored under the lock key.
+    pub token: String,
+    /// Monotonically increasing acquisition number.
+    pub fencing: i64,
+}
+
+/// A distributed mutex over one or more [`RedisLite`] instances, following
+/// the Redlock pattern: acquire = `SET key token NX PX ttl` on a majority of
+/// instances; release = owner-guarded delete on all instances.
+///
+/// The paper's deployment uses a single Redis server ("a mutex with a shared
+/// key managed by a Redis server", §4.3) — that is simply `quorum = 1 of 1`.
+///
+/// ```
+/// use er_pi_dlock::{RedisLite, Redlock, RedlockConfig};
+///
+/// let lock = Redlock::single(RedisLite::new(), "replay-lock");
+/// let guard = lock.try_acquire().expect("free lock");
+/// assert!(lock.try_acquire().is_none(), "held");
+/// lock.release(&guard);
+/// assert!(lock.try_acquire().is_some());
+/// ```
+#[derive(Debug)]
+pub struct Redlock {
+    stores: Vec<RedisLite>,
+    key: String,
+    fencing_key: String,
+    config: RedlockConfig,
+    rng: parking_lot::Mutex<StdRng>,
+}
+
+impl Redlock {
+    /// A lock over a single keyspace (the paper's deployment).
+    pub fn single(store: RedisLite, key: impl Into<String>) -> Self {
+        Self::new(vec![store], key, RedlockConfig::default())
+    }
+
+    /// A quorum lock over `stores` (Redlock proper uses five).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stores` is empty.
+    pub fn new(stores: Vec<RedisLite>, key: impl Into<String>, config: RedlockConfig) -> Self {
+        assert!(!stores.is_empty(), "Redlock needs at least one store");
+        let key = key.into();
+        Redlock {
+            fencing_key: format!("{key}:fencing"),
+            key,
+            stores,
+            config,
+            rng: parking_lot::Mutex::new(StdRng::seed_from_u64(0x5eed)),
+        }
+    }
+
+    /// Majority threshold.
+    fn quorum(&self) -> usize {
+        self.stores.len() / 2 + 1
+    }
+
+    /// One acquisition attempt. Returns the guard on success.
+    pub fn try_acquire(&self) -> Option<LockGuard> {
+        let token: String = {
+            let mut rng = self.rng.lock();
+            (0..4).map(|_| format!("{:08x}", rng.gen::<u32>())).collect()
+        };
+        let mut held = 0;
+        for store in &self.stores {
+            if store.set_nx_px(&self.key, &token, self.config.ttl_ms) {
+                held += 1;
+            }
+        }
+        if held >= self.quorum() {
+            let fencing = self.stores[0].incr(&self.fencing_key);
+            Some(LockGuard { token, fencing })
+        } else {
+            // Failed to reach quorum: roll back partial acquisitions.
+            for store in &self.stores {
+                store.del_if_value(&self.key, &token);
+            }
+            None
+        }
+    }
+
+    /// Blocking acquisition with bounded retries.
+    ///
+    /// Returns `None` if `max_retries` attempts all failed.
+    pub fn acquire(&self) -> Option<LockGuard> {
+        for _ in 0..self.config.max_retries {
+            if let Some(guard) = self.try_acquire() {
+                return Some(guard);
+            }
+            if self.config.yield_between_retries {
+                std::thread::yield_now();
+            }
+        }
+        None
+    }
+
+    /// Releases the lock if `guard` still owns it on each instance.
+    /// Returns how many instances actually released.
+    pub fn release(&self, guard: &LockGuard) -> usize {
+        self.stores
+            .iter()
+            .filter(|s| s.del_if_value(&self.key, &guard.token))
+            .count()
+    }
+
+    /// Extends the lease on every instance still owned by `guard`.
+    /// Returns `true` if a quorum extended.
+    pub fn extend(&self, guard: &LockGuard) -> bool {
+        let extended = self
+            .stores
+            .iter()
+            .filter(|s| s.pexpire_if_value(&self.key, &guard.token, self.config.ttl_ms))
+            .count();
+        extended >= self.quorum()
+    }
+
+    /// Returns `true` if any instance currently holds the lock key.
+    pub fn is_held(&self) -> bool {
+        self.stores.iter().any(|s| s.get(&self.key).is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ManualTime;
+    use std::sync::Arc;
+
+    #[test]
+    fn try_acquire_is_mutually_exclusive() {
+        let lock = Redlock::single(RedisLite::new(), "L");
+        let g1 = lock.try_acquire().unwrap();
+        assert!(lock.try_acquire().is_none());
+        lock.release(&g1);
+        let g2 = lock.try_acquire().unwrap();
+        assert_ne!(g1.token, g2.token, "fresh token per acquisition");
+        assert!(g2.fencing > g1.fencing, "fencing tokens increase");
+    }
+
+    #[test]
+    fn release_by_non_owner_is_refused() {
+        let lock = Redlock::single(RedisLite::new(), "L");
+        let real = lock.try_acquire().unwrap();
+        let fake = LockGuard { token: "forged".into(), fencing: 0 };
+        assert_eq!(lock.release(&fake), 0);
+        assert!(lock.is_held());
+        assert_eq!(lock.release(&real), 1);
+        assert!(!lock.is_held());
+    }
+
+    #[test]
+    fn lease_expiry_frees_the_lock() {
+        let time = ManualTime::new(0);
+        let store = RedisLite::with_time(Arc::new(time.clone()));
+        let config = RedlockConfig { ttl_ms: 100, ..RedlockConfig::default() };
+        let lock = Redlock::new(vec![store], "L", config);
+        let stale = lock.try_acquire().unwrap();
+        time.advance(150);
+        // The lease expired: a new holder can acquire.
+        let fresh = lock.try_acquire().expect("expired lease is free");
+        assert!(fresh.fencing > stale.fencing);
+        // The stale holder's release is a no-op (its key is gone).
+        assert_eq!(lock.release(&stale), 0);
+        assert!(lock.is_held());
+    }
+
+    #[test]
+    fn extend_keeps_the_lease_alive() {
+        let time = ManualTime::new(0);
+        let store = RedisLite::with_time(Arc::new(time.clone()));
+        let config = RedlockConfig { ttl_ms: 100, ..RedlockConfig::default() };
+        let lock = Redlock::new(vec![store], "L", config);
+        let g = lock.try_acquire().unwrap();
+        time.advance(90);
+        assert!(lock.extend(&g));
+        time.advance(90);
+        assert!(lock.is_held(), "extension moved the expiry");
+    }
+
+    #[test]
+    fn quorum_acquisition_over_three_instances() {
+        let stores = vec![RedisLite::new(), RedisLite::new(), RedisLite::new()];
+        // Pre-poison one instance: quorum (2 of 3) still succeeds.
+        stores[2].set_nx_px("L", "someone-else", 60_000);
+        let lock = Redlock::new(stores, "L", RedlockConfig::default());
+        let g = lock.try_acquire().expect("2-of-3 quorum reached");
+        assert_eq!(lock.release(&g), 2);
+    }
+
+    #[test]
+    fn failed_quorum_rolls_back() {
+        let stores = vec![RedisLite::new(), RedisLite::new(), RedisLite::new()];
+        stores[1].set_nx_px("L", "other", 60_000);
+        stores[2].set_nx_px("L", "other", 60_000);
+        let lock = Redlock::new(stores, "L", RedlockConfig::default());
+        assert!(lock.try_acquire().is_none());
+        // The one instance we *did* grab must have been rolled back.
+        let probe = Redlock::single(
+            RedisLite::new(), // fresh store: irrelevant
+            "probe",
+        );
+        let _ = probe;
+        // Re-attempt still fails identically (no residue blocks retries of
+        // the same loser; the winner's keys are untouched).
+        assert!(lock.try_acquire().is_none());
+    }
+
+    #[test]
+    fn contended_threads_never_overlap() {
+        let store = RedisLite::new();
+        let lock = Arc::new(Redlock::single(store.clone(), "L"));
+        let in_critical = Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let max_seen = Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let in_critical = Arc::clone(&in_critical);
+                let max_seen = Arc::clone(&max_seen);
+                std::thread::spawn(move || {
+                    use std::sync::atomic::Ordering::SeqCst;
+                    for _ in 0..50 {
+                        let g = lock.acquire().expect("acquire within retry budget");
+                        let now = in_critical.fetch_add(1, SeqCst) + 1;
+                        max_seen.fetch_max(now, SeqCst);
+                        in_critical.fetch_sub(1, SeqCst);
+                        lock.release(&g);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(
+            max_seen.load(std::sync::atomic::Ordering::SeqCst),
+            1,
+            "at most one thread inside the critical section"
+        );
+    }
+}

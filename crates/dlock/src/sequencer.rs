@@ -1,0 +1,177 @@
+//! The replay order sequencer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{RedisLite, Redlock, RedlockConfig};
+
+/// Enforces a scheduled total order across concurrently executing replica
+/// threads.
+///
+/// Every event of an interleaving gets a *ticket* — its position (the
+/// Lamport timestamp ER-π assigned in §4.2, minus one). The thread
+/// responsible for an event calls [`OrderSequencer::run_in_order`] with that
+/// ticket; the sequencer blocks it until the shared turn counter (read and
+/// advanced under the distributed lock) reaches the ticket, executes the
+/// event, and passes the turn on. See the [crate-level
+/// example](crate).
+#[derive(Debug)]
+pub struct OrderSequencer {
+    store: RedisLite,
+    lock: Redlock,
+    turn_key: String,
+    completed: AtomicU64,
+}
+
+impl OrderSequencer {
+    /// Creates a sequencer named `name` on `store`, starting at ticket 0.
+    pub fn new(store: RedisLite, name: &str) -> Self {
+        let lock = Redlock::new(
+            vec![store.clone()],
+            format!("{name}:lock"),
+            RedlockConfig { ttl_ms: 60_000, ..RedlockConfig::default() },
+        );
+        let turn_key = format!("{name}:turn");
+        store.set(&turn_key, "0");
+        OrderSequencer { store, lock, turn_key, completed: AtomicU64::new(0) }
+    }
+
+    /// The ticket currently allowed to run.
+    pub fn current_turn(&self) -> u64 {
+        self.store
+            .get(&self.turn_key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    }
+
+    /// Number of tickets completed through this sequencer handle.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until `ticket`'s turn, runs `f`, and advances the turn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distributed lock cannot be acquired within its retry
+    /// budget (which indicates a deadlocked or crashed peer).
+    pub fn run_in_order<R>(&self, ticket: u64, f: impl FnOnce() -> R) -> R {
+        loop {
+            let guard = self.lock.acquire().expect("sequencer lock acquisition");
+            let turn = self.current_turn();
+            if turn == ticket {
+                let out = f();
+                self.store.set(&self.turn_key, &(ticket + 1).to_string());
+                self.completed.fetch_add(1, Ordering::SeqCst);
+                self.lock.release(&guard);
+                return out;
+            }
+            self.lock.release(&guard);
+            std::thread::yield_now();
+        }
+    }
+
+    /// Non-blocking variant: runs `f` only if it is already `ticket`'s turn.
+    /// Returns `None` when it is not.
+    pub fn try_run<R>(&self, ticket: u64, f: impl FnOnce() -> R) -> Option<R> {
+        let guard = self.lock.acquire().expect("sequencer lock acquisition");
+        let turn = self.current_turn();
+        let out = if turn == ticket {
+            let r = f();
+            self.store.set(&self.turn_key, &(ticket + 1).to_string());
+            self.completed.fetch_add(1, Ordering::SeqCst);
+            Some(r)
+        } else {
+            None
+        };
+        self.lock.release(&guard);
+        out
+    }
+
+    /// Resets the turn counter to 0 for the next interleaving.
+    pub fn reset(&self) {
+        self.store.set(&self.turn_key, "0");
+        self.completed.store(0, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn threads_execute_in_ticket_order_regardless_of_spawn_order() {
+        let seq = Arc::new(OrderSequencer::new(RedisLite::new(), "t1"));
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        // Spawn tickets in reverse order to maximize contention.
+        let handles: Vec<_> = (0..8u64)
+            .rev()
+            .map(|ticket| {
+                let seq = Arc::clone(&seq);
+                let log = Arc::clone(&log);
+                std::thread::spawn(move || {
+                    seq.run_in_order(ticket, || log.lock().push(ticket));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*log.lock(), (0..8).collect::<Vec<_>>());
+        assert_eq!(seq.completed(), 8);
+        assert_eq!(seq.current_turn(), 8);
+    }
+
+    #[test]
+    fn try_run_refuses_out_of_turn_tickets() {
+        let seq = OrderSequencer::new(RedisLite::new(), "t2");
+        assert_eq!(seq.try_run(1, || "too early"), None);
+        assert_eq!(seq.try_run(0, || "on time"), Some("on time"));
+        assert_eq!(seq.try_run(0, || "stale"), None);
+        assert_eq!(seq.try_run(1, || "next"), Some("next"));
+    }
+
+    #[test]
+    fn reset_restarts_the_schedule() {
+        let seq = OrderSequencer::new(RedisLite::new(), "t3");
+        seq.run_in_order(0, || ());
+        seq.run_in_order(1, || ());
+        seq.reset();
+        assert_eq!(seq.current_turn(), 0);
+        assert_eq!(seq.completed(), 0);
+        seq.run_in_order(0, || ());
+        assert_eq!(seq.current_turn(), 1);
+    }
+
+    #[test]
+    fn sequencers_with_distinct_names_are_independent() {
+        let store = RedisLite::new();
+        let a = OrderSequencer::new(store.clone(), "a");
+        let b = OrderSequencer::new(store, "b");
+        a.run_in_order(0, || ());
+        assert_eq!(a.current_turn(), 1);
+        assert_eq!(b.current_turn(), 0);
+    }
+
+    #[test]
+    fn interleaved_two_thread_schedule() {
+        // Even/odd tickets split across two threads: the merged execution
+        // must strictly alternate.
+        let seq = Arc::new(OrderSequencer::new(RedisLite::new(), "t4"));
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mk = |tickets: Vec<u64>| {
+            let seq = Arc::clone(&seq);
+            let log = Arc::clone(&log);
+            std::thread::spawn(move || {
+                for t in tickets {
+                    seq.run_in_order(t, || log.lock().push(t));
+                }
+            })
+        };
+        let h1 = mk(vec![0, 2, 4, 6]);
+        let h2 = mk(vec![1, 3, 5, 7]);
+        h1.join().unwrap();
+        h2.join().unwrap();
+        assert_eq!(*log.lock(), (0..8).collect::<Vec<_>>());
+    }
+}

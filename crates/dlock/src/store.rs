@@ -1,0 +1,283 @@
+//! The Redis-like keyspace.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::{SystemTimeSource, TimeSource};
+
+#[derive(Debug, Clone)]
+struct Entry {
+    value: String,
+    /// Absolute expiry, milliseconds since epoch; `None` = no TTL.
+    expires_at: Option<u64>,
+}
+
+/// A thread-safe, TTL-aware string keyspace exposing the Redis primitives
+/// the Redlock pattern needs.
+///
+/// Clones share the underlying keyspace (they behave like client handles to
+/// the same server).
+///
+/// ```
+/// use er_pi_dlock::RedisLite;
+///
+/// let store = RedisLite::new();
+/// assert!(store.set_nx_px("lock", "owner-1", 1000));
+/// assert!(!store.set_nx_px("lock", "owner-2", 1000)); // NX: already held
+/// assert_eq!(store.get("lock").as_deref(), Some("owner-1"));
+/// ```
+#[derive(Clone)]
+pub struct RedisLite {
+    inner: Arc<Mutex<HashMap<String, Entry>>>,
+    time: Arc<dyn TimeSource>,
+}
+
+impl std::fmt::Debug for RedisLite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RedisLite")
+            .field("keys", &self.inner.lock().len())
+            .finish()
+    }
+}
+
+impl RedisLite {
+    /// Creates an empty keyspace on the system clock.
+    pub fn new() -> Self {
+        Self::with_time(Arc::new(SystemTimeSource))
+    }
+
+    /// Creates an empty keyspace on an explicit time source.
+    pub fn with_time(time: Arc<dyn TimeSource>) -> Self {
+        RedisLite { inner: Arc::new(Mutex::new(HashMap::new())), time }
+    }
+
+    fn live<'a>(
+        map: &'a mut HashMap<String, Entry>,
+        key: &str,
+        now: u64,
+    ) -> Option<&'a mut Entry> {
+        let expired = map
+            .get(key)
+            .is_some_and(|e| e.expires_at.is_some_and(|t| t <= now));
+        if expired {
+            map.remove(key);
+            return None;
+        }
+        map.get_mut(key)
+    }
+
+    /// `SET key value NX PX ttl_ms` — the Redlock acquisition primitive.
+    /// Returns `true` if the key was free (or expired) and is now set.
+    pub fn set_nx_px(&self, key: &str, value: &str, ttl_ms: u64) -> bool {
+        let now = self.time.now_ms();
+        let mut map = self.inner.lock();
+        if Self::live(&mut map, key, now).is_some() {
+            return false;
+        }
+        map.insert(
+            key.to_owned(),
+            Entry { value: value.to_owned(), expires_at: Some(now + ttl_ms) },
+        );
+        true
+    }
+
+    /// `SET key value` with no TTL.
+    pub fn set(&self, key: &str, value: &str) {
+        let mut map = self.inner.lock();
+        map.insert(key.to_owned(), Entry { value: value.to_owned(), expires_at: None });
+    }
+
+    /// `GET key`.
+    pub fn get(&self, key: &str) -> Option<String> {
+        let now = self.time.now_ms();
+        let mut map = self.inner.lock();
+        Self::live(&mut map, key, now).map(|e| e.value.clone())
+    }
+
+    /// `DEL key`; returns `true` if the key existed.
+    pub fn del(&self, key: &str) -> bool {
+        let now = self.time.now_ms();
+        let mut map = self.inner.lock();
+        let live = Self::live(&mut map, key, now).is_some();
+        map.remove(key);
+        live
+    }
+
+    /// The atomic compare-and-delete of the Redlock release script: deletes
+    /// `key` only if it currently holds `value`. Returns `true` on delete.
+    pub fn del_if_value(&self, key: &str, value: &str) -> bool {
+        let now = self.time.now_ms();
+        let mut map = self.inner.lock();
+        match Self::live(&mut map, key, now) {
+            Some(e) if e.value == value => {
+                map.remove(key);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Extends `key`'s TTL to `ttl_ms` from now, only if it holds `value`
+    /// (the lease-extension script). Returns `true` on success.
+    pub fn pexpire_if_value(&self, key: &str, value: &str, ttl_ms: u64) -> bool {
+        let now = self.time.now_ms();
+        let mut map = self.inner.lock();
+        match Self::live(&mut map, key, now) {
+            Some(e) if e.value == value => {
+                e.expires_at = Some(now + ttl_ms);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// `INCR key` — atomic counter, initializing absent keys at 0.
+    /// Returns the post-increment value.
+    pub fn incr(&self, key: &str) -> i64 {
+        let now = self.time.now_ms();
+        let mut map = self.inner.lock();
+        let current = Self::live(&mut map, key, now)
+            .and_then(|e| e.value.parse::<i64>().ok())
+            .unwrap_or(0);
+        let next = current + 1;
+        map.insert(key.to_owned(), Entry { value: next.to_string(), expires_at: None });
+        next
+    }
+
+    /// Remaining TTL of `key` in milliseconds: `None` if absent,
+    /// `Some(None)` if persistent, `Some(Some(ms))` if expiring.
+    pub fn ttl_ms(&self, key: &str) -> Option<Option<u64>> {
+        let now = self.time.now_ms();
+        let mut map = self.inner.lock();
+        Self::live(&mut map, key, now)
+            .map(|e| e.expires_at.map(|t| t.saturating_sub(now)))
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        let now = self.time.now_ms();
+        let mut map = self.inner.lock();
+        map.retain(|_, e| !e.expires_at.is_some_and(|t| t <= now));
+        map.len()
+    }
+
+    /// Returns `true` if no live keys exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every key.
+    pub fn flush(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+impl Default for RedisLite {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ManualTime;
+
+    fn manual_store() -> (RedisLite, ManualTime) {
+        let t = ManualTime::new(1_000);
+        let store = RedisLite::with_time(Arc::new(t.clone()));
+        (store, t)
+    }
+
+    #[test]
+    fn set_nx_respects_existing_keys() {
+        let (s, _) = manual_store();
+        assert!(s.set_nx_px("k", "a", 100));
+        assert!(!s.set_nx_px("k", "b", 100));
+        assert_eq!(s.get("k").as_deref(), Some("a"));
+    }
+
+    #[test]
+    fn keys_expire_by_ttl() {
+        let (s, t) = manual_store();
+        s.set_nx_px("k", "v", 100);
+        t.advance(99);
+        assert_eq!(s.get("k").as_deref(), Some("v"));
+        t.advance(1);
+        assert_eq!(s.get("k"), None);
+        // An expired key is free for NX again.
+        assert!(s.set_nx_px("k", "v2", 100));
+    }
+
+    #[test]
+    fn del_if_value_is_owner_guarded() {
+        let (s, _) = manual_store();
+        s.set_nx_px("lock", "owner-a", 100);
+        assert!(!s.del_if_value("lock", "owner-b"), "wrong owner cannot release");
+        assert!(s.del_if_value("lock", "owner-a"));
+        assert_eq!(s.get("lock"), None);
+        assert!(!s.del_if_value("lock", "owner-a"), "already gone");
+    }
+
+    #[test]
+    fn pexpire_extends_only_for_owner() {
+        let (s, t) = manual_store();
+        s.set_nx_px("lock", "me", 100);
+        t.advance(90);
+        assert!(s.pexpire_if_value("lock", "me", 100));
+        t.advance(90);
+        assert_eq!(s.get("lock").as_deref(), Some("me"), "lease extended");
+        assert!(!s.pexpire_if_value("lock", "thief", 100));
+    }
+
+    #[test]
+    fn incr_is_a_monotone_counter() {
+        let (s, _) = manual_store();
+        assert_eq!(s.incr("c"), 1);
+        assert_eq!(s.incr("c"), 2);
+        assert_eq!(s.incr("c"), 3);
+        assert_eq!(s.get("c").as_deref(), Some("3"));
+    }
+
+    #[test]
+    fn ttl_reports_remaining_time() {
+        let (s, t) = manual_store();
+        assert_eq!(s.ttl_ms("missing"), None);
+        s.set("persistent", "v");
+        assert_eq!(s.ttl_ms("persistent"), Some(None));
+        s.set_nx_px("leased", "v", 500);
+        t.advance(100);
+        assert_eq!(s.ttl_ms("leased"), Some(Some(400)));
+    }
+
+    #[test]
+    fn clones_share_the_keyspace() {
+        let (s, _) = manual_store();
+        let s2 = s.clone();
+        s.set("k", "v");
+        assert_eq!(s2.get("k").as_deref(), Some("v"));
+        s2.flush();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn concurrent_incr_loses_nothing() {
+        let s = RedisLite::new();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        s.incr("counter");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(s.get("counter").as_deref(), Some("800"));
+    }
+}

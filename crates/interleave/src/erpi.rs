@@ -1,0 +1,270 @@
+//! The ER-π pruned explorer: grouping + canonical-form filters.
+
+use er_pi_model::{Interleaving, Workload};
+
+use crate::{
+    failed_ops_canonical, group_events, independence_canonical, replica_specific_canonical,
+    Explorer, GroupedUnits, PruningConfig,
+};
+
+/// Per-algorithm pruning counters, observed while exploring.
+///
+/// `grouping_factor` is analytic (`n! / u!`); the other three count the
+/// candidate interleavings each canonical filter rejected — the data behind
+/// Figure 9 ("Individual Algorithm's Contribution to the Reduction of
+/// Interleavings Number").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PruneStats {
+    /// Interleavings merged away by event grouping, per unit permutation
+    /// (analytic): `n!/u!` interleavings collapse into every emitted one.
+    pub grouping_factor: u128,
+    /// Candidates rejected by replica-specific canonicalization.
+    pub replica_specific_rejected: u64,
+    /// Candidates rejected by event-independence canonicalization.
+    pub independence_rejected: u64,
+    /// Candidates rejected by failed-ops canonicalization.
+    pub failed_ops_rejected: u64,
+    /// Candidates rejected by the causal-validity extension filter.
+    pub causal_rejected: u64,
+    /// Interleavings emitted.
+    pub emitted: u64,
+}
+
+impl PruneStats {
+    /// Total candidates examined (emitted + rejected by any filter).
+    pub fn examined(&self) -> u64 {
+        self.emitted
+            + self.replica_specific_rejected
+            + self.independence_rejected
+            + self.failed_ops_rejected
+            + self.causal_rejected
+    }
+}
+
+/// ER-π's interleaving generator: permutations of grouped units, filtered to
+/// the canonical representative of every pruning-equivalence class.
+///
+/// See the [crate-level example](crate) for the motivating-example numbers
+/// (5040 → 24 → 19).
+#[derive(Debug)]
+pub struct ErPiExplorer<'w> {
+    workload: &'w Workload,
+    config: PruningConfig,
+    grouped: GroupedUnits,
+    perms: crate::Permutations,
+    stats: PruneStats,
+}
+
+impl<'w> ErPiExplorer<'w> {
+    /// Creates the explorer for `workload` under `config`.
+    pub fn new(workload: &'w Workload, config: &PruningConfig) -> Self {
+        let grouped = group_events(workload, config);
+        let grouping_factor = if grouped.len() == workload.len() {
+            1
+        } else {
+            er_pi_model::reduction_factor(workload.total_orders(), grouped.total_orders())
+                .unwrap_or(1)
+        };
+        ErPiExplorer {
+            workload,
+            config: config.clone(),
+            perms: crate::Permutations::new(grouped.len()),
+            grouped,
+            stats: PruneStats { grouping_factor, ..PruneStats::default() },
+        }
+    }
+
+    /// The grouped units the explorer permutes.
+    pub fn grouped(&self) -> &GroupedUnits {
+        &self.grouped
+    }
+
+    /// Pruning counters accumulated so far.
+    pub fn stats(&self) -> PruneStats {
+        self.stats
+    }
+
+    /// Checks every configured canonical predicate; returns the name of the
+    /// first filter that rejects, or `None` if the order is canonical.
+    fn rejecting_filter(&self, order: &[er_pi_model::EventId]) -> Option<&'static str> {
+        if let Some(target) = self.config.target_replica {
+            if !replica_specific_canonical(self.workload, order, target) {
+                return Some("replica-specific");
+            }
+        }
+        for set in &self.config.independent_sets {
+            if !independence_canonical(order, set, &self.config.interference) {
+                return Some("independence");
+            }
+        }
+        for rule in &self.config.failed_ops {
+            if !failed_ops_canonical(order, rule) {
+                return Some("failed-ops");
+            }
+        }
+        if self.config.require_causal {
+            let il = Interleaving::new(order.to_vec());
+            if !self.workload.is_causally_valid(&il) {
+                return Some("causal");
+            }
+        }
+        None
+    }
+}
+
+impl Iterator for ErPiExplorer<'_> {
+    type Item = Interleaving;
+
+    fn next(&mut self) -> Option<Interleaving> {
+        loop {
+            let perm = self.perms.next()?;
+            let order = self.grouped.flatten(&perm);
+            match self.rejecting_filter(&order) {
+                None => {
+                    self.stats.emitted += 1;
+                    return Some(Interleaving::new(order));
+                }
+                Some("replica-specific") => self.stats.replica_specific_rejected += 1,
+                Some("independence") => self.stats.independence_rejected += 1,
+                Some("failed-ops") => self.stats.failed_ops_rejected += 1,
+                Some("causal") => self.stats.causal_rejected += 1,
+                Some(other) => unreachable!("unknown filter {other}"),
+            }
+        }
+    }
+}
+
+impl Explorer for ErPiExplorer<'_> {
+    fn name(&self) -> &'static str {
+        "ER-π"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FailedOpsRule;
+    use er_pi_model::{EventId, ReplicaId, Value, Workload};
+
+    fn r(i: u16) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+
+    /// The §2.3 motivating example workload.
+    fn motivating() -> (Workload, [EventId; 4]) {
+        let a = r(0);
+        let b = r(1);
+        let mut w = Workload::builder();
+        let ev1 = w.update(a, "add", [Value::from("otb")]);
+        w.sync_pair(a, b, ev1);
+        let ev2 = w.update(b, "add", [Value::from("ph")]);
+        w.sync_pair(b, a, ev2);
+        let ev3 = w.update(b, "remove", [Value::from("otb")]);
+        w.sync_pair(b, a, ev3);
+        let ev4 = w.external(a, "transmit");
+        (w.build(), [ev1, ev2, ev3, ev4])
+    }
+
+    #[test]
+    fn grouping_only_gives_24() {
+        let (w, _) = motivating();
+        let config = PruningConfig::default();
+        let explorer = ErPiExplorer::new(&w, &config);
+        assert_eq!(explorer.grouped().len(), 4);
+        assert_eq!(explorer.count(), 24);
+    }
+
+    #[test]
+    fn paper_motivating_example_reaches_19() {
+        let (w, [ev1, ev2, ev3, ev4]) = motivating();
+        let config = PruningConfig::default().with_failed_ops(FailedOpsRule {
+            predecessors: vec![ev4],
+            successors: vec![ev1, ev2, ev3],
+        });
+        let mut explorer = ErPiExplorer::new(&w, &config);
+        let emitted: Vec<Interleaving> = explorer.by_ref().collect();
+        assert_eq!(emitted.len(), 19, "5040 → 19, a 265x reduction");
+        assert_eq!(
+            er_pi_model::reduction_factor(w.total_orders(), emitted.len() as u128),
+            Some(265)
+        );
+        let stats = explorer.stats();
+        assert_eq!(stats.emitted, 19);
+        assert_eq!(stats.failed_ops_rejected, 5);
+        assert_eq!(stats.grouping_factor, 210); // 5040 / 24
+    }
+
+    #[test]
+    fn every_emitted_order_is_a_permutation() {
+        let (w, _) = motivating();
+        let config = PruningConfig::default();
+        for il in ErPiExplorer::new(&w, &config) {
+            assert!(w.is_permutation(&il));
+        }
+    }
+
+    #[test]
+    fn units_stay_contiguous_in_emitted_orders() {
+        let (w, [ev1, _, _, _]) = motivating();
+        let config = PruningConfig::default();
+        let explorer = ErPiExplorer::new(&w, &config);
+        let sync1 = EventId::new(ev1.raw() + 1); // the fused sync of ev1
+        for il in explorer {
+            let p_upd = il.position(ev1).unwrap();
+            let p_sync = il.position(sync1).unwrap();
+            assert_eq!(p_sync, p_upd + 1, "grouped pair must stay adjacent in {il}");
+        }
+    }
+
+    #[test]
+    fn causal_filter_extension_reduces_further() {
+        // Three updates with a chain dependency x -> y -> z: only one of
+        // the 3! orders is causally valid.
+        let mut w = Workload::builder();
+        let x = w.update(r(0), "x", [Value::from(0)]);
+        let y = w.update(r(1), "y", [Value::from(1)]);
+        let z = w.update(r(2), "z", [Value::from(2)]);
+        w.depends(y, x);
+        w.depends(z, y);
+        let w = w.build();
+        let mut config = PruningConfig::default();
+        config.require_causal = true;
+        let mut explorer = ErPiExplorer::new(&w, &config);
+        let emitted: Vec<Interleaving> = explorer.by_ref().collect();
+        assert_eq!(emitted.len(), 1);
+        assert!(w.is_causally_valid(&emitted[0]));
+        assert_eq!(explorer.stats().causal_rejected, 5);
+        let _ = (x, z);
+    }
+
+    #[test]
+    fn replica_specific_filter_counts_rejections() {
+        let a = r(0);
+        let b = r(1);
+        let mut w = Workload::builder();
+        let base = w.update(a, "base", [Value::from(0)]);
+        w.sync_pair(a, b, base);
+        w.update(a, "p", [Value::from(1)]);
+        w.update(a, "q", [Value::from(2)]);
+        let w = w.build();
+        let config = PruningConfig::default().with_target_replica(b);
+        let mut explorer = ErPiExplorer::new(&w, &config);
+        let emitted = explorer.by_ref().count();
+        let stats = explorer.stats();
+        assert!(stats.replica_specific_rejected > 0);
+        assert_eq!(stats.emitted as usize, emitted);
+        assert_eq!(stats.examined() as usize, emitted + stats.replica_specific_rejected as usize);
+    }
+
+    #[test]
+    fn independence_filter_applies_to_unit_orders() {
+        let mut w = Workload::builder();
+        let x = w.update(r(0), "set", [Value::from(0)]);
+        let y = w.update(r(1), "set", [Value::from(1)]);
+        let z = w.update(r(2), "set", [Value::from(2)]);
+        let w = w.build();
+        let config = PruningConfig::default().with_independent_set(vec![x, y, z]);
+        let explorer = ErPiExplorer::new(&w, &config);
+        assert_eq!(explorer.count(), 1, "3! orders merge into one");
+    }
+}

@@ -1,0 +1,246 @@
+//! The exploration baselines: DFS and Random (paper §6.3).
+
+use std::collections::HashSet;
+
+use er_pi_model::{factorial, EventId, Interleaving, Workload};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::Permutations;
+
+/// A source of interleavings to replay.
+///
+/// All explorers are plain iterators; [`Explorer::wasted_work`] additionally
+/// exposes mode-specific overhead (the Random explorer's shuffle retries),
+/// which feeds the simulated-time model of Figure 8b.
+pub trait Explorer: Iterator<Item = Interleaving> {
+    /// Short mode name for reports ("ER-π", "DFS", "Rand").
+    fn name(&self) -> &'static str;
+
+    /// Mode-specific overhead units accumulated so far (e.g. rejected
+    /// shuffles). Zero for systematic explorers.
+    fn wasted_work(&self) -> u64 {
+        0
+    }
+}
+
+/// Which exploration mode to run — the three bars of Figures 8a/8b.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExploreMode {
+    /// ER-π with its applicable pruning algorithms.
+    ErPi,
+    /// Depth-first search over all `n!` orders.
+    Dfs,
+    /// Random shuffling with a seen-cache over all `n!` orders.
+    Random {
+        /// Shuffle seed.
+        seed: u64,
+    },
+}
+
+impl std::fmt::Display for ExploreMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExploreMode::ErPi => f.write_str("ER-π"),
+            ExploreMode::Dfs => f.write_str("DFS"),
+            ExploreMode::Random { .. } => f.write_str("Rand"),
+        }
+    }
+}
+
+/// Depth-first (lexicographic) exploration of all `n!` interleavings.
+///
+/// ```
+/// use er_pi_interleave::{DfsExplorer, Explorer};
+/// use er_pi_model::{ReplicaId, Workload};
+///
+/// let mut w = Workload::builder();
+/// w.update(ReplicaId::new(0), "a", [1]);
+/// w.update(ReplicaId::new(1), "b", [2]);
+/// let workload = w.build();
+///
+/// let mut dfs = DfsExplorer::new(&workload);
+/// assert_eq!(dfs.name(), "DFS");
+/// assert_eq!(dfs.count(), 2);
+/// ```
+#[derive(Debug)]
+pub struct DfsExplorer {
+    ids: Vec<EventId>,
+    perms: Permutations,
+}
+
+impl DfsExplorer {
+    /// Creates the explorer for `workload`.
+    pub fn new(workload: &Workload) -> Self {
+        DfsExplorer {
+            ids: workload.event_ids().collect(),
+            perms: Permutations::new(workload.len()),
+        }
+    }
+
+    /// Creates the explorer with an explicit base expansion order: the tree
+    /// is explored as if the events were enumerated in `base` order.
+    ///
+    /// Restarting a real model checker perturbs its frontier ordering (I/O
+    /// timing, hash seeds); this constructor models that run-to-run
+    /// nondeterminism for the Figure 10 micro-benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not a permutation of the workload's events.
+    pub fn with_base_order(workload: &Workload, base: Vec<er_pi_model::EventId>) -> Self {
+        assert!(
+            workload.is_permutation(&er_pi_model::Interleaving::new(base.clone())),
+            "base order must be a permutation of the workload"
+        );
+        DfsExplorer { ids: base, perms: Permutations::new(workload.len()) }
+    }
+}
+
+impl Iterator for DfsExplorer {
+    type Item = Interleaving;
+
+    fn next(&mut self) -> Option<Interleaving> {
+        let perm = self.perms.next()?;
+        Some(perm.iter().map(|&i| self.ids[i]).collect())
+    }
+}
+
+impl Explorer for DfsExplorer {
+    fn name(&self) -> &'static str {
+        "DFS"
+    }
+}
+
+/// Random exploration: each draw shuffles the events and retries until an
+/// unexplored interleaving appears (the paper's "caching the composed
+/// interleavings to avoid repetition").
+///
+/// The retry count is the mode's characteristic overhead — "Rand took the
+/// most time due to the need to keep shuffling the events until finding an
+/// unexplored interleaving" (§6.3).
+#[derive(Debug)]
+pub struct RandomExplorer {
+    ids: Vec<EventId>,
+    rng: StdRng,
+    seen: HashSet<u64>,
+    total: u128,
+    retries: u64,
+}
+
+impl RandomExplorer {
+    /// Creates the explorer for `workload` with a deterministic `seed`.
+    pub fn new(workload: &Workload, seed: u64) -> Self {
+        RandomExplorer {
+            ids: workload.event_ids().collect(),
+            rng: StdRng::seed_from_u64(seed),
+            seen: HashSet::new(),
+            total: factorial(workload.len()),
+            retries: 0,
+        }
+    }
+
+    /// Number of rejected (already seen) shuffles so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+}
+
+impl Iterator for RandomExplorer {
+    type Item = Interleaving;
+
+    fn next(&mut self) -> Option<Interleaving> {
+        if (self.seen.len() as u128) >= self.total {
+            return None; // the whole space has been emitted
+        }
+        loop {
+            let mut order = self.ids.clone();
+            order.shuffle(&mut self.rng);
+            let candidate = Interleaving::new(order);
+            if self.seen.insert(candidate.fingerprint()) {
+                return Some(candidate);
+            }
+            self.retries += 1;
+        }
+    }
+}
+
+impl Explorer for RandomExplorer {
+    fn name(&self) -> &'static str {
+        "Rand"
+    }
+
+    fn wasted_work(&self) -> u64 {
+        self.retries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_pi_model::{ReplicaId, Workload};
+
+    fn workload(n: usize) -> Workload {
+        let mut w = Workload::builder();
+        for i in 0..n {
+            w.update(ReplicaId::new((i % 3) as u16), "op", [i as i64]);
+        }
+        w.build()
+    }
+
+    #[test]
+    fn dfs_enumerates_all_orders_exactly_once() {
+        let w = workload(4);
+        let all: Vec<Interleaving> = DfsExplorer::new(&w).collect();
+        assert_eq!(all.len(), 24);
+        let unique: HashSet<u64> = all.iter().map(Interleaving::fingerprint).collect();
+        assert_eq!(unique.len(), 24);
+        for il in &all {
+            assert!(w.is_permutation(il));
+        }
+    }
+
+    #[test]
+    fn dfs_first_is_recorded_order() {
+        let w = workload(5);
+        let first = DfsExplorer::new(&w).next().unwrap();
+        assert_eq!(first, w.recorded_order());
+    }
+
+    #[test]
+    fn random_emits_unique_permutations() {
+        let w = workload(4);
+        let mut rand = RandomExplorer::new(&w, 1234);
+        let drawn: Vec<Interleaving> = rand.by_ref().take(24).collect();
+        let unique: HashSet<u64> = drawn.iter().map(Interleaving::fingerprint).collect();
+        assert_eq!(unique.len(), 24, "all 4! orders drawn without repetition");
+        assert!(rand.next().is_none(), "space exhausted");
+        assert!(rand.retries() > 0, "exhausting the space forces retries");
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let w = workload(5);
+        let a: Vec<Interleaving> = RandomExplorer::new(&w, 7).take(10).collect();
+        let b: Vec<Interleaving> = RandomExplorer::new(&w, 7).take(10).collect();
+        assert_eq!(a, b);
+        let c: Vec<Interleaving> = RandomExplorer::new(&w, 8).take(10).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_orders_differ_from_dfs_prefix() {
+        let w = workload(6);
+        let dfs: Vec<Interleaving> = DfsExplorer::new(&w).take(5).collect();
+        let rand: Vec<Interleaving> = RandomExplorer::new(&w, 99).take(5).collect();
+        assert_ne!(dfs, rand);
+    }
+
+    #[test]
+    fn mode_display_names() {
+        assert_eq!(ExploreMode::ErPi.to_string(), "ER-π");
+        assert_eq!(ExploreMode::Dfs.to_string(), "DFS");
+        assert_eq!(ExploreMode::Random { seed: 1 }.to_string(), "Rand");
+    }
+}

@@ -1,0 +1,137 @@
+//! Algorithm 3 — event-independence pruning.
+//!
+//! Once the developer determines (by observing replays) that a set of events
+//! is mutually independent — e.g. list updates touching disjoint indices —
+//! interleavings that differ only in the order of those events are
+//! equivalent, *provided* no interfering event separates them. ER-π keeps
+//! the representative where the independent events appear in ascending
+//! event-id order.
+
+use er_pi_model::EventId;
+
+/// Returns `true` if `order` is the canonical representative of its
+/// independence class for the declared `independent` set.
+///
+/// `interference` lists pairs `(x, y)`: event `x` interferes with
+/// independent event `y` (the `R(ev, iev)` relation of the paper's
+/// Algorithm 3). If an interfering event sits between the first and last
+/// independent event, the class collapses to singletons (everything is
+/// canonical — no merging).
+///
+/// ```
+/// use er_pi_interleave::independence_canonical;
+/// use er_pi_model::EventId;
+///
+/// let e = |i| EventId::new(i);
+/// let independent = vec![e(0), e(1)];
+///
+/// // 0 before 1: canonical. 1 before 0: merged away.
+/// assert!(independence_canonical(&[e(0), e(1), e(2)], &independent, &[]));
+/// assert!(!independence_canonical(&[e(1), e(0), e(2)], &independent, &[]));
+///
+/// // An interfering event in between blocks the merge.
+/// let interference = vec![(e(2), e(0))];
+/// assert!(independence_canonical(&[e(1), e(2), e(0)], &independent, &interference));
+/// ```
+pub fn independence_canonical(
+    order: &[EventId],
+    independent: &[EventId],
+    interference: &[(EventId, EventId)],
+) -> bool {
+    // Positions of the independent events actually present.
+    let mut positions: Vec<(usize, EventId)> = Vec::new();
+    for (pos, &id) in order.iter().enumerate() {
+        if independent.contains(&id) {
+            positions.push((pos, id));
+        }
+    }
+    if positions.len() < 2 {
+        return true;
+    }
+    let first = positions[0].0;
+    let last = positions[positions.len() - 1].0;
+
+    // Check the in-between events for interference.
+    for &id in &order[first..=last] {
+        if independent.contains(&id) {
+            continue;
+        }
+        let interferes = interference
+            .iter()
+            .any(|&(x, y)| x == id && independent.contains(&y));
+        if interferes {
+            return true; // merge blocked: every order stays distinct
+        }
+    }
+
+    // Canonical: ascending id order among the independent events.
+    positions.windows(2).all(|w| w[0].1 < w[1].1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Permutations;
+
+    fn e(i: u32) -> EventId {
+        EventId::new(i)
+    }
+
+    /// The Figure 5 scenario: three independent list updates.
+    #[test]
+    fn three_independent_events_merge_6_to_1() {
+        let independent = vec![e(0), e(1), e(2)];
+        let mut canonical = 0;
+        for perm in Permutations::new(3) {
+            let order: Vec<EventId> = perm.iter().map(|&i| e(i as u32)).collect();
+            if independence_canonical(&order, &independent, &[]) {
+                canonical += 1;
+            }
+        }
+        assert_eq!(canonical, 1, "3! - 1 = 5 interleavings pruned");
+    }
+
+    #[test]
+    fn non_independent_events_are_unconstrained() {
+        let independent = vec![e(0), e(1)];
+        // Events 2 and 3 are free to be anywhere in any order.
+        assert!(independence_canonical(&[e(3), e(0), e(1), e(2)], &independent, &[]));
+        assert!(independence_canonical(&[e(2), e(0), e(1), e(3)], &independent, &[]));
+    }
+
+    #[test]
+    fn intervening_neutral_event_does_not_block_merge() {
+        let independent = vec![e(0), e(1)];
+        // e2 sits between the independent events but does not interfere.
+        assert!(independence_canonical(&[e(0), e(2), e(1)], &independent, &[]));
+        assert!(!independence_canonical(&[e(1), e(2), e(0)], &independent, &[]));
+    }
+
+    #[test]
+    fn interfering_event_blocks_merge_only_when_in_between() {
+        let independent = vec![e(0), e(1)];
+        let interference = vec![(e(2), e(1))];
+        // Interferer in between: both orders canonical (no merging).
+        assert!(independence_canonical(&[e(0), e(2), e(1)], &independent, &interference));
+        assert!(independence_canonical(&[e(1), e(2), e(0)], &independent, &interference));
+        // Interferer outside the span: merging applies again.
+        assert!(independence_canonical(&[e(2), e(0), e(1)], &independent, &interference));
+        assert!(!independence_canonical(&[e(2), e(1), e(0)], &independent, &interference));
+    }
+
+    #[test]
+    fn singleton_and_absent_sets_are_trivially_canonical() {
+        assert!(independence_canonical(&[e(0), e(1)], &[e(0)], &[]));
+        assert!(independence_canonical(&[e(0), e(1)], &[], &[]));
+        assert!(independence_canonical(&[e(0), e(1)], &[e(7), e(9)], &[]));
+    }
+
+    #[test]
+    fn two_disjoint_sets_can_be_checked_independently() {
+        let set_a = vec![e(0), e(1)];
+        let set_b = vec![e(2), e(3)];
+        let order = [e(1), e(0), e(2), e(3)];
+        assert!(!independence_canonical(&order, &set_a, &[]));
+        assert!(independence_canonical(&order, &set_b, &[]));
+    }
+}

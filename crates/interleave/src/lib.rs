@@ -1,0 +1,82 @@
+//! Interleaving generation, exploration, and pruning — the core of ER-π.
+//!
+//! Given a [`Workload`](er_pi_model::Workload) of `n` distributed events,
+//! there are `n!` conceivable interleavings. This crate provides:
+//!
+//! * the two exhaustive baselines of the paper's §6.3 —
+//!   [`DfsExplorer`] (depth-first, lexicographic tree order) and
+//!   [`RandomExplorer`] (seeded shuffles with a seen-cache), both covering
+//!   all `n!` orders;
+//! * ER-π's pruned explorer, [`ErPiExplorer`], which applies the paper's
+//!   four pruning algorithms (§3):
+//!   1. **Event grouping** — fuse `(send sync, execute sync)` pairs and
+//!      `(update, sync(update))` pairs into atomic units
+//!      ([`group_events`]);
+//!   2. **Replica-specific** — canonicalize orders of foreign events that
+//!      occur after the last synchronization into the explored replica
+//!      ([`replica_specific_canonical`]);
+//!   3. **Event independence** — canonicalize orders of
+//!      developer-declared independent events
+//!      ([`independence_canonical`]);
+//!   4. **Failed ops** — canonicalize orders of operations that provably
+//!      fail given their prefix ([`failed_ops_canonical`]).
+//!
+//! Each pruning algorithm defines an equivalence relation over
+//! interleavings; ER-π replays only the *canonical representative* of each
+//! class, which is exactly the paper's "merge k interleavings into one".
+//!
+//! # The motivating example, §2.3 → §3.1
+//!
+//! ```
+//! use er_pi_interleave::{ErPiExplorer, FailedOpsRule, PruningConfig};
+//! use er_pi_model::{ReplicaId, Value, Workload};
+//!
+//! let a = ReplicaId::new(0);
+//! let b = ReplicaId::new(1);
+//! let mut w = Workload::builder();
+//! let ev1 = w.update(a, "add", [Value::from("otb")]);
+//! w.sync_pair(a, b, ev1);
+//! let ev2 = w.update(b, "add", [Value::from("ph")]);
+//! w.sync_pair(b, a, ev2);
+//! let ev3 = w.update(b, "remove", [Value::from("otb")]);
+//! w.sync_pair(b, a, ev3);
+//! let ev4 = w.external(a, "transmit");
+//! let workload = w.build();
+//!
+//! assert_eq!(workload.total_orders(), 5040); // 7!
+//!
+//! // Event grouping alone: 3 (update, sync) pairs + 1 external = 4 units.
+//! let config = PruningConfig::default();
+//! let explorer = ErPiExplorer::new(&workload, &config);
+//! assert_eq!(explorer.count(), 24); // 4!
+//!
+//! // Adding the failed-ops rule ("transmit first makes every later order
+//! // equivalent") yields the paper's 19 interleavings.
+//! let config = PruningConfig::default().with_failed_ops(FailedOpsRule {
+//!     predecessors: vec![ev4],
+//!     successors: vec![ev1, ev2, ev3],
+//! });
+//! let explorer = ErPiExplorer::new(&workload, &config);
+//! assert_eq!(explorer.count(), 19);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod erpi;
+mod explorer;
+mod failed_ops;
+mod grouping;
+mod independence;
+mod permute;
+mod replica_specific;
+
+pub use config::{FailedOpsRule, PruningConfig};
+pub use erpi::{ErPiExplorer, PruneStats};
+pub use explorer::{DfsExplorer, ExploreMode, Explorer, RandomExplorer};
+pub use failed_ops::failed_ops_canonical;
+pub use grouping::{group_events, GroupedUnits};
+pub use independence::independence_canonical;
+pub use permute::Permutations;
+pub use replica_specific::replica_specific_canonical;

@@ -1,0 +1,159 @@
+//! Algorithm 2 — replica-specific pruning.
+//!
+//! When the developer explores the behaviour of one specific replica, events
+//! executed at *other* replicas after the last synchronization into the
+//! explored replica cannot affect it any more. Interleavings that differ
+//! only in the order of those trailing foreign events are equivalent; ER-π
+//! keeps the representative where they appear in ascending event-id order.
+
+use er_pi_model::{EventId, ReplicaId, Workload};
+
+/// Returns `true` if `order` is the canonical representative of its
+/// replica-specific equivalence class for `target`.
+///
+/// An event is *foreign* if it neither executes at `target` nor synchronizes
+/// into `target`. All foreign events positioned after the last
+/// into-`target` synchronization must appear in ascending id order.
+///
+/// ```
+/// use er_pi_interleave::replica_specific_canonical;
+/// use er_pi_model::{Interleaving, ReplicaId, Value, Workload};
+///
+/// let a = ReplicaId::new(0);
+/// let b = ReplicaId::new(1);
+/// let mut w = Workload::builder();
+/// let p = w.update(a, "p", [1]);
+/// let q = w.update(a, "q", [2]);
+/// let workload = w.build();
+///
+/// // Exploring replica B: both A-events are foreign with no sync into B.
+/// let fwd = Interleaving::new(vec![p, q]);
+/// let rev = Interleaving::new(vec![q, p]);
+/// assert!(replica_specific_canonical(&workload, fwd.as_slice(), b));
+/// assert!(!replica_specific_canonical(&workload, rev.as_slice(), b));
+/// ```
+pub fn replica_specific_canonical(
+    workload: &Workload,
+    order: &[EventId],
+    target: ReplicaId,
+) -> bool {
+    // Position of the last event that can still change `target`'s state
+    // from outside: a synchronization whose receiver is `target`.
+    let last_sync_in = order
+        .iter()
+        .rposition(|&id| {
+            workload
+                .event(id)
+                .sync_endpoints()
+                .is_some_and(|(_, to)| to == target)
+        })
+        .map_or(0, |p| p + 1);
+
+    // Foreign events in the tail must be ascending.
+    let mut prev: Option<EventId> = None;
+    for &id in &order[last_sync_in..] {
+        let ev = workload.event(id);
+        let syncs_into_target = ev.sync_endpoints().is_some_and(|(_, to)| to == target);
+        let foreign = ev.replica != target && !syncs_into_target;
+        if foreign {
+            if prev.is_some_and(|p| p > id) {
+                return false;
+            }
+            prev = Some(id);
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Permutations;
+    use er_pi_model::{factorial, Value};
+
+    fn r(i: u16) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+
+    /// The Figure 4 scenario: a sync into B, then four events at A.
+    fn figure4_workload() -> (Workload, Vec<EventId>) {
+        let a = r(0);
+        let b = r(1);
+        let mut w = Workload::builder();
+        let base = w.update(a, "base", [Value::from(0)]);
+        let sync = w.sync_pair(a, b, base);
+        let p = w.update(a, "p", [Value::from(1)]);
+        let q = w.update(a, "q", [Value::from(2)]);
+        let s = w.update(a, "r", [Value::from(3)]);
+        let t = w.update(a, "s", [Value::from(4)]);
+        (w.build(), vec![base, sync, p, q, s, t])
+    }
+
+    #[test]
+    fn figure4_trailing_foreign_events_merge_4_factorial_to_1() {
+        let (w, ids) = figure4_workload();
+        let b = r(1);
+        // Fix the prefix (base, sync); permute the four trailing A-events.
+        let mut canonical = 0u32;
+        let mut total = 0u32;
+        for perm in Permutations::new(4) {
+            let mut order = vec![ids[0], ids[1]];
+            order.extend(perm.iter().map(|&i| ids[2 + i]));
+            total += 1;
+            if replica_specific_canonical(&w, &order, b) {
+                canonical += 1;
+            }
+        }
+        assert_eq!(total as u128, factorial(4));
+        assert_eq!(canonical, 1, "4! - 1 = 23 interleavings pruned");
+    }
+
+    #[test]
+    fn events_at_target_are_never_constrained() {
+        let a = r(0);
+        let b = r(1);
+        let mut w = Workload::builder();
+        let x = w.update(b, "x", [1]);
+        let y = w.update(b, "y", [2]);
+        let w = w.build();
+        // Both orders canonical: the explored replica's own events always
+        // matter.
+        assert!(replica_specific_canonical(&w, &[x, y], b));
+        assert!(replica_specific_canonical(&w, &[y, x], b));
+        let _ = a;
+    }
+
+    #[test]
+    fn foreign_events_before_last_sync_are_unconstrained() {
+        let a = r(0);
+        let b = r(1);
+        let mut w = Workload::builder();
+        let p = w.update(a, "p", [1]);
+        let q = w.update(a, "q", [2]);
+        let sync = w.sync_pair(a, b, q);
+        let w = w.build();
+        // The sync into B comes last: foreign events before it still affect
+        // B (they get shipped), so their order matters.
+        assert!(replica_specific_canonical(&w, &[p, q, sync], b));
+        assert!(replica_specific_canonical(&w, &[q, p, sync], b));
+        // After moving the sync first, the tail (p, q) is foreign:
+        assert!(replica_specific_canonical(&w, &[sync, p, q], b));
+        assert!(!replica_specific_canonical(&w, &[sync, q, p], b));
+    }
+
+    #[test]
+    fn sync_into_target_in_tail_resets_the_cut() {
+        let a = r(0);
+        let b = r(1);
+        let mut w = Workload::builder();
+        let p = w.update(a, "p", [1]);
+        let s1 = w.sync_pair(a, b, p);
+        let q = w.update(a, "q", [2]);
+        let s2 = w.sync_pair(a, b, q);
+        let w = w.build();
+        // s2 is the last sync into b; only events after it are constrained.
+        assert!(replica_specific_canonical(&w, &[q, p, s1, s2], b));
+        assert!(replica_specific_canonical(&w, &[s1, q, p, s2], b));
+        assert!(!replica_specific_canonical(&w, &[s1, s2, q, p], b));
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests: the pruning algorithms are *sound* — they only merge
+//! genuinely equivalent interleavings, never losing an equivalence class.
+//!
+//! For each pruning algorithm we check, on randomized workloads:
+//!
+//! 1. **Representative existence** — every rejected interleaving has a
+//!    canonical sibling (same positions for unconstrained events,
+//!    constrained events reordered canonically) that the filter accepts.
+//! 2. **Exact counting** — the number of canonical survivors matches the
+//!    closed-form `total / k!` the paper's examples rely on.
+
+use proptest::prelude::*;
+
+use er_pi_interleave::{
+    failed_ops_canonical, independence_canonical, DfsExplorer, ErPiExplorer, FailedOpsRule,
+    PruningConfig,
+};
+use er_pi_model::{factorial, EventId, ReplicaId, Value, Workload};
+
+fn e(i: u32) -> EventId {
+    EventId::new(i)
+}
+
+/// Builds a workload of `n` independent single-replica updates.
+fn flat_workload(n: usize) -> Workload {
+    let mut w = Workload::builder();
+    for i in 0..n {
+        w.update(ReplicaId::new((i % 3) as u16), "op", [Value::from(i as i64)]);
+    }
+    w.build()
+}
+
+/// Canonicalizes `order` with respect to a constrained subset: the
+/// constrained events keep their *positions* but are re-sorted ascending.
+fn sort_constrained(order: &[EventId], constrained: &[EventId]) -> Vec<EventId> {
+    let mut slots: Vec<usize> = Vec::new();
+    let mut members: Vec<EventId> = Vec::new();
+    for (i, &id) in order.iter().enumerate() {
+        if constrained.contains(&id) {
+            slots.push(i);
+            members.push(id);
+        }
+    }
+    members.sort();
+    let mut out = order.to_vec();
+    for (slot, member) in slots.into_iter().zip(members) {
+        out[slot] = member;
+    }
+    out
+}
+
+proptest! {
+    /// Independence: every rejected order has an accepted representative,
+    /// and the survivor count is exactly n!/|S|! (no interference).
+    #[test]
+    fn independence_partition_is_exact(n in 3usize..6, set_size in 2usize..4) {
+        prop_assume!(set_size <= n);
+        let w = flat_workload(n);
+        let set: Vec<EventId> = (0..set_size as u32).map(e).collect();
+        let mut accepted = 0u128;
+        for il in DfsExplorer::new(&w) {
+            if independence_canonical(il.as_slice(), &set, &[]) {
+                accepted += 1;
+                // A canonical order must be its own representative.
+                prop_assert_eq!(
+                    sort_constrained(il.as_slice(), &set),
+                    il.as_slice().to_vec()
+                );
+            } else {
+                // The representative of a rejected order must be accepted.
+                let rep = sort_constrained(il.as_slice(), &set);
+                prop_assert!(independence_canonical(&rep, &set, &[]));
+            }
+        }
+        prop_assert_eq!(accepted, factorial(n) / factorial(set_size));
+    }
+
+    /// Failed-ops: representatives always exist, and firing configurations
+    /// are counted exactly.
+    #[test]
+    fn failed_ops_representative_exists(n in 4usize..6, n_pred in 1usize..3) {
+        let w = flat_workload(n);
+        let predecessors: Vec<EventId> = (0..n_pred as u32).map(e).collect();
+        let successors: Vec<EventId> = (n_pred as u32..n as u32).map(e).collect();
+        prop_assume!(successors.len() >= 2);
+        let rule = FailedOpsRule {
+            predecessors: predecessors.clone(),
+            successors: successors.clone(),
+        };
+        for il in DfsExplorer::new(&w) {
+            if !failed_ops_canonical(il.as_slice(), &rule) {
+                let rep = sort_constrained(il.as_slice(), &successors);
+                prop_assert!(
+                    failed_ops_canonical(&rep, &rule),
+                    "rejected order {:?} has no accepted representative",
+                    il.as_slice()
+                );
+            }
+        }
+    }
+
+    /// The ER-π explorer emits exactly the canonical survivors: no
+    /// duplicates, all permutations, count consistent with its own stats.
+    #[test]
+    fn erpi_explorer_is_consistent(n in 2usize..6) {
+        let w = flat_workload(n);
+        let config = PruningConfig::default()
+            .with_independent_set(vec![e(0), e(1)]);
+        let mut explorer = ErPiExplorer::new(&w, &config);
+        let emitted: Vec<_> = explorer.by_ref().collect();
+        let stats = explorer.stats();
+        prop_assert_eq!(stats.emitted as usize, emitted.len());
+        let mut fps: Vec<u64> = emitted.iter().map(|il| il.fingerprint()).collect();
+        fps.sort_unstable();
+        fps.dedup();
+        prop_assert_eq!(fps.len(), emitted.len(), "no duplicates");
+        for il in &emitted {
+            prop_assert!(w.is_permutation(il));
+        }
+        prop_assert_eq!(stats.examined() as u128, factorial(n));
+    }
+
+    /// Grouping + DFS equivalence: with grouping disabled, the ER-π
+    /// explorer (no dynamic rules) enumerates exactly the DFS space.
+    #[test]
+    fn ungrouped_erpi_equals_dfs(n in 1usize..5) {
+        let w = flat_workload(n);
+        let mut config = PruningConfig::default();
+        config.disable_grouping = true;
+        let erpi: Vec<_> = ErPiExplorer::new(&w, &config).collect();
+        let dfs: Vec<_> = DfsExplorer::new(&w).collect();
+        prop_assert_eq!(erpi, dfs);
+    }
+}
+
+/// Workloads with sync pairs: grouped units never get split by any emitted
+/// interleaving, and every DFS order maps into some emitted class by
+/// collapsing units.
+#[test]
+fn grouped_units_cover_the_full_space() {
+    let a = ReplicaId::new(0);
+    let b = ReplicaId::new(1);
+    let mut builder = Workload::builder();
+    let u1 = builder.update(a, "x", [Value::from(1)]);
+    let s1 = builder.sync_pair(a, b, u1);
+    let u2 = builder.update(b, "y", [Value::from(2)]);
+    let w = builder.build();
+
+    let config = PruningConfig::default();
+    let emitted: Vec<_> = ErPiExplorer::new(&w, &config).collect();
+    // 2 units → 2 interleavings.
+    assert_eq!(emitted.len(), 2);
+    for il in &emitted {
+        let pu = il.position(u1).unwrap();
+        let ps = il.position(s1).unwrap();
+        assert_eq!(ps, pu + 1);
+    }
+    // Every one of the 3! raw orders collapses (by unit adjacency) into one
+    // of the two emitted classes: the class is determined by whether u2
+    // precedes the (u1, s1) unit.
+    let mut classes = std::collections::HashSet::new();
+    for il in DfsExplorer::new(&w) {
+        let class = il.position(u2).unwrap() < il.position(u1).unwrap();
+        classes.insert(class);
+    }
+    assert_eq!(classes.len(), 2);
+}

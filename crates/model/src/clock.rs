@@ -1,0 +1,191 @@
+//! Lamport logical clocks and timestamps.
+//!
+//! ER-π assigns a Lamport timestamp to every event of every generated
+//! interleaving (paper §4.2); the timestamp defines the execution order that
+//! the distributed lock enforces during replay. The replicated data library
+//! substrate also uses Lamport timestamps for last-write-wins conflict
+//! resolution.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ReplicaId;
+
+/// A Lamport timestamp: logical time plus the replica that produced it.
+///
+/// The replica id acts as the tie-breaker, giving a *total* order — two
+/// distinct events on different replicas with the same logical time still
+/// compare deterministically. This is exactly the property the OrbitDB-1
+/// bug (issue #513) violates when the tie-breaking identity collides.
+///
+/// ```
+/// use er_pi_model::{LamportTimestamp, ReplicaId};
+///
+/// let t1 = LamportTimestamp::new(4, ReplicaId::new(0));
+/// let t2 = LamportTimestamp::new(4, ReplicaId::new(1));
+/// assert!(t1 < t2); // same time, replica breaks the tie
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct LamportTimestamp {
+    /// Logical time component.
+    pub time: u64,
+    /// Replica that produced the event; the deterministic tie-breaker.
+    pub replica: ReplicaId,
+}
+
+impl LamportTimestamp {
+    /// Creates a timestamp.
+    pub const fn new(time: u64, replica: ReplicaId) -> Self {
+        LamportTimestamp { time, replica }
+    }
+
+    /// Returns the timestamp immediately after `self` on the same replica.
+    #[must_use]
+    pub fn successor(self) -> Self {
+        LamportTimestamp::new(self.time + 1, self.replica)
+    }
+}
+
+impl fmt::Display for LamportTimestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.time, self.replica)
+    }
+}
+
+/// A per-replica Lamport clock.
+///
+/// `tick` advances local time for a local event; `observe` merges a remote
+/// timestamp on message receipt, per Lamport's happened-before rules.
+///
+/// ```
+/// use er_pi_model::{LamportClock, LamportTimestamp, ReplicaId};
+///
+/// let mut a = LamportClock::new(ReplicaId::new(0));
+/// let mut b = LamportClock::new(ReplicaId::new(1));
+/// let ta = a.tick(); // 1@R0
+/// let tb = b.observe(ta); // receipt: max(0, 1) + 1 = 2@R1
+/// assert!(tb > ta);
+/// assert_eq!(tb, LamportTimestamp::new(2, ReplicaId::new(1)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LamportClock {
+    replica: ReplicaId,
+    time: u64,
+}
+
+impl LamportClock {
+    /// Creates a clock at logical time zero for `replica`.
+    pub const fn new(replica: ReplicaId) -> Self {
+        LamportClock { replica, time: 0 }
+    }
+
+    /// Returns the replica this clock belongs to.
+    pub const fn replica(&self) -> ReplicaId {
+        self.replica
+    }
+
+    /// Returns the current logical time without advancing it.
+    pub const fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Returns the current timestamp without advancing the clock.
+    pub const fn now(&self) -> LamportTimestamp {
+        LamportTimestamp::new(self.time, self.replica)
+    }
+
+    /// Advances the clock for a local event and returns the new timestamp.
+    pub fn tick(&mut self) -> LamportTimestamp {
+        self.time += 1;
+        self.now()
+    }
+
+    /// Merges a remote timestamp on message receipt and returns the new
+    /// local timestamp (`max(local, remote) + 1`).
+    pub fn observe(&mut self, remote: LamportTimestamp) -> LamportTimestamp {
+        self.time = self.time.max(remote.time) + 1;
+        self.now()
+    }
+
+    /// Forces the clock to an arbitrary time.
+    ///
+    /// Exists to model the OrbitDB-2 bug (issue #512), where a Lamport clock
+    /// "set far into the future" halts database progress. Regular code
+    /// should never need this.
+    pub fn force(&mut self, time: u64) {
+        self.time = time;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u16) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+
+    #[test]
+    fn tick_is_monotonic() {
+        let mut c = LamportClock::new(r(0));
+        let t1 = c.tick();
+        let t2 = c.tick();
+        assert!(t2 > t1);
+        assert_eq!(t2.time, 2);
+    }
+
+    #[test]
+    fn observe_jumps_past_remote() {
+        let mut c = LamportClock::new(r(1));
+        let t = c.observe(LamportTimestamp::new(10, r(0)));
+        assert_eq!(t.time, 11);
+        assert_eq!(t.replica, r(1));
+    }
+
+    #[test]
+    fn observe_of_old_timestamp_still_advances() {
+        let mut c = LamportClock::new(r(1));
+        c.force(20);
+        let t = c.observe(LamportTimestamp::new(3, r(0)));
+        assert_eq!(t.time, 21);
+    }
+
+    #[test]
+    fn happened_before_implies_smaller_timestamp() {
+        // Classic Lamport property: if a -> b (same process or via message),
+        // then ts(a) < ts(b).
+        let mut a = LamportClock::new(r(0));
+        let mut b = LamportClock::new(r(1));
+        let send = a.tick();
+        let local_b = b.tick();
+        let recv = b.observe(send);
+        assert!(send < recv);
+        assert!(local_b < recv);
+    }
+
+    #[test]
+    fn total_order_breaks_ties_by_replica() {
+        let x = LamportTimestamp::new(5, r(0));
+        let y = LamportTimestamp::new(5, r(2));
+        assert!(x < y);
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn successor_increments_time_only() {
+        let t = LamportTimestamp::new(7, r(1)).successor();
+        assert_eq!(t, LamportTimestamp::new(8, r(1)));
+    }
+
+    #[test]
+    fn force_models_poisoned_clock() {
+        let mut c = LamportClock::new(r(0));
+        c.force(u64::MAX / 2);
+        assert_eq!(c.time(), u64::MAX / 2);
+        let t = c.tick();
+        assert_eq!(t.time, u64::MAX / 2 + 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Identifier newtypes shared across the workspace.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one replica of the replicated data system.
+///
+/// The paper's experimental setup uses three replicas (two laptops and a
+/// Raspberry Pi); replica ids are small dense integers so they double as
+/// vector-clock indices.
+///
+/// ```
+/// use er_pi_model::ReplicaId;
+///
+/// let r = ReplicaId::new(2);
+/// assert_eq!(r.index(), 2);
+/// assert_eq!(r.to_string(), "R2");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct ReplicaId(u16);
+
+impl ReplicaId {
+    /// Creates a replica id from its dense index.
+    pub const fn new(raw: u16) -> Self {
+        ReplicaId(raw)
+    }
+
+    /// Returns the dense index of this replica (usable as an array index).
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw numeric value.
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl From<u16> for ReplicaId {
+    fn from(raw: u16) -> Self {
+        ReplicaId(raw)
+    }
+}
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// Identifies one event inside a [`Workload`](crate::Workload).
+///
+/// Event ids are dense indices into the workload's event table, assigned in
+/// the order the events were recorded (i.e. program order of the original
+/// run).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct EventId(u32);
+
+impl EventId {
+    /// Creates an event id from its dense index.
+    pub const fn new(raw: u32) -> Self {
+        EventId(raw)
+    }
+
+    /// Returns the dense index of this event.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw numeric value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for EventId {
+    fn from(raw: u32) -> Self {
+        EventId(raw)
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A *dot*: the globally unique identity of one update, `(replica, counter)`.
+///
+/// Dots are the standard building block of operation-based CRDTs — the
+/// `counter` is the per-replica sequence number of the update, so two
+/// different updates can never share a dot.
+///
+/// ```
+/// use er_pi_model::{Dot, ReplicaId};
+///
+/// let d1 = Dot::new(ReplicaId::new(0), 1);
+/// let d2 = Dot::new(ReplicaId::new(0), 2);
+/// assert!(d1 < d2);
+/// assert_eq!(d1.to_string(), "R0:1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Dot {
+    /// Replica that produced the update.
+    pub replica: ReplicaId,
+    /// Per-replica sequence number of the update (1-based).
+    pub counter: u64,
+}
+
+impl Dot {
+    /// Creates a dot.
+    pub const fn new(replica: ReplicaId, counter: u64) -> Self {
+        Dot { replica, counter }
+    }
+}
+
+impl fmt::Display for Dot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.replica, self.counter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_id_roundtrip() {
+        let r = ReplicaId::new(7);
+        assert_eq!(r.index(), 7);
+        assert_eq!(r.raw(), 7);
+        assert_eq!(ReplicaId::from(7u16), r);
+    }
+
+    #[test]
+    fn event_id_ordering_follows_index() {
+        assert!(EventId::new(0) < EventId::new(1));
+        assert_eq!(EventId::new(3).index(), 3);
+    }
+
+    #[test]
+    fn dot_orders_by_replica_then_counter() {
+        let a = Dot::new(ReplicaId::new(0), 5);
+        let b = Dot::new(ReplicaId::new(1), 1);
+        assert!(a < b);
+        let c = Dot::new(ReplicaId::new(0), 6);
+        assert!(a < c);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ReplicaId::new(1).to_string(), "R1");
+        assert_eq!(EventId::new(4).to_string(), "e4");
+        assert_eq!(Dot::new(ReplicaId::new(2), 9).to_string(), "R2:9");
+    }
+
+    #[test]
+    fn serde_transparent() {
+        let json = serde_json::to_string(&ReplicaId::new(3)).unwrap();
+        assert_eq!(json, "3");
+        let back: ReplicaId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ReplicaId::new(3));
+    }
+}

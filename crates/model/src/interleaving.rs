@@ -1,0 +1,259 @@
+//! Interleavings: total orders over a workload's events.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{EventId, LamportTimestamp, Workload};
+
+/// One total order over a workload's events.
+///
+/// ```
+/// use er_pi_model::{EventId, Interleaving};
+///
+/// let il = Interleaving::new(vec![EventId::new(2), EventId::new(0), EventId::new(1)]);
+/// assert_eq!(il.position(EventId::new(0)), Some(1));
+/// assert_eq!(il.to_string(), "⟨e2 e0 e1⟩");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interleaving {
+    order: Vec<EventId>,
+}
+
+impl Interleaving {
+    /// Creates an interleaving from an explicit order.
+    pub fn new(order: Vec<EventId>) -> Self {
+        Interleaving { order }
+    }
+
+    /// The identity order over `n` events (`e0, e1, …`).
+    pub fn identity(n: usize) -> Self {
+        Interleaving {
+            order: (0..n as u32).map(EventId::new).collect(),
+        }
+    }
+
+    /// Number of events in the order.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Returns `true` if the order is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Iterates over the event ids in execution order.
+    pub fn iter(&self) -> std::slice::Iter<'_, EventId> {
+        self.order.iter()
+    }
+
+    /// Returns the order as a slice.
+    pub fn as_slice(&self) -> &[EventId] {
+        &self.order
+    }
+
+    /// Consumes the interleaving, returning the underlying order.
+    pub fn into_inner(self) -> Vec<EventId> {
+        self.order
+    }
+
+    /// Returns the position of `id` in the order, if present.
+    pub fn position(&self, id: EventId) -> Option<usize> {
+        self.order.iter().position(|&e| e == id)
+    }
+
+    /// Returns a position lookup table: `table[event.index()] = position`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event id's index exceeds `len` (the interleaving is not
+    /// over dense ids `0..len`).
+    pub fn position_table(&self) -> Vec<usize> {
+        let mut table = vec![usize::MAX; self.order.len()];
+        for (pos, &id) in self.order.iter().enumerate() {
+            table[id.index()] = pos;
+        }
+        table
+    }
+
+    /// Returns `true` if `a` occurs before `b` in this order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either event is absent from the order.
+    pub fn precedes(&self, a: EventId, b: EventId) -> bool {
+        let pa = self.position(a).expect("event a in interleaving");
+        let pb = self.position(b).expect("event b in interleaving");
+        pa < pb
+    }
+
+    /// Assigns Lamport timestamps to every event of the order (paper §4.2):
+    /// each event gets the timestamp `position + 1` at the replica where it
+    /// executes, which is exactly the execution order the distributed lock
+    /// enforces during replay.
+    pub fn assign_timestamps(&self, workload: &Workload) -> Vec<(EventId, LamportTimestamp)> {
+        self.order
+            .iter()
+            .enumerate()
+            .map(|(pos, &id)| {
+                let replica = workload.event(id).replica;
+                (id, LamportTimestamp::new(pos as u64 + 1, replica))
+            })
+            .collect()
+    }
+
+    /// A stable 64-bit fingerprint of the order (FNV-1a), used by the Random
+    /// explorer's seen-set and by persistence layers as a compact key.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &id in &self.order {
+            for b in id.raw().to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
+impl From<Vec<EventId>> for Interleaving {
+    fn from(order: Vec<EventId>) -> Self {
+        Interleaving::new(order)
+    }
+}
+
+impl FromIterator<EventId> for Interleaving {
+    fn from_iter<I: IntoIterator<Item = EventId>>(iter: I) -> Self {
+        Interleaving::new(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Interleaving {
+    type Item = &'a EventId;
+    type IntoIter = std::slice::Iter<'a, EventId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.order.iter()
+    }
+}
+
+impl fmt::Display for Interleaving {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("⟨")?;
+        for (i, id) in self.order.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "{id}")?;
+        }
+        f.write_str("⟩")
+    }
+}
+
+/// `n!` as a `u128`, saturating at `u128::MAX` (34! overflows).
+///
+/// ```
+/// use er_pi_model::factorial;
+///
+/// assert_eq!(factorial(7), 5040);
+/// assert_eq!(factorial(0), 1);
+/// assert_eq!(factorial(40), u128::MAX); // saturated
+/// ```
+pub fn factorial(n: usize) -> u128 {
+    let mut acc: u128 = 1;
+    for k in 2..=n as u128 {
+        acc = match acc.checked_mul(k) {
+            Some(v) => v,
+            None => return u128::MAX,
+        };
+    }
+    acc
+}
+
+/// The problem-space reduction factor `⌊total / remaining⌋` the paper
+/// reports (e.g. `⌊5040 / 19⌋ = 265` for the motivating example).
+///
+/// Returns `None` if `remaining` is zero.
+pub fn reduction_factor(total: u128, remaining: u128) -> Option<u128> {
+    if remaining == 0 {
+        None
+    } else {
+        Some(total / remaining)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(raw: &[u32]) -> Interleaving {
+        raw.iter().copied().map(EventId::new).collect()
+    }
+
+    #[test]
+    fn identity_is_sorted() {
+        let il = Interleaving::identity(4);
+        assert_eq!(il.as_slice(), &[0, 1, 2, 3].map(EventId::new));
+    }
+
+    #[test]
+    fn position_and_precedes() {
+        let il = ids(&[2, 0, 1]);
+        assert_eq!(il.position(EventId::new(2)), Some(0));
+        assert!(il.precedes(EventId::new(2), EventId::new(1)));
+        assert!(!il.precedes(EventId::new(1), EventId::new(2)));
+    }
+
+    #[test]
+    fn position_table_inverts_order() {
+        let il = ids(&[2, 0, 1]);
+        let table = il.position_table();
+        assert_eq!(table, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_orders() {
+        let a = ids(&[0, 1, 2]);
+        let b = ids(&[0, 2, 1]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), ids(&[0, 1, 2]).fingerprint());
+    }
+
+    #[test]
+    fn factorial_small_values() {
+        assert_eq!(factorial(1), 1);
+        assert_eq!(factorial(4), 24);
+        assert_eq!(factorial(8), 40_320);
+        assert_eq!(factorial(10), 3_628_800);
+        // 21 events (Roshi-3): astronomically large but still representable.
+        assert_eq!(factorial(21), 51_090_942_171_709_440_000);
+    }
+
+    #[test]
+    fn reduction_factor_matches_paper_motivating_example() {
+        assert_eq!(reduction_factor(5040, 19), Some(265));
+        assert_eq!(reduction_factor(40_320, 720), Some(56));
+        assert_eq!(reduction_factor(10, 0), None);
+    }
+
+    #[test]
+    fn timestamps_follow_positions() {
+        use crate::{ReplicaId, Workload};
+        let mut w = Workload::builder();
+        let a = w.update(ReplicaId::new(0), "x", [1]);
+        let b = w.update(ReplicaId::new(1), "y", [2]);
+        let w = w.build();
+        let il = Interleaving::new(vec![b, a]);
+        let ts = il.assign_timestamps(&w);
+        assert_eq!(ts[0].0, b);
+        assert_eq!(ts[0].1.time, 1);
+        assert_eq!(ts[0].1.replica, ReplicaId::new(1));
+        assert_eq!(ts[1].1.time, 2);
+    }
+
+    #[test]
+    fn display_wraps_in_angle_brackets() {
+        assert_eq!(ids(&[1, 0]).to_string(), "⟨e1 e0⟩");
+    }
+}

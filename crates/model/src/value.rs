@@ -1,0 +1,192 @@
+//! A small dynamic value type for operation arguments and document content.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A dynamically typed value.
+///
+/// Used for the arguments of intercepted RDL calls
+/// ([`OpDescriptor`](crate::OpDescriptor)) and as the leaf content of the
+/// JSON document CRDT. Deliberately small — only the shapes the evaluation
+/// subjects need.
+///
+/// ```
+/// use er_pi_model::Value;
+///
+/// let v = Value::from(42);
+/// assert_eq!(v.as_int(), Some(42));
+/// assert_eq!(v.to_string(), "42");
+///
+/// let list = Value::List(vec![Value::from("a"), Value::from(true)]);
+/// assert_eq!(list.to_string(), r#"["a", true]"#);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// Absent / null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// UTF-8 string.
+    Str(String),
+    /// Ordered list of values.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Returns the integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the list payload, if this is a [`Value::List`].
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Null
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl<V: Into<Value>> FromIterator<V> for Value {
+    fn from_iter<I: IntoIterator<Item = V>>(iter: I) -> Self {
+        Value::List(iter.into_iter().map(Into::into).collect())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::List(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::from(3).as_int(), Some(3));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::from("x").as_int(), None);
+    }
+
+    #[test]
+    fn collect_into_list() {
+        let v: Value = [1, 2, 3].into_iter().collect();
+        assert_eq!(v.as_list().map(<[Value]>::len), Some(3));
+    }
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        for v in [
+            Value::Null,
+            Value::from(false),
+            Value::from(0),
+            Value::from(""),
+            Value::List(vec![]),
+        ] {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut vals = vec![Value::from(2), Value::Null, Value::from("a"), Value::from(1)];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let v = Value::List(vec![Value::from(1), Value::from("two"), Value::Bool(true)]);
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+}

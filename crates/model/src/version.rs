@@ -1,0 +1,189 @@
+//! Version vectors for causal comparison of replica states.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Dot, ReplicaId};
+
+/// A version vector: per-replica count of observed updates.
+///
+/// Used by the op-based CRDTs in the RDL substrate to compute sync deltas
+/// ("which of your operations have I not yet seen?") and by the misconception
+/// tests to decide whether two replica states are causally comparable.
+///
+/// ```
+/// use er_pi_model::{ReplicaId, VersionVector};
+///
+/// let r0 = ReplicaId::new(0);
+/// let r1 = ReplicaId::new(1);
+///
+/// let mut a = VersionVector::new();
+/// a.increment(r0);
+/// let mut b = VersionVector::new();
+/// b.increment(r1);
+///
+/// assert!(a.concurrent(&b));
+/// b.merge(&a);
+/// assert!(b.dominates(&a));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct VersionVector {
+    counts: BTreeMap<ReplicaId, u64>,
+}
+
+impl VersionVector {
+    /// Creates an empty version vector (no updates observed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the number of updates observed from `replica`.
+    pub fn get(&self, replica: ReplicaId) -> u64 {
+        self.counts.get(&replica).copied().unwrap_or(0)
+    }
+
+    /// Records one more local update at `replica` and returns its [`Dot`].
+    pub fn increment(&mut self, replica: ReplicaId) -> Dot {
+        let c = self.counts.entry(replica).or_insert(0);
+        *c += 1;
+        Dot::new(replica, *c)
+    }
+
+    /// Returns `true` if this vector has already observed `dot`.
+    pub fn contains(&self, dot: Dot) -> bool {
+        self.get(dot.replica) >= dot.counter
+    }
+
+    /// Observes `dot`, extending the replica's count if the dot is the next
+    /// expected one or beyond (gaps are absorbed — this models op logs that
+    /// deliver batches).
+    pub fn observe(&mut self, dot: Dot) {
+        let c = self.counts.entry(dot.replica).or_insert(0);
+        if dot.counter > *c {
+            *c = dot.counter;
+        }
+    }
+
+    /// Point-wise maximum with `other`.
+    pub fn merge(&mut self, other: &VersionVector) {
+        for (&r, &c) in &other.counts {
+            let mine = self.counts.entry(r).or_insert(0);
+            if c > *mine {
+                *mine = c;
+            }
+        }
+    }
+
+    /// Returns `true` if `self` has observed everything `other` has.
+    pub fn dominates(&self, other: &VersionVector) -> bool {
+        other.counts.iter().all(|(&r, &c)| self.get(r) >= c)
+    }
+
+    /// Returns `true` if neither vector dominates the other (the states are
+    /// causally concurrent).
+    pub fn concurrent(&self, other: &VersionVector) -> bool {
+        !self.dominates(other) && !other.dominates(self)
+    }
+
+    /// Partial causal comparison: `Some(Equal | Less | Greater)` when the
+    /// vectors are ordered, `None` when concurrent.
+    pub fn partial_cmp_causal(&self, other: &VersionVector) -> Option<Ordering> {
+        match (self.dominates(other), other.dominates(self)) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Greater),
+            (false, true) => Some(Ordering::Less),
+            (false, false) => None,
+        }
+    }
+
+    /// Iterates over `(replica, count)` pairs with non-zero counts.
+    pub fn iter(&self) -> impl Iterator<Item = (ReplicaId, u64)> + '_ {
+        self.counts.iter().map(|(&r, &c)| (r, c))
+    }
+
+    /// Total number of updates observed across all replicas.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+}
+
+impl FromIterator<(ReplicaId, u64)> for VersionVector {
+    fn from_iter<I: IntoIterator<Item = (ReplicaId, u64)>>(iter: I) -> Self {
+        VersionVector {
+            counts: iter.into_iter().filter(|&(_, c)| c > 0).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u16) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+
+    #[test]
+    fn increment_returns_sequential_dots() {
+        let mut v = VersionVector::new();
+        assert_eq!(v.increment(r(0)), Dot::new(r(0), 1));
+        assert_eq!(v.increment(r(0)), Dot::new(r(0), 2));
+        assert_eq!(v.get(r(0)), 2);
+        assert_eq!(v.get(r(1)), 0);
+    }
+
+    #[test]
+    fn contains_respects_counter() {
+        let mut v = VersionVector::new();
+        v.increment(r(1));
+        v.increment(r(1));
+        assert!(v.contains(Dot::new(r(1), 1)));
+        assert!(v.contains(Dot::new(r(1), 2)));
+        assert!(!v.contains(Dot::new(r(1), 3)));
+        assert!(!v.contains(Dot::new(r(0), 1)));
+    }
+
+    #[test]
+    fn merge_is_pointwise_max() {
+        let mut a: VersionVector = [(r(0), 3), (r(1), 1)].into_iter().collect();
+        let b: VersionVector = [(r(0), 1), (r(2), 4)].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.get(r(0)), 3);
+        assert_eq!(a.get(r(1)), 1);
+        assert_eq!(a.get(r(2)), 4);
+    }
+
+    #[test]
+    fn dominance_and_concurrency() {
+        let a: VersionVector = [(r(0), 2)].into_iter().collect();
+        let b: VersionVector = [(r(0), 2), (r(1), 1)].into_iter().collect();
+        let c: VersionVector = [(r(2), 1)].into_iter().collect();
+        assert!(b.dominates(&a));
+        assert!(!a.dominates(&b));
+        assert!(a.concurrent(&c));
+        assert_eq!(
+            b.partial_cmp_causal(&a),
+            Some(std::cmp::Ordering::Greater)
+        );
+        assert_eq!(a.partial_cmp_causal(&c), None);
+        assert_eq!(a.partial_cmp_causal(&a.clone()), Some(std::cmp::Ordering::Equal));
+    }
+
+    #[test]
+    fn observe_absorbs_gaps() {
+        let mut v = VersionVector::new();
+        v.observe(Dot::new(r(0), 5));
+        assert_eq!(v.get(r(0)), 5);
+        v.observe(Dot::new(r(0), 3));
+        assert_eq!(v.get(r(0)), 5);
+    }
+
+    #[test]
+    fn zero_counts_are_not_stored() {
+        let v: VersionVector = [(r(0), 0), (r(1), 2)].into_iter().collect();
+        assert_eq!(v.iter().count(), 1);
+        assert_eq!(v.total(), 2);
+    }
+}

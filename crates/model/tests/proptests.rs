@@ -1,0 +1,138 @@
+//! Property-based tests for the shared event model.
+
+use proptest::prelude::*;
+
+use er_pi_model::{
+    factorial, Dot, EventId, Interleaving, LamportClock, LamportTimestamp, ReplicaId, Value,
+    VersionVector, Workload,
+};
+
+fn arb_replica() -> impl Strategy<Value = ReplicaId> {
+    (0u16..4).prop_map(ReplicaId::new)
+}
+
+fn arb_vv() -> impl Strategy<Value = VersionVector> {
+    proptest::collection::vec((arb_replica(), 0u64..16), 0..6)
+        .prop_map(|pairs| pairs.into_iter().collect())
+}
+
+proptest! {
+    /// merge is commutative: a ⊔ b == b ⊔ a.
+    #[test]
+    fn vv_merge_commutative(a in arb_vv(), b in arb_vv()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// merge is associative: (a ⊔ b) ⊔ c == a ⊔ (b ⊔ c).
+    #[test]
+    fn vv_merge_associative(a in arb_vv(), b in arb_vv(), c in arb_vv()) {
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// merge is idempotent: a ⊔ a == a.
+    #[test]
+    fn vv_merge_idempotent(a in arb_vv()) {
+        let mut aa = a.clone();
+        aa.merge(&a);
+        prop_assert_eq!(aa, a);
+    }
+
+    /// The merge of two vectors dominates both inputs.
+    #[test]
+    fn vv_merge_is_upper_bound(a in arb_vv(), b in arb_vv()) {
+        let mut m = a.clone();
+        m.merge(&b);
+        prop_assert!(m.dominates(&a));
+        prop_assert!(m.dominates(&b));
+    }
+
+    /// Observing a dot makes contains() true, and observation is monotone.
+    #[test]
+    fn vv_observe_contains(mut v in arb_vv(), r in arb_replica(), c in 1u64..32) {
+        let dot = Dot::new(r, c);
+        let before = v.get(r);
+        v.observe(dot);
+        prop_assert!(v.contains(dot));
+        prop_assert!(v.get(r) >= before);
+    }
+
+    /// Lamport clock: a chain of ticks and observes is strictly increasing.
+    #[test]
+    fn lamport_clock_monotone(remote_times in proptest::collection::vec(0u64..100, 1..20)) {
+        let mut clock = LamportClock::new(ReplicaId::new(0));
+        let mut last = clock.now();
+        for (i, t) in remote_times.into_iter().enumerate() {
+            let next = if i % 2 == 0 {
+                clock.tick()
+            } else {
+                clock.observe(LamportTimestamp::new(t, ReplicaId::new(1)))
+            };
+            prop_assert!(next > last, "clock must advance: {next} !> {last}");
+            last = next;
+        }
+    }
+
+    /// Fingerprints of distinct permutations of up to 6 events never collide
+    /// within a sampled pair (FNV over short sequences is collision-free at
+    /// this scale).
+    #[test]
+    fn fingerprint_injective_on_small_perms(
+        a in Just((0u32..6).collect::<Vec<_>>()).prop_shuffle(),
+        b in Just((0u32..6).collect::<Vec<_>>()).prop_shuffle(),
+    ) {
+        let perm_a: Interleaving = a.iter().map(|&x| EventId::new(x)).collect();
+        let perm_b: Interleaving = b.iter().map(|&x| EventId::new(x)).collect();
+        if perm_a == perm_b {
+            prop_assert_eq!(perm_a.fingerprint(), perm_b.fingerprint());
+        } else {
+            prop_assert_ne!(perm_a.fingerprint(), perm_b.fingerprint());
+        }
+    }
+
+    /// The recorded order of a randomly built workload is always causally
+    /// valid, and reversing it is invalid whenever any dependency exists.
+    #[test]
+    fn recorded_order_valid(n_updates in 1usize..6, n_syncs in 0usize..4) {
+        let a = ReplicaId::new(0);
+        let b = ReplicaId::new(1);
+        let mut builder = Workload::builder();
+        let mut updates = Vec::new();
+        for i in 0..n_updates {
+            updates.push(builder.update(a, "op", [Value::from(i as i64)]));
+        }
+        for i in 0..n_syncs {
+            builder.sync_pair(a, b, updates[i % updates.len()]);
+        }
+        let w = builder.build();
+        prop_assert!(w.is_causally_valid(&w.recorded_order()));
+        if n_syncs > 0 {
+            let mut rev: Vec<EventId> = w.event_ids().collect();
+            rev.reverse();
+            prop_assert!(!w.is_causally_valid(&Interleaving::new(rev)));
+        }
+    }
+}
+
+#[test]
+fn factorial_is_monotone_until_saturation() {
+    let mut prev = factorial(0);
+    for n in 1..40 {
+        let next = factorial(n);
+        assert!(next >= prev, "factorial must not decrease");
+        prev = next;
+    }
+    // 34! still fits in u128; 35! is the first to saturate.
+    assert!(factorial(34) < u128::MAX);
+    assert_eq!(factorial(35), u128::MAX);
+}

@@ -1,0 +1,772 @@
+//! Yorkie-style replicated JSON document.
+//!
+//! [Yorkie](https://github.com/yorkie-team/yorkie) represents each document
+//! as a JSON tree whose nodes are CRDTs: object keys resolve by
+//! last-write-wins, arrays are RGAs. This substrate mirrors that model:
+//!
+//! * object keys → LWW by Lamport timestamp,
+//! * arrays → [`Rga`] with both the correct `MoveAfter` and the naive
+//!   delete+insert move (the Yorkie-1 bug surface, issue #676),
+//! * whole-subtree `set` → the operation whose misuse over nested objects is
+//!   the Yorkie-2 bug (issue #663).
+
+use std::collections::BTreeMap;
+
+use er_pi_model::{Dot, DotContext, LamportClock, LamportTimestamp, ReplicaId, Value, VersionVector};
+use serde::{Deserialize, Serialize};
+
+use crate::{DeltaSync, Rga, RgaOp, StateCrdt};
+
+/// One segment of a document path (an object key).
+pub type PathSegment = String;
+
+/// Errors returned by the document's local mutation API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DocError {
+    /// The path does not resolve to a node.
+    NotFound(Vec<PathSegment>),
+    /// The path resolves to a node of the wrong shape.
+    WrongShape {
+        /// The offending path.
+        path: Vec<PathSegment>,
+        /// What the operation expected ("object", "array", ...).
+        expected: &'static str,
+    },
+    /// An array index was out of bounds.
+    IndexOutOfBounds {
+        /// Requested index.
+        index: usize,
+        /// Current array length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for DocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DocError::NotFound(p) => write!(f, "path {} not found", p.join(".")),
+            DocError::WrongShape { path, expected } => {
+                write!(f, "path {} is not an {expected}", path.join("."))
+            }
+            DocError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for array of length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DocError {}
+
+/// A read-side snapshot of (part of) the document.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JsonValue {
+    /// A primitive leaf.
+    Prim(Value),
+    /// An object of nested values.
+    Object(BTreeMap<String, JsonValue>),
+    /// An array of primitive values.
+    Array(Vec<Value>),
+}
+
+impl JsonValue {
+    /// Returns the primitive payload, if this is a leaf.
+    pub fn as_prim(&self) -> Option<&Value> {
+        match self {
+            JsonValue::Prim(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the object map, if this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns the array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// One replicated operation of a [`JsonDoc`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DocOp {
+    /// LWW-sets the key at `path` to a primitive.
+    SetPrim {
+        /// Full path, last segment is the written key.
+        path: Vec<PathSegment>,
+        /// Written value.
+        value: Value,
+        /// Write timestamp (LWW).
+        ts: LamportTimestamp,
+        /// Delivery-tracking tag.
+        dot: Dot,
+    },
+    /// LWW-replaces the subtree at `path` with an object of primitives.
+    ///
+    /// This is the whole-subtree `set` whose application to nested objects
+    /// silently drops concurrent sibling writes (the Yorkie-2 defect).
+    SetObject {
+        /// Full path, last segment is the replaced key.
+        path: Vec<PathSegment>,
+        /// New object content.
+        entries: BTreeMap<String, Value>,
+        /// Write timestamp (LWW).
+        ts: LamportTimestamp,
+        /// Delivery-tracking tag.
+        dot: Dot,
+    },
+    /// LWW-removes the key at `path`.
+    Remove {
+        /// Full path, last segment is the removed key.
+        path: Vec<PathSegment>,
+        /// Write timestamp (LWW).
+        ts: LamportTimestamp,
+        /// Delivery-tracking tag.
+        dot: Dot,
+    },
+    /// LWW-creates an empty array at `path`.
+    NewArray {
+        /// Full path, last segment is the created key.
+        path: Vec<PathSegment>,
+        /// Write timestamp (LWW).
+        ts: LamportTimestamp,
+        /// Delivery-tracking tag.
+        dot: Dot,
+    },
+    /// Applies an RGA operation to the array at `path`.
+    Arr {
+        /// Path of the array.
+        path: Vec<PathSegment>,
+        /// The inner RGA operation.
+        op: RgaOp<Value>,
+        /// Delivery-tracking tag (document level).
+        dot: Dot,
+    },
+}
+
+impl DocOp {
+    /// The document-level delivery tag.
+    pub fn dot(&self) -> Dot {
+        match self {
+            DocOp::SetPrim { dot, .. }
+            | DocOp::SetObject { dot, .. }
+            | DocOp::Remove { dot, .. }
+            | DocOp::NewArray { dot, .. }
+            | DocOp::Arr { dot, .. } => *dot,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+enum Node {
+    Prim(Value),
+    Obj(BTreeMap<String, Entry>),
+    Arr(Rga<Value>),
+    /// LWW tombstone left behind by `Remove`.
+    Removed,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Entry {
+    /// LWW timestamp of the last value assignment at this key.
+    ts: LamportTimestamp,
+    /// Timestamp of the last *wholesale replacement* (SetObject/Remove) of
+    /// this key; deeper writes older than this are discarded, which is what
+    /// makes "set over a nested object" drop concurrent sibling writes
+    /// (the Yorkie-2 defect surface).
+    replaced_at: Option<LamportTimestamp>,
+    node: Node,
+}
+
+/// A replicated JSON document.
+///
+/// ```
+/// use er_pi_model::{ReplicaId, Value};
+/// use er_pi_rdl::{DeltaSync, JsonDoc};
+///
+/// let mut a = JsonDoc::new(ReplicaId::new(0));
+/// let mut b = JsonDoc::new(ReplicaId::new(1));
+/// a.set(&["profile", "name"], Value::from("ada"))?;
+/// b.sync_from(&a);
+/// assert_eq!(
+///     b.get(&["profile", "name"]).unwrap().as_prim(),
+///     Some(&Value::from("ada"))
+/// );
+/// # Ok::<(), er_pi_rdl::DocError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JsonDoc {
+    replica: ReplicaId,
+    clock: LamportClock,
+    root: BTreeMap<String, Entry>,
+    ctx: DotContext,
+    log: Vec<DocOp>,
+    pending: Vec<DocOp>,
+}
+
+impl JsonDoc {
+    /// Creates an empty document owned by `replica`.
+    pub fn new(replica: ReplicaId) -> Self {
+        JsonDoc {
+            replica,
+            clock: LamportClock::new(replica),
+            root: BTreeMap::new(),
+            ctx: DotContext::new(),
+            log: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// The replica this handle mutates on behalf of.
+    pub fn replica(&self) -> ReplicaId {
+        self.replica
+    }
+
+    fn path_vec(path: &[&str]) -> Vec<PathSegment> {
+        path.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    fn record(&mut self, op: DocOp) -> DocOp {
+        self.apply_resolved(&op);
+        self.log.push(op.clone());
+        op
+    }
+
+    /// LWW-sets `path` to a primitive `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DocError::WrongShape`] if an intermediate segment resolves
+    /// to a primitive or array owned by a *newer* write (the set would lose).
+    pub fn set(&mut self, path: &[&str], value: Value) -> Result<DocOp, DocError> {
+        assert!(!path.is_empty(), "path must be non-empty");
+        let ts = self.clock.tick();
+        let dot = self.ctx.next_dot(self.replica);
+        Ok(self.record(DocOp::SetPrim { path: Self::path_vec(path), value, ts, dot }))
+    }
+
+    /// LWW-replaces the subtree at `path` with an object of primitives.
+    pub fn set_object(
+        &mut self,
+        path: &[&str],
+        entries: BTreeMap<String, Value>,
+    ) -> Result<DocOp, DocError> {
+        assert!(!path.is_empty(), "path must be non-empty");
+        let ts = self.clock.tick();
+        let dot = self.ctx.next_dot(self.replica);
+        Ok(self.record(DocOp::SetObject { path: Self::path_vec(path), entries, ts, dot }))
+    }
+
+    /// LWW-removes the key at `path`.
+    pub fn remove(&mut self, path: &[&str]) -> Result<DocOp, DocError> {
+        assert!(!path.is_empty(), "path must be non-empty");
+        let ts = self.clock.tick();
+        let dot = self.ctx.next_dot(self.replica);
+        Ok(self.record(DocOp::Remove { path: Self::path_vec(path), ts, dot }))
+    }
+
+    /// LWW-creates an empty array at `path`.
+    pub fn new_array(&mut self, path: &[&str]) -> Result<DocOp, DocError> {
+        assert!(!path.is_empty(), "path must be non-empty");
+        let ts = self.clock.tick();
+        let dot = self.ctx.next_dot(self.replica);
+        Ok(self.record(DocOp::NewArray { path: Self::path_vec(path), ts, dot }))
+    }
+
+    fn with_array<R>(
+        &mut self,
+        path: &[&str],
+        f: impl FnOnce(&mut Rga<Value>) -> Result<R, DocError>,
+    ) -> Result<R, DocError> {
+        let segs = Self::path_vec(path);
+        let node = resolve_mut(&mut self.root, &segs)
+            .ok_or_else(|| DocError::NotFound(segs.clone()))?;
+        match node {
+            Node::Arr(rga) => f(rga),
+            _ => Err(DocError::WrongShape { path: segs, expected: "array" }),
+        }
+    }
+
+    fn record_arr(&mut self, path: &[&str], op: RgaOp<Value>) -> DocOp {
+        let dot = self.ctx.next_dot(self.replica);
+        let doc_op = DocOp::Arr { path: Self::path_vec(path), op, dot };
+        self.log.push(doc_op.clone());
+        doc_op
+    }
+
+    /// Appends `value` to the array at `path`.
+    pub fn arr_push(&mut self, path: &[&str], value: Value) -> Result<DocOp, DocError> {
+        let op = self.with_array(path, |rga| Ok(rga.push(value)))?;
+        Ok(self.record_arr(path, op))
+    }
+
+    /// Inserts `value` at `idx` in the array at `path`.
+    pub fn arr_insert(&mut self, path: &[&str], idx: usize, value: Value) -> Result<DocOp, DocError> {
+        let op = self.with_array(path, |rga| {
+            if idx > rga.len() {
+                return Err(DocError::IndexOutOfBounds { index: idx, len: rga.len() });
+            }
+            Ok(rga.insert(idx, value))
+        })?;
+        Ok(self.record_arr(path, op))
+    }
+
+    /// Deletes index `idx` of the array at `path`.
+    pub fn arr_delete(&mut self, path: &[&str], idx: usize) -> Result<DocOp, DocError> {
+        let op = self.with_array(path, |rga| {
+            rga.delete(idx)
+                .ok_or(DocError::IndexOutOfBounds { index: idx, len: rga.len() })
+        })?;
+        Ok(self.record_arr(path, op))
+    }
+
+    /// Moves array element `from` to position `to` using the *correct*
+    /// stable-identity move (Yorkie's fixed `MoveAfter`).
+    pub fn arr_move(&mut self, path: &[&str], from: usize, to: usize) -> Result<DocOp, DocError> {
+        let op = self.with_array(path, |rga| {
+            rga.move_item(from, to)
+                .ok_or(DocError::IndexOutOfBounds { index: from.max(to), len: rga.len() })
+        })?;
+        Ok(self.record_arr(path, op))
+    }
+
+    /// Moves array element `from` to position `to` using the *naive*
+    /// delete+insert — the application-level move that duplicates under
+    /// concurrency (misconception #3 / bug Yorkie-1).
+    pub fn arr_move_naive(
+        &mut self,
+        path: &[&str],
+        from: usize,
+        to: usize,
+    ) -> Result<(DocOp, DocOp), DocError> {
+        let (del, ins) = self.with_array(path, |rga| {
+            rga.move_naive(from, to)
+                .ok_or(DocError::IndexOutOfBounds { index: from.max(to), len: rga.len() })
+        })?;
+        let del = self.record_arr(path, del);
+        let ins = self.record_arr(path, ins);
+        Ok((del, ins))
+    }
+
+    /// Reads the snapshot at `path` (`&[]` reads the whole document root).
+    pub fn get(&self, path: &[&str]) -> Option<JsonValue> {
+        if path.is_empty() {
+            return Some(snapshot_obj(&self.root));
+        }
+        let segs = Self::path_vec(path);
+        resolve(&self.root, &segs).map(snapshot_node)
+    }
+
+    /// Snapshot of the whole document.
+    pub fn root(&self) -> JsonValue {
+        snapshot_obj(&self.root)
+    }
+
+    /// Applies `op` to the tree, creating intermediate objects as needed.
+    /// Returns `false` if the op cannot be applied yet (dangling array path).
+    fn apply_resolved(&mut self, op: &DocOp) -> bool {
+        match op {
+            DocOp::SetPrim { path, value, ts, .. } => {
+                self.clock.observe(*ts);
+                set_at(&mut self.root, path, Node::Prim(value.clone()), *ts, false);
+                true
+            }
+            DocOp::SetObject { path, entries, ts, .. } => {
+                self.clock.observe(*ts);
+                let obj = entries
+                    .iter()
+                    .map(|(k, v)| {
+                        (
+                            k.clone(),
+                            Entry { ts: *ts, replaced_at: None, node: Node::Prim(v.clone()) },
+                        )
+                    })
+                    .collect();
+                set_at(&mut self.root, path, Node::Obj(obj), *ts, true);
+                true
+            }
+            DocOp::Remove { path, ts, .. } => {
+                self.clock.observe(*ts);
+                set_at(&mut self.root, path, Node::Removed, *ts, true);
+                true
+            }
+            DocOp::NewArray { path, ts, .. } => {
+                self.clock.observe(*ts);
+                let arr = Rga::new(self.replica);
+                set_at(&mut self.root, path, Node::Arr(arr), *ts, false);
+                true
+            }
+            DocOp::Arr { path, op, .. } => match resolve_mut(&mut self.root, path) {
+                Some(Node::Arr(rga)) => {
+                    rga.apply_op(op);
+                    true
+                }
+                _ => false,
+            },
+        }
+    }
+
+    fn flush_pending(&mut self) {
+        loop {
+            let mut progressed = false;
+            let pending = std::mem::take(&mut self.pending);
+            for op in pending {
+                if self.apply_resolved(&op) {
+                    progressed = true;
+                    self.log.push(op);
+                } else {
+                    self.pending.push(op);
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+}
+
+impl DeltaSync for JsonDoc {
+    type Op = DocOp;
+
+    fn missing_since(&self, since: &VersionVector) -> Vec<DocOp> {
+        self.log
+            .iter()
+            .chain(self.pending.iter())
+            .filter(|op| !since.contains(op.dot()))
+            .cloned()
+            .collect()
+    }
+
+    fn apply_op(&mut self, op: &DocOp) {
+        if self.ctx.contains(op.dot()) {
+            return;
+        }
+        self.ctx.add(op.dot());
+        if self.apply_resolved(op) {
+            self.log.push(op.clone());
+            self.flush_pending();
+        } else {
+            self.pending.push(op.clone());
+        }
+    }
+
+    fn version(&self) -> &VersionVector {
+        self.ctx.vector()
+    }
+}
+
+impl StateCrdt for JsonDoc {
+    fn merge(&mut self, other: &Self) {
+        self.sync_from(other);
+    }
+}
+
+/// LWW-writes `node` at `path` under `ts`, creating intermediate objects.
+/// `replaces` marks wholesale replacements (SetObject/Remove), which also
+/// shadow *older deeper* writes arriving later.
+fn set_at(
+    root: &mut BTreeMap<String, Entry>,
+    path: &[PathSegment],
+    node: Node,
+    ts: LamportTimestamp,
+    replaces: bool,
+) {
+    debug_assert!(!path.is_empty());
+    let mut current = root;
+    for seg in &path[..path.len() - 1] {
+        let entry = current.entry(seg.clone()).or_insert_with(|| Entry {
+            ts,
+            replaced_at: None,
+            node: Node::Obj(BTreeMap::new()),
+        });
+        if entry.replaced_at.is_some_and(|r| r > ts) {
+            return; // an ancestor was replaced after this write: it loses
+        }
+        if !matches!(entry.node, Node::Obj(_)) {
+            // Traversing through a non-object: a deeper write implies the
+            // object exists; it wins only if newer.
+            if ts > entry.ts {
+                entry.ts = ts;
+                entry.node = Node::Obj(BTreeMap::new());
+            } else {
+                return; // older write loses silently (LWW)
+            }
+        }
+        match &mut entry.node {
+            Node::Obj(map) => current = map,
+            _ => unreachable!("just normalized to an object"),
+        }
+    }
+    let key = &path[path.len() - 1];
+    match current.get_mut(key) {
+        Some(entry) => {
+            if ts > entry.ts {
+                entry.ts = ts;
+                entry.node = node;
+                if replaces {
+                    entry.replaced_at = Some(ts);
+                }
+            }
+        }
+        None => {
+            current.insert(
+                key.clone(),
+                Entry { ts, replaced_at: replaces.then_some(ts), node },
+            );
+        }
+    }
+}
+
+fn resolve<'a>(root: &'a BTreeMap<String, Entry>, path: &[PathSegment]) -> Option<&'a Node> {
+    let mut current = root;
+    for (i, seg) in path.iter().enumerate() {
+        let entry = current.get(seg)?;
+        if i == path.len() - 1 {
+            return match entry.node {
+                Node::Removed => None,
+                ref n => Some(n),
+            };
+        }
+        match &entry.node {
+            Node::Obj(map) => current = map,
+            _ => return None,
+        }
+    }
+    None
+}
+
+fn resolve_mut<'a>(
+    root: &'a mut BTreeMap<String, Entry>,
+    path: &[PathSegment],
+) -> Option<&'a mut Node> {
+    let mut current = root;
+    for (i, seg) in path.iter().enumerate() {
+        let entry = current.get_mut(seg)?;
+        if i == path.len() - 1 {
+            return match entry.node {
+                Node::Removed => None,
+                ref mut n => Some(n),
+            };
+        }
+        match &mut entry.node {
+            Node::Obj(map) => current = map,
+            _ => return None,
+        }
+    }
+    None
+}
+
+fn snapshot_node(node: &Node) -> JsonValue {
+    match node {
+        Node::Prim(v) => JsonValue::Prim(v.clone()),
+        Node::Obj(map) => snapshot_obj(map),
+        Node::Arr(rga) => JsonValue::Array(rga.values().into_iter().cloned().collect()),
+        Node::Removed => JsonValue::Prim(Value::Null),
+    }
+}
+
+fn snapshot_obj(map: &BTreeMap<String, Entry>) -> JsonValue {
+    JsonValue::Object(
+        map.iter()
+            .filter(|(_, e)| !matches!(e.node, Node::Removed))
+            .map(|(k, e)| (k.clone(), snapshot_node(&e.node)))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u16) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+
+    #[test]
+    fn set_and_get_nested() {
+        let mut d = JsonDoc::new(r(0));
+        d.set(&["a", "b", "c"], Value::from(1)).unwrap();
+        assert_eq!(d.get(&["a", "b", "c"]).unwrap().as_prim(), Some(&Value::from(1)));
+        assert!(d.get(&["a", "b"]).unwrap().as_object().is_some());
+        assert!(d.get(&["missing"]).is_none());
+    }
+
+    #[test]
+    fn remove_hides_key() {
+        let mut d = JsonDoc::new(r(0));
+        d.set(&["k"], Value::from(1)).unwrap();
+        d.remove(&["k"]).unwrap();
+        assert!(d.get(&["k"]).is_none());
+        let root = d.root();
+        assert!(root.as_object().unwrap().is_empty());
+    }
+
+    #[test]
+    fn lww_newer_write_wins_across_replicas() {
+        let mut a = JsonDoc::new(r(0));
+        let mut b = JsonDoc::new(r(1));
+        a.set(&["k"], Value::from("old")).unwrap();
+        b.sync_from(&a);
+        b.set(&["k"], Value::from("new")).unwrap();
+        a.sync_from(&b);
+        assert_eq!(a.get(&["k"]).unwrap().as_prim(), Some(&Value::from("new")));
+    }
+
+    #[test]
+    fn concurrent_sibling_sets_both_survive() {
+        let mut a = JsonDoc::new(r(0));
+        let mut b = JsonDoc::new(r(1));
+        a.set(&["obj", "x"], Value::from(1)).unwrap();
+        b.set(&["obj", "y"], Value::from(2)).unwrap();
+        a.sync_from(&b);
+        b.sync_from(&a);
+        assert_eq!(a.root(), b.root());
+        let obj = a.get(&["obj"]).unwrap();
+        assert_eq!(obj.as_object().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn whole_object_set_drops_concurrent_sibling() {
+        // The Yorkie-2 defect: replacing a nested object wholesale loses a
+        // concurrent sibling write.
+        let mut a = JsonDoc::new(r(0));
+        let mut b = JsonDoc::new(r(1));
+        a.set(&["obj", "x"], Value::from(1)).unwrap();
+        b.sync_from(&a);
+        // Concurrently: b sets a sibling, a replaces the whole object.
+        b.set(&["obj", "y"], Value::from(2)).unwrap();
+        let mut replacement = BTreeMap::new();
+        replacement.insert("x".to_owned(), Value::from(10));
+        // Ensure a's replacement is the LWW winner (two warm-up ticks push
+        // a's clock strictly past b's concurrent write).
+        a.set(&["warmup1"], Value::from(0)).unwrap();
+        a.set(&["warmup2"], Value::from(0)).unwrap();
+        a.set_object(&["obj"], replacement).unwrap();
+        a.sync_from(&b);
+        b.sync_from(&a);
+        assert_eq!(a.root(), b.root(), "replicas converge");
+        let obj = a.get(&["obj"]).unwrap();
+        assert!(
+            obj.as_object().unwrap().get("y").is_none(),
+            "sibling write was silently dropped: {obj:?}"
+        );
+    }
+
+    #[test]
+    fn arrays_push_insert_delete() {
+        let mut d = JsonDoc::new(r(0));
+        d.new_array(&["list"]).unwrap();
+        d.arr_push(&["list"], Value::from(1)).unwrap();
+        d.arr_push(&["list"], Value::from(3)).unwrap();
+        d.arr_insert(&["list"], 1, Value::from(2)).unwrap();
+        assert_eq!(
+            d.get(&["list"]).unwrap().as_array().unwrap(),
+            &[Value::from(1), Value::from(2), Value::from(3)]
+        );
+        d.arr_delete(&["list"], 0).unwrap();
+        assert_eq!(d.get(&["list"]).unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn array_ops_error_cases() {
+        let mut d = JsonDoc::new(r(0));
+        assert!(matches!(
+            d.arr_push(&["nope"], Value::from(1)),
+            Err(DocError::NotFound(_))
+        ));
+        d.set(&["notarr"], Value::from(1)).unwrap();
+        assert!(matches!(
+            d.arr_push(&["notarr"], Value::from(1)),
+            Err(DocError::WrongShape { .. })
+        ));
+        d.new_array(&["list"]).unwrap();
+        assert!(matches!(
+            d.arr_delete(&["list"], 0),
+            Err(DocError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            d.arr_insert(&["list"], 5, Value::from(1)),
+            Err(DocError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn correct_array_move_converges_without_duplication() {
+        let mut a = JsonDoc::new(r(0));
+        a.new_array(&["l"]).unwrap();
+        for v in ["x", "y", "z"] {
+            a.arr_push(&["l"], Value::from(v)).unwrap();
+        }
+        let mut b = JsonDoc::new(r(1));
+        b.sync_from(&a);
+        a.arr_move(&["l"], 0, 2).unwrap();
+        b.arr_move(&["l"], 0, 1).unwrap();
+        a.sync_from(&b);
+        b.sync_from(&a);
+        assert_eq!(a.root(), b.root());
+        let arr = a.get(&["l"]).unwrap().as_array().unwrap().to_vec();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr.iter().filter(|v| **v == Value::from("x")).count(), 1);
+    }
+
+    #[test]
+    fn naive_array_move_duplicates_under_concurrency() {
+        let mut a = JsonDoc::new(r(0));
+        a.new_array(&["l"]).unwrap();
+        for v in ["x", "y", "z"] {
+            a.arr_push(&["l"], Value::from(v)).unwrap();
+        }
+        let mut b = JsonDoc::new(r(1));
+        b.sync_from(&a);
+        a.arr_move_naive(&["l"], 0, 2).unwrap();
+        b.arr_move_naive(&["l"], 0, 1).unwrap();
+        a.sync_from(&b);
+        b.sync_from(&a);
+        assert_eq!(a.root(), b.root());
+        let arr = a.get(&["l"]).unwrap().as_array().unwrap().to_vec();
+        assert_eq!(
+            arr.iter().filter(|v| **v == Value::from("x")).count(),
+            2,
+            "naive move duplicated the element"
+        );
+    }
+
+    #[test]
+    fn out_of_order_array_op_is_buffered() {
+        let mut a = JsonDoc::new(r(0));
+        let mk_arr = a.new_array(&["l"]).unwrap();
+        let push = a.arr_push(&["l"], Value::from(7)).unwrap();
+        let mut b = JsonDoc::new(r(1));
+        // Array op before the array exists: buffered.
+        b.apply_op(&push);
+        assert!(b.get(&["l"]).is_none());
+        b.apply_op(&mk_arr);
+        assert_eq!(b.get(&["l"]).unwrap().as_array().unwrap(), &[Value::from(7)]);
+    }
+
+    #[test]
+    fn redelivery_is_idempotent() {
+        let mut a = JsonDoc::new(r(0));
+        let op = a.set(&["k"], Value::from(5)).unwrap();
+        let mut b = JsonDoc::new(r(1));
+        b.apply_op(&op);
+        b.apply_op(&op);
+        assert_eq!(b.get(&["k"]).unwrap().as_prim(), Some(&Value::from(5)));
+        assert_eq!(b.version().total(), 1);
+    }
+
+    #[test]
+    fn doc_error_display() {
+        let e = DocError::NotFound(vec!["a".into(), "b".into()]);
+        assert_eq!(e.to_string(), "path a.b not found");
+        let e = DocError::IndexOutOfBounds { index: 3, len: 1 };
+        assert!(e.to_string().contains("out of bounds"));
+    }
+}

@@ -1,0 +1,45 @@
+//! Deterministic 64-bit hashing for content-addressed structures.
+
+/// FNV-1a over a byte slice.
+///
+/// Used by the [`MerkleLog`](crate::MerkleLog) for content addressing.
+/// `std::hash::DefaultHasher` is randomly seeded per process, which would
+/// make Merkle hashes non-reproducible across runs; FNV-1a is stable.
+///
+/// ```
+/// use er_pi_rdl::fnv1a64;
+///
+/// assert_eq!(fnv1a64(b"abc"), fnv1a64(b"abc"));
+/// assert_ne!(fnv1a64(b"abc"), fnv1a64(b"abd"));
+/// ```
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // FNV-1a reference values.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let x = fnv1a64(b"er-pi");
+        assert_eq!(x, fnv1a64(b"er-pi"));
+    }
+
+    #[test]
+    fn sensitive_to_order() {
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+    }
+}

@@ -1,0 +1,412 @@
+//! OrbitDB-style Merkle-CRDT operation log.
+//!
+//! [OrbitDB](https://github.com/orbitdb/orbitdb) stores every database as an
+//! append-only log whose entries form a Merkle DAG: each entry references the
+//! current *heads* (entries nothing points at yet) by content hash and
+//! carries a Lamport clock plus a writer identity. Two logs merge by DAG
+//! union; reads linearize the DAG by `(clock, tie-break)`.
+//!
+//! The bugs this substrate lets the subjects reproduce:
+//!
+//! * **OrbitDB-1** (issue #513) — the tie-breaker is the writer identity, so
+//!   two writers with the *same* identity produce an undefined order
+//!   ([`LogSortOrder::ClockThenIdentity`] vs the defective
+//!   [`LogSortOrder::ClockOnly`]).
+//! * **OrbitDB-2** (issue #512) — a Lamport clock "set far into the future"
+//!   makes every peer reject subsequent entries (see
+//!   [`MerkleLog::set_max_clock_skew`]).
+//! * **OrbitDB-4** (issue #583) — partially synced DAGs leave *dangling*
+//!   head references ([`MerkleLog::dangling_refs`]).
+
+use er_pi_model::{Dot, DotContext, LamportClock, LamportTimestamp, ReplicaId, Value, VersionVector};
+use serde::{Deserialize, Serialize};
+
+use crate::{fnv1a64, DeltaSync, StateCrdt};
+
+/// Content hash of one log entry.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct MerkleHash(pub u64);
+
+impl std::fmt::Display for MerkleHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// How reads linearize the DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum LogSortOrder {
+    /// Sort by `(clock time, identity, hash)` — fully deterministic.
+    #[default]
+    ClockThenIdentity,
+    /// Sort by clock time only; ties keep *insertion order* — the defective
+    /// behaviour of OrbitDB-1 when identities collide.
+    ClockOnly,
+}
+
+/// One entry of the Merkle log.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// Content hash (computed over clock, identity, payload, and refs).
+    pub hash: MerkleHash,
+    /// Lamport timestamp of the append.
+    pub clock: LamportTimestamp,
+    /// Writer identity string (OrbitDB's public-key identity).
+    pub identity: String,
+    /// Entry payload.
+    pub payload: Value,
+    /// Hashes of the heads this entry was appended on top of.
+    pub refs: Vec<MerkleHash>,
+    /// Delivery-tracking tag.
+    pub dot: Dot,
+}
+
+impl LogEntry {
+    fn compute_hash(
+        clock: LamportTimestamp,
+        identity: &str,
+        payload: &Value,
+        refs: &[MerkleHash],
+        dot: Dot,
+    ) -> MerkleHash {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&clock.time.to_le_bytes());
+        bytes.extend_from_slice(&clock.replica.raw().to_le_bytes());
+        bytes.extend_from_slice(identity.as_bytes());
+        bytes.extend_from_slice(payload.to_string().as_bytes());
+        for r in refs {
+            bytes.extend_from_slice(&r.0.to_le_bytes());
+        }
+        bytes.extend_from_slice(&dot.counter.to_le_bytes());
+        bytes.extend_from_slice(&dot.replica.raw().to_le_bytes());
+        MerkleHash(fnv1a64(&bytes))
+    }
+}
+
+/// The synchronization operation of a [`MerkleLog`] is simply an entry.
+pub type MerkleLogOp = LogEntry;
+
+/// An OrbitDB-style Merkle-CRDT log.
+///
+/// ```
+/// use er_pi_model::{ReplicaId, Value};
+/// use er_pi_rdl::{DeltaSync, MerkleLog};
+///
+/// let mut a = MerkleLog::new(ReplicaId::new(0), "alice");
+/// let mut b = MerkleLog::new(ReplicaId::new(1), "bob");
+/// a.append(Value::from("hello"));
+/// b.append(Value::from("world"));
+/// a.sync_from(&b);
+/// b.sync_from(&a);
+/// assert_eq!(a.values(), b.values());
+/// assert_eq!(a.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MerkleLog {
+    replica: ReplicaId,
+    identity: String,
+    clock: LamportClock,
+    sort: LogSortOrder,
+    entries: Vec<LogEntry>,
+    ctx: DotContext,
+    /// Reject incoming entries whose clock exceeds ours by more than this.
+    max_clock_skew: Option<u64>,
+    /// Entries rejected due to clock skew (progress-halt symptom).
+    rejected: u64,
+}
+
+impl MerkleLog {
+    /// Creates an empty log for `replica` writing as `identity`.
+    pub fn new(replica: ReplicaId, identity: impl Into<String>) -> Self {
+        MerkleLog {
+            replica,
+            identity: identity.into(),
+            clock: LamportClock::new(replica),
+            sort: LogSortOrder::default(),
+            entries: Vec::new(),
+            ctx: DotContext::new(),
+            max_clock_skew: None,
+            rejected: 0,
+        }
+    }
+
+    /// Overrides the read-side sort order (defaults to the deterministic
+    /// [`LogSortOrder::ClockThenIdentity`]).
+    pub fn set_sort_order(&mut self, sort: LogSortOrder) {
+        self.sort = sort;
+    }
+
+    /// Configures clock-skew rejection: incoming entries with
+    /// `clock.time > local_time + skew` are dropped (modelling the
+    /// progress-halt of OrbitDB-2). `None` disables the check.
+    pub fn set_max_clock_skew(&mut self, skew: Option<u64>) {
+        self.max_clock_skew = skew;
+    }
+
+    /// Number of entries rejected by the skew check so far.
+    pub fn rejected_count(&self) -> u64 {
+        self.rejected
+    }
+
+    /// The writer identity of this handle.
+    pub fn identity(&self) -> &str {
+        &self.identity
+    }
+
+    /// The replica this handle mutates on behalf of.
+    pub fn replica(&self) -> ReplicaId {
+        self.replica
+    }
+
+    /// Forces the local Lamport clock (models the poisoned-clock scenario).
+    pub fn force_clock(&mut self, time: u64) {
+        self.clock.force(time);
+    }
+
+    /// The current local Lamport time.
+    pub fn clock_time(&self) -> u64 {
+        self.clock.time()
+    }
+
+    /// Appends `payload` on top of the current heads; returns the new entry.
+    pub fn append(&mut self, payload: Value) -> LogEntry {
+        let clock = self.clock.tick();
+        let refs = self.heads();
+        let dot = self.ctx.next_dot(self.replica);
+        let hash = LogEntry::compute_hash(clock, &self.identity, &payload, &refs, dot);
+        let entry = LogEntry {
+            hash,
+            clock,
+            identity: self.identity.clone(),
+            payload,
+            refs,
+            dot,
+        };
+        self.entries.push(entry.clone());
+        entry
+    }
+
+    /// The current heads: entries no other entry references.
+    pub fn heads(&self) -> Vec<MerkleHash> {
+        let mut heads: Vec<MerkleHash> = self.entries.iter().map(|e| e.hash).collect();
+        for e in &self.entries {
+            heads.retain(|h| !e.refs.contains(h));
+        }
+        heads
+    }
+
+    /// Referenced hashes with no corresponding entry — the "head hash didn't
+    /// match" symptom of OrbitDB-4 after a partial sync.
+    pub fn dangling_refs(&self) -> Vec<MerkleHash> {
+        let mut missing = Vec::new();
+        for e in &self.entries {
+            for &r in &e.refs {
+                if !self.entries.iter().any(|x| x.hash == r) && !missing.contains(&r) {
+                    missing.push(r);
+                }
+            }
+        }
+        missing
+    }
+
+    /// Returns `true` if every reference resolves (the DAG is complete).
+    pub fn verify(&self) -> bool {
+        self.dangling_refs().is_empty()
+    }
+
+    /// Entries linearized by the configured sort order.
+    pub fn entries(&self) -> Vec<&LogEntry> {
+        let mut out: Vec<&LogEntry> = self.entries.iter().collect();
+        match self.sort {
+            LogSortOrder::ClockThenIdentity => out.sort_by(|a, b| {
+                a.clock
+                    .time
+                    .cmp(&b.clock.time)
+                    .then_with(|| a.identity.cmp(&b.identity))
+                    .then_with(|| a.hash.cmp(&b.hash))
+            }),
+            // Stable sort by clock time only: equal clocks keep insertion
+            // order, which differs between replicas.
+            LogSortOrder::ClockOnly => out.sort_by_key(|e| e.clock.time),
+        }
+        out
+    }
+
+    /// Payloads in linearized order.
+    pub fn values(&self) -> Vec<&Value> {
+        self.entries().into_iter().map(|e| &e.payload).collect()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the log has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up an entry by hash.
+    pub fn entry(&self, hash: MerkleHash) -> Option<&LogEntry> {
+        self.entries.iter().find(|e| e.hash == hash)
+    }
+}
+
+impl DeltaSync for MerkleLog {
+    type Op = MerkleLogOp;
+
+    fn missing_since(&self, since: &VersionVector) -> Vec<MerkleLogOp> {
+        self.entries
+            .iter()
+            .filter(|e| !since.contains(e.dot))
+            .cloned()
+            .collect()
+    }
+
+    fn apply_op(&mut self, op: &MerkleLogOp) {
+        if self.entries.iter().any(|e| e.hash == op.hash) {
+            self.ctx.add(op.dot);
+            return; // duplicate: idempotent
+        }
+        if let Some(skew) = self.max_clock_skew {
+            if op.clock.time > self.clock.time() + skew {
+                // Poisoned clock: reject and halt progress on this entry.
+                self.rejected += 1;
+                return;
+            }
+        }
+        self.ctx.add(op.dot);
+        self.clock.observe(op.clock);
+        self.entries.push(op.clone());
+    }
+
+    fn version(&self) -> &VersionVector {
+        self.ctx.vector()
+    }
+}
+
+impl StateCrdt for MerkleLog {
+    fn merge(&mut self, other: &Self) {
+        self.sync_from(other);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u16) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+
+    #[test]
+    fn append_builds_a_chain() {
+        let mut log = MerkleLog::new(r(0), "alice");
+        let e1 = log.append(Value::from(1));
+        let e2 = log.append(Value::from(2));
+        assert!(e1.refs.is_empty());
+        assert_eq!(e2.refs, vec![e1.hash]);
+        assert_eq!(log.heads(), vec![e2.hash]);
+        assert!(log.verify());
+    }
+
+    #[test]
+    fn join_unions_dags_and_merges_heads() {
+        let mut a = MerkleLog::new(r(0), "alice");
+        let mut b = MerkleLog::new(r(1), "bob");
+        a.append(Value::from("a1"));
+        b.append(Value::from("b1"));
+        a.sync_from(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.heads().len(), 2, "two concurrent heads");
+        // Appending on top of both heads converges them.
+        let e = a.append(Value::from("merge"));
+        assert_eq!(e.refs.len(), 2);
+        assert_eq!(a.heads(), vec![e.hash]);
+    }
+
+    #[test]
+    fn deterministic_sort_converges_on_identity_ties() {
+        let mut a = MerkleLog::new(r(0), "same-id");
+        let mut b = MerkleLog::new(r(1), "same-id");
+        a.append(Value::from("from-a"));
+        b.append(Value::from("from-b"));
+        a.sync_from(&b);
+        b.sync_from(&a);
+        // Same clock time, same identity — but hash still breaks the tie.
+        assert_eq!(a.values(), b.values());
+    }
+
+    #[test]
+    fn clock_only_sort_diverges_on_ties() {
+        // OrbitDB-1 distilled: equal clocks + insertion-order ties.
+        let mut a = MerkleLog::new(r(0), "same-id");
+        let mut b = MerkleLog::new(r(1), "same-id");
+        a.set_sort_order(LogSortOrder::ClockOnly);
+        b.set_sort_order(LogSortOrder::ClockOnly);
+        let ea = a.append(Value::from("from-a"));
+        let eb = b.append(Value::from("from-b"));
+        // Cross-deliver in opposite orders.
+        a.apply_op(&eb);
+        b.apply_op(&ea);
+        assert_eq!(ea.clock.time, eb.clock.time);
+        assert_ne!(a.values(), b.values(), "insertion-order ties diverge");
+    }
+
+    #[test]
+    fn skew_rejection_halts_progress() {
+        let mut a = MerkleLog::new(r(0), "alice");
+        let mut b = MerkleLog::new(r(1), "bob");
+        b.set_max_clock_skew(Some(100));
+        a.force_clock(1_000_000);
+        let poisoned = a.append(Value::from("poison"));
+        b.apply_op(&poisoned);
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.rejected_count(), 1);
+    }
+
+    #[test]
+    fn partial_sync_leaves_dangling_refs() {
+        let mut a = MerkleLog::new(r(0), "alice");
+        a.append(Value::from(1));
+        let e2 = a.append(Value::from(2));
+        let mut b = MerkleLog::new(r(1), "bob");
+        // Deliver only the child: its ref dangles.
+        b.apply_op(&e2);
+        assert!(!b.verify());
+        assert_eq!(b.dangling_refs().len(), 1);
+    }
+
+    #[test]
+    fn redelivery_is_idempotent() {
+        let mut a = MerkleLog::new(r(0), "alice");
+        let e = a.append(Value::from(1));
+        let mut b = MerkleLog::new(r(1), "bob");
+        b.apply_op(&e);
+        b.apply_op(&e);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn delta_sync_sends_only_missing() {
+        let mut a = MerkleLog::new(r(0), "alice");
+        a.append(Value::from(1));
+        let mut b = MerkleLog::new(r(1), "bob");
+        b.sync_from(&a);
+        a.append(Value::from(2));
+        let delta = a.missing_since(b.version());
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].payload, Value::from(2));
+    }
+
+    #[test]
+    fn entry_lookup_by_hash() {
+        let mut a = MerkleLog::new(r(0), "alice");
+        let e = a.append(Value::from("x"));
+        assert_eq!(a.entry(e.hash).unwrap().payload, Value::from("x"));
+        assert!(a.entry(MerkleHash(0xdead)).is_none());
+    }
+}

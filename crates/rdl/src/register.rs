@@ -1,0 +1,265 @@
+//! Last-write-wins and multi-value registers.
+
+use std::fmt;
+
+use er_pi_model::{Dot, LamportTimestamp, ReplicaId, VersionVector};
+use serde::{Deserialize, Serialize};
+
+use crate::StateCrdt;
+
+/// A last-write-wins register: the highest [`LamportTimestamp`] wins; the
+/// replica id inside the timestamp deterministically breaks ties.
+///
+/// ```
+/// use er_pi_model::{LamportTimestamp, ReplicaId};
+/// use er_pi_rdl::{LwwRegister, StateCrdt};
+///
+/// let r0 = ReplicaId::new(0);
+/// let r1 = ReplicaId::new(1);
+/// let mut a = LwwRegister::new("initial", LamportTimestamp::new(0, r0));
+/// let b = LwwRegister::new("newer", LamportTimestamp::new(5, r1));
+/// a.merge(&b);
+/// assert_eq!(*a.get(), "newer");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LwwRegister<T> {
+    value: T,
+    timestamp: LamportTimestamp,
+}
+
+impl<T> LwwRegister<T> {
+    /// Creates a register holding `value` written at `timestamp`.
+    pub fn new(value: T, timestamp: LamportTimestamp) -> Self {
+        LwwRegister { value, timestamp }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> &T {
+        &self.value
+    }
+
+    /// The timestamp of the current value.
+    pub fn timestamp(&self) -> LamportTimestamp {
+        self.timestamp
+    }
+
+    /// Overwrites the value if `timestamp` is newer than the stored one.
+    /// Returns `true` if the write won.
+    pub fn set(&mut self, value: T, timestamp: LamportTimestamp) -> bool {
+        if timestamp > self.timestamp {
+            self.value = value;
+            self.timestamp = timestamp;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the register, returning the current value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T: Clone> StateCrdt for LwwRegister<T> {
+    fn merge(&mut self, other: &Self) {
+        if other.timestamp > self.timestamp {
+            self.value = other.value.clone();
+            self.timestamp = other.timestamp;
+        }
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for LwwRegister<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.value, self.timestamp)
+    }
+}
+
+/// A multi-value register: concurrent writes are all retained and surfaced
+/// to the application for resolution.
+///
+/// Each write is tagged with a [`Dot`] and the writer's causal context;
+/// a write overwrites exactly the values it causally observed.
+///
+/// ```
+/// use er_pi_model::ReplicaId;
+/// use er_pi_rdl::{MvRegister, StateCrdt};
+///
+/// let mut a = MvRegister::new(ReplicaId::new(0));
+/// let mut b = MvRegister::new(ReplicaId::new(1));
+/// a.set("from A");
+/// b.set("from B");
+/// a.merge(&b);
+/// // Concurrent writes conflict: both survive.
+/// assert_eq!(a.values().len(), 2);
+/// a.set("resolved");
+/// assert_eq!(a.values(), vec![&"resolved"]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MvRegister<T> {
+    replica: ReplicaId,
+    /// Live entries: `(dot, value)`.
+    entries: Vec<(Dot, T)>,
+    /// Everything this replica has causally observed.
+    context: VersionVector,
+}
+
+impl<T> MvRegister<T> {
+    /// Creates an empty register owned by `replica`.
+    pub fn new(replica: ReplicaId) -> Self {
+        MvRegister { replica, entries: Vec::new(), context: VersionVector::new() }
+    }
+
+    /// The replica this handle mutates on behalf of.
+    pub fn replica(&self) -> ReplicaId {
+        self.replica
+    }
+
+    /// Writes `value`, overwriting every currently visible value.
+    pub fn set(&mut self, value: T) {
+        let dot = self.context.increment(self.replica);
+        self.entries.clear();
+        self.entries.push((dot, value));
+    }
+
+    /// All currently visible values (more than one ⇒ unresolved conflict),
+    /// in deterministic dot order.
+    pub fn values(&self) -> Vec<&T> {
+        let mut sorted: Vec<&(Dot, T)> = self.entries.iter().collect();
+        sorted.sort_by_key(|(d, _)| *d);
+        sorted.into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Returns `true` if concurrent writes are currently unresolved.
+    pub fn is_conflicted(&self) -> bool {
+        self.entries.len() > 1
+    }
+
+    /// Returns `true` if no write has happened yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl<T: Clone + PartialEq> StateCrdt for MvRegister<T> {
+    fn merge(&mut self, other: &Self) {
+        // Keep my entries that other has not causally overwritten, plus
+        // other's entries that I have not causally overwritten.
+        let mine = std::mem::take(&mut self.entries);
+        let mut merged: Vec<(Dot, T)> = mine
+            .into_iter()
+            .filter(|(d, _)| {
+                // Survives if other still has it, or other never saw it.
+                other.entries.iter().any(|(od, _)| od == d) || !other.context.contains(*d)
+            })
+            .collect();
+        for (d, v) in &other.entries {
+            let seen = merged.iter().any(|(md, _)| md == d);
+            if !seen && !self.context.contains(*d) {
+                merged.push((*d, v.clone()));
+            }
+        }
+        self.entries = merged;
+        self.context.merge(&other.context);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u16) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+    fn ts(t: u64, rep: u16) -> LamportTimestamp {
+        LamportTimestamp::new(t, r(rep))
+    }
+
+    #[test]
+    fn lww_set_respects_timestamps() {
+        let mut reg = LwwRegister::new(0, ts(1, 0));
+        assert!(reg.set(1, ts(2, 0)));
+        assert!(!reg.set(99, ts(1, 0)));
+        assert_eq!(*reg.get(), 1);
+        assert_eq!(reg.timestamp(), ts(2, 0));
+    }
+
+    #[test]
+    fn lww_equal_time_ties_break_by_replica() {
+        // The Roshi-2 bug class: equal timestamps must still resolve
+        // deterministically.
+        let mut a = LwwRegister::new("a", ts(5, 0));
+        let b = LwwRegister::new("b", ts(5, 1));
+        a.merge(&b);
+        assert_eq!(*a.get(), "b"); // higher replica id wins the tie
+
+        let mut b2 = LwwRegister::new("b", ts(5, 1));
+        b2.merge(&LwwRegister::new("a", ts(5, 0)));
+        assert_eq!(*b2.get(), "b"); // same winner from the other side
+    }
+
+    #[test]
+    fn lww_merge_is_idempotent_and_commutative() {
+        let a = LwwRegister::new(1, ts(3, 0));
+        let b = LwwRegister::new(2, ts(4, 1));
+        let ab = a.merged(&b);
+        let ba = b.merged(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.merged(&ab), ab);
+    }
+
+    #[test]
+    fn mv_concurrent_writes_both_survive() {
+        let mut a = MvRegister::new(r(0));
+        let mut b = MvRegister::new(r(1));
+        a.set(1);
+        b.set(2);
+        let merged = a.merged(&b);
+        assert!(merged.is_conflicted());
+        assert_eq!(merged.values(), vec![&1, &2]);
+    }
+
+    #[test]
+    fn mv_causal_overwrite_wins() {
+        let mut a = MvRegister::new(r(0));
+        a.set(1);
+        let mut b = MvRegister::new(r(1));
+        b.merge(&a); // b observes a's write
+        b.set(2); // causally after: overwrites
+        a.merge(&b);
+        assert!(!a.is_conflicted());
+        assert_eq!(a.values(), vec![&2]);
+    }
+
+    #[test]
+    fn mv_merge_idempotent() {
+        let mut a = MvRegister::new(r(0));
+        a.set(7);
+        let before = a.clone();
+        a.merge(&before.clone());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn mv_set_resolves_conflict() {
+        let mut a = MvRegister::new(r(0));
+        let mut b = MvRegister::new(r(1));
+        a.set(1);
+        b.set(2);
+        a.merge(&b);
+        assert!(a.is_conflicted());
+        a.set(3);
+        assert_eq!(a.values(), vec![&3]);
+        // The resolution propagates.
+        b.merge(&a);
+        assert_eq!(b.values(), vec![&3]);
+    }
+
+    #[test]
+    fn mv_empty_register() {
+        let a: MvRegister<i32> = MvRegister::new(r(0));
+        assert!(a.is_empty());
+        assert!(a.values().is_empty());
+    }
+}

@@ -1,0 +1,348 @@
+//! Roshi-style LWW time-series event store.
+//!
+//! [Roshi](https://github.com/soundcloud/roshi) keeps, per key, a set of
+//! `(member, score)` pairs under last-write-wins semantics: an insert or
+//! delete only takes effect if its score (timestamp) is higher than the
+//! member's current score. Reads return members sorted by descending score
+//! and expose a `deleted` flag per member — the field the Roshi-1 bug
+//! (issue #18) miscomputes.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::StateCrdt;
+
+/// What happens when an insert and a delete of the same member carry the
+/// *same* score.
+///
+/// Roshi's documented semantics is "inserts win"; the Roshi-2 bug
+/// (issue #11, "CRDT semantics violated if same timestamp?") arises when an
+/// implementation leaves the tie unspecified, making the outcome depend on
+/// arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TieBreak {
+    /// Inserts win ties (Roshi's documented behaviour).
+    #[default]
+    InsertWins,
+    /// Deletes win ties.
+    DeleteWins,
+    /// Ties resolve to whichever operation was *applied last* — the buggy,
+    /// order-dependent behaviour ER-π flushes out.
+    LastApplied,
+}
+
+/// One `(member, score)` pair returned by [`LwwTimeSeries::select`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ScoredMember {
+    /// Score (timestamp) of the winning write.
+    pub score: u64,
+    /// Member payload.
+    pub member: String,
+}
+
+/// One replicated operation of a [`LwwTimeSeries`], as shipped in sync
+/// messages.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TsOp {
+    /// Insert `member` into `key`'s set at `score`.
+    Insert {
+        /// Target key.
+        key: String,
+        /// Member payload.
+        member: String,
+        /// Write score.
+        score: u64,
+    },
+    /// Delete `member` from `key`'s set at `score`.
+    Delete {
+        /// Target key.
+        key: String,
+        /// Member payload.
+        member: String,
+        /// Write score.
+        score: u64,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum OpKind {
+    Insert,
+    Delete,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Cell {
+    score: u64,
+    kind: OpKind,
+}
+
+/// A Roshi-style LWW time-series store: keys map to LWW sets of scored
+/// members.
+///
+/// ```
+/// use er_pi_rdl::{LwwTimeSeries, TieBreak};
+///
+/// let mut ts = LwwTimeSeries::new(TieBreak::InsertWins);
+/// ts.insert("stream", "event-1", 100);
+/// ts.insert("stream", "event-2", 200);
+/// ts.delete("stream", "event-1", 300);
+/// let page = ts.select("stream", 0, 10);
+/// assert_eq!(page.len(), 1);
+/// assert_eq!(page[0].member, "event-2");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LwwTimeSeries {
+    tie: TieBreak,
+    keys: BTreeMap<String, BTreeMap<String, Cell>>,
+    /// Full op history, for delta-style shipping by the subjects.
+    log: Vec<TsOp>,
+}
+
+impl LwwTimeSeries {
+    /// Creates an empty store with tie policy `tie`.
+    pub fn new(tie: TieBreak) -> Self {
+        LwwTimeSeries { tie, keys: BTreeMap::new(), log: Vec::new() }
+    }
+
+    /// The configured tie policy.
+    pub fn tie_break(&self) -> TieBreak {
+        self.tie
+    }
+
+    fn apply_cell(&mut self, key: &str, member: &str, incoming: Cell) -> bool {
+        let set = self.keys.entry(key.to_owned()).or_default();
+        match set.get_mut(member) {
+            None => {
+                set.insert(member.to_owned(), incoming);
+                true
+            }
+            Some(current) => {
+                let wins = match incoming.score.cmp(&current.score) {
+                    std::cmp::Ordering::Greater => true,
+                    std::cmp::Ordering::Less => false,
+                    std::cmp::Ordering::Equal => match self.tie {
+                        TieBreak::InsertWins => {
+                            incoming.kind == OpKind::Insert && current.kind == OpKind::Delete
+                        }
+                        TieBreak::DeleteWins => {
+                            incoming.kind == OpKind::Delete && current.kind == OpKind::Insert
+                        }
+                        // Order-dependent: the op applied last always wins
+                        // the tie. Divergence waiting to happen.
+                        TieBreak::LastApplied => incoming.kind != current.kind,
+                    },
+                };
+                if wins {
+                    *current = incoming;
+                }
+                wins
+            }
+        }
+    }
+
+    /// Inserts `member` under `key` at `score`. Returns `true` if the write
+    /// won LWW resolution.
+    pub fn insert(&mut self, key: &str, member: &str, score: u64) -> bool {
+        self.log.push(TsOp::Insert {
+            key: key.to_owned(),
+            member: member.to_owned(),
+            score,
+        });
+        self.apply_cell(key, member, Cell { score, kind: OpKind::Insert })
+    }
+
+    /// Deletes `member` under `key` at `score`. Returns `true` if the write
+    /// won LWW resolution.
+    pub fn delete(&mut self, key: &str, member: &str, score: u64) -> bool {
+        self.log.push(TsOp::Delete {
+            key: key.to_owned(),
+            member: member.to_owned(),
+            score,
+        });
+        self.apply_cell(key, member, Cell { score, kind: OpKind::Delete })
+    }
+
+    /// Applies one remote operation (same resolution as local writes).
+    pub fn apply(&mut self, op: &TsOp) {
+        match op {
+            TsOp::Insert { key, member, score } => {
+                self.insert(key, member, *score);
+            }
+            TsOp::Delete { key, member, score } => {
+                self.delete(key, member, *score);
+            }
+        }
+    }
+
+    /// The full operation log (for subjects that ship deltas themselves).
+    pub fn log(&self) -> &[TsOp] {
+        &self.log
+    }
+
+    /// Reads a page of `key`'s visible members, sorted by descending score
+    /// (ties by member), skipping `offset` and returning at most `limit`.
+    pub fn select(&self, key: &str, offset: usize, limit: usize) -> Vec<ScoredMember> {
+        let Some(set) = self.keys.get(key) else {
+            return Vec::new();
+        };
+        let mut members: Vec<ScoredMember> = set
+            .iter()
+            .filter(|(_, cell)| cell.kind == OpKind::Insert)
+            .map(|(m, cell)| ScoredMember { score: cell.score, member: m.clone() })
+            .collect();
+        members.sort_by(|a, b| b.score.cmp(&a.score).then_with(|| a.member.cmp(&b.member)));
+        members.into_iter().skip(offset).take(limit).collect()
+    }
+
+    /// Returns whether `member` currently reads as deleted under `key`
+    /// (`None` if the member was never written). This is the response field
+    /// of the Roshi-1 bug.
+    pub fn is_deleted(&self, key: &str, member: &str) -> Option<bool> {
+        self.keys
+            .get(key)
+            .and_then(|set| set.get(member))
+            .map(|cell| cell.kind == OpKind::Delete)
+    }
+
+    /// Number of visible members under `key`.
+    pub fn key_len(&self, key: &str) -> usize {
+        self.keys
+            .get(key)
+            .map(|set| set.values().filter(|c| c.kind == OpKind::Insert).count())
+            .unwrap_or(0)
+    }
+
+    /// All keys with any recorded member (visible or tombstoned).
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.keys.keys().map(String::as_str)
+    }
+}
+
+impl Default for LwwTimeSeries {
+    fn default() -> Self {
+        Self::new(TieBreak::InsertWins)
+    }
+}
+
+impl StateCrdt for LwwTimeSeries {
+    fn merge(&mut self, other: &Self) {
+        for (key, set) in &other.keys {
+            for (member, &cell) in set {
+                self.apply_cell(key, member, cell);
+            }
+        }
+        for op in &other.log {
+            if !self.log.contains(op) {
+                self.log.push(op.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_select_roundtrip() {
+        let mut ts = LwwTimeSeries::default();
+        ts.insert("k", "a", 10);
+        ts.insert("k", "b", 20);
+        let page = ts.select("k", 0, 10);
+        assert_eq!(page.len(), 2);
+        assert_eq!(page[0].member, "b", "descending score order");
+        assert_eq!(ts.key_len("k"), 2);
+    }
+
+    #[test]
+    fn select_pagination() {
+        let mut ts = LwwTimeSeries::default();
+        for i in 0..5u64 {
+            ts.insert("k", &format!("m{i}"), i * 10);
+        }
+        let page = ts.select("k", 1, 2);
+        assert_eq!(page.len(), 2);
+        assert_eq!(page[0].member, "m3");
+        assert_eq!(page[1].member, "m2");
+        assert!(ts.select("missing", 0, 10).is_empty());
+    }
+
+    #[test]
+    fn stale_delete_loses() {
+        let mut ts = LwwTimeSeries::default();
+        ts.insert("k", "a", 100);
+        assert!(!ts.delete("k", "a", 50));
+        assert_eq!(ts.key_len("k"), 1);
+        assert_eq!(ts.is_deleted("k", "a"), Some(false));
+    }
+
+    #[test]
+    fn newer_delete_wins_and_flags_deleted() {
+        let mut ts = LwwTimeSeries::default();
+        ts.insert("k", "a", 100);
+        assert!(ts.delete("k", "a", 200));
+        assert_eq!(ts.key_len("k"), 0);
+        assert_eq!(ts.is_deleted("k", "a"), Some(true));
+        assert_eq!(ts.is_deleted("k", "never"), None);
+    }
+
+    #[test]
+    fn insert_wins_tie_is_order_independent() {
+        let mut x = LwwTimeSeries::new(TieBreak::InsertWins);
+        x.insert("k", "a", 5);
+        x.delete("k", "a", 5);
+        let mut y = LwwTimeSeries::new(TieBreak::InsertWins);
+        y.delete("k", "a", 5);
+        y.insert("k", "a", 5);
+        assert_eq!(x.is_deleted("k", "a"), Some(false));
+        assert_eq!(y.is_deleted("k", "a"), Some(false));
+    }
+
+    #[test]
+    fn last_applied_tie_is_order_dependent() {
+        // The Roshi-2 defect distilled: same ops, different orders,
+        // different outcomes.
+        let mut x = LwwTimeSeries::new(TieBreak::LastApplied);
+        x.insert("k", "a", 5);
+        x.delete("k", "a", 5);
+        let mut y = LwwTimeSeries::new(TieBreak::LastApplied);
+        y.delete("k", "a", 5);
+        y.insert("k", "a", 5);
+        assert_ne!(x.is_deleted("k", "a"), y.is_deleted("k", "a"));
+    }
+
+    #[test]
+    fn merge_with_insert_wins_converges() {
+        let mut a = LwwTimeSeries::new(TieBreak::InsertWins);
+        let mut b = LwwTimeSeries::new(TieBreak::InsertWins);
+        a.insert("k", "x", 10);
+        a.delete("k", "y", 30);
+        b.insert("k", "y", 20);
+        b.insert("k", "z", 5);
+        let ab = a.merged(&b);
+        let ba = b.merged(&a);
+        assert_eq!(ab.select("k", 0, 10), ba.select("k", 0, 10));
+        assert_eq!(ab.key_len("k"), 2); // y is tombstoned at 30
+    }
+
+    #[test]
+    fn apply_matches_local_ops() {
+        let mut a = LwwTimeSeries::default();
+        a.insert("k", "m", 7);
+        let mut b = LwwTimeSeries::default();
+        for op in a.log().to_vec() {
+            b.apply(&op);
+        }
+        assert_eq!(b.select("k", 0, 10), a.select("k", 0, 10));
+    }
+
+    #[test]
+    fn keys_lists_all_touched_keys() {
+        let mut ts = LwwTimeSeries::default();
+        ts.insert("k1", "a", 1);
+        ts.delete("k2", "b", 1);
+        let keys: Vec<&str> = ts.keys().collect();
+        assert_eq!(keys, vec!["k1", "k2"]);
+    }
+}

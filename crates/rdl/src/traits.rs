@@ -1,0 +1,62 @@
+//! The two replication interfaces the substrate exposes.
+
+use er_pi_model::VersionVector;
+
+/// A state-based (convergent) replicated data type.
+///
+/// `merge` must be a join-semilattice join: commutative, associative, and
+/// idempotent. The property-test suite of this crate checks all three laws
+/// for every implementation.
+pub trait StateCrdt: Clone {
+    /// Joins `other`'s state into `self`.
+    fn merge(&mut self, other: &Self);
+
+    /// Returns the join of `self` and `other` without mutating either.
+    #[must_use]
+    fn merged(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        out.merge(other);
+        out
+    }
+}
+
+/// An operation-based replicated data type that can compute sync deltas.
+///
+/// The replica simulator uses this to build sync messages: the sender calls
+/// [`DeltaSync::missing_since`] with the receiver's version vector and ships
+/// the returned operations; the receiver applies them with
+/// [`DeltaSync::apply_op`]. `apply_op` must be idempotent (redelivery safe)
+/// and commutative across concurrent operations.
+pub trait DeltaSync {
+    /// The operation type shipped between replicas.
+    type Op: Clone;
+
+    /// Operations this replica has observed that `since` has not.
+    fn missing_since(&self, since: &VersionVector) -> Vec<Self::Op>;
+
+    /// Applies one (possibly remote, possibly redelivered) operation.
+    fn apply_op(&mut self, op: &Self::Op);
+
+    /// The version vector summarizing every operation observed so far.
+    fn version(&self) -> &VersionVector;
+
+    /// Applies every operation in `ops` in order.
+    fn apply_ops<'a, I>(&mut self, ops: I)
+    where
+        I: IntoIterator<Item = &'a Self::Op>,
+        Self::Op: 'a,
+    {
+        for op in ops {
+            self.apply_op(op);
+        }
+    }
+
+    /// Synchronizes from `other` by applying everything `self` is missing.
+    fn sync_from(&mut self, other: &Self)
+    where
+        Self: Sized,
+    {
+        let missing = other.missing_since(self.version());
+        self.apply_ops(missing.iter());
+    }
+}

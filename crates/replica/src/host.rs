@@ -1,0 +1,154 @@
+//! Host performance profiles and the simulated clock.
+
+use serde::{Deserialize, Serialize};
+
+/// A host performance profile: how expensive events are on this machine.
+///
+/// The presets reproduce the paper's experimental setup (§6): two laptops
+/// and a Raspberry Pi 3. Costs are synthetic but ordered realistically —
+/// the Pi is roughly an order of magnitude slower per operation — so that
+/// simulated replay times have the same *shape* as the paper's Figure 8b.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostProfile {
+    /// Human-readable host name.
+    pub name: String,
+    /// Cost of executing one local RDL update, in microseconds.
+    pub op_cost_us: u64,
+    /// Cost of executing one synchronization (serialize, apply), in
+    /// microseconds, excluding network latency.
+    pub sync_cost_us: u64,
+    /// One-way network latency to peers, in microseconds.
+    pub net_latency_us: u64,
+    /// Memory budget, in megabytes (used by the succeed-or-crash
+    /// micro-benchmark of Figure 10).
+    pub memory_mb: u64,
+}
+
+impl HostProfile {
+    /// The 32 GB / Intel i7 laptop of the paper's setup.
+    pub fn laptop_i7() -> Self {
+        HostProfile {
+            name: "ubuntu-laptop-i7".into(),
+            op_cost_us: 120,
+            sync_cost_us: 450,
+            net_latency_us: 900,
+            memory_mb: 32 * 1024,
+        }
+    }
+
+    /// The 8 GB / Intel i5 laptop of the paper's setup.
+    pub fn laptop_i5() -> Self {
+        HostProfile {
+            name: "ubuntu-laptop-i5".into(),
+            op_cost_us: 210,
+            sync_cost_us: 700,
+            net_latency_us: 900,
+            memory_mb: 8 * 1024,
+        }
+    }
+
+    /// The 1 GB / ARMv7 Raspberry Pi 3 of the paper's setup.
+    pub fn raspberry_pi3() -> Self {
+        HostProfile {
+            name: "raspbian-rpi3".into(),
+            op_cost_us: 1_400,
+            sync_cost_us: 4_200,
+            net_latency_us: 1_800,
+            memory_mb: 1024,
+        }
+    }
+
+    /// The paper's three-replica host assignment, in replica-id order.
+    pub fn paper_trio() -> [HostProfile; 3] {
+        [Self::laptop_i7(), Self::laptop_i5(), Self::raspberry_pi3()]
+    }
+}
+
+impl Default for HostProfile {
+    fn default() -> Self {
+        Self::laptop_i7()
+    }
+}
+
+/// Accumulates simulated time.
+///
+/// ```
+/// use er_pi_replica::SimClock;
+///
+/// let mut clock = SimClock::new();
+/// clock.charge_us(1_500);
+/// assert_eq!(clock.elapsed_us(), 1_500);
+/// assert!((clock.elapsed_secs() - 0.0015).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SimClock {
+    elapsed_us: u64,
+}
+
+impl SimClock {
+    /// Creates a clock at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `us` microseconds of simulated work.
+    pub fn charge_us(&mut self, us: u64) {
+        self.elapsed_us = self.elapsed_us.saturating_add(us);
+    }
+
+    /// Total simulated time, microseconds.
+    pub fn elapsed_us(&self) -> u64 {
+        self.elapsed_us
+    }
+
+    /// Total simulated time, seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed_us as f64 / 1e6
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.elapsed_us = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_speed() {
+        let i7 = HostProfile::laptop_i7();
+        let i5 = HostProfile::laptop_i5();
+        let pi = HostProfile::raspberry_pi3();
+        assert!(i7.op_cost_us < i5.op_cost_us);
+        assert!(i5.op_cost_us < pi.op_cost_us);
+        assert!(i7.memory_mb > i5.memory_mb);
+        assert!(i5.memory_mb > pi.memory_mb);
+    }
+
+    #[test]
+    fn paper_trio_matches_presets() {
+        let trio = HostProfile::paper_trio();
+        assert_eq!(trio[0].name, "ubuntu-laptop-i7");
+        assert_eq!(trio[2].name, "raspbian-rpi3");
+    }
+
+    #[test]
+    fn clock_accumulates_and_resets() {
+        let mut c = SimClock::new();
+        c.charge_us(10);
+        c.charge_us(5);
+        assert_eq!(c.elapsed_us(), 15);
+        c.reset();
+        assert_eq!(c.elapsed_us(), 0);
+    }
+
+    #[test]
+    fn clock_saturates_instead_of_overflowing() {
+        let mut c = SimClock::new();
+        c.charge_us(u64::MAX);
+        c.charge_us(10);
+        assert_eq!(c.elapsed_us(), u64::MAX);
+    }
+}

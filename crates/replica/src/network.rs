@@ -1,0 +1,278 @@
+//! The virtual network: per-pair message queues with delivery policies.
+
+use std::collections::{HashMap, VecDeque};
+
+use er_pi_model::ReplicaId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How the virtual network delivers queued messages.
+///
+/// Misconception #1 of the paper's §6.2 — "the underlying network ensures
+/// causal delivery" — is seeded by switching a link from [`Ordered`] to
+/// [`Reordered`]: the network then delivers messages in arbitrary order and
+/// only the consistency protocol (not the transport) can restore causality.
+///
+/// [`Ordered`]: DeliveryMode::Ordered
+/// [`Reordered`]: DeliveryMode::Reordered
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryMode {
+    /// FIFO per sender-receiver pair (TCP-like).
+    Ordered,
+    /// Deliver a *random* queued message each time, seeded for determinism
+    /// (UDP-like reordering).
+    Reordered {
+        /// RNG seed; identical seeds give identical delivery schedules.
+        seed: u64,
+    },
+    /// Drop each message with probability `loss_permille`/1000, seeded.
+    Lossy {
+        /// Drop probability in permille (0–1000).
+        loss_permille: u16,
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+impl Default for DeliveryMode {
+    fn default() -> Self {
+        DeliveryMode::Ordered
+    }
+}
+
+/// A virtual network of per-`(from, to)` message queues.
+///
+/// ```
+/// use er_pi_model::ReplicaId;
+/// use er_pi_replica::VirtualNetwork;
+///
+/// let a = ReplicaId::new(0);
+/// let b = ReplicaId::new(1);
+/// let mut net: VirtualNetwork<&str> = VirtualNetwork::new();
+/// net.send(a, b, "hello");
+/// assert_eq!(net.deliver(a, b), Some("hello"));
+/// assert_eq!(net.deliver(a, b), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VirtualNetwork<M> {
+    queues: HashMap<(ReplicaId, ReplicaId), VecDeque<M>>,
+    mode: DeliveryMode,
+    rng: StdRng,
+    /// Pairs currently partitioned (messages are queued but undeliverable).
+    partitions: Vec<(ReplicaId, ReplicaId)>,
+    sent: u64,
+    delivered: u64,
+    dropped: u64,
+}
+
+impl<M> VirtualNetwork<M> {
+    /// Creates an in-order network.
+    pub fn new() -> Self {
+        Self::with_mode(DeliveryMode::Ordered)
+    }
+
+    /// Creates a network with an explicit delivery mode.
+    pub fn with_mode(mode: DeliveryMode) -> Self {
+        let seed = match mode {
+            DeliveryMode::Reordered { seed } | DeliveryMode::Lossy { seed, .. } => seed,
+            DeliveryMode::Ordered => 0,
+        };
+        VirtualNetwork {
+            queues: HashMap::new(),
+            mode,
+            rng: StdRng::seed_from_u64(seed),
+            partitions: Vec::new(),
+            sent: 0,
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The current delivery mode.
+    pub fn mode(&self) -> DeliveryMode {
+        self.mode
+    }
+
+    /// Changes the delivery mode mid-run (the RNG is reseeded).
+    pub fn set_mode(&mut self, mode: DeliveryMode) {
+        if let DeliveryMode::Reordered { seed } | DeliveryMode::Lossy { seed, .. } = mode {
+            self.rng = StdRng::seed_from_u64(seed);
+        }
+        self.mode = mode;
+    }
+
+    /// Cuts the `from → to` link (messages queue up, nothing delivers).
+    pub fn partition(&mut self, from: ReplicaId, to: ReplicaId) {
+        if !self.partitions.contains(&(from, to)) {
+            self.partitions.push((from, to));
+        }
+    }
+
+    /// Heals the `from → to` link.
+    pub fn heal(&mut self, from: ReplicaId, to: ReplicaId) {
+        self.partitions.retain(|&p| p != (from, to));
+    }
+
+    /// Returns `true` if the `from → to` link is cut.
+    pub fn is_partitioned(&self, from: ReplicaId, to: ReplicaId) -> bool {
+        self.partitions.contains(&(from, to))
+    }
+
+    /// Enqueues a message on the `from → to` link.
+    pub fn send(&mut self, from: ReplicaId, to: ReplicaId, msg: M) {
+        self.sent += 1;
+        self.queues.entry((from, to)).or_default().push_back(msg);
+    }
+
+    /// Delivers one message from the `from → to` link according to the
+    /// delivery mode. Returns `None` if the queue is empty or the link is
+    /// partitioned.
+    pub fn deliver(&mut self, from: ReplicaId, to: ReplicaId) -> Option<M> {
+        if self.is_partitioned(from, to) {
+            return None;
+        }
+        loop {
+            let queue = self.queues.get_mut(&(from, to))?;
+            if queue.is_empty() {
+                return None;
+            }
+            let msg = match self.mode {
+                DeliveryMode::Ordered => queue.pop_front(),
+                DeliveryMode::Reordered { .. } => {
+                    let idx = self.rng.gen_range(0..queue.len());
+                    queue.remove(idx)
+                }
+                DeliveryMode::Lossy { loss_permille, .. } => {
+                    let msg = queue.pop_front();
+                    if self.rng.gen_range(0u16..1000) < loss_permille {
+                        self.dropped += 1;
+                        continue; // message lost: try the next one
+                    }
+                    msg
+                }
+            };
+            if msg.is_some() {
+                self.delivered += 1;
+            }
+            return msg;
+        }
+    }
+
+    /// Number of messages queued on the `from → to` link.
+    pub fn queued(&self, from: ReplicaId, to: ReplicaId) -> usize {
+        self.queues.get(&(from, to)).map_or(0, VecDeque::len)
+    }
+
+    /// Total messages in flight across all links.
+    pub fn in_flight(&self) -> usize {
+        self.queues.values().map(VecDeque::len).sum()
+    }
+
+    /// Statistics: `(sent, delivered, dropped)`.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.sent, self.delivered, self.dropped)
+    }
+
+    /// Clears every queue and counter (used between replayed interleavings).
+    pub fn reset(&mut self) {
+        self.queues.clear();
+        self.sent = 0;
+        self.delivered = 0;
+        self.dropped = 0;
+    }
+}
+
+impl<M> Default for VirtualNetwork<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u16) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+
+    #[test]
+    fn ordered_delivery_is_fifo() {
+        let mut net = VirtualNetwork::new();
+        net.send(r(0), r(1), 1);
+        net.send(r(0), r(1), 2);
+        net.send(r(0), r(1), 3);
+        assert_eq!(net.deliver(r(0), r(1)), Some(1));
+        assert_eq!(net.deliver(r(0), r(1)), Some(2));
+        assert_eq!(net.deliver(r(0), r(1)), Some(3));
+        assert_eq!(net.deliver(r(0), r(1)), None);
+    }
+
+    #[test]
+    fn queues_are_per_pair() {
+        let mut net = VirtualNetwork::new();
+        net.send(r(0), r(1), "ab");
+        net.send(r(1), r(0), "ba");
+        assert_eq!(net.queued(r(0), r(1)), 1);
+        assert_eq!(net.queued(r(1), r(0)), 1);
+        assert_eq!(net.deliver(r(1), r(0)), Some("ba"));
+        assert_eq!(net.in_flight(), 1);
+    }
+
+    #[test]
+    fn reordered_delivery_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut net = VirtualNetwork::with_mode(DeliveryMode::Reordered { seed });
+            for i in 0..10 {
+                net.send(r(0), r(1), i);
+            }
+            let mut out = Vec::new();
+            while let Some(m) = net.deliver(r(0), r(1)) {
+                out.push(m);
+            }
+            out
+        };
+        assert_eq!(run(42), run(42), "same seed, same schedule");
+        assert_ne!(run(42), (0..10).collect::<Vec<_>>(), "seed 42 actually reorders");
+    }
+
+    #[test]
+    fn partition_blocks_and_heal_restores() {
+        let mut net = VirtualNetwork::new();
+        net.send(r(0), r(1), 7);
+        net.partition(r(0), r(1));
+        assert!(net.is_partitioned(r(0), r(1)));
+        assert_eq!(net.deliver(r(0), r(1)), None);
+        net.heal(r(0), r(1));
+        assert_eq!(net.deliver(r(0), r(1)), Some(7));
+    }
+
+    #[test]
+    fn lossy_mode_drops_some_messages() {
+        let mut net = VirtualNetwork::with_mode(DeliveryMode::Lossy {
+            loss_permille: 500,
+            seed: 7,
+        });
+        for i in 0..100 {
+            net.send(r(0), r(1), i);
+        }
+        let mut received = 0;
+        while net.deliver(r(0), r(1)).is_some() {
+            received += 1;
+        }
+        let (sent, delivered, dropped) = net.stats();
+        assert_eq!(sent, 100);
+        assert_eq!(delivered as usize, received);
+        assert!(dropped > 10, "about half should drop, got {dropped}");
+        assert_eq!(delivered + dropped, 100);
+    }
+
+    #[test]
+    fn reset_clears_queues_and_stats() {
+        let mut net = VirtualNetwork::new();
+        net.send(r(0), r(1), 1);
+        net.reset();
+        assert_eq!(net.in_flight(), 0);
+        assert_eq!(net.stats(), (0, 0, 0));
+    }
+}

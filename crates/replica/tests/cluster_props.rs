@@ -1,0 +1,104 @@
+//! Property tests for the virtual cluster: convergence is independent of
+//! the network's delivery schedule.
+
+use proptest::prelude::*;
+
+use er_pi_model::ReplicaId;
+use er_pi_replica::{Cluster, DeliveryMode};
+use er_pi_rdl::OrSet;
+
+fn r(i: u16) -> ReplicaId {
+    ReplicaId::new(i)
+}
+
+fn elements(set: &OrSet<i64>) -> Vec<i64> {
+    set.elements().into_iter().copied().collect()
+}
+
+fn run_schedule(mode: DeliveryMode, inserts: &[(u16, i64)]) -> Vec<Vec<i64>> {
+    let mut cluster: Cluster<OrSet<i64>> = Cluster::paper_setup(OrSet::new);
+    cluster.set_delivery(mode);
+    for &(rep, v) in inserts {
+        let rep = rep % 3;
+        cluster.update(r(rep), |s| {
+            s.insert(v);
+        });
+        cluster.sync_send(r(rep), r((rep + 1) % 3));
+    }
+    // Drain all queues, then run anti-entropy rounds to a fixpoint.
+    for _ in 0..4 {
+        for to in 0..3u16 {
+            while cluster.sync_exec(r(to)).is_some() {}
+        }
+        for from in 0..3u16 {
+            for to in 0..3u16 {
+                if from != to {
+                    cluster.sync_pair(r(from), r(to));
+                }
+            }
+        }
+    }
+    (0..3u16).map(|i| elements(cluster.state(r(i)))).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Ordered and reordered delivery end in the same converged state.
+    #[test]
+    fn delivery_mode_does_not_change_the_fixpoint(
+        inserts in proptest::collection::vec((0u16..3, 0i64..100), 1..12),
+        seed in 0u64..1000,
+    ) {
+        let ordered = run_schedule(DeliveryMode::Ordered, &inserts);
+        let reordered = run_schedule(DeliveryMode::Reordered { seed }, &inserts);
+        prop_assert_eq!(&ordered, &reordered);
+        // And all replicas agree with each other.
+        prop_assert_eq!(&ordered[0], &ordered[1]);
+        prop_assert_eq!(&ordered[1], &ordered[2]);
+    }
+
+    /// Checkpoint/reset is a true snapshot: any activity after the
+    /// checkpoint is fully undone.
+    #[test]
+    fn reset_restores_the_checkpoint_exactly(
+        before in proptest::collection::vec((0u16..3, 0i64..50), 0..6),
+        after in proptest::collection::vec((0u16..3, 50i64..100), 1..6),
+    ) {
+        let mut cluster: Cluster<OrSet<i64>> = Cluster::paper_setup(OrSet::new);
+        for &(rep, v) in &before {
+            cluster.update(r(rep % 3), |s| {
+                s.insert(v);
+            });
+        }
+        cluster.checkpoint_all();
+        let snapshot: Vec<Vec<i64>> =
+            (0..3u16).map(|i| elements(cluster.state(r(i)))).collect();
+        for &(rep, v) in &after {
+            cluster.update(r(rep % 3), |s| {
+                s.insert(v);
+            });
+            cluster.sync_send(r(rep % 3), r((rep + 1) % 3));
+        }
+        cluster.reset_all();
+        let restored: Vec<Vec<i64>> =
+            (0..3u16).map(|i| elements(cluster.state(r(i)))).collect();
+        prop_assert_eq!(restored, snapshot);
+        prop_assert_eq!(cluster.network_mut().in_flight(), 0);
+    }
+
+    /// Simulated time only ever grows, and grows more on slower hosts.
+    #[test]
+    fn sim_time_is_monotone(ops in proptest::collection::vec(0u16..3, 1..20)) {
+        let mut cluster: Cluster<OrSet<i64>> = Cluster::paper_setup(OrSet::new);
+        let mut last = 0;
+        for (i, rep) in ops.iter().enumerate() {
+            cluster.update(r(rep % 3), |s| {
+                s.insert(i as i64);
+            });
+            let now = cluster.sim().elapsed_us();
+            prop_assert!(now > last);
+            last = now;
+        }
+    }
+}

@@ -1,0 +1,484 @@
+//! The twelve-bug catalogue of Table 1.
+//!
+//! Every bug is encoded as a `(workload, pruning configuration, violation
+//! predicate)` triple on the corresponding subject model. The workload's
+//! *recorded* order is a correct execution; the bug manifests only under
+//! specific interleavings — which is exactly what makes these bugs hard to
+//! reproduce from user reports and motivates exhaustive replay.
+//!
+//! The per-bug pruning configurations play the role of the "applicable
+//! pruning algorithms" the paper applies per bug (§6.3): event grouping is
+//! always on; developer-specified groups, replica-specific targets,
+//! independence sets, and failed-ops rules are added where the bug's
+//! semantics justify them.
+
+mod orbit_bugs;
+mod rdb_bugs;
+mod roshi_bugs;
+mod yorkie_bugs;
+
+use er_pi::{Assertion, ExploreMode, InlineExecutor, PruningConfig, Session, SystemModel,
+    TestSuite, TimeModel};
+use er_pi_interleave::{DfsExplorer, PruneStats};
+use er_pi_model::{EventId, Workload};
+
+use crate::{CrdtsState, OrbitModel, OrbitState, ReplicaDbModel, ReplicaDbState, RoshiModel,
+    RoshiState, YorkieModel, YorkieState};
+
+/// The five evaluation subjects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SubjectKind {
+    /// SoundCloud's Roshi (Go).
+    Roshi,
+    /// OrbitDB (JavaScript).
+    OrbitDb,
+    /// ReplicaDB (Java).
+    ReplicaDb,
+    /// Yorkie (Go).
+    Yorkie,
+    /// The `crdts` collection (Java).
+    Crdts,
+}
+
+impl SubjectKind {
+    /// All subjects, in the paper's order.
+    pub fn all() -> [SubjectKind; 5] {
+        [
+            SubjectKind::Roshi,
+            SubjectKind::OrbitDb,
+            SubjectKind::ReplicaDb,
+            SubjectKind::Yorkie,
+            SubjectKind::Crdts,
+        ]
+    }
+}
+
+impl std::fmt::Display for SubjectKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubjectKind::Roshi => f.write_str("Roshi"),
+            SubjectKind::OrbitDb => f.write_str("OrbitDB"),
+            SubjectKind::ReplicaDb => f.write_str("ReplicaDB"),
+            SubjectKind::Yorkie => f.write_str("Yorkie"),
+            SubjectKind::Crdts => f.write_str("CRDTs"),
+        }
+    }
+}
+
+/// Upstream status of the bug report (Table 1's "Status" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BugStatus {
+    /// Fixed by the library developers.
+    Closed,
+    /// Still open at the time of the paper.
+    Open,
+}
+
+impl std::fmt::Display for BugStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BugStatus::Closed => f.write_str("closed"),
+            BugStatus::Open => f.write_str("open"),
+        }
+    }
+}
+
+/// What a bug's violation predicate can inspect after one replayed
+/// interleaving.
+#[derive(Debug)]
+pub struct BugCtx<'a, S> {
+    /// Final replica states.
+    pub states: &'a [S],
+    /// Number of events that failed during the run. Every catalogue bug
+    /// requires a *plausible* run — reporters hit these bugs in executions
+    /// that looked healthy, so reproduction demands the same.
+    pub failed_ops: usize,
+}
+
+/// The model + violation check of one bug (type-erased over subjects).
+pub(crate) enum BugImpl {
+    /// A Roshi bug.
+    Roshi {
+        /// Subject model instance.
+        model: RoshiModel,
+        /// Returns `Some(symptom)` when the bug manifested.
+        check: fn(&BugCtx<'_, RoshiState>) -> Option<String>,
+    },
+    /// An OrbitDB bug.
+    Orbit {
+        /// Subject model instance.
+        model: OrbitModel,
+        /// Returns `Some(symptom)` when the bug manifested.
+        check: fn(&BugCtx<'_, OrbitState>) -> Option<String>,
+    },
+    /// A ReplicaDB bug.
+    ReplicaDb {
+        /// Subject model instance.
+        model: ReplicaDbModel,
+        /// Returns `Some(symptom)` when the bug manifested.
+        check: fn(&BugCtx<'_, ReplicaDbState>) -> Option<String>,
+    },
+    /// A Yorkie bug.
+    Yorkie {
+        /// Subject model instance.
+        model: YorkieModel,
+        /// Returns `Some(symptom)` when the bug manifested.
+        check: fn(&BugCtx<'_, YorkieState>) -> Option<String>,
+    },
+    /// A `crdts` collection bug (unused by Table 1 but kept for symmetry
+    /// with user extensions).
+    #[allow(dead_code)]
+    Crdts {
+        /// Subject model instance.
+        model: crate::CrdtsModel,
+        /// Returns `Some(symptom)` when the bug manifested.
+        check: fn(&BugCtx<'_, CrdtsState>) -> Option<String>,
+    },
+}
+
+/// One reproduction attempt's outcome — a bar of Figures 8a/8b.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Repro {
+    /// Exploration mode name.
+    pub mode: String,
+    /// 1-based count of interleavings replayed until the bug manifested
+    /// (`None` = not reproduced within the cap).
+    pub found_at: Option<usize>,
+    /// Interleavings replayed in total.
+    pub explored: usize,
+    /// Simulated time spent, seconds (the Figure 8b axis).
+    pub sim_secs: f64,
+    /// Wall-clock time spent, milliseconds.
+    pub wall_ms: u128,
+    /// Mode overhead (Random's shuffle retries).
+    pub wasted: u64,
+}
+
+impl Repro {
+    /// Returns `true` if the bug was reproduced.
+    pub fn reproduced(&self) -> bool {
+        self.found_at.is_some()
+    }
+}
+
+/// One row of Table 1: a reproducible bug.
+pub struct Bug {
+    /// Short name ("Roshi-1", "ODB-5", …).
+    pub name: &'static str,
+    /// The subject it lives in.
+    pub subject: SubjectKind,
+    /// Upstream issue number.
+    pub issue: u32,
+    /// Upstream status.
+    pub status: BugStatus,
+    /// Root-cause classification (Table 1's "Reason"; `None` for open
+    /// bugs, which the paper leaves unclassified).
+    pub reason: Option<&'static str>,
+    pub(crate) workload: Workload,
+    pub(crate) config: PruningConfig,
+    pub(crate) imp: BugImpl,
+}
+
+impl std::fmt::Debug for Bug {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bug")
+            .field("name", &self.name)
+            .field("issue", &self.issue)
+            .field("events", &self.events())
+            .finish()
+    }
+}
+
+fn run<M, S>(
+    model: M,
+    workload: &Workload,
+    config: &PruningConfig,
+    mode: ExploreMode,
+    cap: usize,
+    check: for<'a> fn(&BugCtx<'a, S>) -> Option<String>,
+) -> Repro
+where
+    M: SystemModel<State = S>,
+    S: 'static,
+{
+    let mut session = Session::new(model);
+    session.set_workload(workload.clone());
+    if matches!(mode, ExploreMode::ErPi) {
+        session.set_config(config.clone());
+    }
+    session.set_mode(mode);
+    session.set_cap(cap);
+    session.set_stop_on_first_violation(true);
+    let suite = TestSuite::new().with(Assertion::new("bug-manifested", move |ctx| {
+        let bug_ctx = BugCtx { states: ctx.states, failed_ops: ctx.failed_ops() };
+        match check(&bug_ctx) {
+            Some(symptom) => Err(symptom),
+            None => Ok(()),
+        }
+    }));
+    let report = session.replay(&suite).expect("bug workload installed");
+    Repro {
+        mode: report.mode.clone(),
+        found_at: report.first_violation_at.map(|i| i + 1),
+        explored: report.explored,
+        sim_secs: report.sim_secs(),
+        wall_ms: report.wall_ms,
+        wasted: report.wasted_work,
+    }
+}
+
+fn run_dfs_base<M, S>(
+    model: M,
+    workload: &Workload,
+    base: Vec<EventId>,
+    cap: usize,
+    check: for<'a> fn(&BugCtx<'a, S>) -> Option<String>,
+) -> Repro
+where
+    M: SystemModel<State = S>,
+    S: 'static,
+{
+    let started = std::time::Instant::now();
+    let time = TimeModel::paper_setup();
+    let mut explorer = DfsExplorer::with_base_order(workload, base);
+    let mut explored = 0usize;
+    let mut found_at = None;
+    let mut sim_us = 0u64;
+    while let Some(il) = explorer.next() {
+        if explored >= cap {
+            break;
+        }
+        explored += 1;
+        let exec = InlineExecutor::execute(&model, workload, &il, &time);
+        sim_us += exec.sim_us;
+        let failed = exec.outcomes.iter().filter(|o| o.is_failed()).count();
+        let ctx = BugCtx { states: &exec.states, failed_ops: failed };
+        if check(&ctx).is_some() {
+            found_at = Some(explored);
+            break;
+        }
+    }
+    Repro {
+        mode: "DFS".into(),
+        found_at,
+        explored,
+        sim_secs: sim_us as f64 / 1e6,
+        wall_ms: started.elapsed().as_millis(),
+        wasted: 0,
+    }
+}
+
+impl Bug {
+    /// All twelve bugs, in Table 1 order.
+    pub fn catalogue() -> Vec<Bug> {
+        vec![
+            roshi_bugs::roshi_1(),
+            roshi_bugs::roshi_2(),
+            roshi_bugs::roshi_3(),
+            orbit_bugs::orbitdb_1(),
+            orbit_bugs::orbitdb_2(),
+            orbit_bugs::orbitdb_3(),
+            orbit_bugs::orbitdb_4(),
+            orbit_bugs::orbitdb_5(),
+            rdb_bugs::replicadb_1(),
+            rdb_bugs::replicadb_2(),
+            yorkie_bugs::yorkie_1(),
+            yorkie_bugs::yorkie_2(),
+        ]
+    }
+
+    /// Looks a bug up by name.
+    pub fn by_name(name: &str) -> Option<Bug> {
+        Bug::catalogue().into_iter().find(|b| b.name == name)
+    }
+
+    /// Number of interleaved events (Table 1's "#Events").
+    pub fn events(&self) -> usize {
+        self.workload.len()
+    }
+
+    /// The bug's workload.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The ER-π pruning configuration used to reproduce this bug.
+    pub fn pruning_config(&self) -> &PruningConfig {
+        &self.config
+    }
+
+    /// Attempts to reproduce the bug in `mode`, replaying at most `cap`
+    /// interleavings (the paper caps at 10 000).
+    pub fn reproduce(&self, mode: ExploreMode, cap: usize) -> Repro {
+        match &self.imp {
+            BugImpl::Roshi { model, check } => {
+                run(model.clone(), &self.workload, &self.config, mode, cap, *check)
+            }
+            BugImpl::Orbit { model, check } => {
+                run(model.clone(), &self.workload, &self.config, mode, cap, *check)
+            }
+            BugImpl::ReplicaDb { model, check } => {
+                run(model.clone(), &self.workload, &self.config, mode, cap, *check)
+            }
+            BugImpl::Yorkie { model, check } => {
+                run(model.clone(), &self.workload, &self.config, mode, cap, *check)
+            }
+            BugImpl::Crdts { model, check } => {
+                run(model.clone(), &self.workload, &self.config, mode, cap, *check)
+            }
+        }
+    }
+
+    /// Attempts to reproduce the bug in ER-π mode under an explicit
+    /// pruning configuration (ablation studies).
+    pub fn reproduce_with_config(&self, config: PruningConfig, cap: usize) -> Repro {
+        match &self.imp {
+            BugImpl::Roshi { model, check } => {
+                run(model.clone(), &self.workload, &config, ExploreMode::ErPi, cap, *check)
+            }
+            BugImpl::Orbit { model, check } => {
+                run(model.clone(), &self.workload, &config, ExploreMode::ErPi, cap, *check)
+            }
+            BugImpl::ReplicaDb { model, check } => {
+                run(model.clone(), &self.workload, &config, ExploreMode::ErPi, cap, *check)
+            }
+            BugImpl::Yorkie { model, check } => {
+                run(model.clone(), &self.workload, &config, ExploreMode::ErPi, cap, *check)
+            }
+            BugImpl::Crdts { model, check } => {
+                run(model.clone(), &self.workload, &config, ExploreMode::ErPi, cap, *check)
+            }
+        }
+    }
+
+    /// Reproduces the bug with a DFS whose frontier expansion order is
+    /// `base` instead of the recorded order — modelling the run-to-run
+    /// nondeterminism of restarting a real checker (used by the Figure 10
+    /// micro-benchmark).
+    pub fn reproduce_dfs_perturbed(&self, base: Vec<EventId>, cap: usize) -> Repro {
+        match &self.imp {
+            BugImpl::Roshi { model, check } => {
+                run_dfs_base(model.clone(), &self.workload, base, cap, *check)
+            }
+            BugImpl::Orbit { model, check } => {
+                run_dfs_base(model.clone(), &self.workload, base, cap, *check)
+            }
+            BugImpl::ReplicaDb { model, check } => {
+                run_dfs_base(model.clone(), &self.workload, base, cap, *check)
+            }
+            BugImpl::Yorkie { model, check } => {
+                run_dfs_base(model.clone(), &self.workload, base, cap, *check)
+            }
+            BugImpl::Crdts { model, check } => {
+                run_dfs_base(model.clone(), &self.workload, base, cap, *check)
+            }
+        }
+    }
+
+    /// Explores pruned interleavings until `cap` *candidates* have been
+    /// examined and reports the per-algorithm pruning statistics (the
+    /// Figure 9 data).
+    pub fn prune_stats(&self, cap: usize) -> PruneStats {
+        let mut explorer = er_pi_interleave::ErPiExplorer::new(&self.workload, &self.config);
+        while explorer.stats().examined() < cap as u64 {
+            if explorer.next().is_none() {
+                break;
+            }
+        }
+        explorer.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 1's event counts, verbatim.
+    const TABLE1: &[(&str, u32, usize)] = &[
+        ("Roshi-1", 18, 9),
+        ("Roshi-2", 11, 10),
+        ("Roshi-3", 40, 21),
+        ("OrbitDB-1", 513, 12),
+        ("OrbitDB-2", 512, 8),
+        ("OrbitDB-3", 1153, 15),
+        ("OrbitDB-4", 583, 18),
+        ("OrbitDB-5", 557, 24),
+        ("ReplicaDB-1", 79, 10),
+        ("ReplicaDB-2", 23, 14),
+        ("Yorkie-1", 676, 17),
+        ("Yorkie-2", 663, 22),
+    ];
+
+    #[test]
+    fn catalogue_matches_table1() {
+        let bugs = Bug::catalogue();
+        assert_eq!(bugs.len(), 12);
+        for (bug, &(name, issue, events)) in bugs.iter().zip(TABLE1) {
+            assert_eq!(bug.name, name);
+            assert_eq!(bug.issue, issue, "{name} issue number");
+            assert_eq!(bug.events(), events, "{name} event count");
+        }
+    }
+
+    #[test]
+    fn statuses_and_reasons_match_table1() {
+        let open: Vec<&str> = Bug::catalogue()
+            .iter()
+            .filter(|b| b.status == BugStatus::Open)
+            .map(|b| b.name)
+            .collect();
+        assert_eq!(open, vec!["OrbitDB-1", "OrbitDB-2", "Yorkie-1"]);
+        for bug in Bug::catalogue() {
+            match bug.status {
+                BugStatus::Open => assert!(bug.reason.is_none()),
+                BugStatus::Closed => assert!(bug.reason.is_some(), "{} reason", bug.name),
+            }
+        }
+        let misconceptions = Bug::catalogue()
+            .iter()
+            .filter(|b| b.reason == Some("misconception"))
+            .count();
+        assert_eq!(misconceptions, 6);
+        let misuse = Bug::catalogue()
+            .iter()
+            .filter(|b| b.reason == Some("misuse"))
+            .count();
+        assert_eq!(misuse, 2);
+    }
+
+    #[test]
+    fn recorded_orders_are_clean() {
+        // The observed execution (identity order) must NOT manifest any
+        // bug: users hit these only under unlucky interleavings.
+        for bug in Bug::catalogue() {
+            let repro = bug.reproduce(ExploreMode::ErPi, 1);
+            assert_ne!(
+                repro.found_at,
+                Some(1),
+                "{}: the recorded order must be violation-free",
+                bug.name
+            );
+        }
+    }
+
+    #[test]
+    fn by_name_finds_every_bug() {
+        for &(name, _, _) in TABLE1 {
+            assert!(Bug::by_name(name).is_some(), "{name}");
+        }
+        assert!(Bug::by_name("Nope-1").is_none());
+    }
+
+    #[test]
+    fn erpi_reproduces_every_bug_within_the_cap() {
+        for bug in Bug::catalogue() {
+            let repro = bug.reproduce(ExploreMode::ErPi, 10_000);
+            assert!(
+                repro.reproduced(),
+                "{} not reproduced by ER-π within 10K ({} explored)",
+                bug.name,
+                repro.explored
+            );
+        }
+    }
+}

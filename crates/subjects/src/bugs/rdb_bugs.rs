@@ -1,0 +1,129 @@
+//! The two ReplicaDB bugs of Table 1.
+
+use er_pi::PruningConfig;
+use er_pi_model::{ReplicaId, Value, Workload};
+
+use crate::{ReplicaDbModel, ReplicaDbState, ReplicationMode};
+
+use super::{Bug, BugCtx, BugImpl, BugStatus, SubjectKind};
+
+fn r(i: u16) -> ReplicaId {
+    ReplicaId::new(i)
+}
+
+/// ReplicaDB-1 (issue #79): *out of memory error.*
+///
+/// The transfer job's staging buffer is only bounded if reads and commits
+/// alternate; interleavings that stack multiple reads before any commit
+/// blow the memory budget.
+pub(super) fn replicadb_1() -> Bug {
+    let mut w = Workload::builder();
+    let p1 = w.update(r(0), "put", [Value::from(1), Value::from(10)]);
+    let p2 = w.update(r(0), "put", [Value::from(2), Value::from(20)]);
+    let p3 = w.update(r(0), "put", [Value::from(3), Value::from(30)]);
+    let mut reads = Vec::new();
+    let mut commits = Vec::new();
+    for k in 1..=3i64 {
+        reads.push(w.update(r(1), "read_batch", [Value::from(k), Value::from(k)]));
+        commits.push(w.update(r(1), "commit_batch", [Value::Null; 0]));
+    }
+    w.update(r(1), "finish", [Value::Null; 0]);
+
+    fn check(ctx: &BugCtx<'_, ReplicaDbState>) -> Option<String> {
+        // The crash signature of the report: every read found its row
+        // (peak = 3 rows), the third read blew the budget, and the two
+        // trailing commits found nothing left to flush.
+        if ctx.failed_ops == 3
+            && ctx.states[1].oom
+            && ctx.states[1].peak_staging_bytes == 3 * 64
+        {
+            Some("transfer job ran out of memory: three reads stacked".into())
+        } else {
+            None
+        }
+    }
+
+    Bug {
+        name: "ReplicaDB-1",
+        subject: SubjectKind::ReplicaDb,
+        issue: 79,
+        status: BugStatus::Closed,
+        reason: Some("misuse"),
+        workload: w.build(),
+        // The three source puts hit disjoint keys: declared independent.
+        // And once every read precedes every commit, only the first commit
+        // can succeed — the rest fail, so their order is irrelevant
+        // (Algorithm 4).
+        config: PruningConfig::default()
+            .with_independent_set(vec![p1, p2, p3])
+            .with_failed_ops(er_pi::FailedOpsRule {
+                predecessors: reads,
+                successors: commits,
+            }),
+        imp: BugImpl::ReplicaDb {
+            // Budget: two rows.
+            model: ReplicaDbModel::new(ReplicationMode::Complete, 2 * 64),
+            check,
+        },
+    }
+}
+
+/// ReplicaDB-2 (issue #23): *deleted records aren't getting deleted from
+/// the sink tables.*
+///
+/// Incremental replication only reconciles upserts; a delete that
+/// interleaves *after* its key's transfer leaves a ghost row in the sink
+/// forever.
+pub(super) fn replicadb_2() -> Bug {
+    let mut w = Workload::builder();
+    let p1 = w.update(r(0), "put", [Value::from(1), Value::from(10)]);
+    let p2 = w.update(r(0), "put", [Value::from(2), Value::from(20)]);
+    let p3 = w.update(r(0), "put", [Value::from(3), Value::from(30)]);
+    w.update(r(0), "delete", [Value::from(2)]);
+    let rb1 = w.update(r(1), "read_batch", [Value::from(0), Value::from(100)]);
+    let c1 = w.update(r(1), "commit_batch", [Value::Null; 0]);
+    w.update(r(1), "snapshot", [Value::Null; 0]);
+    w.update(r(0), "put", [Value::from(4), Value::from(40)]);
+    w.update(r(0), "delete", [Value::from(4)]);
+    let rb2 = w.update(r(1), "read_batch", [Value::from(4), Value::from(4)]);
+    let c2 = w.update(r(1), "commit_batch", [Value::Null; 0]);
+    w.update(r(0), "put", [Value::from(5), Value::from(50)]);
+    w.update(r(1), "read_batch", [Value::from(5), Value::from(5)]);
+    w.update(r(1), "finish", [Value::Null; 0]);
+
+    fn check(ctx: &BugCtx<'_, ReplicaDbState>) -> Option<String> {
+        if ctx.failed_ops != 0 {
+            return None;
+        }
+        let source = &ctx.states[0].table;
+        let sink = &ctx.states[1].table;
+        let ghosts: Vec<i64> = sink
+            .keys()
+            .filter(|k| !source.contains_key(k))
+            .copied()
+            .collect();
+        if !ghosts.is_empty() {
+            return Some(format!(
+                "deleted records survive in the sink: keys {ghosts:?}"
+            ));
+        }
+        None
+    }
+
+    Bug {
+        name: "ReplicaDB-2",
+        subject: SubjectKind::ReplicaDb,
+        issue: 23,
+        status: BugStatus::Closed,
+        reason: Some("misconception"),
+        workload: w.build(),
+        config: PruningConfig::default()
+            .with_independent_set(vec![p1, p2, p3])
+            .with_group(vec![rb1, c1])
+            .with_group(vec![rb2, c2]),
+        imp: BugImpl::ReplicaDb {
+            model: ReplicaDbModel::new(ReplicationMode::Incremental, 100 * 64),
+            check,
+        },
+    }
+}

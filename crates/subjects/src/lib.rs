@@ -1,0 +1,37 @@
+//! The five evaluation subjects of the paper's §6, re-implemented on the
+//! `er-pi-rdl` substrate, plus the twelve-bug catalogue of Table 1 and the
+//! misconception seeding of Table 2.
+//!
+//! | Subject | Original | Our model |
+//! |---|---|---|
+//! | [`RoshiModel`] | SoundCloud Roshi (Go): LWW-set time-series event DB over Redis | [`er_pi_rdl::LwwTimeSeries`] per replica, state-merge sync |
+//! | [`OrbitModel`] | OrbitDB (JavaScript): serverless Merkle-CRDT log DB | [`er_pi_rdl::MerkleLog`] per replica, delta sync, access-controller cache, repo lock lease |
+//! | [`ReplicaDbModel`] | ReplicaDB (Java): bulk source→sink replication | source/sink tables with a staging buffer, complete & incremental modes |
+//! | [`YorkieModel`] | Yorkie (Go): JSON document store | [`er_pi_rdl::JsonDoc`] per replica, delta sync |
+//! | [`CrdtsModel`] | `crdts` (Java): CRDT collection library | OR-set + RGA + PN-counter + LWW register + to-do map |
+//! | [`TownApp`] | the paper's §2.3 motivating example | OR-set of reported issues + transmission |
+//!
+//! The bug catalogue ([`Bug::catalogue`]) encodes every row of Table 1 as a
+//! `(workload, pruning config, violation assertion)` triple; the Figure 8
+//! benchmarks replay them under the three exploration modes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bugs;
+mod crdts;
+mod misconceive;
+mod orbitdb;
+mod replicadb;
+mod roshi;
+mod town;
+mod yorkie;
+
+pub use bugs::{Bug, BugCtx, BugStatus, Repro, SubjectKind};
+pub use crdts::{CrdtsModel, CrdtsState};
+pub use misconceive::{detect_misconception, misconception_matrix, MatrixCell};
+pub use orbitdb::{OrbitConfig, OrbitModel, OrbitState};
+pub use replicadb::{ReplicaDbModel, ReplicaDbState, ReplicationMode};
+pub use roshi::{RoshiModel, RoshiState};
+pub use town::{TownApp, TownState};
+pub use yorkie::{YorkieModel, YorkieState};

@@ -1,0 +1,230 @@
+//! The paper's motivating example (§2.3): the town issue-reporting app.
+
+use er_pi::{OpOutcome, SystemModel};
+use er_pi_model::{Event, EventKind, ReplicaId, Value};
+use er_pi_rdl::{DeltaSync, OrSet};
+
+/// One resident's replica: the replicated set of reported issues plus the
+/// (local, non-replicated) record of what was transmitted to the
+/// municipality.
+#[derive(Debug, Clone)]
+pub struct TownState {
+    /// Replicated set of open issues.
+    pub issues: OrSet<String>,
+    /// What this resident transmitted, if they did.
+    pub transmitted: Option<Vec<String>>,
+}
+
+/// The town issue-reporting application.
+///
+/// Residents `add`/`remove` issues in a replicated OR-set; `transmit` sends
+/// the *currently visible* set to the municipality. The integration defect:
+/// nothing forces the transmission to happen after the last synchronization,
+/// so some interleavings transmit stale issues (the paper's
+/// `Interleaving₂`).
+///
+/// ```
+/// use er_pi::{Session, TestSuite};
+/// use er_pi_model::{ReplicaId, Value};
+/// use er_pi_subjects::TownApp;
+///
+/// let mut session = Session::new(TownApp::new(2));
+/// let a = ReplicaId::new(0);
+/// let b = ReplicaId::new(1);
+/// session.record(|sys| {
+///     let ev1 = sys.invoke(a, "add", [Value::from("otb")]);
+///     sys.sync(a, b, ev1);
+///     let ev2 = sys.invoke(b, "add", [Value::from("ph")]);
+///     sys.sync(b, a, ev2);
+///     let ev3 = sys.invoke(b, "remove", [Value::from("otb")]);
+///     sys.sync(b, a, ev3);
+///     sys.external(a, "transmit");
+/// });
+/// let report = session.replay(&TownApp::invariant()).unwrap();
+/// assert_eq!(report.explored, 24);
+/// assert!(!report.passed());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TownApp {
+    replicas: usize,
+}
+
+impl TownApp {
+    /// Creates the app with `replicas` residents.
+    pub fn new(replicas: usize) -> Self {
+        TownApp { replicas }
+    }
+
+    /// The motivating example's invariant: a transmitted issue set must not
+    /// contain an issue whose removal the transmitting replica *could* have
+    /// synchronized — concretely, the overturned trash bin must not reach
+    /// the municipality.
+    pub fn invariant() -> er_pi::TestSuite<TownState> {
+        er_pi::TestSuite::new().with_assertion(
+            "no-stale-issue-transmitted",
+            |ctx: &er_pi::CheckContext<'_, TownState>| {
+            for (replica, state) in ctx.states.iter().enumerate() {
+                if let Some(items) = &state.transmitted {
+                    if items.iter().any(|i| i == "otb") {
+                        return Err(format!(
+                            "replica {replica} transmitted the already-fixed issue \"otb\""
+                        ));
+                    }
+                }
+            }
+            Ok(())
+            },
+        )
+    }
+}
+
+impl Default for TownApp {
+    fn default() -> Self {
+        Self::new(2)
+    }
+}
+
+impl SystemModel for TownApp {
+    type State = TownState;
+
+    fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    fn init(&self, replica: ReplicaId) -> TownState {
+        TownState { issues: OrSet::new(replica), transmitted: None }
+    }
+
+    fn apply(&self, states: &mut [TownState], event: &Event) -> OpOutcome {
+        let at = event.replica.index();
+        match &event.kind {
+            EventKind::LocalUpdate { op } => {
+                let arg = op.arg(0).and_then(Value::as_str).unwrap_or("").to_owned();
+                match op.function() {
+                    "add" => {
+                        states[at].issues.insert(arg);
+                        OpOutcome::Applied
+                    }
+                    "remove" => match states[at].issues.remove(&arg) {
+                        Some(_) => OpOutcome::Applied,
+                        None => OpOutcome::failed("remove of unseen issue"),
+                    },
+                    other => OpOutcome::failed(format!("unknown town op {other}")),
+                }
+            }
+            EventKind::Sync { to, .. } => {
+                let snapshot = states[at].issues.clone();
+                states[to.index()].issues.sync_from(&snapshot);
+                OpOutcome::Applied
+            }
+            EventKind::External { label } if label == "transmit" => {
+                let snapshot: Vec<String> =
+                    states[at].issues.elements().into_iter().cloned().collect();
+                states[at].transmitted = Some(snapshot.clone());
+                OpOutcome::Observed(snapshot.into_iter().collect())
+            }
+            _ => OpOutcome::failed("unsupported event kind for TownApp"),
+        }
+    }
+
+    fn observe(&self, state: &TownState) -> Value {
+        let issues: Value = state.issues.elements().into_iter().cloned().collect();
+        let transmitted = state
+            .transmitted
+            .clone()
+            .map(|v| v.into_iter().collect())
+            .unwrap_or(Value::Null);
+        Value::List(vec![issues, transmitted])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_pi::{ExploreMode, Session};
+    use er_pi_interleave::{FailedOpsRule, PruningConfig};
+
+    fn record_motivating(session: &mut Session<TownApp>) -> [er_pi_model::EventId; 4] {
+        let a = ReplicaId::new(0);
+        let b = ReplicaId::new(1);
+        let mut out = [er_pi_model::EventId::new(0); 4];
+        session.record(|sys| {
+            let ev1 = sys.invoke(a, "add", [Value::from("otb")]);
+            sys.sync(a, b, ev1);
+            let ev2 = sys.invoke(b, "add", [Value::from("ph")]);
+            sys.sync(b, a, ev2);
+            let ev3 = sys.invoke(b, "remove", [Value::from("otb")]);
+            sys.sync(b, a, ev3);
+            let ev4 = sys.external(a, "transmit");
+            out = [ev1, ev2, ev3, ev4];
+        });
+        out
+    }
+
+    #[test]
+    fn recorded_order_satisfies_the_invariant() {
+        let mut session = Session::new(TownApp::new(2));
+        record_motivating(&mut session);
+        session.set_cap(1); // only the recorded (identity) order
+        let report = session.replay(&TownApp::invariant()).unwrap();
+        assert!(report.passed(), "the observed execution was fine");
+    }
+
+    #[test]
+    fn exhaustive_replay_finds_the_stale_transmission() {
+        let mut session = Session::new(TownApp::new(2));
+        record_motivating(&mut session);
+        let report = session.replay(&TownApp::invariant()).unwrap();
+        assert_eq!(report.explored, 24);
+        assert!(!report.passed());
+        // The violating interleavings all place the transmit before the
+        // remove's synchronization reached replica A.
+        for v in &report.violations {
+            assert_eq!(v.assertion, "no-stale-issue-transmitted");
+        }
+    }
+
+    #[test]
+    fn paper_pruned_count_19_still_finds_the_bug() {
+        let mut session = Session::new(TownApp::new(2));
+        let [ev1, ev2, ev3, ev4] = record_motivating(&mut session);
+        session.set_config(PruningConfig::default().with_failed_ops(FailedOpsRule {
+            predecessors: vec![ev4],
+            successors: vec![ev1, ev2, ev3],
+        }));
+        let report = session.replay(&TownApp::invariant()).unwrap();
+        assert_eq!(report.explored, 19, "the paper's §3.1 number");
+        assert!(!report.passed(), "pruning must not lose the bug");
+    }
+
+    #[test]
+    fn dfs_also_finds_it_but_explores_more() {
+        let mut session = Session::new(TownApp::new(2));
+        record_motivating(&mut session);
+        session.set_mode(ExploreMode::Dfs);
+        session.set_stop_on_first_violation(true);
+        let dfs = session.replay(&TownApp::invariant()).unwrap();
+        assert!(!dfs.passed());
+
+        let mut session2 = Session::new(TownApp::new(2));
+        record_motivating(&mut session2);
+        session2.set_stop_on_first_violation(true);
+        let erpi = session2.replay(&TownApp::invariant()).unwrap();
+        assert!(!erpi.passed());
+        assert!(
+            erpi.first_violation_at.unwrap() <= dfs.first_violation_at.unwrap(),
+            "pruned exploration reaches the bug at least as fast"
+        );
+    }
+
+    #[test]
+    fn failed_remove_is_a_failed_op() {
+        let mut session = Session::new(TownApp::new(2));
+        let b = ReplicaId::new(1);
+        session.record(|sys| {
+            // Remove before any add: fails.
+            let ev = sys.invoke(b, "remove", [Value::from("ghost")]);
+            assert!(sys.outcome(ev).is_failed());
+        });
+    }
+}

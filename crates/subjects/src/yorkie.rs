@@ -1,0 +1,297 @@
+//! Subject 4 — Yorkie: a replicated JSON document store (paper §6,
+//! Subject 4).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use er_pi::{OpOutcome, SystemModel};
+use er_pi_model::{Event, EventKind, ReplicaId, Value};
+use er_pi_rdl::{DeltaSync, DocOp, JsonDoc};
+
+/// One Yorkie replica: the document plus a sync inbox.
+#[derive(Debug, Clone)]
+pub struct YorkieState {
+    /// The replicated JSON document.
+    pub doc: JsonDoc,
+    /// Pending sync payloads.
+    pub inbox: VecDeque<Vec<DocOp>>,
+    /// Keys captured by the last `snapshot_keys` read.
+    pub last_snapshot: Option<Vec<String>>,
+}
+
+/// The Yorkie subject model.
+///
+/// Operation vocabulary (paths are dot-separated strings):
+///
+/// * `set(path, value)` — LWW-set a primitive,
+/// * `set_object(path, k1, v1, k2, v2, …)` — whole-subtree replace (the
+///   Yorkie-2 misuse surface),
+/// * `remove(path)`,
+/// * `new_array(path)`, `push(path, value)`,
+/// * `move(path, from, to)` — correct `MoveAfter`,
+/// * `move_naive(path, from, to)` — delete+insert move (Yorkie-1 defect).
+#[derive(Debug, Clone)]
+pub struct YorkieModel {
+    replicas: usize,
+}
+
+impl YorkieModel {
+    /// Creates the model.
+    pub fn new(replicas: usize) -> Self {
+        YorkieModel { replicas }
+    }
+}
+
+fn split_path(raw: &str) -> Vec<&str> {
+    raw.split('.').filter(|s| !s.is_empty()).collect()
+}
+
+fn doc_result(result: Result<impl Sized, er_pi_rdl::DocError>) -> OpOutcome {
+    match result {
+        Ok(_) => OpOutcome::Applied,
+        Err(e) => OpOutcome::failed(e.to_string()),
+    }
+}
+
+impl SystemModel for YorkieModel {
+    type State = YorkieState;
+
+    fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    fn init(&self, replica: ReplicaId) -> YorkieState {
+        YorkieState { doc: JsonDoc::new(replica), inbox: VecDeque::new(), last_snapshot: None }
+    }
+
+    fn apply(&self, states: &mut [YorkieState], event: &Event) -> OpOutcome {
+        let at = event.replica.index();
+        match &event.kind {
+            EventKind::LocalUpdate { op } => {
+                let path_raw = op.arg(0).and_then(Value::as_str).unwrap_or("").to_owned();
+                let path = split_path(&path_raw);
+                if path.is_empty() {
+                    return OpOutcome::failed("empty document path");
+                }
+                let doc = &mut states[at].doc;
+                match op.function() {
+                    "set" => {
+                        let v = op.arg(1).cloned().unwrap_or(Value::Null);
+                        doc_result(doc.set(&path, v))
+                    }
+                    "set_object" => {
+                        let mut entries = BTreeMap::new();
+                        let mut i = 1;
+                        while let (Some(k), Some(v)) = (op.arg(i), op.arg(i + 1)) {
+                            let Some(key) = k.as_str() else {
+                                return OpOutcome::failed("set_object keys must be strings");
+                            };
+                            entries.insert(key.to_owned(), v.clone());
+                            i += 2;
+                        }
+                        doc_result(doc.set_object(&path, entries))
+                    }
+                    "remove" => doc_result(doc.remove(&path)),
+                    "snapshot_keys" => {
+                        let Some(er_pi_rdl::JsonValue::Object(map)) = doc.get(&path) else {
+                            return OpOutcome::failed("snapshot_keys needs an object path");
+                        };
+                        let keys: Vec<String> = map.keys().cloned().collect();
+                        states[at].last_snapshot = Some(keys.clone());
+                        return OpOutcome::Observed(keys.into_iter().collect());
+                    }
+                    // The Yorkie-2 misuse pattern: read the object and
+                    // write it back wholesale ("normalize settings"). Any
+                    // concurrent sibling write older than this refresh is
+                    // silently dropped.
+                    "refresh_object" => {
+                        let Some(er_pi_rdl::JsonValue::Object(map)) = doc.get(&path) else {
+                            return OpOutcome::failed("refresh_object needs an object path");
+                        };
+                        let entries: BTreeMap<String, Value> = map
+                            .iter()
+                            .filter_map(|(k, v)| match v {
+                                er_pi_rdl::JsonValue::Prim(p) => {
+                                    Some((k.clone(), p.clone()))
+                                }
+                                _ => None,
+                            })
+                            .collect();
+                        doc_result(doc.set_object(&path, entries))
+                    }
+                    "new_array" => doc_result(doc.new_array(&path)),
+                    "push" => {
+                        let v = op.arg(1).cloned().unwrap_or(Value::Null);
+                        doc_result(doc.arr_push(&path, v))
+                    }
+                    "move" => {
+                        let (Some(from), Some(to)) = (
+                            op.arg(1).and_then(Value::as_int),
+                            op.arg(2).and_then(Value::as_int),
+                        ) else {
+                            return OpOutcome::failed("move needs (path, from, to)");
+                        };
+                        doc_result(doc.arr_move(&path, from as usize, to as usize))
+                    }
+                    "move_naive" => {
+                        let (Some(from), Some(to)) = (
+                            op.arg(1).and_then(Value::as_int),
+                            op.arg(2).and_then(Value::as_int),
+                        ) else {
+                            return OpOutcome::failed("move_naive needs (path, from, to)");
+                        };
+                        doc_result(doc.arr_move_naive(&path, from as usize, to as usize))
+                    }
+                    other => OpOutcome::failed(format!("unknown yorkie op {other}")),
+                }
+            }
+            EventKind::Sync { to, .. } => {
+                let snapshot = states[at].doc.clone();
+                states[to.index()].doc.sync_from(&snapshot);
+                OpOutcome::Applied
+            }
+            EventKind::SyncSend { to, .. } => {
+                let receiver_version = states[to.index()].doc.version().clone();
+                let ops = states[at].doc.missing_since(&receiver_version);
+                states[to.index()].inbox.push_back(ops);
+                OpOutcome::Applied
+            }
+            EventKind::SyncExec { .. } => match states[at].inbox.pop_front() {
+                Some(ops) => {
+                    for op in &ops {
+                        states[at].doc.apply_op(op);
+                    }
+                    OpOutcome::Applied
+                }
+                None => OpOutcome::failed("sync exec with empty inbox"),
+            },
+            EventKind::External { label } => {
+                OpOutcome::failed(format!("unsupported external event {label}"))
+            }
+        }
+    }
+
+    fn observe(&self, state: &YorkieState) -> Value {
+        // A canonical rendering of the document snapshot.
+        fn render(v: &er_pi_rdl::JsonValue) -> Value {
+            match v {
+                er_pi_rdl::JsonValue::Prim(p) => p.clone(),
+                er_pi_rdl::JsonValue::Object(map) => map
+                    .iter()
+                    .map(|(k, v)| Value::List(vec![Value::from(k.clone()), render(v)]))
+                    .collect(),
+                er_pi_rdl::JsonValue::Array(items) => Value::List(items.clone()),
+            }
+        }
+        render(&state.doc.root())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_pi_model::Workload;
+
+    fn r(i: u16) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+
+    fn run(model: &YorkieModel, w: &Workload) -> Vec<YorkieState> {
+        let mut states = model.init_all();
+        for ev in w.events() {
+            model.apply(&mut states, ev);
+        }
+        states
+    }
+
+    #[test]
+    fn set_and_sync() {
+        let model = YorkieModel::new(2);
+        let mut w = Workload::builder();
+        let set = w.update(r(0), "set", [Value::from("profile.name"), Value::from("ada")]);
+        w.sync_pair(r(0), r(1), set);
+        let states = run(&model, &w.build());
+        assert_eq!(model.observe(&states[0]), model.observe(&states[1]));
+    }
+
+    #[test]
+    fn arrays_and_correct_move() {
+        let model = YorkieModel::new(2);
+        let mut w = Workload::builder();
+        w.update(r(0), "new_array", [Value::from("l")]);
+        for v in ["x", "y", "z"] {
+            w.update(r(0), "push", [Value::from("l"), Value::from(v)]);
+        }
+        w.update(r(0), "move", [Value::from("l"), Value::from(0), Value::from(2)]);
+        let states = run(&model, &w.build());
+        let doc = states[0].doc.get(&["l"]).unwrap();
+        assert_eq!(doc.as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn naive_move_duplicates_under_concurrency() {
+        let model = YorkieModel::new(2);
+        let mut w = Workload::builder();
+        w.update(r(0), "new_array", [Value::from("l")]);
+        for v in ["x", "y", "z"] {
+            w.update(r(0), "push", [Value::from("l"), Value::from(v)]);
+        }
+        let m0 = w.update(
+            r(0),
+            "move_naive",
+            [Value::from("l"), Value::from(0), Value::from(2)],
+        );
+        let w_pre = w.len();
+        let _ = w_pre;
+        // Sync the base list to replica 1 BEFORE the move, then both move.
+        // Built linearly here for clarity: sync first, then moves, then
+        // cross-sync.
+        let mut w2 = Workload::builder();
+        let mk_arr = w2.update(r(0), "new_array", [Value::from("l")]);
+        let mut last = mk_arr;
+        for v in ["x", "y", "z"] {
+            last = w2.update(r(0), "push", [Value::from("l"), Value::from(v)]);
+        }
+        w2.sync_pair(r(0), r(1), last);
+        w2.update(r(0), "move_naive", [Value::from("l"), Value::from(0), Value::from(2)]);
+        w2.update(r(1), "move_naive", [Value::from("l"), Value::from(0), Value::from(1)]);
+        w2.sync_untracked(r(0), r(1));
+        w2.sync_untracked(r(1), r(0));
+        let states = run(&model, &w2.build());
+        let arr = states[0].doc.get(&["l"]).unwrap().as_array().unwrap().to_vec();
+        assert_eq!(
+            arr.iter().filter(|v| **v == Value::from("x")).count(),
+            2,
+            "naive move duplicated under concurrency: {arr:?}"
+        );
+        let _ = m0;
+    }
+
+    #[test]
+    fn bad_paths_fail() {
+        let model = YorkieModel::new(1);
+        let mut states = model.init_all();
+        let mut w = Workload::builder();
+        let bad = w.update(r(0), "push", [Value::from("missing"), Value::from(1)]);
+        let empty = w.update(r(0), "set", [Value::from(""), Value::from(1)]);
+        let w = w.build();
+        assert!(model.apply(&mut states, w.event(bad)).is_failed());
+        assert!(model.apply(&mut states, w.event(empty)).is_failed());
+    }
+
+    #[test]
+    fn set_object_replaces_subtree() {
+        let model = YorkieModel::new(1);
+        let mut w = Workload::builder();
+        w.update(r(0), "set", [Value::from("obj.a"), Value::from(1)]);
+        w.update(r(0), "set", [Value::from("obj.b"), Value::from(2)]);
+        w.update(
+            r(0),
+            "set_object",
+            [Value::from("obj"), Value::from("a"), Value::from(10)],
+        );
+        let states = run(&model, &w.build());
+        let obj = states[0].doc.get(&["obj"]).unwrap();
+        let map = obj.as_object().unwrap();
+        assert_eq!(map.len(), 1, "sibling b was dropped by the replace");
+    }
+}

@@ -1,0 +1,136 @@
+//! Failure-injection tests: the virtual cluster's adverse delivery modes
+//! (reordering, loss, partitions) against the RDL substrate, and what they
+//! mean for ER-π's misconception detectors.
+
+use er_pi_model::ReplicaId;
+use er_pi_replica::{Cluster, DeliveryMode};
+use er_pi_rdl::{DeltaSync, OrSet, Rga};
+
+fn r(i: u16) -> ReplicaId {
+    ReplicaId::new(i)
+}
+
+fn elements(set: &OrSet<i64>) -> Vec<i64> {
+    set.elements().into_iter().copied().collect()
+}
+
+#[test]
+fn orset_converges_under_reordered_delivery() {
+    // Misconception #1's flip side: the CRDT layer tolerates reordering;
+    // it is the application logic on top that may not.
+    let mut cluster: Cluster<OrSet<i64>> = Cluster::paper_setup(OrSet::new);
+    cluster.set_delivery(DeliveryMode::Reordered { seed: 99 });
+    for i in 0..10 {
+        cluster.update(r((i % 3) as u16), |s| {
+            s.insert(i);
+        });
+        cluster.sync_send(r((i % 3) as u16), r(((i + 1) % 3) as u16));
+    }
+    // Drain everything (multiple passes; reordering shuffles queues).
+    for _ in 0..20 {
+        for to in 0..3 {
+            while cluster.sync_exec(r(to)).is_some() {}
+        }
+        // Final anti-entropy round so everyone sees everything.
+        for from in 0..3 {
+            for to in 0..3 {
+                if from != to {
+                    cluster.sync_pair(r(from), r(to));
+                }
+            }
+        }
+    }
+    assert!(cluster.converged_by(elements));
+    assert_eq!(cluster.state(r(0)).len(), 10);
+}
+
+#[test]
+fn lossy_network_delays_but_does_not_corrupt() {
+    let mut cluster: Cluster<OrSet<i64>> = Cluster::new(2, OrSet::new);
+    cluster.set_delivery(DeliveryMode::Lossy { loss_permille: 400, seed: 3 });
+    cluster.update(r(0), |s| {
+        s.insert(7);
+    });
+    // Keep retransmitting until the op survives the lossy link.
+    let mut attempts = 0;
+    while !cluster.state(r(1)).contains(&7) {
+        cluster.sync_send(r(0), r(1));
+        let _ = cluster.sync_exec(r(1));
+        attempts += 1;
+        assert!(attempts < 100, "lossy link never delivered");
+    }
+    let (_, delivered, dropped) = cluster.network_mut().stats();
+    assert!(delivered >= 1);
+    assert!(dropped + delivered >= attempts as u64 / 2);
+    assert!(cluster.state(r(1)).contains(&7));
+}
+
+#[test]
+fn partition_heals_into_convergence() {
+    let mut cluster: Cluster<OrSet<i64>> = Cluster::new(2, OrSet::new);
+    cluster.network_mut().partition(r(0), r(1));
+    cluster.update(r(0), |s| {
+        s.insert(1);
+    });
+    cluster.update(r(1), |s| {
+        s.insert(2);
+    });
+    cluster.sync_send(r(0), r(1));
+    assert_eq!(cluster.sync_exec(r(1)), None, "partitioned");
+    assert!(!cluster.converged_by(elements));
+
+    cluster.network_mut().heal(r(0), r(1));
+    assert!(cluster.sync_exec(r(1)).is_some());
+    cluster.sync_pair(r(1), r(0));
+    assert!(cluster.converged_by(elements));
+    assert_eq!(cluster.state(r(0)).len(), 2);
+}
+
+#[test]
+fn checkpoint_reset_discards_in_flight_damage() {
+    // The replay engine's isolation guarantee: whatever a chaotic
+    // interleaving did — including messages still in flight — a reset
+    // restores the checkpointed world.
+    let mut cluster: Cluster<Rga<i64>> = Cluster::paper_setup(Rga::new);
+    cluster.update(r(0), |l| {
+        l.push(1);
+    });
+    cluster.sync_pair(r(0), r(1));
+    cluster.checkpoint_all();
+
+    // Chaos: partial syncs, reordered deliveries, concurrent edits.
+    cluster.set_delivery(DeliveryMode::Reordered { seed: 5 });
+    cluster.update(r(1), |l| {
+        l.push(2);
+    });
+    cluster.update(r(2), |l| {
+        l.push(3);
+    });
+    cluster.sync_send(r(1), r(2));
+    cluster.sync_send(r(2), r(0));
+    let _ = cluster.sync_exec(r(0));
+
+    cluster.reset_all();
+    assert_eq!(cluster.state(r(0)).values(), vec![&1]);
+    assert_eq!(cluster.state(r(1)).values(), vec![&1]);
+    assert!(cluster.state(r(2)).is_empty());
+    assert_eq!(cluster.network_mut().in_flight(), 0, "wire is clean");
+}
+
+#[test]
+fn rga_survives_duplicated_and_reordered_ops() {
+    // Apply a realistic op stream through the worst network mode and
+    // verify list convergence (the substrate-level guarantee the
+    // misconception detectors rely on to blame the *application*).
+    let mut a = Rga::new(r(0));
+    let ops: Vec<_> = (0..8).map(|i| a.push(i)).collect();
+    let mut b = Rga::new(r(1));
+    // Deliver twice, reversed.
+    for op in ops.iter().rev() {
+        b.apply_op(op);
+    }
+    for op in ops.iter() {
+        b.apply_op(op);
+    }
+    assert_eq!(a.values(), b.values());
+}
