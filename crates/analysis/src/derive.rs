@@ -1,0 +1,370 @@
+//! Datalog derivation of the independence set and interference relation.
+//!
+//! The happens-before and commutativity passes produce *base facts*; the
+//! derivation itself is expressed as Datalog rules ([`analysis_rules`]) and
+//! evaluated bottom-up (semi-naive) to fixpoint, mirroring how the paper
+//! keeps its pruning logic in the deductive database. The derived
+//! `independent` pairs and `interferes` relation are then read back out and
+//! packaged for `er_pi_interleave::independence_canonical`.
+//!
+//! # Base facts
+//!
+//! | Relation | Meaning |
+//! |---|---|
+//! | `hb_edge(A, B)` | direct happens-before edge (program order or dep) |
+//! | `concurrent(A, B)` | neither clock dominates (both directions) |
+//! | `co_replica(A, B)` | distinct updates recorded at the same replica |
+//! | `commutes(A, B)` | both profiles known and the table approves the swap |
+//! | `conflicts(A, B)` | both profiles known and the table rejects the swap |
+//! | `upd(E)` | local update with a known, non-`Read` profile |
+//! | `opaque(E)` | local update whose vocabulary is unknown |
+//! | `observer(E)` | external event or `Read`-profile update |
+//! | `sync_touch(E, R)` | sync event `E` has endpoint replica `R` |
+//! | `ev_replica(E, R)` | event `E` executes at replica `R` |
+//!
+//! # Derived relations
+//!
+//! * `hb(A, B)` — transitive happens-before closure,
+//! * `independent(A, B)` — the pair may be swapped: commuting updates that
+//!   are concurrent or co-located on one replica,
+//! * `ind(E)` — `E` participates in some independent pair,
+//! * `interferes(X, Y)` — `X` is the `R(ev, iev)` relation of Algorithm 3:
+//!   it can observe or transport the replica state that independent event
+//!   `Y` mutates, so it blocks merging when it sits inside the span.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use er_pi_datalog::{atom, evaluate, fact, var, CmpOp, Const, Database, Rule};
+use er_pi_model::{EventId, Workload};
+use er_pi_rdl::{OpKind, OpProfile};
+
+use crate::hb::HbGraph;
+
+/// The auto-derived inputs of Algorithm 3: mutually independent event sets
+/// plus the interference relation `R(ev, iev)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DerivedIndependence {
+    /// Maximal cliques of pairwise-independent update events (ascending by
+    /// id, singletons dropped).
+    pub sets: Vec<Vec<EventId>>,
+    /// Pairs `(x, y)`: event `x` interferes with independent event `y`.
+    pub interference: Vec<(EventId, EventId)>,
+}
+
+/// The Datalog program deriving `hb`, `independent`, `ind`, and
+/// `interferes` from the base facts extracted by the static passes.
+pub fn analysis_rules() -> Vec<Rule> {
+    vec![
+        // hb(A, B) :- hb_edge(A, B).
+        Rule::new(atom("hb", [var("A"), var("B")])).when(atom("hb_edge", [var("A"), var("B")])),
+        // hb(A, C) :- hb(A, B), hb_edge(B, C).
+        Rule::new(atom("hb", [var("A"), var("C")]))
+            .when(atom("hb", [var("A"), var("B")]))
+            .when(atom("hb_edge", [var("B"), var("C")])),
+        // independent(A, B) :- concurrent(A, B), commutes(A, B),
+        //                      upd(A), upd(B).
+        Rule::new(atom("independent", [var("A"), var("B")]))
+            .when(atom("concurrent", [var("A"), var("B")]))
+            .when(atom("commutes", [var("A"), var("B")]))
+            .when(atom("upd", [var("A")]))
+            .when(atom("upd", [var("B")])),
+        // independent(A, B) :- co_replica(A, B), commutes(A, B),
+        //                      upd(A), upd(B).
+        Rule::new(atom("independent", [var("A"), var("B")]))
+            .when(atom("co_replica", [var("A"), var("B")]))
+            .when(atom("commutes", [var("A"), var("B")]))
+            .when(atom("upd", [var("A")]))
+            .when(atom("upd", [var("B")])),
+        // ind(E) :- independent(E, B).
+        Rule::new(atom("ind", [var("E")])).when(atom("independent", [var("E"), var("B")])),
+        // interferes(X, Y) :- ind(Y), ev_replica(Y, R), sync_touch(X, R).
+        Rule::new(atom("interferes", [var("X"), var("Y")]))
+            .when(atom("ind", [var("Y")]))
+            .when(atom("ev_replica", [var("Y"), var("R")]))
+            .when(atom("sync_touch", [var("X"), var("R")])),
+        // interferes(X, Y) :- ind(Y), ev_replica(Y, R), observer(X),
+        //                     ev_replica(X, R).
+        Rule::new(atom("interferes", [var("X"), var("Y")]))
+            .when(atom("ind", [var("Y")]))
+            .when(atom("ev_replica", [var("Y"), var("R")]))
+            .when(atom("observer", [var("X")]))
+            .when(atom("ev_replica", [var("X"), var("R")])),
+        // interferes(X, Y) :- ind(Y), ev_replica(Y, R), upd(X),
+        //                     ev_replica(X, R), X != Y.
+        Rule::new(atom("interferes", [var("X"), var("Y")]))
+            .when(atom("ind", [var("Y")]))
+            .when(atom("ev_replica", [var("Y"), var("R")]))
+            .when(atom("upd", [var("X")]))
+            .when(atom("ev_replica", [var("X"), var("R")]))
+            .filter(var("X"), CmpOp::Ne, var("Y")),
+        // interferes(X, Y) :- ind(Y), conflicts(X, Y).
+        Rule::new(atom("interferes", [var("X"), var("Y")]))
+            .when(atom("ind", [var("Y")]))
+            .when(atom("conflicts", [var("X"), var("Y")])),
+        // interferes(X, Y) :- ind(Y), opaque(X).
+        // An update outside the vocabulary may observe anything (ReplicaDB's
+        // read_batch reads the *source* replica from the sink side), so it
+        // conservatively interferes with every independent event.
+        Rule::new(atom("interferes", [var("X"), var("Y")]))
+            .when(atom("ind", [var("Y")]))
+            .when(atom("opaque", [var("X")])),
+    ]
+}
+
+fn eid(c: &Const) -> EventId {
+    match c {
+        Const::Int(i) => EventId::new(u32::try_from(*i).expect("event id fits u32")),
+        Const::Str(s) => panic!("expected event id, got {s:?}"),
+    }
+}
+
+/// Loads the base facts for `workload`, runs [`analysis_rules`] to fixpoint,
+/// and reads the derived relations back out.
+pub(crate) fn derive(
+    workload: &Workload,
+    hb: &HbGraph,
+    profiles: &[Option<OpProfile>],
+) -> (Database, DerivedIndependence) {
+    let mut db = Database::new();
+    let events = workload.events();
+
+    for ev in events {
+        db.insert(fact("ev_replica", [ev.id.index(), ev.replica.index()]));
+        if let Some((from, to)) = ev.sync_endpoints() {
+            db.insert(fact("sync_touch", [ev.id.index(), from.index()]));
+            db.insert(fact("sync_touch", [ev.id.index(), to.index()]));
+        }
+        match &profiles[ev.id.index()] {
+            Some(p) if p.kind == OpKind::Read => {
+                db.insert(fact("observer", [ev.id.index()]));
+            }
+            Some(_) => {
+                db.insert(fact("upd", [ev.id.index()]));
+            }
+            None if ev.is_update() => {
+                db.insert(fact("opaque", [ev.id.index()]));
+            }
+            None if !ev.is_sync() => {
+                db.insert(fact("observer", [ev.id.index()]));
+            }
+            None => {}
+        }
+    }
+    for &(a, b) in hb.edges() {
+        db.insert(fact("hb_edge", [a.index(), b.index()]));
+    }
+
+    // Pairwise facts between profiled updates: concurrency, co-location,
+    // and the commutativity verdicts.
+    let updates: Vec<EventId> = events
+        .iter()
+        .filter(|ev| matches!(&profiles[ev.id.index()], Some(p) if p.kind != OpKind::Read))
+        .map(|ev| ev.id)
+        .collect();
+    for (i, &a) in updates.iter().enumerate() {
+        for &b in &updates[i + 1..] {
+            if hb.concurrent(a, b) {
+                db.insert(fact("concurrent", [a.index(), b.index()]));
+                db.insert(fact("concurrent", [b.index(), a.index()]));
+            }
+            if events[a.index()].replica == events[b.index()].replica {
+                db.insert(fact("co_replica", [a.index(), b.index()]));
+                db.insert(fact("co_replica", [b.index(), a.index()]));
+            }
+            let (pa, pb) = (
+                profiles[a.index()].as_ref().expect("profiled"),
+                profiles[b.index()].as_ref().expect("profiled"),
+            );
+            let rel = if pa.commutes_with(pb).is_none() {
+                "commutes"
+            } else {
+                "conflicts"
+            };
+            db.insert(fact(rel, [a.index(), b.index()]));
+            db.insert(fact(rel, [b.index(), a.index()]));
+        }
+    }
+
+    evaluate(&analysis_rules(), &mut db);
+
+    // Read back the symmetric `independent` relation as an adjacency map.
+    let mut adjacent: BTreeMap<EventId, BTreeSet<EventId>> = BTreeMap::new();
+    for tuple in db.relation("independent") {
+        let (a, b) = (eid(&tuple[0]), eid(&tuple[1]));
+        adjacent.entry(a).or_default().insert(b);
+    }
+
+    // Greedy clique partition in ascending id order: deterministic, and the
+    // id order is exactly the canonical-representative order Algorithm 3
+    // keeps. Singletons merge nothing, so they are dropped.
+    let mut assigned: BTreeSet<EventId> = BTreeSet::new();
+    let mut sets: Vec<Vec<EventId>> = Vec::new();
+    for &seed in adjacent.keys() {
+        if assigned.contains(&seed) {
+            continue;
+        }
+        let mut clique = vec![seed];
+        for (&candidate, peers) in adjacent.range(seed..).skip(1) {
+            if !assigned.contains(&candidate) && clique.iter().all(|m| peers.contains(m)) {
+                clique.push(candidate);
+            }
+        }
+        if clique.len() >= 2 {
+            assigned.extend(clique.iter().copied());
+            sets.push(clique);
+        }
+    }
+
+    // Interference pairs, restricted to members of the kept sets. Pairs
+    // within one set are dropped: the canonical check skips co-members, and
+    // a set's own updates reorder soundly by construction. A member of a
+    // *different* set stays — it is an ordinary interferer for this set.
+    let set_of: BTreeMap<EventId, usize> = sets
+        .iter()
+        .enumerate()
+        .flat_map(|(i, set)| set.iter().map(move |&m| (m, i)))
+        .collect();
+    let mut interference: Vec<(EventId, EventId)> = db
+        .relation("interferes")
+        .into_iter()
+        .map(|tuple| (eid(&tuple[0]), eid(&tuple[1])))
+        .filter(|(x, y)| match (set_of.get(x), set_of.get(y)) {
+            (_, None) => false,
+            (Some(sx), Some(sy)) => sx != sy,
+            (None, Some(_)) => true,
+        })
+        .collect();
+    interference.sort_unstable();
+    interference.dedup();
+
+    (db, DerivedIndependence { sets, interference })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use er_pi_model::{ReplicaId, Value, Workload};
+
+    fn r(i: u16) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+
+    #[test]
+    fn concurrent_commuting_updates_become_one_set() {
+        let mut w = Workload::builder();
+        let a = w.update(r(0), "counter_inc", [Value::from(1)]);
+        let b = w.update(r(1), "counter_inc", [Value::from(1)]);
+        let c = w.update(r(2), "counter_dec", [Value::from(1)]);
+        let analysis = analyze(&w.build());
+        assert_eq!(analysis.independence.sets, vec![vec![a, b, c]]);
+    }
+
+    #[test]
+    fn conflicting_pairs_are_kept_apart() {
+        // Same-element OR-set add/remove at different replicas: the order
+        // decides whether the remove wins, so no merging is allowed.
+        let mut w = Workload::builder();
+        w.update(r(0), "set_add", [Value::from("x")]);
+        w.update(r(1), "set_remove", [Value::from("x")]);
+        let analysis = analyze(&w.build());
+        assert!(analysis.independence.sets.is_empty());
+    }
+
+    #[test]
+    fn same_replica_commuting_updates_are_independent() {
+        // The ReplicaDB pattern: three puts to disjoint keys at one replica.
+        let mut w = Workload::builder();
+        let p1 = w.update(r(0), "put", [Value::from(1), Value::from(10)]);
+        let p2 = w.update(r(0), "put", [Value::from(2), Value::from(20)]);
+        let p3 = w.update(r(0), "put", [Value::from(3), Value::from(30)]);
+        let analysis = analyze(&w.build());
+        assert_eq!(analysis.independence.sets, vec![vec![p1, p2, p3]]);
+    }
+
+    #[test]
+    fn syncs_touching_a_member_replica_interfere() {
+        let mut w = Workload::builder();
+        let a = w.update(r(0), "counter_inc", [Value::from(1)]);
+        let b = w.update(r(1), "counter_inc", [Value::from(1)]);
+        let s = w.sync_pair(r(0), r(2), a);
+        let analysis = analyze(&w.build());
+        assert_eq!(analysis.independence.sets, vec![vec![a, b]]);
+        assert!(analysis.independence.interference.contains(&(s, a)));
+        // The sync endpoints are replicas 0 and 2; it does not touch b's
+        // replica 1, whose state it can neither observe nor transport.
+        assert!(!analysis.independence.interference.contains(&(s, b)));
+    }
+
+    #[test]
+    fn opaque_updates_interfere_with_everything() {
+        let mut w = Workload::builder();
+        let a = w.update(r(0), "counter_inc", [Value::from(1)]);
+        let b = w.update(r(1), "counter_inc", [Value::from(1)]);
+        let x = w.update(r(2), "mystery_call", [Value::from(1)]);
+        let analysis = analyze(&w.build());
+        assert_eq!(analysis.independence.sets, vec![vec![a, b]]);
+        assert!(analysis.independence.interference.contains(&(x, a)));
+        assert!(analysis.independence.interference.contains(&(x, b)));
+    }
+
+    #[test]
+    fn readers_at_a_member_replica_interfere() {
+        let mut w = Workload::builder();
+        let a = w.update(
+            r(0),
+            "insert",
+            [Value::from("k"), Value::from("x"), Value::from(1)],
+        );
+        let b = w.update(
+            r(1),
+            "insert",
+            [Value::from("k"), Value::from("y"), Value::from(2)],
+        );
+        let sel = w.update(r(0), "select", [Value::from("k")]);
+        let ext = w.external(r(1), "report");
+        let analysis = analyze(&w.build());
+        assert_eq!(analysis.independence.sets, vec![vec![a, b]]);
+        assert!(analysis.independence.interference.contains(&(sel, a)));
+        assert!(analysis.independence.interference.contains(&(ext, b)));
+    }
+
+    #[test]
+    fn program_ordered_conflicting_updates_never_pair() {
+        // Two same-register writes at one replica conflict (LWW tie-break),
+        // so even though they are co-located they must not merge.
+        let mut w = Workload::builder();
+        w.update(r(0), "reg_set", [Value::from(1)]);
+        w.update(r(0), "reg_set", [Value::from(2)]);
+        let analysis = analyze(&w.build());
+        assert!(analysis.independence.sets.is_empty());
+        assert!(analysis.independence.interference.is_empty());
+    }
+
+    #[test]
+    fn database_exposes_base_and_derived_relations() {
+        let mut w = Workload::builder();
+        let a = w.update(r(0), "counter_inc", [Value::from(1)]);
+        let b = w.update(r(1), "counter_inc", [Value::from(1)]);
+        let analysis = analyze(&w.build());
+        let db = analysis.database();
+        assert!(db.contains(&fact("independent", [a.index(), b.index()])));
+        assert!(db.contains(&fact("independent", [b.index(), a.index()])));
+        assert!(db.contains(&fact("ind", [a.index()])));
+        assert!(db.contains(&fact("concurrent", [a.index(), b.index()])));
+        assert!(db.contains(&fact("commutes", [a.index(), b.index()])));
+        assert_eq!(db.relation_len("opaque"), 0);
+    }
+
+    #[test]
+    fn hb_closure_is_derived_in_datalog() {
+        let mut w = Workload::builder();
+        let a = w.update(r(0), "counter_inc", [Value::from(1)]);
+        w.update(r(0), "counter_inc", [Value::from(1)]);
+        let c = w.update(r(0), "counter_inc", [Value::from(1)]);
+        let analysis = analyze(&w.build());
+        assert!(analysis
+            .database()
+            .contains(&fact("hb", [a.index(), c.index()])));
+    }
+}

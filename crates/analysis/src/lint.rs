@@ -1,0 +1,478 @@
+//! The pre-replay lint pass: static detection of the five misconception
+//! patterns of the paper's Table 2.
+//!
+//! Replay *proves* a misconception by finding an interleaving that violates
+//! an assertion; the lints *flag* the structural pattern that makes such an
+//! interleaving possible — directly on the recorded trace, before a single
+//! replay runs. Each diagnostic carries full event provenance so the
+//! developer can inspect the exact racing events.
+//!
+//! | # | Misconception | Pattern flagged |
+//! |---|---|---|
+//! | 1 | causal delivery | racing deliveries into one replica from concurrent origins |
+//! | 2 | list order consistency | concurrent list/log edits at different replicas |
+//! | 3 | move without duplication | unsafe move ops, or racing remove+re-add of one element |
+//! | 4 | sequential ids | concurrent id minting at different replicas |
+//! | 5 | coordination-free | a replica observes or overwrites state while a delivery races in |
+
+use serde::{Deserialize, Serialize};
+
+use er_pi_model::{Event, EventId, EventKind, ReplicaId, Workload};
+use er_pi_rdl::{CrdtType, OpKind, OpProfile};
+
+use crate::hb::HbGraph;
+
+/// The structural pattern a [`Diagnostic`] flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LintPattern {
+    /// Two deliveries into one replica whose origins are concurrent
+    /// (misconception 1: *the network delivers causally*).
+    RacingDeliveries,
+    /// Concurrent RGA inserts or log appends at different replicas
+    /// (misconception 2: *replicas agree on list order*).
+    ConcurrentListEdits,
+    /// An unsafe move operation, or a racing remove/re-add of one element
+    /// (misconception 3: *moves cannot duplicate*).
+    ConcurrentMoves,
+    /// Concurrent id-minting updates (misconception 4: *ids are sequential*).
+    RacingIdMint,
+    /// An observation or last-writer-wins write racing a delivery into the
+    /// same replica (misconception 5: *no coordination is ever needed*).
+    UncoordinatedObserver,
+}
+
+impl LintPattern {
+    /// The Table 2 misconception number (1–5) this pattern witnesses.
+    pub fn misconception(self) -> u8 {
+        match self {
+            LintPattern::RacingDeliveries => 1,
+            LintPattern::ConcurrentListEdits => 2,
+            LintPattern::ConcurrentMoves => 3,
+            LintPattern::RacingIdMint => 4,
+            LintPattern::UncoordinatedObserver => 5,
+        }
+    }
+
+    /// Short machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintPattern::RacingDeliveries => "racing-deliveries",
+            LintPattern::ConcurrentListEdits => "concurrent-list-edits",
+            LintPattern::ConcurrentMoves => "concurrent-moves",
+            LintPattern::RacingIdMint => "racing-id-mint",
+            LintPattern::UncoordinatedObserver => "uncoordinated-observer",
+        }
+    }
+}
+
+/// One pre-replay diagnostic with event provenance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Table 2 misconception number (1–5).
+    pub misconception: u8,
+    /// The flagged pattern.
+    pub pattern: LintPattern,
+    /// Human-readable description naming the racing events.
+    pub message: String,
+    /// The involved events, most relevant first.
+    pub events: Vec<EventId>,
+    /// The replica where the hazard lands.
+    pub replica: ReplicaId,
+}
+
+/// A delivery of remote effects into `to`: a `SyncExec` (origin = its send)
+/// or a fused `Sync` (origin = the sync event itself, at the sender).
+struct Delivery {
+    event: EventId,
+    origin: EventId,
+    from: ReplicaId,
+    to: ReplicaId,
+}
+
+fn deliveries(workload: &Workload) -> Vec<Delivery> {
+    workload
+        .events()
+        .iter()
+        .filter_map(|ev| match ev.kind {
+            EventKind::SyncExec { from, send } => Some(Delivery {
+                event: ev.id,
+                origin: send,
+                from,
+                to: ev.replica,
+            }),
+            EventKind::Sync { to, .. } => Some(Delivery {
+                event: ev.id,
+                origin: ev.id,
+                from: ev.replica,
+                to,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+fn diag(
+    pattern: LintPattern,
+    replica: ReplicaId,
+    events: Vec<EventId>,
+    message: String,
+) -> Diagnostic {
+    Diagnostic {
+        misconception: pattern.misconception(),
+        pattern,
+        message,
+        events,
+        replica,
+    }
+}
+
+/// Runs all five lints over the recorded trace.
+pub(crate) fn lint(
+    workload: &Workload,
+    hb: &HbGraph,
+    profiles: &[Option<OpProfile>],
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let events = workload.events();
+    let incoming = deliveries(workload);
+    let profiled: Vec<(&Event, &OpProfile)> = events
+        .iter()
+        .filter_map(|ev| profiles[ev.id.index()].as_ref().map(|p| (ev, p)))
+        .collect();
+
+    // #1 — racing deliveries: two deliveries into one replica from
+    // different senders whose origins are concurrent. Nothing orders the
+    // two arrivals, so the receiver cannot assume causal delivery.
+    for (i, a) in incoming.iter().enumerate() {
+        for b in &incoming[i + 1..] {
+            if a.to == b.to && a.from != b.from && hb.concurrent(a.origin, b.origin) {
+                out.push(diag(
+                    LintPattern::RacingDeliveries,
+                    a.to,
+                    vec![a.origin, b.origin, a.event, b.event],
+                    format!(
+                        "deliveries {} and {} race into {}: their origins {} and {} \
+                         are concurrent, so arrival order is not causal",
+                        a.event,
+                        b.event,
+                        a.to,
+                        events[a.origin.index()],
+                        events[b.origin.index()],
+                    ),
+                ));
+            }
+        }
+    }
+
+    // #2 — concurrent list/log edits: the merged order of concurrent RGA
+    // inserts (or log appends) is decided by the CRDT's internal tie-break,
+    // not by any order the replicas agree on.
+    for (i, &(ea, pa)) in profiled.iter().enumerate() {
+        for &(eb, pb) in &profiled[i + 1..] {
+            let list_pair = matches!(
+                (pa.crdt, &pa.kind, pb.crdt, &pb.kind),
+                (
+                    CrdtType::Rga,
+                    OpKind::Insert { .. },
+                    CrdtType::Rga,
+                    OpKind::Insert { .. }
+                ) | (
+                    CrdtType::MerkleLog,
+                    OpKind::Append,
+                    CrdtType::MerkleLog,
+                    OpKind::Append
+                )
+            );
+            if list_pair && ea.replica != eb.replica && hb.concurrent(ea.id, eb.id) {
+                out.push(diag(
+                    LintPattern::ConcurrentListEdits,
+                    ea.replica,
+                    vec![ea.id, eb.id],
+                    format!(
+                        "concurrent list edits {ea} and {eb}: replicas will not \
+                         agree on element order without coordination",
+                    ),
+                ));
+            }
+        }
+    }
+
+    // #3a — a move implemented as delete + re-insert duplicates under
+    // concurrency; the unsafe variant is flagged outright.
+    for &(ev, p) in &profiled {
+        if p.kind == (OpKind::Move { safe: false }) {
+            out.push(diag(
+                LintPattern::ConcurrentMoves,
+                ev.replica,
+                vec![ev.id],
+                format!(
+                    "{ev} moves by delete + re-insert: a concurrent move of the \
+                     same element duplicates it",
+                ),
+            ));
+        }
+    }
+    // #3b — app-level move races: two concurrent removes of the same
+    // element at different replicas, each followed by a local re-add.
+    for (i, &(ea, pa)) in profiled.iter().enumerate() {
+        let OpKind::Remove { element: Some(el) } = &pa.kind else {
+            continue;
+        };
+        for &(eb, pb) in &profiled[i + 1..] {
+            if pb.kind != pa.kind || pb.crdt != pa.crdt {
+                continue;
+            }
+            if ea.replica == eb.replica || !hb.concurrent(ea.id, eb.id) {
+                continue;
+            }
+            let readd_after = |rm: &Event| {
+                profiled.iter().find(|(e, p)| {
+                    e.replica == rm.replica
+                        && e.id > rm.id
+                        && p.crdt == pa.crdt
+                        && matches!(p.kind, OpKind::Add { .. })
+                })
+            };
+            if let (Some(&(aa, _)), Some(&(ab, _))) = (readd_after(ea), readd_after(eb)) {
+                out.push(diag(
+                    LintPattern::ConcurrentMoves,
+                    ea.replica,
+                    vec![ea.id, aa.id, eb.id, ab.id],
+                    format!(
+                        "racing moves of {el}: {ea} and {eb} concurrently remove \
+                         it and both replicas re-add it ({aa}, {ab})",
+                    ),
+                ));
+            }
+        }
+    }
+
+    // #4 — concurrent id minting: both replicas derive the "next" id from
+    // local state, so the ids collide once the states merge.
+    for (i, &(ea, pa)) in profiled.iter().enumerate() {
+        for &(eb, pb) in &profiled[i + 1..] {
+            if pa.kind == OpKind::MintId && pb.kind == OpKind::MintId && hb.concurrent(ea.id, eb.id)
+            {
+                out.push(diag(
+                    LintPattern::RacingIdMint,
+                    ea.replica,
+                    vec![ea.id, eb.id],
+                    format!("{ea} and {eb} mint ids concurrently: the ids can collide"),
+                ));
+            }
+        }
+    }
+
+    // #5 — uncoordinated observation: a replica reads, transmits, or
+    // last-writer-overwrites its state while a delivery into that replica
+    // is still in flight (origin concurrent with the observation).
+    for ev in events {
+        let observes = match &ev.kind {
+            EventKind::External { .. } => true,
+            EventKind::LocalUpdate { .. } => matches!(
+                profiles[ev.id.index()].as_ref().map(|p| &p.kind),
+                Some(OpKind::Read) | Some(OpKind::Write { .. })
+            ),
+            _ => false,
+        };
+        if !observes {
+            continue;
+        }
+        for d in &incoming {
+            if d.to == ev.replica && hb.concurrent(ev.id, d.origin) {
+                out.push(diag(
+                    LintPattern::UncoordinatedObserver,
+                    ev.replica,
+                    vec![ev.id, d.origin, d.event],
+                    format!(
+                        "{ev} acts on {} while delivery {} from {} races in: the \
+                         outcome depends on arrival order",
+                        ev.replica,
+                        events[d.event.index()],
+                        d.from,
+                    ),
+                ));
+            }
+        }
+    }
+
+    out.sort_by_key(|d| (d.events.first().copied(), d.misconception));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use er_pi_model::{Value, Workload};
+
+    fn r(i: u16) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+
+    #[test]
+    fn racing_split_deliveries_flag_misconception_1() {
+        // Roshi's causal-delivery seed: two writers' syncs race into r0.
+        let mut w = Workload::builder();
+        let i1 = w.update(
+            r(1),
+            "insert",
+            [Value::from("k"), Value::from("m"), Value::from(50)],
+        );
+        let d2 = w.update(
+            r(2),
+            "delete",
+            [Value::from("k"), Value::from("m"), Value::from(50)],
+        );
+        w.sync_split(r(1), r(0), Some(i1));
+        w.sync_split(r(2), r(0), Some(d2));
+        let analysis = analyze(&w.build());
+        let hits = analysis.diagnostics_for(1);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].replica, r(0));
+        assert_eq!(hits[0].pattern, LintPattern::RacingDeliveries);
+    }
+
+    #[test]
+    fn ordered_deliveries_do_not_flag() {
+        let mut w = Workload::builder();
+        let u = w.update(
+            r(1),
+            "insert",
+            [Value::from("k"), Value::from("m"), Value::from(1)],
+        );
+        let (_, exec) = w.sync_split(r(1), r(0), Some(u));
+        let v = w.update(
+            r(2),
+            "insert",
+            [Value::from("k"), Value::from("n"), Value::from(2)],
+        );
+        w.depends(v, exec);
+        w.sync_split(r(2), r(0), Some(v));
+        let analysis = analyze(&w.build());
+        assert!(
+            analysis.diagnostics_for(1).is_empty(),
+            "origins are causally ordered"
+        );
+    }
+
+    #[test]
+    fn concurrent_appends_flag_misconception_2() {
+        let mut w = Workload::builder();
+        w.update(r(1), "append", [Value::from("from-1")]);
+        w.update(r(2), "append", [Value::from("from-2")]);
+        let analysis = analyze(&w.build());
+        assert!(!analysis.diagnostics_for(2).is_empty());
+    }
+
+    #[test]
+    fn unsafe_move_flags_misconception_3() {
+        let mut w = Workload::builder();
+        w.update(r(0), "list_push", [Value::from(10)]);
+        let mv = w.update(r(0), "list_move_naive", [Value::from(0), Value::from(1)]);
+        let analysis = analyze(&w.build());
+        let hits = analysis.diagnostics_for(3);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].events, vec![mv]);
+    }
+
+    #[test]
+    fn racing_remove_readd_flags_misconception_3() {
+        // Roshi's app-level move: both replicas delete item:p0 and re-add
+        // it under a new position suffix.
+        let mut w = Workload::builder();
+        let base = w.update(
+            r(0),
+            "insert",
+            [Value::from("k"), Value::from("item:p0"), Value::from(10)],
+        );
+        w.sync_pair(r(0), r(1), base);
+        w.update(
+            r(0),
+            "delete",
+            [Value::from("k"), Value::from("item:p0"), Value::from(20)],
+        );
+        w.update(
+            r(0),
+            "insert",
+            [Value::from("k"), Value::from("item:p1"), Value::from(21)],
+        );
+        w.update(
+            r(1),
+            "delete",
+            [Value::from("k"), Value::from("item:p0"), Value::from(30)],
+        );
+        w.update(
+            r(1),
+            "insert",
+            [Value::from("k"), Value::from("item:p2"), Value::from(31)],
+        );
+        let analysis = analyze(&w.build());
+        assert!(!analysis.diagnostics_for(3).is_empty());
+    }
+
+    #[test]
+    fn concurrent_id_minting_flags_misconception_4() {
+        let mut w = Workload::builder();
+        let a = w.update(r(0), "todo_create", [Value::from("buy milk")]);
+        let b = w.update(r(1), "todo_create", [Value::from("walk dog")]);
+        let analysis = analyze(&w.build());
+        let hits = analysis.diagnostics_for(4);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].events, vec![a, b]);
+        assert_eq!(hits[0].pattern.name(), "racing-id-mint");
+    }
+
+    #[test]
+    fn uncoordinated_read_flags_misconception_5() {
+        // Roshi's coordination-free seed: r0 serves a page while two syncs
+        // race in.
+        let mut w = Workload::builder();
+        let i1 = w.update(
+            r(1),
+            "insert",
+            [Value::from("k"), Value::from("x"), Value::from(10)],
+        );
+        let i2 = w.update(
+            r(2),
+            "insert",
+            [Value::from("k"), Value::from("y"), Value::from(20)],
+        );
+        w.sync_pair(r(1), r(0), i1);
+        w.sync_pair(r(2), r(0), i2);
+        w.update(r(0), "select", [Value::from("k")]);
+        let analysis = analyze(&w.build());
+        let hits = analysis.diagnostics_for(5);
+        assert_eq!(hits.len(), 2, "one per racing delivery");
+        assert!(hits.iter().all(|d| d.replica == r(0)));
+    }
+
+    #[test]
+    fn coordinated_read_does_not_flag() {
+        let mut w = Workload::builder();
+        let i1 = w.update(
+            r(1),
+            "insert",
+            [Value::from("k"), Value::from("x"), Value::from(10)],
+        );
+        let (_, exec) = w.sync_split(r(1), r(0), Some(i1));
+        let sel = w.update(r(0), "select", [Value::from("k")]);
+        w.depends(sel, exec);
+        let analysis = analyze(&w.build());
+        assert!(analysis.diagnostics_for(5).is_empty());
+    }
+
+    #[test]
+    fn diagnostics_are_sorted_by_first_event() {
+        let mut w = Workload::builder();
+        w.update(r(0), "todo_create", [Value::from("a")]);
+        w.update(r(1), "todo_create", [Value::from("b")]);
+        w.update(r(0), "append", [Value::from("x")]);
+        w.update(r(1), "append", [Value::from("y")]);
+        let analysis = analyze(&w.build());
+        let firsts: Vec<EventId> = analysis.diagnostics.iter().map(|d| d.events[0]).collect();
+        let mut sorted = firsts.clone();
+        sorted.sort();
+        assert_eq!(firsts, sorted);
+    }
+}

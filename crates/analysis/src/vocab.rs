@@ -1,0 +1,173 @@
+//! The operation vocabulary: mapping intercepted calls to commutativity
+//! profiles.
+//!
+//! The paper's proxies record RDL calls as `(function, args)` descriptors;
+//! this module maps the vocabularies of the five evaluation subjects (plus
+//! the §2.3 town app) onto the abstract [`OpProfile`]s that the
+//! `er-pi-rdl` commutativity tables understand. Unknown functions map to
+//! `None`, which the derivation treats as conflicting-with-everything —
+//! the conservative default.
+
+use er_pi_model::{OpDescriptor, Value};
+use er_pi_rdl::{CrdtType, OpKind, OpProfile};
+
+fn arg(op: &OpDescriptor, i: usize) -> Option<Value> {
+    op.arg(i).cloned()
+}
+
+fn int_arg(op: &OpDescriptor, i: usize) -> Option<i64> {
+    op.arg(i).and_then(Value::as_int)
+}
+
+/// Maps one intercepted call to its commutativity profile.
+///
+/// Covers the recorded vocabularies of all five subjects:
+///
+/// | Subject | Functions |
+/// |---|---|
+/// | Roshi | `insert(key, member, score)`, `delete(key, member, score)`, `assemble(key)`, `select(key)` |
+/// | OrbitDB | `append(value)` |
+/// | ReplicaDB | `put(k, v)`, `delete(k)` (`read_batch`/`commit_batch`/… stay opaque) |
+/// | Yorkie | `set(k, v)` |
+/// | `crdts` | `set_add`, `set_remove`, `list_*`, `counter_*`, `reg_set`, `todo_create` |
+/// | town app | `add(issue)`, `remove(issue)` |
+///
+/// Returns `None` for functions outside the vocabulary; the caller must
+/// treat those as conflicting with everything.
+pub fn interpret_op(op: &OpDescriptor) -> Option<OpProfile> {
+    let profile = match op.function() {
+        // §2.3 town app — OR-set of reported issues.
+        "add" => OpProfile::new(
+            CrdtType::OrSet,
+            OpKind::Add {
+                element: arg(op, 0),
+            },
+        ),
+        "remove" => OpProfile::new(
+            CrdtType::OrSet,
+            OpKind::Remove {
+                element: arg(op, 0),
+            },
+        ),
+        // Roshi — LWW time-series keyed by (key, member); commutativity is
+        // member-wise, so the profile element is the member argument.
+        "insert" => OpProfile::new(
+            CrdtType::LwwTimeSeries,
+            OpKind::Add {
+                element: arg(op, 1),
+            },
+        ),
+        "delete" if op.args().len() >= 2 => OpProfile::new(
+            CrdtType::LwwTimeSeries,
+            OpKind::Remove {
+                element: arg(op, 1),
+            },
+        ),
+        "assemble" | "select" => OpProfile::new(CrdtType::LwwTimeSeries, OpKind::Read),
+        // ReplicaDB — keyed source/sink tables (LWW-map shaped).
+        "put" => OpProfile::new(CrdtType::LwwMap, OpKind::Write { key: arg(op, 0) }),
+        "delete" => OpProfile::new(
+            CrdtType::LwwMap,
+            OpKind::Remove {
+                element: arg(op, 0),
+            },
+        ),
+        // OrbitDB — Merkle append log.
+        "append" => OpProfile::new(CrdtType::MerkleLog, OpKind::Append),
+        // Yorkie — JSON document writes keyed by path.
+        "set" => OpProfile::new(CrdtType::JsonDoc, OpKind::Write { key: arg(op, 0) }),
+        // crdts collection.
+        "set_add" => OpProfile::new(
+            CrdtType::OrSet,
+            OpKind::Add {
+                element: arg(op, 0),
+            },
+        ),
+        "set_remove" => OpProfile::new(
+            CrdtType::OrSet,
+            OpKind::Remove {
+                element: arg(op, 0),
+            },
+        ),
+        // A push appends at the (state-dependent) end of the list: its
+        // position is unknown statically.
+        "list_push" => OpProfile::new(CrdtType::Rga, OpKind::Insert { position: None }),
+        "list_insert" => OpProfile::new(
+            CrdtType::Rga,
+            OpKind::Insert {
+                position: int_arg(op, 0),
+            },
+        ),
+        "list_delete" => OpProfile::new(
+            CrdtType::Rga,
+            OpKind::Delete {
+                position: int_arg(op, 0),
+            },
+        ),
+        "list_move" => OpProfile::new(CrdtType::Rga, OpKind::Move { safe: true }),
+        "list_move_naive" => OpProfile::new(CrdtType::Rga, OpKind::Move { safe: false }),
+        "counter_inc" => OpProfile::new(CrdtType::PnCounter, OpKind::Inc),
+        "counter_dec" => OpProfile::new(CrdtType::PnCounter, OpKind::Dec),
+        "reg_set" => OpProfile::new(CrdtType::LwwRegister, OpKind::Write { key: None }),
+        "todo_create" => OpProfile::new(CrdtType::OrMap, OpKind::MintId),
+        _ => return None,
+    };
+    Some(profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roshi_vocabulary() {
+        let ins = OpDescriptor::new(
+            "insert",
+            [Value::from("k"), Value::from("m"), Value::from(10)],
+        );
+        let p = interpret_op(&ins).unwrap();
+        assert_eq!(p.crdt, CrdtType::LwwTimeSeries);
+        assert_eq!(
+            p.kind,
+            OpKind::Add {
+                element: Some(Value::from("m"))
+            }
+        );
+        let sel = OpDescriptor::new("select", [Value::from("k")]);
+        assert_eq!(interpret_op(&sel).unwrap().kind, OpKind::Read);
+    }
+
+    #[test]
+    fn delete_arity_disambiguates_roshi_from_replicadb() {
+        let roshi = OpDescriptor::new(
+            "delete",
+            [Value::from("k"), Value::from("m"), Value::from(10)],
+        );
+        assert_eq!(interpret_op(&roshi).unwrap().crdt, CrdtType::LwwTimeSeries);
+        let rdb = OpDescriptor::new("delete", [Value::from(2)]);
+        assert_eq!(interpret_op(&rdb).unwrap().crdt, CrdtType::LwwMap);
+    }
+
+    #[test]
+    fn crdts_vocabulary() {
+        let mint = OpDescriptor::new("todo_create", [Value::from("buy milk")]);
+        assert_eq!(interpret_op(&mint).unwrap().kind, OpKind::MintId);
+        let push = OpDescriptor::new("list_push", [Value::from(1)]);
+        assert_eq!(
+            interpret_op(&push).unwrap().kind,
+            OpKind::Insert { position: None }
+        );
+        let naive = OpDescriptor::new("list_move_naive", [Value::from(0), Value::from(2)]);
+        assert_eq!(
+            interpret_op(&naive).unwrap().kind,
+            OpKind::Move { safe: false }
+        );
+    }
+
+    #[test]
+    fn unknown_functions_stay_opaque() {
+        let op = OpDescriptor::nullary("commit_batch");
+        assert!(interpret_op(&op).is_none());
+        assert!(interpret_op(&OpDescriptor::nullary("read_batch")).is_none());
+    }
+}

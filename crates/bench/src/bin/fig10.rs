@@ -44,13 +44,21 @@ fn main() {
     println!("exploration until reproduction or resource exhaustion).");
     println!("✓ = bug reproduced; × = crashed after exhausting the run's allocation.");
     println!();
-    println!("{:<6} {:>10}   {:^12} {:^12} {:^12}", "run", "budget", "ER-π", "DFS", "Rand");
+    println!(
+        "{:<6} {:>10}   {:^12} {:^12} {:^12}",
+        "run", "budget", "ER-π", "DFS", "Rand"
+    );
     println!("{}", "-".repeat(58));
     let mut tallies = [0u32; 3];
     for (run, &budget) in BUDGETS.iter().enumerate() {
         let erpi = bug.reproduce(ExploreMode::ErPi, budget);
         let dfs = bug.reproduce_dfs_perturbed(dfs_base(&bug, DFS_SEEDS[run]), budget);
-        let rand = bug.reproduce(ExploreMode::Random { seed: RAND_SEEDS[run] }, budget);
+        let rand = bug.reproduce(
+            ExploreMode::Random {
+                seed: RAND_SEEDS[run],
+            },
+            budget,
+        );
         let fmt = |r: &Repro| match r.found_at {
             Some(n) => format!("✓ @{n}"),
             None => "×".to_string(),

@@ -106,7 +106,9 @@ fn main() {
     };
     let part = get("--part");
     let cap: usize = get("--cap").and_then(|v| v.parse().ok()).unwrap_or(CAP);
-    let seed: u64 = get("--seed").and_then(|v| v.parse().ok()).unwrap_or(RAND_SEED);
+    let seed: u64 = get("--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(RAND_SEED);
 
     let rows = collect(cap, seed);
     match part.as_deref() {

@@ -1,0 +1,157 @@
+//! Figure 8 variant: hand-declared vs auto-derived independence.
+//!
+//! For every catalogue bug this runs ER-π twice — once with the bug's
+//! hand-declared pruning configuration, once with the hand-declared
+//! independent sets and interference pairs deleted and replaced by what
+//! the static trace analysis (`er-pi-analysis`) derives — and emits one
+//! JSON document comparing pruning rate and time per bug, plus the lint
+//! diagnostics the analysis raised before replay.
+//!
+//! Usage: `fig8_auto [--cap N] [--pretty]`
+
+use er_pi::{analyze, ExploreMode};
+use er_pi_bench::{geomean, CAP};
+use er_pi_subjects::{Bug, Repro};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Attempt {
+    found_at: Option<usize>,
+    explored: usize,
+    pruning_rate: f64,
+    sim_secs: f64,
+    wall_ms: u128,
+}
+
+impl Attempt {
+    fn from_repro(repro: &Repro, cap: usize) -> Attempt {
+        Attempt {
+            found_at: repro.found_at,
+            explored: repro.explored,
+            pruning_rate: 1.0 - repro.explored as f64 / cap as f64,
+            sim_secs: repro.sim_secs,
+            wall_ms: repro.wall_ms,
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct HandSide {
+    declared_sets: usize,
+    attempt: Attempt,
+}
+
+#[derive(Serialize)]
+struct AutoSide {
+    derived_sets: usize,
+    interference_pairs: usize,
+    diagnostics: usize,
+    attempt: Attempt,
+}
+
+#[derive(Serialize)]
+struct Row {
+    bug: &'static str,
+    events: usize,
+    hand: HandSide,
+    auto: AutoSide,
+}
+
+#[derive(Serialize)]
+struct Aggregate {
+    auto_reproduced: usize,
+    total: usize,
+    /// A ratio above 1 means the hand configuration explored more
+    /// interleavings than the auto-derived one before reproducing.
+    explored_ratio_hand_over_auto_geomean: f64,
+    sim_time_ratio_hand_over_auto_geomean: Option<f64>,
+}
+
+#[derive(Serialize)]
+struct Document {
+    cap: usize,
+    bugs: Vec<Row>,
+    aggregate: Aggregate,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    // At least 1 so the pruning-rate denominator is never zero.
+    let cap: usize = get("--cap")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(CAP)
+        .max(1);
+    let pretty = args.iter().any(|a| a == "--pretty");
+
+    let mut rows = Vec::new();
+    let mut explored_ratios = Vec::new();
+    let mut time_ratios = Vec::new();
+    let mut auto_reproduced = 0usize;
+
+    for bug in Bug::catalogue() {
+        let hand = bug.reproduce(ExploreMode::ErPi, cap);
+
+        let analysis = analyze(bug.workload());
+        let mut config = bug.pruning_config().clone();
+        let hand_sets = config.independent_sets.len();
+        config.independent_sets.clear();
+        config.interference.clear();
+        let derived = analysis.to_pruning_config();
+        let derived_sets = derived.independent_sets.len();
+        let derived_pairs = derived.interference.len();
+        config.absorb(derived);
+        let auto = bug.reproduce_with_config(config, cap);
+
+        if auto.reproduced() {
+            auto_reproduced += 1;
+        }
+        explored_ratios.push(hand.explored as f64 / auto.explored.max(1) as f64);
+        if auto.sim_secs > 0.0 && hand.sim_secs > 0.0 {
+            time_ratios.push(hand.sim_secs / auto.sim_secs);
+        }
+
+        rows.push(Row {
+            bug: bug.name,
+            events: bug.events(),
+            hand: HandSide {
+                declared_sets: hand_sets,
+                attempt: Attempt::from_repro(&hand, cap),
+            },
+            auto: AutoSide {
+                derived_sets,
+                interference_pairs: derived_pairs,
+                diagnostics: analysis.diagnostics.len(),
+                attempt: Attempt::from_repro(&auto, cap),
+            },
+        });
+    }
+
+    let doc = Document {
+        cap,
+        aggregate: Aggregate {
+            auto_reproduced,
+            total: rows.len(),
+            explored_ratio_hand_over_auto_geomean: geomean(&explored_ratios),
+            sim_time_ratio_hand_over_auto_geomean: if time_ratios.is_empty() {
+                None
+            } else {
+                Some(geomean(&time_ratios))
+            },
+        },
+        bugs: rows,
+    };
+
+    let rendered = if pretty {
+        serde_json::to_string_pretty(&doc)
+    } else {
+        serde_json::to_string(&doc)
+    }
+    .expect("report serializes");
+    println!("{rendered}");
+}

@@ -31,11 +31,9 @@ fn main() {
         let workload = bug.workload();
         let config = bug.pruning_config();
         let grouped = group_events(workload, config);
-        let grouping_factor = er_pi_model::reduction_factor(
-            workload.total_orders(),
-            grouped.total_orders(),
-        )
-        .unwrap_or(1);
+        let grouping_factor =
+            er_pi_model::reduction_factor(workload.total_orders(), grouped.total_orders())
+                .unwrap_or(1);
 
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         let mut rejected = [0usize; 3]; // replica, independence, failed-ops

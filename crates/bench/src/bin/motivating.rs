@@ -84,7 +84,11 @@ fn section_grouping() {
     let w = w.build();
     let grouped = group_events(&w, &PruningConfig::default());
     println!("events: {}   raw: {} (8!)", w.len(), w.total_orders());
-    println!("units after grouping: {}   orders: {} (6!)", grouped.len(), grouped.total_orders());
+    println!(
+        "units after grouping: {}   orders: {} (6!)",
+        grouped.len(),
+        grouped.total_orders()
+    );
     println!(
         "reduction: {}x (paper: 56x)",
         reduction_factor(w.total_orders(), grouped.total_orders()).unwrap()
@@ -141,7 +145,10 @@ fn section_failed_ops() {
     let f2 = w.update(r(1), "add", [Value::from("alpha")]);
     let f3 = w.update(r(1), "remove", [Value::from("sigma")]);
     let w = w.build();
-    let rule = FailedOpsRule { predecessors: adds, successors: vec![f1, f2, f3] };
+    let rule = FailedOpsRule {
+        predecessors: adds,
+        successors: vec![f1, f2, f3],
+    };
     let baseline = ErPiExplorer::new(&w, &PruningConfig::default()).count();
     let config = PruningConfig::default().with_failed_ops(rule);
     let mut explorer = ErPiExplorer::new(&w, &config);

@@ -2,12 +2,21 @@ use er_pi::ExploreMode;
 use er_pi_subjects::Bug;
 
 fn main() {
-    println!("{:<12} {:>7} {:>8} {:>8} | Rand seeds 7/42/99/123/2026", "bug", "events", "ER-pi", "DFS");
+    println!(
+        "{:<12} {:>7} {:>8} {:>8} | Rand seeds 7/42/99/123/2026",
+        "bug", "events", "ER-pi", "DFS"
+    );
     for bug in Bug::catalogue() {
         let e = bug.reproduce(ExploreMode::ErPi, 10_000);
         let d = bug.reproduce(ExploreMode::Dfs, 10_000);
         let f = |x: Option<usize>| x.map(|n| n.to_string()).unwrap_or("FAIL".into());
-        print!("{:<12} {:>7} {:>8} {:>8} |", bug.name, bug.events(), f(e.found_at), f(d.found_at));
+        print!(
+            "{:<12} {:>7} {:>8} {:>8} |",
+            bug.name,
+            bug.events(),
+            f(e.found_at),
+            f(d.found_at)
+        );
         for seed in [7u64, 42, 99, 123, 2026] {
             let r = bug.reproduce(ExploreMode::Random { seed }, 10_000);
             print!(" {:>6}", f(r.found_at));

@@ -15,7 +15,10 @@ fn main() {
         println!("  #{}: {}", m.number(), m.statement());
     }
     println!();
-    println!("{:<11} {:^4} {:^4} {:^4} {:^4} {:^4}", "Subject", "#1", "#2", "#3", "#4", "#5");
+    println!(
+        "{:<11} {:^4} {:^4} {:^4} {:^4} {:^4}",
+        "Subject", "#1", "#2", "#3", "#4", "#5"
+    );
     println!("{}", "-".repeat(36));
     for (subject, row) in misconception_matrix() {
         print!("{:<11}", subject.to_string());

@@ -8,6 +8,7 @@
 //! | `table1` | Table 1 — the bug benchmark inventory |
 //! | `table2` | Table 2 — misconception detection matrix |
 //! | `fig8` | Figures 8a/8b — interleavings and time to reproduce each bug |
+//! | `fig8_auto` | Figure 8 variant — hand-declared vs auto-derived independence (JSON) |
 //! | `fig9` | Figure 9 — per-algorithm pruning contributions |
 //! | `fig10` | Figure 10 — the succeed-or-crash micro-benchmark |
 

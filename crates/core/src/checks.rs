@@ -31,11 +31,15 @@ impl<S> CheckContext<'_, S> {
     }
 }
 
+/// The boxed predicate an [`Assertion`] runs against one replayed
+/// interleaving.
+type CheckFn<S> = Box<dyn Fn(&CheckContext<'_, S>) -> Result<(), String> + Send + Sync>;
+
 /// A per-interleaving assertion (the functions passed to `ER-π.End(...)`
 /// in the paper's Go snippet).
 pub struct Assertion<S> {
     name: String,
-    check: Box<dyn Fn(&CheckContext<'_, S>) -> Result<(), String> + Send + Sync>,
+    check: CheckFn<S>,
 }
 
 impl<S> Assertion<S> {
@@ -44,7 +48,10 @@ impl<S> Assertion<S> {
         name: impl Into<String>,
         check: impl Fn(&CheckContext<'_, S>) -> Result<(), String> + Send + Sync + 'static,
     ) -> Self {
-        Assertion { name: name.into(), check: Box::new(check) }
+        Assertion {
+            name: name.into(),
+            check: Box::new(check),
+        }
     }
 
     /// The assertion's name (reported in violations).
@@ -105,7 +112,9 @@ impl<S> Assertion<S> {
 
 impl<S> std::fmt::Debug for Assertion<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Assertion").field("name", &self.name).finish()
+        f.debug_struct("Assertion")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -116,12 +125,15 @@ pub struct CrossContext<'a> {
     pub runs: &'a [RunRecord],
 }
 
+/// The boxed predicate a [`CrossCheck`] runs over the whole run set.
+type CrossFn = Box<dyn Fn(&CrossContext<'_>) -> Result<(), String> + Send + Sync>;
+
 /// A check over *all* replayed interleavings — e.g. "this replica's final
 /// state must be identical no matter the interleaving" (misconceptions #1
 /// and #5 are detected this way).
 pub struct CrossCheck {
     name: String,
-    check: Box<dyn Fn(&CrossContext<'_>) -> Result<(), String> + Send + Sync>,
+    check: CrossFn,
 }
 
 impl CrossCheck {
@@ -130,7 +142,10 @@ impl CrossCheck {
         name: impl Into<String>,
         check: impl Fn(&CrossContext<'_>) -> Result<(), String> + Send + Sync + 'static,
     ) -> Self {
-        CrossCheck { name: name.into(), check: Box::new(check) }
+        CrossCheck {
+            name: name.into(),
+            check: Box::new(check),
+        }
     }
 
     /// The check's name.
@@ -170,7 +185,9 @@ impl CrossCheck {
 
 impl std::fmt::Debug for CrossCheck {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CrossCheck").field("name", &self.name).finish()
+        f.debug_struct("CrossCheck")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -184,7 +201,10 @@ pub struct TestSuite<S> {
 impl<S> TestSuite<S> {
     /// Creates an empty suite.
     pub fn new() -> Self {
-        TestSuite { per_run: Vec::new(), cross_run: Vec::new() }
+        TestSuite {
+            per_run: Vec::new(),
+            cross_run: Vec::new(),
+        }
     }
 
     /// Adds a pre-built per-interleaving assertion.
@@ -238,7 +258,12 @@ mod tests {
         interleaving: &'a Interleaving,
         outcomes: &'a [OpOutcome],
     ) -> CheckContext<'a, u32> {
-        CheckContext { states, observations, interleaving, outcomes }
+        CheckContext {
+            states,
+            observations,
+            interleaving,
+            outcomes,
+        }
     }
 
     #[test]
@@ -267,7 +292,11 @@ mod tests {
     #[test]
     fn failed_ops_counting() {
         let il = Interleaving::new(vec![]);
-        let outcomes = [OpOutcome::Applied, OpOutcome::failed("x"), OpOutcome::failed("y")];
+        let outcomes = [
+            OpOutcome::Applied,
+            OpOutcome::failed("x"),
+            OpOutcome::failed("y"),
+        ];
         let c = ctx(&[0], &[], &il, &outcomes);
         assert_eq!(c.failed_ops(), 2);
         let a = Assertion::<u32>::no_failed_ops("nf");

@@ -25,7 +25,10 @@ pub struct ConstraintsDir {
 impl ConstraintsDir {
     /// Watches `dir` (which does not need to exist yet).
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        ConstraintsDir { dir: dir.into(), consumed: HashSet::new() }
+        ConstraintsDir {
+            dir: dir.into(),
+            consumed: HashSet::new(),
+        }
     }
 
     /// The watched directory.
@@ -86,10 +89,8 @@ mod tests {
     use er_pi_model::EventId;
 
     fn tempdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "er-pi-constraints-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("er-pi-constraints-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir

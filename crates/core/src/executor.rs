@@ -39,7 +39,11 @@ impl InlineExecutor {
             sim_us += time.event_cost_us(event);
             outcomes.push(model.apply(&mut states, event));
         }
-        Execution { states, outcomes, sim_us }
+        Execution {
+            states,
+            outcomes,
+            sim_us,
+        }
     }
 }
 
@@ -110,9 +114,7 @@ impl ThreadedExecutor {
                 }));
             }
             for handle in handles {
-                handle
-                    .join()
-                    .map_err(|e| format!("{e:?}"))?;
+                handle.join().map_err(|e| format!("{e:?}"))?;
             }
             Ok(())
         });

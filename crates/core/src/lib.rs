@@ -149,4 +149,5 @@ pub use system::{OpOutcome, SystemModel};
 pub use time::TimeModel;
 
 // Re-export the neighbours users need at the API boundary.
+pub use er_pi_analysis::{analyze, Diagnostic, LintPattern, TraceAnalysis};
 pub use er_pi_interleave::{ExploreMode, FailedOpsRule, PruningConfig};

@@ -55,9 +55,7 @@ impl Misconception {
             Misconception::ListOrderConsistency => {
                 "the order of List elements is always consistent"
             }
-            Misconception::MoveNoDuplication => {
-                "moving items in a List doesn't cause duplication"
-            }
+            Misconception::MoveNoDuplication => "moving items in a List doesn't cause duplication",
             Misconception::SequentialIds => {
                 "sequential IDs are always suitable for creating new items in a to-do list"
             }
@@ -85,9 +83,8 @@ impl Misconception {
             ),
             // #2: all replicas must observe the same list (content AND
             // order) at the end of every interleaving.
-            Misconception::ListOrderConsistency => suite.with(Assertion::new(
-                name,
-                |ctx: &crate::CheckContext<'_, S>| {
+            Misconception::ListOrderConsistency => {
+                suite.with(Assertion::new(name, |ctx: &crate::CheckContext<'_, S>| {
                     for pair in ctx.observations.windows(2) {
                         if pair[0] != pair[1] {
                             return Err(format!(
@@ -97,8 +94,8 @@ impl Misconception {
                         }
                     }
                     Ok(())
-                },
-            )),
+                }))
+            }
             // #3: no replica's list observation may contain duplicates
             // after a move.
             Misconception::MoveNoDuplication => {
@@ -113,9 +110,8 @@ impl Misconception {
                 s
             }
             // #4: IDs minted across replicas must be globally unique.
-            Misconception::SequentialIds => suite.with(Assertion::new(
-                name,
-                |ctx: &crate::CheckContext<'_, S>| {
+            Misconception::SequentialIds => {
+                suite.with(Assertion::new(name, |ctx: &crate::CheckContext<'_, S>| {
                     let mut seen: Vec<&Value> = Vec::new();
                     for obs in ctx.observations {
                         let Some(ids) = obs.as_list() else { continue };
@@ -127,8 +123,8 @@ impl Misconception {
                         }
                     }
                     Ok(())
-                },
-            )),
+                }))
+            }
             // #5: same detector shape as #1 — the uncoordinated replica's
             // state must not vary across interleavings if the assumption
             // held.
@@ -147,7 +143,9 @@ impl std::fmt::Display for Misconception {
 
 /// Looks up a misconception by its paper number (1–5).
 pub fn misconception(number: u8) -> Option<Misconception> {
-    Misconception::all().into_iter().find(|m| m.number() == number)
+    Misconception::all()
+        .into_iter()
+        .find(|m| m.number() == number)
 }
 
 #[cfg(test)]
@@ -173,13 +171,17 @@ mod tests {
     }
 
     fn ctx<'a>(observations: &'a [Value], il: &'a Interleaving) -> CheckContext<'a, ()> {
-        CheckContext { states: &[], observations, interleaving: il, outcomes: &[] }
+        CheckContext {
+            states: &[],
+            observations,
+            interleaving: il,
+            outcomes: &[],
+        }
     }
 
     #[test]
     fn list_order_detector_flags_divergent_replicas() {
-        let suite =
-            Misconception::ListOrderConsistency.attach(TestSuite::<()>::new(), 0);
+        let suite = Misconception::ListOrderConsistency.attach(TestSuite::<()>::new(), 0);
         let il = Interleaving::new(vec![]);
         let same = [
             Value::List(vec![Value::from(1), Value::from(2)]),

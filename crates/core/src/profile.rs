@@ -78,7 +78,10 @@ impl ResourceProfile {
             }
             load.cost_us += time.event_cost_us(event);
         }
-        ResourceProfile { loads, reset_cost_us: time.reset_cost_us }
+        ResourceProfile {
+            loads,
+            reset_cost_us: time.reset_cost_us,
+        }
     }
 
     /// Per-replica loads, in replica order.
@@ -170,7 +173,11 @@ mod tests {
     #[test]
     fn pi_replica_charges_more_per_update() {
         let profile = ResourceProfile::for_workload(&workload(), &TimeModel::paper_setup());
-        let pi = profile.loads().iter().find(|l| l.replica == ReplicaId::new(2)).unwrap();
+        let pi = profile
+            .loads()
+            .iter()
+            .find(|l| l.replica == ReplicaId::new(2))
+            .unwrap();
         // One update on the Raspberry Pi profile costs over a millisecond.
         assert_eq!(pi.updates, 1);
         assert!(pi.cost_us > 1_000, "Pi op cost: {}", pi.cost_us);

@@ -1,7 +1,8 @@
 //! Replay reports.
 
-use er_pi_model::{Interleaving, Value};
+use er_pi_analysis::Diagnostic;
 use er_pi_interleave::PruneStats;
+use er_pi_model::{Interleaving, Value};
 
 /// The record of one replayed interleaving.
 #[derive(Debug, Clone, PartialEq)]
@@ -53,6 +54,9 @@ pub struct Report {
     pub runs: Vec<RunRecord>,
     /// Whether the exploration stopped early (violation or cap).
     pub stopped_early: bool,
+    /// Pre-replay lint diagnostics from the static trace analysis
+    /// (misconception patterns flagged before any interleaving ran).
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl Report {

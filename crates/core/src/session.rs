@@ -11,6 +11,8 @@ use er_pi_model::{
     EventId, Interleaving, OpDescriptor, ReplicaId, Value, Workload, WorkloadBuilder,
 };
 
+use er_pi_analysis::TraceAnalysis;
+
 use crate::{
     CheckContext, ConstraintsDir, CrossContext, ErPiError, InlineExecutor, OpOutcome, Report,
     RunRecord, SystemModel, TestSuite, TimeModel, Violation,
@@ -174,6 +176,7 @@ pub struct Session<M: SystemModel> {
     model: M,
     config: PruningConfig,
     mode: ExploreMode,
+    auto_independence: bool,
     /// The paper's experiment cap: 10 000 interleavings.
     max_interleavings: usize,
     stop_on_first_violation: bool,
@@ -194,6 +197,7 @@ impl<M: SystemModel> Session<M> {
             model,
             config: PruningConfig::default(),
             mode: ExploreMode::ErPi,
+            auto_independence: false,
             max_interleavings: 10_000,
             stop_on_first_violation: false,
             keep_runs: false,
@@ -225,6 +229,15 @@ impl<M: SystemModel> Session<M> {
     /// Selects the exploration mode (ER-π, DFS, or Random).
     pub fn set_mode(&mut self, mode: ExploreMode) -> &mut Self {
         self.mode = mode;
+        self
+    }
+
+    /// Enables the static analysis pass as the source of Algorithm 3's
+    /// inputs: the independent sets and interference relation derived by
+    /// [`er_pi_analysis::analyze`] are merged into the pruning
+    /// configuration for every replay, replacing hand declarations.
+    pub fn set_auto_independence(&mut self, auto: bool) -> &mut Self {
+        self.auto_independence = auto;
         self
     }
 
@@ -293,13 +306,30 @@ impl<M: SystemModel> Session<M> {
         self.store.as_ref()
     }
 
-    fn build_explorer<'w>(&self, workload: &'w Workload) -> AnyExplorer<'w> {
+    /// Runs the static trace analysis over the recorded workload:
+    /// happens-before graph, commutativity classification, derived
+    /// independence, and the misconception lints.
+    ///
+    /// # Errors
+    ///
+    /// [`ErPiError::NothingRecorded`] without a prior
+    /// [`Session::record`]/[`Session::set_workload`].
+    pub fn analyze(&self) -> Result<TraceAnalysis, ErPiError> {
+        self.workload
+            .as_ref()
+            .map(er_pi_analysis::analyze)
+            .ok_or(ErPiError::NothingRecorded)
+    }
+
+    fn build_explorer<'w>(
+        &self,
+        workload: &'w Workload,
+        config: &PruningConfig,
+    ) -> AnyExplorer<'w> {
         match self.mode {
-            ExploreMode::ErPi => AnyExplorer::ErPi(ErPiExplorer::new(workload, &self.config)),
+            ExploreMode::ErPi => AnyExplorer::ErPi(ErPiExplorer::new(workload, config)),
             ExploreMode::Dfs => AnyExplorer::Dfs(DfsExplorer::new(workload)),
-            ExploreMode::Random { seed } => {
-                AnyExplorer::Rand(RandomExplorer::new(workload, seed))
-            }
+            ExploreMode::Random { seed } => AnyExplorer::Rand(RandomExplorer::new(workload, seed)),
         }
     }
 
@@ -315,6 +345,11 @@ impl<M: SystemModel> Session<M> {
         let workload = self.workload.clone().ok_or(ErPiError::NothingRecorded)?;
         let started = Instant::now();
 
+        // The static pass always runs: its lints land in the report, and —
+        // if enabled — its derived independence feeds Algorithm 3.
+        let analysis = er_pi_analysis::analyze(&workload);
+        let diagnostics = analysis.diagnostics.clone();
+
         // Ingest any constraints already waiting before generating (the
         // State 4 → State 2 loop can begin with pre-discovered rules).
         if let Some(constraints) = self.constraints.as_mut() {
@@ -323,7 +358,15 @@ impl<M: SystemModel> Session<M> {
             }
         }
 
-        let mut explorer = self.build_explorer(&workload);
+        // The effective configuration for this replay: the session's own
+        // rules, optionally extended by the analysis-derived independence.
+        // Kept local so repeated replays never accumulate duplicates.
+        let mut effective = self.config.clone();
+        if self.auto_independence {
+            effective.absorb(analysis.to_pruning_config());
+        }
+
+        let mut explorer = self.build_explorer(&workload, &effective);
         let mode_name = explorer.mode_name().to_owned();
         let mut executed: HashSet<u64> = HashSet::new();
         let mut runs: Vec<RunRecord> = Vec::new();
@@ -333,10 +376,7 @@ impl<M: SystemModel> Session<M> {
         let mut stopped_early = false;
         let mut store = self.persist.then(|| InterleavingStore::new(&workload));
 
-        'explore: loop {
-            let Some(il) = explorer.next_il() else {
-                break;
-            };
+        'explore: while let Some(il) = explorer.next_il() {
             if runs.len() >= self.max_interleavings {
                 stopped_early = true;
                 break;
@@ -393,11 +433,12 @@ impl<M: SystemModel> Session<M> {
             // State 4: periodically ingest runtime constraints and
             // regenerate the (pruned) interleavings.
             if let Some(constraints) = self.constraints.as_mut() {
-                if runs.len() % self.constraint_poll_every == 0 {
+                if runs.len().is_multiple_of(self.constraint_poll_every) {
                     if let Some(newer) = constraints.poll()? {
-                        self.config.absorb(newer);
+                        self.config.absorb(newer.clone());
+                        effective.absorb(newer);
                         if matches!(self.mode, ExploreMode::ErPi) {
-                            explorer = self.build_explorer(&workload);
+                            explorer = self.build_explorer(&workload, &effective);
                         }
                     }
                 }
@@ -437,6 +478,7 @@ impl<M: SystemModel> Session<M> {
             },
             violations,
             stopped_early,
+            diagnostics,
         })
     }
 }
@@ -468,8 +510,7 @@ mod tests {
         fn apply(&self, states: &mut [i64], event: &Event) -> OpOutcome {
             match &event.kind {
                 EventKind::LocalUpdate { op } => {
-                    states[event.replica.index()] =
-                        op.arg(0).and_then(Value::as_int).unwrap_or(0);
+                    states[event.replica.index()] = op.arg(0).and_then(Value::as_int).unwrap_or(0);
                     OpOutcome::Applied
                 }
                 EventKind::Sync { to, .. } => {
@@ -599,12 +640,78 @@ mod tests {
     }
 
     #[test]
+    fn auto_independence_merges_commuting_updates() {
+        // Two concurrent counter increments at different replicas: with
+        // hand-declared rules absent, ER-π explores both orders; the static
+        // analysis derives their independence and merges them into one.
+        let mut session = Session::new(RegApp);
+        session.record(|sys| {
+            sys.invoke(ReplicaId::new(0), "counter_inc", [Value::from(1)]);
+            sys.invoke(ReplicaId::new(1), "counter_inc", [Value::from(1)]);
+        });
+        let baseline = session.replay(&TestSuite::new()).unwrap();
+        assert_eq!(baseline.explored, 2);
+
+        session.set_auto_independence(true);
+        let report = session.replay(&TestSuite::new()).unwrap();
+        assert_eq!(report.explored, 1, "derived independence merges the pair");
+
+        // The analysis is re-derived per replay; repeating does not
+        // accumulate duplicate sets or change the result.
+        let again = session.replay(&TestSuite::new()).unwrap();
+        assert_eq!(again.explored, 1);
+        assert!(session.config_mut().independent_sets.is_empty());
+    }
+
+    #[test]
+    fn auto_independence_leaves_conflicting_updates_alone() {
+        // Two concurrent LWW-register writes conflict (last writer wins, so
+        // order matters): the static pass must not merge them even when
+        // enabled.
+        let mut session = Session::new(RegApp);
+        session.record(|sys| {
+            sys.invoke(ReplicaId::new(0), "reg_set", [Value::from(1)]);
+            sys.invoke(ReplicaId::new(1), "reg_set", [Value::from(2)]);
+        });
+        session.set_auto_independence(true);
+        let report = session.replay(&TestSuite::new()).unwrap();
+        assert_eq!(report.explored, 2);
+    }
+
+    #[test]
+    fn reports_carry_pre_replay_diagnostics() {
+        let mut session = Session::new(RegApp);
+        session.record(|sys| {
+            sys.invoke(ReplicaId::new(0), "todo_create", [Value::from(1)]);
+            sys.invoke(ReplicaId::new(1), "todo_create", [Value::from(2)]);
+        });
+        let report = session.replay(&TestSuite::new()).unwrap();
+        assert!(report.diagnostics.iter().any(|d| d.misconception == 4));
+    }
+
+    #[test]
+    fn analyze_exposes_the_static_pass() {
+        let mut session = Session::new(RegApp);
+        assert!(session.analyze().is_err(), "nothing recorded yet");
+        session.record(|sys| {
+            sys.invoke(ReplicaId::new(0), "reg_set", [Value::from(1)]);
+            sys.invoke(ReplicaId::new(1), "reg_set", [Value::from(2)]);
+        });
+        let analysis = session.analyze().unwrap();
+        assert!(
+            analysis.independence.sets.is_empty(),
+            "LWW register writes conflict"
+        );
+    }
+
+    #[test]
     fn cross_checks_see_all_runs() {
         let mut session = Session::new(RegApp);
         record_two_writes(&mut session);
         session.set_mode(ExploreMode::Dfs);
-        let suite = TestSuite::new()
-            .with_cross(crate::CrossCheck::same_state_across_interleavings("stable-a", 0));
+        let suite = TestSuite::new().with_cross(
+            crate::CrossCheck::same_state_across_interleavings("stable-a", 0),
+        );
         let report = session.replay(&suite).unwrap();
         // Different interleavings leave replica 0 in different states.
         assert!(!report.passed());

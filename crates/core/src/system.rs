@@ -21,7 +21,9 @@ pub enum OpOutcome {
 impl OpOutcome {
     /// Convenience constructor for failures.
     pub fn failed(reason: impl Into<String>) -> Self {
-        OpOutcome::Failed { reason: reason.into() }
+        OpOutcome::Failed {
+            reason: reason.into(),
+        }
     }
 
     /// Returns `true` for [`OpOutcome::Failed`].

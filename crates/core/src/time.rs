@@ -33,7 +33,11 @@ impl TimeModel {
     /// A model with explicit profiles (cycled if fewer than replicas).
     pub fn new(profiles: Vec<HostProfile>) -> Self {
         assert!(!profiles.is_empty(), "at least one host profile");
-        TimeModel { profiles, reset_cost_us: 2_500, shuffle_retry_cost_us: 40 }
+        TimeModel {
+            profiles,
+            reset_cost_us: 2_500,
+            shuffle_retry_cost_us: 40,
+        }
     }
 
     fn profile(&self, replica: usize) -> &HostProfile {
@@ -54,7 +58,11 @@ impl TimeModel {
     /// Cost of replaying one full interleaving of `workload` (events +
     /// reset), microseconds.
     pub fn run_cost_us(&self, workload: &Workload) -> u64 {
-        let events: u64 = workload.events().iter().map(|e| self.event_cost_us(e)).sum();
+        let events: u64 = workload
+            .events()
+            .iter()
+            .map(|e| self.event_cost_us(e))
+            .sum();
         events + self.reset_cost_us
     }
 }

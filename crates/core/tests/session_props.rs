@@ -123,7 +123,11 @@ fn build_workload(steps: &[Step]) -> Workload {
     w.build()
 }
 
-fn observation_set<M>(model: M, workload: &Workload, mode: ExploreMode) -> (usize, BTreeSet<Vec<Value>>)
+fn observation_set<M>(
+    model: M,
+    workload: &Workload,
+    mode: ExploreMode,
+) -> (usize, BTreeSet<Vec<Value>>)
 where
     M: SystemModel,
     M::State: 'static,

@@ -40,7 +40,10 @@ impl Database {
     /// Panics if `fact` contains variables.
     pub fn insert(&mut self, fact: Atom) -> bool {
         let tuple = fact.ground_tuple();
-        self.relations.entry(fact.relation).or_default().insert(tuple)
+        self.relations
+            .entry(fact.relation)
+            .or_default()
+            .insert(tuple)
     }
 
     /// Returns `true` if the ground fact is present.

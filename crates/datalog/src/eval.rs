@@ -140,8 +140,7 @@ mod tests {
             db.insert(fact("edge", [a, b]));
         }
         let rules = vec![
-            Rule::new(atom("path", [var("X"), var("Y")]))
-                .when(atom("edge", [var("X"), var("Y")])),
+            Rule::new(atom("path", [var("X"), var("Y")])).when(atom("edge", [var("X"), var("Y")])),
             Rule::new(atom("path", [var("X"), var("Z")]))
                 .when(atom("path", [var("X"), var("Y")]))
                 .when(atom("edge", [var("Y"), var("Z")])),
@@ -157,8 +156,9 @@ mod tests {
     fn evaluation_is_idempotent() {
         let mut db = Database::new();
         db.insert(fact("edge", [1, 2]));
-        let rules = vec![Rule::new(atom("path", [var("X"), var("Y")]))
-            .when(atom("edge", [var("X"), var("Y")]))];
+        let rules =
+            vec![Rule::new(atom("path", [var("X"), var("Y")]))
+                .when(atom("edge", [var("X"), var("Y")]))];
         assert_eq!(evaluate(&rules, &mut db), 1);
         assert_eq!(evaluate(&rules, &mut db), 0, "second run derives nothing");
     }
@@ -198,8 +198,7 @@ mod tests {
     fn unbound_head_variable_panics() {
         let mut db = Database::new();
         db.insert(fact("a", [1]));
-        let rules =
-            vec![Rule::new(atom("b", [var("X"), var("FREE")])).when(atom("a", [var("X")]))];
+        let rules = vec![Rule::new(atom("b", [var("X"), var("FREE")])).when(atom("a", [var("X")]))];
         evaluate(&rules, &mut db);
     }
 

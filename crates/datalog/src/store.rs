@@ -72,10 +72,7 @@ impl InterleavingStore {
     }
 
     /// Persists a batch; returns the store ids.
-    pub fn store_all<'a>(
-        &mut self,
-        ils: impl IntoIterator<Item = &'a Interleaving>,
-    ) -> Vec<usize> {
+    pub fn store_all<'a>(&mut self, ils: impl IntoIterator<Item = &'a Interleaving>) -> Vec<usize> {
         ils.into_iter().map(|il| self.store(il)).collect()
     }
 
@@ -91,10 +88,9 @@ impl InterleavingStore {
 
     /// Reconstructs interleaving `id` from its `pos` facts.
     pub fn interleaving(&self, id: usize) -> Option<Interleaving> {
-        let hits = self.db.query(&atom(
-            "pos",
-            [Term::from(id), var("Idx"), var("Ev")],
-        ));
+        let hits = self
+            .db
+            .query(&atom("pos", [Term::from(id), var("Idx"), var("Ev")]));
         if hits.is_empty() {
             return None;
         }
@@ -114,7 +110,10 @@ impl InterleavingStore {
             .collect();
         slots.sort_unstable();
         Some(Interleaving::new(
-            slots.into_iter().map(|(_, ev)| EventId::new(ev as u32)).collect(),
+            slots
+                .into_iter()
+                .map(|(_, ev)| EventId::new(ev as u32))
+                .collect(),
         ))
     }
 
@@ -122,13 +121,10 @@ impl InterleavingStore {
     /// `precedes(Il, A, B) :- pos(Il, I, A), pos(Il, J, B), I < J.`
     /// Returns the number of derived facts.
     pub fn derive_precedes(&mut self) -> usize {
-        let rules = vec![Rule::new(atom(
-            "precedes",
-            [var("Il"), var("A"), var("B")],
-        ))
-        .when(atom("pos", [var("Il"), var("I"), var("A")]))
-        .when(atom("pos", [var("Il"), var("J"), var("B")]))
-        .filter(var("I"), CmpOp::Lt, var("J"))];
+        let rules = vec![Rule::new(atom("precedes", [var("Il"), var("A"), var("B")]))
+            .when(atom("pos", [var("Il"), var("I"), var("A")]))
+            .when(atom("pos", [var("Il"), var("J"), var("B")]))
+            .filter(var("I"), CmpOp::Lt, var("J"))];
         crate::evaluate(&rules, &mut self.db)
     }
 

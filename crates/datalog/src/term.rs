@@ -190,12 +190,7 @@ impl CmpOp {
         let ord = match (a, b) {
             (Const::Int(x), Const::Int(y)) => x.cmp(y),
             (Const::Str(x), Const::Str(y)) => x.cmp(y),
-            _ => {
-                return match self {
-                    CmpOp::Ne => true,
-                    _ => false,
-                }
-            }
+            _ => return matches!(self, CmpOp::Ne),
         };
         matches!(
             (self, ord),
@@ -237,7 +232,10 @@ pub struct Rule {
 impl Rule {
     /// Starts a rule with the given head.
     pub fn new(head: Atom) -> Self {
-        Rule { head, body: Vec::new() }
+        Rule {
+            head,
+            body: Vec::new(),
+        }
     }
 
     /// Adds a relational subgoal.

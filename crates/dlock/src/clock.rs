@@ -42,7 +42,9 @@ pub struct ManualTime {
 impl ManualTime {
     /// Creates a clock at `start_ms`.
     pub fn new(start_ms: u64) -> Self {
-        ManualTime { now: Arc::new(AtomicU64::new(start_ms)) }
+        ManualTime {
+            now: Arc::new(AtomicU64::new(start_ms)),
+        }
     }
 
     /// Advances the clock by `delta_ms`.

@@ -19,7 +19,11 @@ pub struct RedlockConfig {
 
 impl Default for RedlockConfig {
     fn default() -> Self {
-        RedlockConfig { ttl_ms: 10_000, max_retries: 1_000_000, yield_between_retries: true }
+        RedlockConfig {
+            ttl_ms: 10_000,
+            max_retries: 1_000_000,
+            yield_between_retries: true,
+        }
     }
 }
 
@@ -93,7 +97,9 @@ impl Redlock {
     pub fn try_acquire(&self) -> Option<LockGuard> {
         let token: String = {
             let mut rng = self.rng.lock();
-            (0..4).map(|_| format!("{:08x}", rng.gen::<u32>())).collect()
+            (0..4)
+                .map(|_| format!("{:08x}", rng.gen::<u32>()))
+                .collect()
         };
         let mut held = 0;
         for store in &self.stores {
@@ -175,7 +181,10 @@ mod tests {
     fn release_by_non_owner_is_refused() {
         let lock = Redlock::single(RedisLite::new(), "L");
         let real = lock.try_acquire().unwrap();
-        let fake = LockGuard { token: "forged".into(), fencing: 0 };
+        let fake = LockGuard {
+            token: "forged".into(),
+            fencing: 0,
+        };
         assert_eq!(lock.release(&fake), 0);
         assert!(lock.is_held());
         assert_eq!(lock.release(&real), 1);
@@ -186,7 +195,10 @@ mod tests {
     fn lease_expiry_frees_the_lock() {
         let time = ManualTime::new(0);
         let store = RedisLite::with_time(Arc::new(time.clone()));
-        let config = RedlockConfig { ttl_ms: 100, ..RedlockConfig::default() };
+        let config = RedlockConfig {
+            ttl_ms: 100,
+            ..RedlockConfig::default()
+        };
         let lock = Redlock::new(vec![store], "L", config);
         let stale = lock.try_acquire().unwrap();
         time.advance(150);
@@ -202,7 +214,10 @@ mod tests {
     fn extend_keeps_the_lease_alive() {
         let time = ManualTime::new(0);
         let store = RedisLite::with_time(Arc::new(time.clone()));
-        let config = RedlockConfig { ttl_ms: 100, ..RedlockConfig::default() };
+        let config = RedlockConfig {
+            ttl_ms: 100,
+            ..RedlockConfig::default()
+        };
         let lock = Redlock::new(vec![store], "L", config);
         let g = lock.try_acquire().unwrap();
         time.advance(90);

@@ -28,11 +28,19 @@ impl OrderSequencer {
         let lock = Redlock::new(
             vec![store.clone()],
             format!("{name}:lock"),
-            RedlockConfig { ttl_ms: 60_000, ..RedlockConfig::default() },
+            RedlockConfig {
+                ttl_ms: 60_000,
+                ..RedlockConfig::default()
+            },
         );
         let turn_key = format!("{name}:turn");
         store.set(&turn_key, "0");
-        OrderSequencer { store, lock, turn_key, completed: AtomicU64::new(0) }
+        OrderSequencer {
+            store,
+            lock,
+            turn_key,
+            completed: AtomicU64::new(0),
+        }
     }
 
     /// The ticket currently allowed to run.

@@ -50,14 +50,13 @@ impl RedisLite {
 
     /// Creates an empty keyspace on an explicit time source.
     pub fn with_time(time: Arc<dyn TimeSource>) -> Self {
-        RedisLite { inner: Arc::new(Mutex::new(HashMap::new())), time }
+        RedisLite {
+            inner: Arc::new(Mutex::new(HashMap::new())),
+            time,
+        }
     }
 
-    fn live<'a>(
-        map: &'a mut HashMap<String, Entry>,
-        key: &str,
-        now: u64,
-    ) -> Option<&'a mut Entry> {
+    fn live<'a>(map: &'a mut HashMap<String, Entry>, key: &str, now: u64) -> Option<&'a mut Entry> {
         let expired = map
             .get(key)
             .is_some_and(|e| e.expires_at.is_some_and(|t| t <= now));
@@ -78,7 +77,10 @@ impl RedisLite {
         }
         map.insert(
             key.to_owned(),
-            Entry { value: value.to_owned(), expires_at: Some(now + ttl_ms) },
+            Entry {
+                value: value.to_owned(),
+                expires_at: Some(now + ttl_ms),
+            },
         );
         true
     }
@@ -86,7 +88,13 @@ impl RedisLite {
     /// `SET key value` with no TTL.
     pub fn set(&self, key: &str, value: &str) {
         let mut map = self.inner.lock();
-        map.insert(key.to_owned(), Entry { value: value.to_owned(), expires_at: None });
+        map.insert(
+            key.to_owned(),
+            Entry {
+                value: value.to_owned(),
+                expires_at: None,
+            },
+        );
     }
 
     /// `GET key`.
@@ -142,7 +150,13 @@ impl RedisLite {
             .and_then(|e| e.value.parse::<i64>().ok())
             .unwrap_or(0);
         let next = current + 1;
-        map.insert(key.to_owned(), Entry { value: next.to_string(), expires_at: None });
+        map.insert(
+            key.to_owned(),
+            Entry {
+                value: next.to_string(),
+                expires_at: None,
+            },
+        );
         next
     }
 
@@ -151,15 +165,14 @@ impl RedisLite {
     pub fn ttl_ms(&self, key: &str) -> Option<Option<u64>> {
         let now = self.time.now_ms();
         let mut map = self.inner.lock();
-        Self::live(&mut map, key, now)
-            .map(|e| e.expires_at.map(|t| t.saturating_sub(now)))
+        Self::live(&mut map, key, now).map(|e| e.expires_at.map(|t| t.saturating_sub(now)))
     }
 
     /// Number of live keys.
     pub fn len(&self) -> usize {
         let now = self.time.now_ms();
         let mut map = self.inner.lock();
-        map.retain(|_, e| !e.expires_at.is_some_and(|t| t <= now));
+        map.retain(|_, e| e.expires_at.is_none_or(|t| t > now));
         map.len()
     }
 
@@ -215,7 +228,10 @@ mod tests {
     fn del_if_value_is_owner_guarded() {
         let (s, _) = manual_store();
         s.set_nx_px("lock", "owner-a", 100);
-        assert!(!s.del_if_value("lock", "owner-b"), "wrong owner cannot release");
+        assert!(
+            !s.del_if_value("lock", "owner-b"),
+            "wrong owner cannot release"
+        );
         assert!(s.del_if_value("lock", "owner-a"));
         assert_eq!(s.get("lock"), None);
         assert!(!s.del_if_value("lock", "owner-a"), "already gone");

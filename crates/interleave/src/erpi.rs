@@ -70,7 +70,10 @@ impl<'w> ErPiExplorer<'w> {
             config: config.clone(),
             perms: crate::Permutations::new(grouped.len()),
             grouped,
-            stats: PruneStats { grouping_factor, ..PruneStats::default() },
+            stats: PruneStats {
+                grouping_factor,
+                ..PruneStats::default()
+            },
         }
     }
 
@@ -227,8 +230,10 @@ mod tests {
         w.depends(y, x);
         w.depends(z, y);
         let w = w.build();
-        let mut config = PruningConfig::default();
-        config.require_causal = true;
+        let config = PruningConfig {
+            require_causal: true,
+            ..PruningConfig::default()
+        };
         let mut explorer = ErPiExplorer::new(&w, &config);
         let emitted: Vec<Interleaving> = explorer.by_ref().collect();
         assert_eq!(emitted.len(), 1);
@@ -253,7 +258,10 @@ mod tests {
         let stats = explorer.stats();
         assert!(stats.replica_specific_rejected > 0);
         assert_eq!(stats.emitted as usize, emitted);
-        assert_eq!(stats.examined() as usize, emitted + stats.replica_specific_rejected as usize);
+        assert_eq!(
+            stats.examined() as usize,
+            emitted + stats.replica_specific_rejected as usize
+        );
     }
 
     #[test]

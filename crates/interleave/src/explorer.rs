@@ -94,7 +94,10 @@ impl DfsExplorer {
             workload.is_permutation(&er_pi_model::Interleaving::new(base.clone())),
             "base order must be a permutation of the workload"
         );
-        DfsExplorer { ids: base, perms: Permutations::new(workload.len()) }
+        DfsExplorer {
+            ids: base,
+            perms: Permutations::new(workload.len()),
+        }
     }
 }
 

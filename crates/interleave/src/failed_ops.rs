@@ -104,7 +104,10 @@ mod tests {
 
     #[test]
     fn non_rule_events_are_free() {
-        let rule = FailedOpsRule { predecessors: vec![e(0)], successors: vec![e(1), e(2)] };
+        let rule = FailedOpsRule {
+            predecessors: vec![e(0)],
+            successors: vec![e(1), e(2)],
+        };
         // e9-like extra events don't exist here, but interleaving the
         // successors with unrelated events keeps ascending order binding.
         assert!(failed_ops_canonical(&[e(0), e(1), e(3), e(2)], &rule));
@@ -113,15 +116,24 @@ mod tests {
 
     #[test]
     fn degenerate_rules_are_trivially_canonical() {
-        let no_pred = FailedOpsRule { predecessors: vec![], successors: vec![e(0), e(1)] };
+        let no_pred = FailedOpsRule {
+            predecessors: vec![],
+            successors: vec![e(0), e(1)],
+        };
         assert!(failed_ops_canonical(&[e(1), e(0)], &no_pred));
-        let one_succ = FailedOpsRule { predecessors: vec![e(0)], successors: vec![e(1)] };
+        let one_succ = FailedOpsRule {
+            predecessors: vec![e(0)],
+            successors: vec![e(1)],
+        };
         assert!(failed_ops_canonical(&[e(0), e(1)], &one_succ));
     }
 
     #[test]
     fn absent_events_disable_the_rule() {
-        let rule = FailedOpsRule { predecessors: vec![e(9)], successors: vec![e(0), e(1)] };
+        let rule = FailedOpsRule {
+            predecessors: vec![e(9)],
+            successors: vec![e(0), e(1)],
+        };
         assert!(failed_ops_canonical(&[e(1), e(0)], &rule));
     }
 }

@@ -49,7 +49,9 @@ impl GroupedUnits {
     /// Panics if `perm` is not a permutation of `0..len()`.
     pub fn flatten(&self, perm: &[usize]) -> Vec<EventId> {
         assert_eq!(perm.len(), self.units.len(), "not a unit permutation");
-        perm.iter().flat_map(|&u| self.units[u].iter().copied()).collect()
+        perm.iter()
+            .flat_map(|&u| self.units[u].iter().copied())
+            .collect()
     }
 }
 
@@ -63,7 +65,7 @@ pub fn group_events(workload: &Workload, config: &PruningConfig) -> GroupedUnits
     let n = workload.len();
     // Union-find over event indices.
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+    fn find(parent: &mut [usize], x: usize) -> usize {
         let mut root = x;
         while parent[root] != root {
             root = parent[root];
@@ -95,7 +97,9 @@ pub fn group_events(workload: &Workload, config: &PruningConfig) -> GroupedUnits
                     union(&mut parent, send.index(), ev.id.index());
                 }
                 // (update, sync(update)) — the §3.1 grouping.
-                EventKind::Sync { of: Some(update), .. } => {
+                EventKind::Sync {
+                    of: Some(update), ..
+                } => {
                     union(&mut parent, update.index(), ev.id.index());
                 }
                 _ => {}
@@ -156,7 +160,7 @@ mod tests {
         let grouped = group_events(&w, &PruningConfig::default());
         assert_eq!(grouped.len(), 6);
         assert_eq!(grouped.total_orders(), 720); // 6!
-        // The paper's 56x reduction.
+                                                 // The paper's 56x reduction.
         assert_eq!(
             er_pi_model::reduction_factor(w.total_orders(), grouped.total_orders()),
             Some(56)
@@ -198,8 +202,10 @@ mod tests {
     #[test]
     fn disable_grouping_yields_singletons() {
         let w = figure3_workload();
-        let mut config = PruningConfig::default();
-        config.disable_grouping = true;
+        let config = PruningConfig {
+            disable_grouping: true,
+            ..PruningConfig::default()
+        };
         let grouped = group_events(&w, &config);
         assert_eq!(grouped.len(), 8);
     }

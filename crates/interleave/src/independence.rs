@@ -7,6 +7,8 @@
 //! the representative where the independent events appear in ascending
 //! event-id order.
 
+use std::collections::HashSet;
+
 use er_pi_model::EventId;
 
 /// Returns `true` if `order` is the canonical representative of its
@@ -38,10 +40,14 @@ pub fn independence_canonical(
     independent: &[EventId],
     interference: &[(EventId, EventId)],
 ) -> bool {
+    // Index the declared set and its interferers once, so the scan over
+    // `order` is linear instead of rescanning both slices per event.
+    let members: HashSet<EventId> = independent.iter().copied().collect();
+
     // Positions of the independent events actually present.
     let mut positions: Vec<(usize, EventId)> = Vec::new();
     for (pos, &id) in order.iter().enumerate() {
-        if independent.contains(&id) {
+        if members.contains(&id) {
             positions.push((pos, id));
         }
     }
@@ -51,15 +57,16 @@ pub fn independence_canonical(
     let first = positions[0].0;
     let last = positions[positions.len() - 1].0;
 
+    // Events that interfere with some member of the set.
+    let interferers: HashSet<EventId> = interference
+        .iter()
+        .filter(|&&(_, y)| members.contains(&y))
+        .map(|&(x, _)| x)
+        .collect();
+
     // Check the in-between events for interference.
     for &id in &order[first..=last] {
-        if independent.contains(&id) {
-            continue;
-        }
-        let interferes = interference
-            .iter()
-            .any(|&(x, y)| x == id && independent.contains(&y));
-        if interferes {
+        if !members.contains(&id) && interferers.contains(&id) {
             return true; // merge blocked: every order stays distinct
         }
     }
@@ -95,16 +102,32 @@ mod tests {
     fn non_independent_events_are_unconstrained() {
         let independent = vec![e(0), e(1)];
         // Events 2 and 3 are free to be anywhere in any order.
-        assert!(independence_canonical(&[e(3), e(0), e(1), e(2)], &independent, &[]));
-        assert!(independence_canonical(&[e(2), e(0), e(1), e(3)], &independent, &[]));
+        assert!(independence_canonical(
+            &[e(3), e(0), e(1), e(2)],
+            &independent,
+            &[]
+        ));
+        assert!(independence_canonical(
+            &[e(2), e(0), e(1), e(3)],
+            &independent,
+            &[]
+        ));
     }
 
     #[test]
     fn intervening_neutral_event_does_not_block_merge() {
         let independent = vec![e(0), e(1)];
         // e2 sits between the independent events but does not interfere.
-        assert!(independence_canonical(&[e(0), e(2), e(1)], &independent, &[]));
-        assert!(!independence_canonical(&[e(1), e(2), e(0)], &independent, &[]));
+        assert!(independence_canonical(
+            &[e(0), e(2), e(1)],
+            &independent,
+            &[]
+        ));
+        assert!(!independence_canonical(
+            &[e(1), e(2), e(0)],
+            &independent,
+            &[]
+        ));
     }
 
     #[test]
@@ -112,11 +135,27 @@ mod tests {
         let independent = vec![e(0), e(1)];
         let interference = vec![(e(2), e(1))];
         // Interferer in between: both orders canonical (no merging).
-        assert!(independence_canonical(&[e(0), e(2), e(1)], &independent, &interference));
-        assert!(independence_canonical(&[e(1), e(2), e(0)], &independent, &interference));
+        assert!(independence_canonical(
+            &[e(0), e(2), e(1)],
+            &independent,
+            &interference
+        ));
+        assert!(independence_canonical(
+            &[e(1), e(2), e(0)],
+            &independent,
+            &interference
+        ));
         // Interferer outside the span: merging applies again.
-        assert!(independence_canonical(&[e(2), e(0), e(1)], &independent, &interference));
-        assert!(!independence_canonical(&[e(2), e(1), e(0)], &independent, &interference));
+        assert!(independence_canonical(
+            &[e(2), e(0), e(1)],
+            &independent,
+            &interference
+        ));
+        assert!(!independence_canonical(
+            &[e(2), e(1), e(0)],
+            &independent,
+            &interference
+        ));
     }
 
     #[test]

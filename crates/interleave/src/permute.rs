@@ -35,7 +35,10 @@ enum PermState {
 impl Permutations {
     /// Creates the enumeration for `n` items.
     pub fn new(n: usize) -> Self {
-        Permutations { current: (0..n).collect(), state: PermState::Fresh }
+        Permutations {
+            current: (0..n).collect(),
+            state: PermState::Fresh,
+        }
     }
 
     /// Advances `self.current` to the next lexicographic permutation.

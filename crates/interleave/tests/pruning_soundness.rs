@@ -25,7 +25,11 @@ fn e(i: u32) -> EventId {
 fn flat_workload(n: usize) -> Workload {
     let mut w = Workload::builder();
     for i in 0..n {
-        w.update(ReplicaId::new((i % 3) as u16), "op", [Value::from(i as i64)]);
+        w.update(
+            ReplicaId::new((i % 3) as u16),
+            "op",
+            [Value::from(i as i64)],
+        );
     }
     w.build()
 }
@@ -125,8 +129,7 @@ proptest! {
     #[test]
     fn ungrouped_erpi_equals_dfs(n in 1usize..5) {
         let w = flat_workload(n);
-        let mut config = PruningConfig::default();
-        config.disable_grouping = true;
+        let config = PruningConfig { disable_grouping: true, ..PruningConfig::default() };
         let erpi: Vec<_> = ErPiExplorer::new(&w, &config).collect();
         let dfs: Vec<_> = DfsExplorer::new(&w).collect();
         prop_assert_eq!(erpi, dfs);

@@ -251,7 +251,10 @@ mod tests {
         let exec = Event {
             id: e(2),
             replica: r(1),
-            kind: EventKind::SyncExec { from: r(0), send: e(1) },
+            kind: EventKind::SyncExec {
+                from: r(0),
+                send: e(1),
+            },
             deps: vec![],
         };
         let fused = Event {
@@ -271,7 +274,10 @@ mod tests {
         let exec = Event {
             id: e(2),
             replica: r(1),
-            kind: EventKind::SyncExec { from: r(0), send: e(1) },
+            kind: EventKind::SyncExec {
+                from: r(0),
+                send: e(1),
+            },
             deps: vec![e(0)],
         };
         assert_eq!(exec.implicit_deps(), vec![e(1)]);
@@ -283,7 +289,10 @@ mod tests {
         let sync = Event {
             id: e(2),
             replica: r(0),
-            kind: EventKind::Sync { to: r(1), of: Some(e(0)) },
+            kind: EventKind::Sync {
+                to: r(1),
+                of: Some(e(0)),
+            },
             deps: vec![e(0), e(1)],
         };
         assert_eq!(sync.all_deps(), vec![e(0), e(1)]);

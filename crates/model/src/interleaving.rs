@@ -176,11 +176,7 @@ pub fn factorial(n: usize) -> u128 {
 ///
 /// Returns `None` if `remaining` is zero.
 pub fn reduction_factor(total: u128, remaining: u128) -> Option<u128> {
-    if remaining == 0 {
-        None
-    } else {
-        Some(total / remaining)
-    }
+    total.checked_div(remaining)
 }
 
 #[cfg(test)]

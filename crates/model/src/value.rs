@@ -21,9 +21,10 @@ use serde::{Deserialize, Serialize};
 /// let list = Value::List(vec![Value::from("a"), Value::from(true)]);
 /// assert_eq!(list.to_string(), r#"["a", true]"#);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Value {
     /// Absent / null.
+    #[default]
     Null,
     /// Boolean.
     Bool(bool),
@@ -71,12 +72,6 @@ impl Value {
     /// Returns `true` for [`Value::Null`].
     pub fn is_null(&self) -> bool {
         matches!(self, Value::Null)
-    }
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Null
     }
 }
 
@@ -177,7 +172,12 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut vals = vec![Value::from(2), Value::Null, Value::from("a"), Value::from(1)];
+        let mut vals = [
+            Value::from(2),
+            Value::Null,
+            Value::from("a"),
+            Value::from(1),
+        ];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
     }

@@ -163,12 +163,12 @@ mod tests {
         assert!(b.dominates(&a));
         assert!(!a.dominates(&b));
         assert!(a.concurrent(&c));
-        assert_eq!(
-            b.partial_cmp_causal(&a),
-            Some(std::cmp::Ordering::Greater)
-        );
+        assert_eq!(b.partial_cmp_causal(&a), Some(std::cmp::Ordering::Greater));
         assert_eq!(a.partial_cmp_causal(&c), None);
-        assert_eq!(a.partial_cmp_causal(&a.clone()), Some(std::cmp::Ordering::Equal));
+        assert_eq!(
+            a.partial_cmp_causal(&a.clone()),
+            Some(std::cmp::Ordering::Equal)
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl fmt::Display for WorkloadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WorkloadError::DanglingSyncExec { exec, referenced } => {
-                write!(f, "sync-exec {exec} references {referenced}, which is not a sync-send")
+                write!(
+                    f,
+                    "sync-exec {exec} references {referenced}, which is not a sync-send"
+                )
             }
             WorkloadError::ForwardDependency { event, dep } => {
                 write!(f, "event {event} depends on later event {dep}")
@@ -224,7 +227,12 @@ impl WorkloadBuilder {
 
     fn push(&mut self, replica: ReplicaId, kind: EventKind, deps: Vec<EventId>) -> EventId {
         let id = EventId::new(self.events.len() as u32);
-        self.events.push(Event { id, replica, kind, deps });
+        self.events.push(Event {
+            id,
+            replica,
+            kind,
+            deps,
+        });
         id
     }
 
@@ -236,7 +244,9 @@ impl WorkloadBuilder {
     {
         self.push(
             replica,
-            EventKind::LocalUpdate { op: OpDescriptor::new(function, args) },
+            EventKind::LocalUpdate {
+                op: OpDescriptor::new(function, args),
+            },
             Vec::new(),
         )
     }
@@ -283,7 +293,13 @@ impl WorkloadBuilder {
 
     /// Records an external (non-RDL) effectful event.
     pub fn external(&mut self, replica: ReplicaId, label: impl Into<String>) -> EventId {
-        self.push(replica, EventKind::External { label: label.into() }, Vec::new())
+        self.push(
+            replica,
+            EventKind::External {
+                label: label.into(),
+            },
+            Vec::new(),
+        )
     }
 
     /// Adds an explicit causal dependency: `event` must come after `dep`.
@@ -426,13 +442,18 @@ mod tests {
             Event {
                 id: EventId::new(0),
                 replica: r(0),
-                kind: EventKind::LocalUpdate { op: OpDescriptor::nullary("x") },
+                kind: EventKind::LocalUpdate {
+                    op: OpDescriptor::nullary("x"),
+                },
                 deps: vec![],
             },
             Event {
                 id: EventId::new(1),
                 replica: r(1),
-                kind: EventKind::SyncExec { from: r(0), send: EventId::new(0) },
+                kind: EventKind::SyncExec {
+                    from: r(0),
+                    send: EventId::new(0),
+                },
                 deps: vec![],
             },
         ];
@@ -446,7 +467,9 @@ mod tests {
         let bad = vec![Event {
             id: EventId::new(0),
             replica: r(0),
-            kind: EventKind::LocalUpdate { op: OpDescriptor::nullary("x") },
+            kind: EventKind::LocalUpdate {
+                op: OpDescriptor::nullary("x"),
+            },
             deps: vec![EventId::new(0)],
         }];
         let err = Workload::from_events(bad).unwrap_err();
@@ -458,7 +481,9 @@ mod tests {
         let bad = vec![Event {
             id: EventId::new(0),
             replica: r(0),
-            kind: EventKind::LocalUpdate { op: OpDescriptor::nullary("x") },
+            kind: EventKind::LocalUpdate {
+                op: OpDescriptor::nullary("x"),
+            },
             deps: vec![EventId::new(9)],
         }];
         let err = Workload::from_events(bad).unwrap_err();

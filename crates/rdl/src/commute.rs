@@ -1,0 +1,457 @@
+//! Commutativity metadata for the RDL type families.
+//!
+//! The static analysis pass (`er-pi-analysis`) classifies every pair of
+//! recorded update events as *commuting* or *conflicting*. The library is
+//! the right owner of that knowledge: whether two operations commute is a
+//! property of the data type's semantics, not of any particular workload.
+//! This module captures, per type family, the commutativity table the
+//! analysis consults.
+//!
+//! The tables are deliberately conservative: when an argument needed for a
+//! disjointness judgement is unknown (e.g. a list position that the proxy
+//! could not extract), the pair is reported as conflicting. Conservatism
+//! only costs pruning opportunities; it never merges interleavings that
+//! could differ.
+//!
+//! ```
+//! use er_pi_model::Value;
+//! use er_pi_rdl::{CrdtType, OpKind, OpProfile};
+//!
+//! let inc = OpProfile::new(CrdtType::PnCounter, OpKind::Inc);
+//! let dec = OpProfile::new(CrdtType::PnCounter, OpKind::Dec);
+//! assert!(inc.commutes_with(&dec).is_none(), "counter ops always commute");
+//!
+//! let add = OpProfile::new(CrdtType::OrSet, OpKind::Add { element: Some(Value::from("x")) });
+//! let del = OpProfile::new(CrdtType::OrSet, OpKind::Remove { element: Some(Value::from("x")) });
+//! assert!(add.commutes_with(&del).is_some(), "add/remove of one element conflict");
+//! ```
+
+use er_pi_model::Value;
+
+/// The RDL type families whose operations the analysis can classify.
+///
+/// One variant per family of `er-pi-rdl` types; operations on *different*
+/// families always commute because they act on disjoint objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrdtType {
+    /// [`GCounter`](crate::GCounter) — grow-only counter.
+    GCounter,
+    /// [`PnCounter`](crate::PnCounter) — increment/decrement counter.
+    PnCounter,
+    /// [`LwwRegister`](crate::LwwRegister) — last-writer-wins register.
+    LwwRegister,
+    /// [`MvRegister`](crate::MvRegister) — multi-value register.
+    MvRegister,
+    /// [`GSet`](crate::GSet) — grow-only set.
+    GSet,
+    /// [`TwoPhaseSet`](crate::TwoPhaseSet) — add/remove-once set.
+    TwoPhaseSet,
+    /// [`OrSet`](crate::OrSet) — observed-remove set.
+    OrSet,
+    /// [`LwwElementSet`](crate::LwwElementSet) — timestamped add/remove set.
+    LwwElementSet,
+    /// [`Rga`](crate::Rga) — replicated growable array (list).
+    Rga,
+    /// [`LwwMap`](crate::LwwMap) — last-writer-wins map.
+    LwwMap,
+    /// [`OrMap`](crate::OrMap) — observed-remove map.
+    OrMap,
+    /// [`LwwTimeSeries`](crate::LwwTimeSeries) — Roshi-style scored set.
+    LwwTimeSeries,
+    /// [`MerkleLog`](crate::MerkleLog) — OrbitDB-style append log.
+    MerkleLog,
+    /// [`JsonDoc`](crate::JsonDoc) — Yorkie-style JSON document.
+    JsonDoc,
+}
+
+/// The abstract shape of one intercepted operation, as far as commutativity
+/// is concerned.
+///
+/// `None` arguments mean "statically unknown" and make every judgement that
+/// needs them conservative (conflicting).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpKind {
+    /// Counter increment.
+    Inc,
+    /// Counter decrement.
+    Dec,
+    /// Register / map / document write, keyed when the target is keyed.
+    Write {
+        /// Register key, map key, or document path.
+        key: Option<Value>,
+    },
+    /// Set insertion (also time-series insertion, keyed by member).
+    Add {
+        /// The inserted element.
+        element: Option<Value>,
+    },
+    /// Set removal (also map key removal and time-series deletion).
+    Remove {
+        /// The removed element or key.
+        element: Option<Value>,
+    },
+    /// Sequence insertion at a position.
+    Insert {
+        /// Insertion index.
+        position: Option<i64>,
+    },
+    /// Sequence deletion at a position.
+    Delete {
+        /// Deletion index.
+        position: Option<i64>,
+    },
+    /// Sequence move.
+    Move {
+        /// `true` for a move primitive with CRDT support; `false` for the
+        /// delete+insert reimplementation (Table 2's misconception #3).
+        safe: bool,
+    },
+    /// Log append.
+    Append,
+    /// Creation of an item under a locally computed sequential identifier
+    /// (Table 2's misconception #4).
+    MintId,
+    /// Pure observation of the object (query, page assembly, …).
+    Read,
+}
+
+/// One operation's commutativity-relevant profile: which type family it
+/// touches and what it does to it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpProfile {
+    /// The type family the operation targets.
+    pub crdt: CrdtType,
+    /// The abstract action.
+    pub kind: OpKind,
+}
+
+impl OpProfile {
+    /// Creates a profile.
+    pub fn new(crdt: CrdtType, kind: OpKind) -> Self {
+        OpProfile { crdt, kind }
+    }
+
+    /// Consults the per-type commutativity table: returns `None` when the
+    /// two operations commute, or `Some(reason)` naming the conflict.
+    ///
+    /// The relation is symmetric: `a.commutes_with(b)` and
+    /// `b.commutes_with(a)` agree on commute-vs-conflict.
+    pub fn commutes_with(&self, other: &OpProfile) -> Option<&'static str> {
+        if self.crdt != other.crdt {
+            return None; // disjoint objects always commute
+        }
+        conflict(self.crdt, &self.kind, &other.kind)
+            .or_else(|| conflict(self.crdt, &other.kind, &self.kind))
+    }
+}
+
+/// Returns `true` when both values are known and distinct — the only case
+/// where a keyed/element-wise disjointness argument is allowed.
+fn known_distinct(a: &Option<Value>, b: &Option<Value>) -> bool {
+    matches!((a, b), (Some(x), Some(y)) if x != y)
+}
+
+fn known_distinct_pos(a: &Option<i64>, b: &Option<i64>) -> bool {
+    matches!((a, b), (Some(x), Some(y)) if x != y)
+}
+
+/// The one-directional conflict table; [`OpProfile::commutes_with`]
+/// symmetrizes it.
+fn conflict(crdt: CrdtType, a: &OpKind, b: &OpKind) -> Option<&'static str> {
+    use OpKind::*;
+    // Reads conflict with every mutation of the same object: the observed
+    // value depends on whether the mutation ran first.
+    if matches!(a, Read) {
+        return match b {
+            Read => None,
+            _ => Some("observation does not commute with a mutation"),
+        };
+    }
+    match crdt {
+        // Counter increments and decrements commute unconditionally.
+        CrdtType::GCounter | CrdtType::PnCounter => match (a, b) {
+            (Inc | Dec, Inc | Dec) => None,
+            _ => Some("unsupported counter operation"),
+        },
+        // Grow-only sets: adds commute, even of the same element.
+        CrdtType::GSet => match (a, b) {
+            (Add { .. }, Add { .. }) => None,
+            _ => Some("unsupported grow-only set operation"),
+        },
+        // Observed-remove flavoured sets: adds commute (fresh tags), removes
+        // commute (both drop the observed tags), but an add and a remove of
+        // the same element race — remove-before-add and add-before-remove
+        // leave different states.
+        CrdtType::OrSet | CrdtType::TwoPhaseSet | CrdtType::LwwElementSet | CrdtType::OrMap => {
+            match (a, b) {
+                (Add { .. }, Add { .. }) if crdt != CrdtType::LwwElementSet => None,
+                (Add { element: x }, Add { element: y }) => {
+                    // LWW element sets tie-break equal timestamps per
+                    // element: same-element adds conflict.
+                    if known_distinct(x, y) {
+                        None
+                    } else {
+                        Some("same-element LWW adds tie-break on timestamps")
+                    }
+                }
+                (Remove { .. }, Remove { .. }) => None,
+                (Add { element: x }, Remove { element: y })
+                | (Remove { element: x }, Add { element: y }) => {
+                    if known_distinct(x, y) {
+                        None
+                    } else {
+                        Some("add and remove of one element race")
+                    }
+                }
+                (Write { key: x }, Write { key: y })
+                | (Write { key: x }, Remove { element: y })
+                | (Remove { element: x }, Write { key: y }) => {
+                    if known_distinct(x, y) {
+                        None
+                    } else {
+                        Some("same-key map updates race")
+                    }
+                }
+                (MintId, _) | (_, MintId) => {
+                    Some("sequential-ID creation reads a non-replicated maximum")
+                }
+                _ => Some("unsupported set operation"),
+            }
+        }
+        // LWW registers: concurrent writes with equal timestamps resolve by
+        // tie-break, so write/write conflicts unless keyed and disjoint.
+        CrdtType::LwwRegister | CrdtType::MvRegister | CrdtType::JsonDoc => match (a, b) {
+            (Write { key: x }, Write { key: y }) => {
+                if known_distinct(x, y) {
+                    None
+                } else {
+                    Some("register writes tie-break on equal timestamps")
+                }
+            }
+            (Write { key: x }, Remove { element: y })
+            | (Remove { element: x }, Write { key: y }) => {
+                if known_distinct(x, y) {
+                    None
+                } else {
+                    Some("write and delete of one path race")
+                }
+            }
+            (Remove { .. }, Remove { .. }) => None,
+            _ => Some("unsupported register operation"),
+        },
+        // LWW maps: keyed writes/removes commute iff keys are known
+        // disjoint.
+        CrdtType::LwwMap => match (a, b) {
+            (
+                Write { key: x } | Remove { element: x },
+                Write { key: y } | Remove { element: y },
+            ) => {
+                if known_distinct(x, y) {
+                    None
+                } else {
+                    Some("same-key map updates race")
+                }
+            }
+            _ => Some("unsupported map operation"),
+        },
+        // Sequences: inserts at overlapping (or unknown) positions
+        // conflict; deletions and moves shift indices, so any combination
+        // involving them conflicts, and the delete+insert move
+        // reimplementation conflicts even with itself.
+        CrdtType::Rga => match (a, b) {
+            (Insert { position: x }, Insert { position: y }) => {
+                if known_distinct_pos(x, y) {
+                    None
+                } else {
+                    Some("inserts at overlapping list positions race")
+                }
+            }
+            (Delete { .. } | Move { .. }, _) | (_, Delete { .. } | Move { .. }) => {
+                Some("index-shifting list operation")
+            }
+            _ => Some("unsupported sequence operation"),
+        },
+        // Scored sets (Roshi): per-member LWW semantics.
+        CrdtType::LwwTimeSeries => match (a, b) {
+            (
+                Add { element: x } | Remove { element: x },
+                Add { element: y } | Remove { element: y },
+            ) => {
+                if known_distinct(x, y) {
+                    None
+                } else {
+                    Some("same-member scored updates tie-break on timestamps")
+                }
+            }
+            _ => Some("unsupported time-series operation"),
+        },
+        // Append logs: the log order itself is observable state, so appends
+        // never commute.
+        CrdtType::MerkleLog => Some("log appends are order-observable"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(crdt: CrdtType, kind: OpKind) -> OpProfile {
+        OpProfile::new(crdt, kind)
+    }
+
+    #[test]
+    fn different_families_always_commute() {
+        let inc = p(CrdtType::PnCounter, OpKind::Inc);
+        let app = p(CrdtType::MerkleLog, OpKind::Append);
+        assert!(inc.commutes_with(&app).is_none());
+    }
+
+    #[test]
+    fn counters_commute() {
+        let inc = p(CrdtType::PnCounter, OpKind::Inc);
+        let dec = p(CrdtType::PnCounter, OpKind::Dec);
+        assert!(inc.commutes_with(&inc).is_none());
+        assert!(inc.commutes_with(&dec).is_none());
+        let ginc = p(CrdtType::GCounter, OpKind::Inc);
+        assert!(ginc.commutes_with(&ginc).is_none());
+    }
+
+    #[test]
+    fn orset_add_remove_same_element_conflict() {
+        let add = |e: &str| {
+            p(
+                CrdtType::OrSet,
+                OpKind::Add {
+                    element: Some(Value::from(e)),
+                },
+            )
+        };
+        let del = |e: &str| {
+            p(
+                CrdtType::OrSet,
+                OpKind::Remove {
+                    element: Some(Value::from(e)),
+                },
+            )
+        };
+        assert!(add("x").commutes_with(&add("x")).is_none());
+        assert!(add("x").commutes_with(&del("x")).is_some());
+        assert!(del("x").commutes_with(&add("x")).is_some(), "symmetric");
+        assert!(add("x").commutes_with(&del("y")).is_none());
+        assert!(del("x").commutes_with(&del("x")).is_none());
+    }
+
+    #[test]
+    fn unknown_elements_are_conservative() {
+        let add = p(CrdtType::OrSet, OpKind::Add { element: None });
+        let del = p(
+            CrdtType::OrSet,
+            OpKind::Remove {
+                element: Some(Value::from("y")),
+            },
+        );
+        assert!(
+            add.commutes_with(&del).is_some(),
+            "unknown element must conflict"
+        );
+    }
+
+    #[test]
+    fn rga_inserts_conflict_only_when_overlapping() {
+        let ins = |i: i64| p(CrdtType::Rga, OpKind::Insert { position: Some(i) });
+        assert!(ins(0).commutes_with(&ins(0)).is_some());
+        assert!(ins(0).commutes_with(&ins(3)).is_none());
+        let unknown = p(CrdtType::Rga, OpKind::Insert { position: None });
+        assert!(unknown.commutes_with(&ins(3)).is_some());
+    }
+
+    #[test]
+    fn rga_moves_and_deletes_conflict_with_everything() {
+        let mv = p(CrdtType::Rga, OpKind::Move { safe: true });
+        let ins = p(CrdtType::Rga, OpKind::Insert { position: Some(0) });
+        let del = p(CrdtType::Rga, OpKind::Delete { position: Some(4) });
+        assert!(mv.commutes_with(&mv).is_some());
+        assert!(mv.commutes_with(&ins).is_some());
+        assert!(del.commutes_with(&ins).is_some());
+        assert!(del.commutes_with(&del).is_some());
+    }
+
+    #[test]
+    fn lww_writes_conflict_unless_keyed_disjoint() {
+        let w = |k: i64| {
+            p(
+                CrdtType::LwwMap,
+                OpKind::Write {
+                    key: Some(Value::from(k)),
+                },
+            )
+        };
+        assert!(w(1).commutes_with(&w(1)).is_some());
+        assert!(w(1).commutes_with(&w(2)).is_none());
+        let unkeyed = p(CrdtType::LwwRegister, OpKind::Write { key: None });
+        assert!(
+            unkeyed.commutes_with(&unkeyed).is_some(),
+            "equal-timestamp tie-break"
+        );
+        let doc = |k: &str| {
+            p(
+                CrdtType::JsonDoc,
+                OpKind::Write {
+                    key: Some(Value::from(k)),
+                },
+            )
+        };
+        assert!(doc("a").commutes_with(&doc("b")).is_none());
+        assert!(doc("a").commutes_with(&doc("a")).is_some());
+    }
+
+    #[test]
+    fn log_appends_never_commute() {
+        let app = p(CrdtType::MerkleLog, OpKind::Append);
+        assert!(app.commutes_with(&app).is_some());
+    }
+
+    #[test]
+    fn mint_id_conflicts_with_itself() {
+        let mint = p(CrdtType::OrMap, OpKind::MintId);
+        assert!(mint.commutes_with(&mint).is_some());
+    }
+
+    #[test]
+    fn reads_conflict_with_writes_but_not_reads() {
+        let read = p(CrdtType::LwwTimeSeries, OpKind::Read);
+        let add = p(
+            CrdtType::LwwTimeSeries,
+            OpKind::Add {
+                element: Some(Value::from("m")),
+            },
+        );
+        assert!(read.commutes_with(&read).is_none());
+        assert!(read.commutes_with(&add).is_some());
+        assert!(add.commutes_with(&read).is_some());
+    }
+
+    #[test]
+    fn timeseries_same_member_conflicts() {
+        let add = |m: &str| {
+            p(
+                CrdtType::LwwTimeSeries,
+                OpKind::Add {
+                    element: Some(Value::from(m)),
+                },
+            )
+        };
+        let del = |m: &str| {
+            p(
+                CrdtType::LwwTimeSeries,
+                OpKind::Remove {
+                    element: Some(Value::from(m)),
+                },
+            )
+        };
+        assert!(add("a").commutes_with(&add("b")).is_none());
+        assert!(add("a").commutes_with(&add("a")).is_some());
+        assert!(add("a").commutes_with(&del("a")).is_some());
+        assert!(del("a").commutes_with(&del("b")).is_none());
+    }
+}

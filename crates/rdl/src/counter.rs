@@ -30,7 +30,10 @@ pub struct GCounter {
 impl GCounter {
     /// Creates a zeroed counter owned by `replica`.
     pub fn new(replica: ReplicaId) -> Self {
-        GCounter { replica, counts: BTreeMap::new() }
+        GCounter {
+            replica,
+            counts: BTreeMap::new(),
+        }
     }
 
     /// The replica this handle mutates on behalf of.
@@ -92,7 +95,10 @@ pub struct PnCounter {
 impl PnCounter {
     /// Creates a zeroed counter owned by `replica`.
     pub fn new(replica: ReplicaId) -> Self {
-        PnCounter { inc: GCounter::new(replica), dec: GCounter::new(replica) }
+        PnCounter {
+            inc: GCounter::new(replica),
+            dec: GCounter::new(replica),
+        }
     }
 
     /// The replica this handle mutates on behalf of.

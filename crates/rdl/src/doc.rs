@@ -12,7 +12,9 @@
 
 use std::collections::BTreeMap;
 
-use er_pi_model::{Dot, DotContext, LamportClock, LamportTimestamp, ReplicaId, Value, VersionVector};
+use er_pi_model::{
+    Dot, DotContext, LamportClock, LamportTimestamp, ReplicaId, Value, VersionVector,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::{DeltaSync, Rga, RgaOp, StateCrdt};
@@ -249,7 +251,12 @@ impl JsonDoc {
         assert!(!path.is_empty(), "path must be non-empty");
         let ts = self.clock.tick();
         let dot = self.ctx.next_dot(self.replica);
-        Ok(self.record(DocOp::SetPrim { path: Self::path_vec(path), value, ts, dot }))
+        Ok(self.record(DocOp::SetPrim {
+            path: Self::path_vec(path),
+            value,
+            ts,
+            dot,
+        }))
     }
 
     /// LWW-replaces the subtree at `path` with an object of primitives.
@@ -261,7 +268,12 @@ impl JsonDoc {
         assert!(!path.is_empty(), "path must be non-empty");
         let ts = self.clock.tick();
         let dot = self.ctx.next_dot(self.replica);
-        Ok(self.record(DocOp::SetObject { path: Self::path_vec(path), entries, ts, dot }))
+        Ok(self.record(DocOp::SetObject {
+            path: Self::path_vec(path),
+            entries,
+            ts,
+            dot,
+        }))
     }
 
     /// LWW-removes the key at `path`.
@@ -269,7 +281,11 @@ impl JsonDoc {
         assert!(!path.is_empty(), "path must be non-empty");
         let ts = self.clock.tick();
         let dot = self.ctx.next_dot(self.replica);
-        Ok(self.record(DocOp::Remove { path: Self::path_vec(path), ts, dot }))
+        Ok(self.record(DocOp::Remove {
+            path: Self::path_vec(path),
+            ts,
+            dot,
+        }))
     }
 
     /// LWW-creates an empty array at `path`.
@@ -277,7 +293,11 @@ impl JsonDoc {
         assert!(!path.is_empty(), "path must be non-empty");
         let ts = self.clock.tick();
         let dot = self.ctx.next_dot(self.replica);
-        Ok(self.record(DocOp::NewArray { path: Self::path_vec(path), ts, dot }))
+        Ok(self.record(DocOp::NewArray {
+            path: Self::path_vec(path),
+            ts,
+            dot,
+        }))
     }
 
     fn with_array<R>(
@@ -286,17 +306,24 @@ impl JsonDoc {
         f: impl FnOnce(&mut Rga<Value>) -> Result<R, DocError>,
     ) -> Result<R, DocError> {
         let segs = Self::path_vec(path);
-        let node = resolve_mut(&mut self.root, &segs)
-            .ok_or_else(|| DocError::NotFound(segs.clone()))?;
+        let node =
+            resolve_mut(&mut self.root, &segs).ok_or_else(|| DocError::NotFound(segs.clone()))?;
         match node {
             Node::Arr(rga) => f(rga),
-            _ => Err(DocError::WrongShape { path: segs, expected: "array" }),
+            _ => Err(DocError::WrongShape {
+                path: segs,
+                expected: "array",
+            }),
         }
     }
 
     fn record_arr(&mut self, path: &[&str], op: RgaOp<Value>) -> DocOp {
         let dot = self.ctx.next_dot(self.replica);
-        let doc_op = DocOp::Arr { path: Self::path_vec(path), op, dot };
+        let doc_op = DocOp::Arr {
+            path: Self::path_vec(path),
+            op,
+            dot,
+        };
         self.log.push(doc_op.clone());
         doc_op
     }
@@ -308,10 +335,18 @@ impl JsonDoc {
     }
 
     /// Inserts `value` at `idx` in the array at `path`.
-    pub fn arr_insert(&mut self, path: &[&str], idx: usize, value: Value) -> Result<DocOp, DocError> {
+    pub fn arr_insert(
+        &mut self,
+        path: &[&str],
+        idx: usize,
+        value: Value,
+    ) -> Result<DocOp, DocError> {
         let op = self.with_array(path, |rga| {
             if idx > rga.len() {
-                return Err(DocError::IndexOutOfBounds { index: idx, len: rga.len() });
+                return Err(DocError::IndexOutOfBounds {
+                    index: idx,
+                    len: rga.len(),
+                });
             }
             Ok(rga.insert(idx, value))
         })?;
@@ -321,8 +356,10 @@ impl JsonDoc {
     /// Deletes index `idx` of the array at `path`.
     pub fn arr_delete(&mut self, path: &[&str], idx: usize) -> Result<DocOp, DocError> {
         let op = self.with_array(path, |rga| {
-            rga.delete(idx)
-                .ok_or(DocError::IndexOutOfBounds { index: idx, len: rga.len() })
+            rga.delete(idx).ok_or(DocError::IndexOutOfBounds {
+                index: idx,
+                len: rga.len(),
+            })
         })?;
         Ok(self.record_arr(path, op))
     }
@@ -331,8 +368,10 @@ impl JsonDoc {
     /// stable-identity move (Yorkie's fixed `MoveAfter`).
     pub fn arr_move(&mut self, path: &[&str], from: usize, to: usize) -> Result<DocOp, DocError> {
         let op = self.with_array(path, |rga| {
-            rga.move_item(from, to)
-                .ok_or(DocError::IndexOutOfBounds { index: from.max(to), len: rga.len() })
+            rga.move_item(from, to).ok_or(DocError::IndexOutOfBounds {
+                index: from.max(to),
+                len: rga.len(),
+            })
         })?;
         Ok(self.record_arr(path, op))
     }
@@ -347,8 +386,10 @@ impl JsonDoc {
         to: usize,
     ) -> Result<(DocOp, DocOp), DocError> {
         let (del, ins) = self.with_array(path, |rga| {
-            rga.move_naive(from, to)
-                .ok_or(DocError::IndexOutOfBounds { index: from.max(to), len: rga.len() })
+            rga.move_naive(from, to).ok_or(DocError::IndexOutOfBounds {
+                index: from.max(to),
+                len: rga.len(),
+            })
         })?;
         let del = self.record_arr(path, del);
         let ins = self.record_arr(path, ins);
@@ -373,19 +414,27 @@ impl JsonDoc {
     /// Returns `false` if the op cannot be applied yet (dangling array path).
     fn apply_resolved(&mut self, op: &DocOp) -> bool {
         match op {
-            DocOp::SetPrim { path, value, ts, .. } => {
+            DocOp::SetPrim {
+                path, value, ts, ..
+            } => {
                 self.clock.observe(*ts);
                 set_at(&mut self.root, path, Node::Prim(value.clone()), *ts, false);
                 true
             }
-            DocOp::SetObject { path, entries, ts, .. } => {
+            DocOp::SetObject {
+                path, entries, ts, ..
+            } => {
                 self.clock.observe(*ts);
                 let obj = entries
                     .iter()
                     .map(|(k, v)| {
                         (
                             k.clone(),
-                            Entry { ts: *ts, replaced_at: None, node: Node::Prim(v.clone()) },
+                            Entry {
+                                ts: *ts,
+                                replaced_at: None,
+                                node: Node::Prim(v.clone()),
+                            },
                         )
                     })
                     .collect();
@@ -518,7 +567,11 @@ fn set_at(
         None => {
             current.insert(
                 key.clone(),
-                Entry { ts, replaced_at: replaces.then_some(ts), node },
+                Entry {
+                    ts,
+                    replaced_at: replaces.then_some(ts),
+                    node,
+                },
             );
         }
     }
@@ -593,7 +646,10 @@ mod tests {
     fn set_and_get_nested() {
         let mut d = JsonDoc::new(r(0));
         d.set(&["a", "b", "c"], Value::from(1)).unwrap();
-        assert_eq!(d.get(&["a", "b", "c"]).unwrap().as_prim(), Some(&Value::from(1)));
+        assert_eq!(
+            d.get(&["a", "b", "c"]).unwrap().as_prim(),
+            Some(&Value::from(1))
+        );
         assert!(d.get(&["a", "b"]).unwrap().as_object().is_some());
         assert!(d.get(&["missing"]).is_none());
     }
@@ -748,7 +804,10 @@ mod tests {
         b.apply_op(&push);
         assert!(b.get(&["l"]).is_none());
         b.apply_op(&mk_arr);
-        assert_eq!(b.get(&["l"]).unwrap().as_array().unwrap(), &[Value::from(7)]);
+        assert_eq!(
+            b.get(&["l"]).unwrap().as_array().unwrap(),
+            &[Value::from(7)]
+        );
     }
 
     #[test]

@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod commute;
 mod counter;
 mod doc;
 mod hash;
@@ -60,6 +61,7 @@ mod set;
 mod timeseries;
 mod traits;
 
+pub use commute::{CrdtType, OpKind, OpProfile};
 pub use counter::{GCounter, PnCounter};
 pub use doc::{DocError, DocOp, JsonDoc, JsonValue, PathSegment};
 pub use hash::fnv1a64;

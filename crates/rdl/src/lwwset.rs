@@ -47,7 +47,11 @@ pub struct LwwElementSet<T: Ord> {
 impl<T: Ord + Clone> LwwElementSet<T> {
     /// Creates an empty set with the given tie-breaking `bias`.
     pub fn new(bias: Bias) -> Self {
-        LwwElementSet { bias, adds: BTreeMap::new(), removes: BTreeMap::new() }
+        LwwElementSet {
+            bias,
+            adds: BTreeMap::new(),
+            removes: BTreeMap::new(),
+        }
     }
 
     /// The configured tie-breaking policy.

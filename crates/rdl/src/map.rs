@@ -28,7 +28,9 @@ pub struct LwwMap<K: Ord, V> {
 impl<K: Ord + Clone, V: Clone> LwwMap<K, V> {
     /// Creates an empty map.
     pub fn new() -> Self {
-        LwwMap { entries: BTreeMap::new() }
+        LwwMap {
+            entries: BTreeMap::new(),
+        }
     }
 
     /// Writes `value` under `key` at `ts`. Returns `true` if the write won.
@@ -147,7 +149,10 @@ impl<K: Ord + Clone, V: StateCrdt + PartialEq> OrMap<K, V> {
     pub fn update_with(&mut self, key: K, init: impl FnOnce() -> V, f: impl FnOnce(&mut V)) {
         let v = self.entries.entry(key.clone()).or_insert_with(init);
         f(v);
-        self.versions.entry(key).or_default().increment(self.replica);
+        self.versions
+            .entry(key)
+            .or_default()
+            .increment(self.replica);
     }
 
     /// Mutates (creating if absent) the nested CRDT under `key`.

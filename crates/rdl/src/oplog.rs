@@ -18,15 +18,15 @@
 //! * **OrbitDB-4** (issue #583) — partially synced DAGs leave *dangling*
 //!   head references ([`MerkleLog::dangling_refs`]).
 
-use er_pi_model::{Dot, DotContext, LamportClock, LamportTimestamp, ReplicaId, Value, VersionVector};
+use er_pi_model::{
+    Dot, DotContext, LamportClock, LamportTimestamp, ReplicaId, Value, VersionVector,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::{fnv1a64, DeltaSync, StateCrdt};
 
 /// Content hash of one log entry.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct MerkleHash(pub u64);
 
 impl std::fmt::Display for MerkleHash {

@@ -108,7 +108,11 @@ impl<T: Ord + Clone> OrSet<T> {
             return None;
         }
         let dot = self.ctx.next_dot(self.replica);
-        let op = OrSetOp::Remove { element: element.clone(), observed, dot };
+        let op = OrSetOp::Remove {
+            element: element.clone(),
+            observed,
+            dot,
+        };
         self.integrate(&op);
         self.log.push(op.clone());
         Some(op)
@@ -116,7 +120,9 @@ impl<T: Ord + Clone> OrSet<T> {
 
     /// Membership test.
     pub fn contains(&self, element: &T) -> bool {
-        self.entries.get(element).is_some_and(|tags| !tags.is_empty())
+        self.entries
+            .get(element)
+            .is_some_and(|tags| !tags.is_empty())
     }
 
     /// Visible elements, in sorted order.
@@ -130,7 +136,10 @@ impl<T: Ord + Clone> OrSet<T> {
 
     /// Number of visible elements.
     pub fn len(&self) -> usize {
-        self.entries.values().filter(|tags| !tags.is_empty()).count()
+        self.entries
+            .values()
+            .filter(|tags| !tags.is_empty())
+            .count()
     }
 
     /// Returns `true` if no element is visible.
@@ -149,7 +158,9 @@ impl<T: Ord + Clone> OrSet<T> {
                     tags.push(*dot);
                 }
             }
-            OrSetOp::Remove { element, observed, .. } => {
+            OrSetOp::Remove {
+                element, observed, ..
+            } => {
                 self.removed_tags.extend(observed.iter().copied());
                 if let Some(tags) = self.entries.get_mut(element) {
                     tags.retain(|t| !observed.contains(t));

@@ -108,7 +108,11 @@ pub struct MvRegister<T> {
 impl<T> MvRegister<T> {
     /// Creates an empty register owned by `replica`.
     pub fn new(replica: ReplicaId) -> Self {
-        MvRegister { replica, entries: Vec::new(), context: VersionVector::new() }
+        MvRegister {
+            replica,
+            entries: Vec::new(),
+            context: VersionVector::new(),
+        }
     }
 
     /// The replica this handle mutates on behalf of.

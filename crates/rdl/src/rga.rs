@@ -11,9 +11,7 @@ use crate::{DeltaSync, StateCrdt};
 
 /// The unique, stable identity of one list element: the Lamport timestamp of
 /// the insert that created it.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ElementId(pub LamportTimestamp);
 
 impl std::fmt::Display for ElementId {
@@ -65,9 +63,7 @@ impl<T> RgaOp<T> {
     /// The operation's delivery-tracking tag.
     pub fn dot(&self) -> Dot {
         match self {
-            RgaOp::Insert { dot, .. } | RgaOp::Delete { dot, .. } | RgaOp::Move { dot, .. } => {
-                *dot
-            }
+            RgaOp::Insert { dot, .. } | RgaOp::Delete { dot, .. } | RgaOp::Move { dot, .. } => *dot,
         }
     }
 }
@@ -141,17 +137,29 @@ impl<T: Clone + PartialEq> Rga<T> {
 
     /// Visible values in list order.
     pub fn values(&self) -> Vec<&T> {
-        self.nodes.iter().filter(|n| !n.deleted).map(|n| &n.value).collect()
+        self.nodes
+            .iter()
+            .filter(|n| !n.deleted)
+            .map(|n| &n.value)
+            .collect()
     }
 
     /// The value at visible index `idx`.
     pub fn get(&self, idx: usize) -> Option<&T> {
-        self.nodes.iter().filter(|n| !n.deleted).nth(idx).map(|n| &n.value)
+        self.nodes
+            .iter()
+            .filter(|n| !n.deleted)
+            .nth(idx)
+            .map(|n| &n.value)
     }
 
     /// The stable identity of the element at visible index `idx`.
     pub fn id_at(&self, idx: usize) -> Option<ElementId> {
-        self.nodes.iter().filter(|n| !n.deleted).nth(idx).map(|n| n.id)
+        self.nodes
+            .iter()
+            .filter(|n| !n.deleted)
+            .nth(idx)
+            .map(|n| n.id)
     }
 
     /// The visible index of element `id`, if present and visible.
@@ -174,7 +182,11 @@ impl<T: Clone + PartialEq> Rga<T> {
     ///
     /// Panics if `idx > len`.
     pub fn insert(&mut self, idx: usize, value: T) -> RgaOp<T> {
-        assert!(idx <= self.len(), "index {idx} out of bounds (len {})", self.len());
+        assert!(
+            idx <= self.len(),
+            "index {idx} out of bounds (len {})",
+            self.len()
+        );
         let after = if idx == 0 { None } else { self.id_at(idx - 1) };
         self.insert_after(after, value)
     }
@@ -183,7 +195,12 @@ impl<T: Clone + PartialEq> Rga<T> {
     pub fn insert_after(&mut self, after: Option<ElementId>, value: T) -> RgaOp<T> {
         let id = ElementId(self.clock.tick());
         let dot = self.ctx.next_dot(self.replica);
-        let op = RgaOp::Insert { id, after, value, dot };
+        let op = RgaOp::Insert {
+            id,
+            after,
+            value,
+            dot,
+        };
         self.integrate(&op);
         self.log.push(op.clone());
         op
@@ -221,10 +238,18 @@ impl<T: Clone + PartialEq> Rga<T> {
         } else {
             // Position `to` is interpreted against the list *without* the
             // moved element, matching typical moveItem APIs.
-            let mut visible: Vec<ElementId> =
-                self.nodes.iter().filter(|n| !n.deleted).map(|n| n.id).collect();
+            let mut visible: Vec<ElementId> = self
+                .nodes
+                .iter()
+                .filter(|n| !n.deleted)
+                .map(|n| n.id)
+                .collect();
             visible.retain(|&v| v != id);
-            if to == 0 { None } else { visible.get(to - 1).copied() }
+            if to == 0 {
+                None
+            } else {
+                visible.get(to - 1).copied()
+            }
         };
         self.move_after_id(id, after)
     }
@@ -236,7 +261,12 @@ impl<T: Clone + PartialEq> Rga<T> {
         }
         let moved_at = self.clock.tick();
         let dot = self.ctx.next_dot(self.replica);
-        let op = RgaOp::Move { id, after, moved_at, dot };
+        let op = RgaOp::Move {
+            id,
+            after,
+            moved_at,
+            dot,
+        };
         self.integrate(&op);
         self.log.push(op.clone());
         Some(op)
@@ -260,7 +290,11 @@ impl<T: Clone + PartialEq> Rga<T> {
 
     /// RGA integration: place a node with position identity `pos_id` after
     /// `after`, skipping concurrent siblings with greater `pos_id`.
-    fn integration_index(&self, after: Option<ElementId>, pos_id: LamportTimestamp) -> Option<usize> {
+    fn integration_index(
+        &self,
+        after: Option<ElementId>,
+        pos_id: LamportTimestamp,
+    ) -> Option<usize> {
         let mut idx = match after {
             None => 0,
             Some(p) => self.node_pos(p)? + 1,
@@ -275,7 +309,9 @@ impl<T: Clone + PartialEq> Rga<T> {
     /// not arrived yet (op goes to the pending buffer).
     fn integrate(&mut self, op: &RgaOp<T>) -> bool {
         match op {
-            RgaOp::Insert { id, after, value, .. } => {
+            RgaOp::Insert {
+                id, after, value, ..
+            } => {
                 if self.nodes.iter().any(|n| n.id == *id) {
                     return true; // duplicate insert: idempotent
                 }
@@ -302,7 +338,12 @@ impl<T: Clone + PartialEq> Rga<T> {
                 self.nodes[pos].deleted = true;
                 true
             }
-            RgaOp::Move { id, after, moved_at, .. } => {
+            RgaOp::Move {
+                id,
+                after,
+                moved_at,
+                ..
+            } => {
                 let Some(pos) = self.node_pos(*id) else {
                     return false;
                 };

@@ -26,7 +26,9 @@ pub struct GSet<T: Ord> {
 impl<T: Ord> GSet<T> {
     /// Creates an empty set.
     pub fn new() -> Self {
-        GSet { items: BTreeSet::new() }
+        GSet {
+            items: BTreeSet::new(),
+        }
     }
 
     /// Adds `item`; returns `true` if it was not already present.
@@ -67,7 +69,9 @@ impl<T: Ord + Clone> StateCrdt for GSet<T> {
 
 impl<T: Ord> FromIterator<T> for GSet<T> {
     fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
-        GSet { items: iter.into_iter().collect() }
+        GSet {
+            items: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -97,7 +101,10 @@ pub struct TwoPhaseSet<T: Ord> {
 impl<T: Ord + Clone> TwoPhaseSet<T> {
     /// Creates an empty set.
     pub fn new() -> Self {
-        TwoPhaseSet { added: BTreeSet::new(), removed: BTreeSet::new() }
+        TwoPhaseSet {
+            added: BTreeSet::new(),
+            removed: BTreeSet::new(),
+        }
     }
 
     /// Adds `item`. Returns `false` (a failed op) if the element is
@@ -137,7 +144,9 @@ impl<T: Ord + Clone> TwoPhaseSet<T> {
 
     /// Iterates over visible elements in sorted order.
     pub fn iter(&self) -> impl Iterator<Item = &T> {
-        self.added.iter().filter(move |i| !self.removed.contains(*i))
+        self.added
+            .iter()
+            .filter(move |i| !self.removed.contains(*i))
     }
 }
 

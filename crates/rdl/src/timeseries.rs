@@ -102,7 +102,11 @@ pub struct LwwTimeSeries {
 impl LwwTimeSeries {
     /// Creates an empty store with tie policy `tie`.
     pub fn new(tie: TieBreak) -> Self {
-        LwwTimeSeries { tie, keys: BTreeMap::new(), log: Vec::new() }
+        LwwTimeSeries {
+            tie,
+            keys: BTreeMap::new(),
+            log: Vec::new(),
+        }
     }
 
     /// The configured tie policy.
@@ -149,7 +153,14 @@ impl LwwTimeSeries {
             member: member.to_owned(),
             score,
         });
-        self.apply_cell(key, member, Cell { score, kind: OpKind::Insert })
+        self.apply_cell(
+            key,
+            member,
+            Cell {
+                score,
+                kind: OpKind::Insert,
+            },
+        )
     }
 
     /// Deletes `member` under `key` at `score`. Returns `true` if the write
@@ -160,7 +171,14 @@ impl LwwTimeSeries {
             member: member.to_owned(),
             score,
         });
-        self.apply_cell(key, member, Cell { score, kind: OpKind::Delete })
+        self.apply_cell(
+            key,
+            member,
+            Cell {
+                score,
+                kind: OpKind::Delete,
+            },
+        )
     }
 
     /// Applies one remote operation (same resolution as local writes).
@@ -189,7 +207,10 @@ impl LwwTimeSeries {
         let mut members: Vec<ScoredMember> = set
             .iter()
             .filter(|(_, cell)| cell.kind == OpKind::Insert)
-            .map(|(m, cell)| ScoredMember { score: cell.score, member: m.clone() })
+            .map(|(m, cell)| ScoredMember {
+                score: cell.score,
+                member: m.clone(),
+            })
             .collect();
         members.sort_by(|a, b| b.score.cmp(&a.score).then_with(|| a.member.cmp(&b.member)));
         members.into_iter().skip(offset).take(limit).collect()

@@ -32,7 +32,11 @@ fn check_commutative<T: StateCrdt, P: PartialEq + std::fmt::Debug>(
     b: &T,
     project: impl Fn(&T) -> P,
 ) {
-    assert_eq!(project(&a.merged(b)), project(&b.merged(a)), "commutativity");
+    assert_eq!(
+        project(&a.merged(b)),
+        project(&b.merged(a)),
+        "commutativity"
+    );
 }
 
 #[derive(Debug, Clone)]
@@ -43,10 +47,13 @@ enum SetAction {
 
 fn arb_set_actions() -> impl Strategy<Value = Vec<(u16, SetAction)>> {
     proptest::collection::vec(
-        (0u16..3, prop_oneof![
-            (0u8..8).prop_map(SetAction::Insert),
-            (0u8..8).prop_map(SetAction::Remove),
-        ]),
+        (
+            0u16..3,
+            prop_oneof![
+                (0u8..8).prop_map(SetAction::Insert),
+                (0u8..8).prop_map(SetAction::Remove),
+            ],
+        ),
         0..24,
     )
 }

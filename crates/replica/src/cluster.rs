@@ -38,7 +38,11 @@ where
                 Replica::new(id, make(id))
             })
             .collect();
-        Cluster { replicas, network: VirtualNetwork::new(), sim: SimClock::new() }
+        Cluster {
+            replicas,
+            network: VirtualNetwork::new(),
+            sim: SimClock::new(),
+        }
     }
 
     /// Creates the paper's three-replica setup: i7 laptop, i5 laptop,
@@ -53,7 +57,11 @@ where
                 Replica::with_host(id, make(id), host)
             })
             .collect();
-        Cluster { replicas, network: VirtualNetwork::new(), sim: SimClock::new() }
+        Cluster {
+            replicas,
+            network: VirtualNetwork::new(),
+            sim: SimClock::new(),
+        }
     }
 
     /// Number of replicas.

@@ -15,9 +15,10 @@ use rand::{Rng, SeedableRng};
 ///
 /// [`Ordered`]: DeliveryMode::Ordered
 /// [`Reordered`]: DeliveryMode::Reordered
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum DeliveryMode {
     /// FIFO per sender-receiver pair (TCP-like).
+    #[default]
     Ordered,
     /// Deliver a *random* queued message each time, seeded for determinism
     /// (UDP-like reordering).
@@ -32,12 +33,6 @@ pub enum DeliveryMode {
         /// RNG seed.
         seed: u64,
     },
-}
-
-impl Default for DeliveryMode {
-    fn default() -> Self {
-        DeliveryMode::Ordered
-    }
 }
 
 /// A virtual network of per-`(from, to)` message queues.
@@ -233,7 +228,11 @@ mod tests {
             out
         };
         assert_eq!(run(42), run(42), "same seed, same schedule");
-        assert_ne!(run(42), (0..10).collect::<Vec<_>>(), "seed 42 actually reorders");
+        assert_ne!(
+            run(42),
+            (0..10).collect::<Vec<_>>(),
+            "seed 42 actually reorders"
+        );
     }
 
     #[test]

@@ -33,12 +33,22 @@ pub struct Replica<T> {
 impl<T: Clone> Replica<T> {
     /// Creates a replica with the default host profile.
     pub fn new(id: ReplicaId, state: T) -> Self {
-        Replica { id, state, checkpoint: None, host: HostProfile::default() }
+        Replica {
+            id,
+            state,
+            checkpoint: None,
+            host: HostProfile::default(),
+        }
     }
 
     /// Creates a replica hosted on `host`.
     pub fn with_host(id: ReplicaId, state: T, host: HostProfile) -> Self {
-        Replica { id, state, checkpoint: None, host }
+        Replica {
+            id,
+            state,
+            checkpoint: None,
+            host,
+        }
     }
 
     /// This replica's id.

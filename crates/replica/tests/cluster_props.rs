@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 
 use er_pi_model::ReplicaId;
-use er_pi_replica::{Cluster, DeliveryMode};
 use er_pi_rdl::OrSet;
+use er_pi_replica::{Cluster, DeliveryMode};
 
 fn r(i: u16) -> ReplicaId {
     ReplicaId::new(i)

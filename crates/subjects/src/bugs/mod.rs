@@ -17,13 +17,17 @@ mod rdb_bugs;
 mod roshi_bugs;
 mod yorkie_bugs;
 
-use er_pi::{Assertion, ExploreMode, InlineExecutor, PruningConfig, Session, SystemModel,
-    TestSuite, TimeModel};
+use er_pi::{
+    Assertion, ExploreMode, InlineExecutor, PruningConfig, Session, SystemModel, TestSuite,
+    TimeModel,
+};
 use er_pi_interleave::{DfsExplorer, PruneStats};
 use er_pi_model::{EventId, Workload};
 
-use crate::{CrdtsState, OrbitModel, OrbitState, ReplicaDbModel, ReplicaDbState, RoshiModel,
-    RoshiState, YorkieModel, YorkieState};
+use crate::{
+    CrdtsState, OrbitModel, OrbitState, ReplicaDbModel, ReplicaDbState, RoshiModel, RoshiState,
+    YorkieModel, YorkieState,
+};
 
 /// The five evaluation subjects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -210,7 +214,10 @@ where
     session.set_cap(cap);
     session.set_stop_on_first_violation(true);
     let suite = TestSuite::new().with(Assertion::new("bug-manifested", move |ctx| {
-        let bug_ctx = BugCtx { states: ctx.states, failed_ops: ctx.failed_ops() };
+        let bug_ctx = BugCtx {
+            states: ctx.states,
+            failed_ops: ctx.failed_ops(),
+        };
         match check(&bug_ctx) {
             Some(symptom) => Err(symptom),
             None => Ok(()),
@@ -240,11 +247,11 @@ where
 {
     let started = std::time::Instant::now();
     let time = TimeModel::paper_setup();
-    let mut explorer = DfsExplorer::with_base_order(workload, base);
+    let explorer = DfsExplorer::with_base_order(workload, base);
     let mut explored = 0usize;
     let mut found_at = None;
     let mut sim_us = 0u64;
-    while let Some(il) = explorer.next() {
+    for il in explorer {
         if explored >= cap {
             break;
         }
@@ -252,7 +259,10 @@ where
         let exec = InlineExecutor::execute(&model, workload, &il, &time);
         sim_us += exec.sim_us;
         let failed = exec.outcomes.iter().filter(|o| o.is_failed()).count();
-        let ctx = BugCtx { states: &exec.states, failed_ops: failed };
+        let ctx = BugCtx {
+            states: &exec.states,
+            failed_ops: failed,
+        };
         if check(&ctx).is_some() {
             found_at = Some(explored);
             break;
@@ -311,21 +321,46 @@ impl Bug {
     /// interleavings (the paper caps at 10 000).
     pub fn reproduce(&self, mode: ExploreMode, cap: usize) -> Repro {
         match &self.imp {
-            BugImpl::Roshi { model, check } => {
-                run(model.clone(), &self.workload, &self.config, mode, cap, *check)
-            }
-            BugImpl::Orbit { model, check } => {
-                run(model.clone(), &self.workload, &self.config, mode, cap, *check)
-            }
-            BugImpl::ReplicaDb { model, check } => {
-                run(model.clone(), &self.workload, &self.config, mode, cap, *check)
-            }
-            BugImpl::Yorkie { model, check } => {
-                run(model.clone(), &self.workload, &self.config, mode, cap, *check)
-            }
-            BugImpl::Crdts { model, check } => {
-                run(model.clone(), &self.workload, &self.config, mode, cap, *check)
-            }
+            BugImpl::Roshi { model, check } => run(
+                model.clone(),
+                &self.workload,
+                &self.config,
+                mode,
+                cap,
+                *check,
+            ),
+            BugImpl::Orbit { model, check } => run(
+                model.clone(),
+                &self.workload,
+                &self.config,
+                mode,
+                cap,
+                *check,
+            ),
+            BugImpl::ReplicaDb { model, check } => run(
+                model.clone(),
+                &self.workload,
+                &self.config,
+                mode,
+                cap,
+                *check,
+            ),
+            BugImpl::Yorkie { model, check } => run(
+                model.clone(),
+                &self.workload,
+                &self.config,
+                mode,
+                cap,
+                *check,
+            ),
+            BugImpl::Crdts { model, check } => run(
+                model.clone(),
+                &self.workload,
+                &self.config,
+                mode,
+                cap,
+                *check,
+            ),
         }
     }
 
@@ -333,21 +368,46 @@ impl Bug {
     /// pruning configuration (ablation studies).
     pub fn reproduce_with_config(&self, config: PruningConfig, cap: usize) -> Repro {
         match &self.imp {
-            BugImpl::Roshi { model, check } => {
-                run(model.clone(), &self.workload, &config, ExploreMode::ErPi, cap, *check)
-            }
-            BugImpl::Orbit { model, check } => {
-                run(model.clone(), &self.workload, &config, ExploreMode::ErPi, cap, *check)
-            }
-            BugImpl::ReplicaDb { model, check } => {
-                run(model.clone(), &self.workload, &config, ExploreMode::ErPi, cap, *check)
-            }
-            BugImpl::Yorkie { model, check } => {
-                run(model.clone(), &self.workload, &config, ExploreMode::ErPi, cap, *check)
-            }
-            BugImpl::Crdts { model, check } => {
-                run(model.clone(), &self.workload, &config, ExploreMode::ErPi, cap, *check)
-            }
+            BugImpl::Roshi { model, check } => run(
+                model.clone(),
+                &self.workload,
+                &config,
+                ExploreMode::ErPi,
+                cap,
+                *check,
+            ),
+            BugImpl::Orbit { model, check } => run(
+                model.clone(),
+                &self.workload,
+                &config,
+                ExploreMode::ErPi,
+                cap,
+                *check,
+            ),
+            BugImpl::ReplicaDb { model, check } => run(
+                model.clone(),
+                &self.workload,
+                &config,
+                ExploreMode::ErPi,
+                cap,
+                *check,
+            ),
+            BugImpl::Yorkie { model, check } => run(
+                model.clone(),
+                &self.workload,
+                &config,
+                ExploreMode::ErPi,
+                cap,
+                *check,
+            ),
+            BugImpl::Crdts { model, check } => run(
+                model.clone(),
+                &self.workload,
+                &config,
+                ExploreMode::ErPi,
+                cap,
+                *check,
+            ),
         }
     }
 

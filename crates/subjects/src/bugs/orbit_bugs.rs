@@ -130,7 +130,10 @@ pub(super) fn orbitdb_2() -> Bug {
         imp: BugImpl::Orbit {
             model: OrbitModel::with_config(
                 2,
-                OrbitConfig { max_clock_skew: Some(1_000), ..OrbitConfig::default() },
+                OrbitConfig {
+                    max_clock_skew: Some(1_000),
+                    ..OrbitConfig::default()
+                },
             ),
             check,
         },
@@ -278,7 +281,10 @@ pub(super) fn orbitdb_4() -> Bug {
         imp: BugImpl::Orbit {
             model: OrbitModel::with_config(
                 3,
-                OrbitConfig { heads_only_sync: true, ..OrbitConfig::default() },
+                OrbitConfig {
+                    heads_only_sync: true,
+                    ..OrbitConfig::default()
+                },
             ),
             check,
         },
@@ -350,6 +356,9 @@ pub(super) fn orbitdb_5() -> Bug {
         reason: Some("misconception"),
         workload: w.build(),
         config,
-        imp: BugImpl::Orbit { model: OrbitModel::new(3), check },
+        imp: BugImpl::Orbit {
+            model: OrbitModel::new(3),
+            check,
+        },
     }
 }

@@ -33,10 +33,7 @@ pub(super) fn replicadb_1() -> Bug {
         // The crash signature of the report: every read found its row
         // (peak = 3 rows), the third read blew the budget, and the two
         // trailing commits found nothing left to flush.
-        if ctx.failed_ops == 3
-            && ctx.states[1].oom
-            && ctx.states[1].peak_staging_bytes == 3 * 64
-        {
+        if ctx.failed_ops == 3 && ctx.states[1].oom && ctx.states[1].peak_staging_bytes == 3 * 64 {
             Some("transfer job ran out of memory: three reads stacked".into())
         } else {
             None

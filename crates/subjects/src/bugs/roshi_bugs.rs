@@ -48,8 +48,7 @@ pub(super) fn roshi_1() -> Bug {
             .last_select
             .as_ref()
             .is_some_and(|page| page.len() == 1 && page[0].member == "m");
-        if converged && page_ok && r0.last_deleted == Some(false) && r1.last_deleted == Some(true)
-        {
+        if converged && page_ok && r0.last_deleted == Some(false) && r1.last_deleted == Some(true) {
             return Some("reader replica served deleted=true for a present element".into());
         }
         None
@@ -63,7 +62,10 @@ pub(super) fn roshi_1() -> Bug {
         reason: Some("misconception"),
         workload: w.build(),
         config: PruningConfig::default(),
-        imp: BugImpl::Roshi { model: RoshiModel::new(2), check },
+        imp: BugImpl::Roshi {
+            model: RoshiModel::new(2),
+            check,
+        },
     }
 }
 
@@ -174,6 +176,9 @@ pub(super) fn roshi_3() -> Bug {
         reason: Some("misconception"),
         workload: w.build(),
         config,
-        imp: BugImpl::Roshi { model: RoshiModel::new(3), check },
+        imp: BugImpl::Roshi {
+            model: RoshiModel::new(3),
+            check,
+        },
     }
 }

@@ -1,8 +1,8 @@
 //! The two Yorkie bugs of Table 1.
 
 use er_pi::PruningConfig;
-use er_pi_model::{ReplicaId, Value, Workload};
 use er_pi_model::VersionVector;
+use er_pi_model::{ReplicaId, Value, Workload};
 use er_pi_rdl::{DeltaSync, DocOp, JsonValue};
 
 use crate::{YorkieModel, YorkieState};
@@ -86,7 +86,10 @@ pub(super) fn yorkie_1() -> Bug {
         reason: None,
         workload: w.build(),
         config: PruningConfig::default(),
-        imp: BugImpl::Yorkie { model: YorkieModel::new(2), check },
+        imp: BugImpl::Yorkie {
+            model: YorkieModel::new(2),
+            check,
+        },
     }
 }
 
@@ -184,14 +187,32 @@ pub(super) fn yorkie_2() -> Bug {
                 })
                 .collect()
         };
-        let r0_expected =
-            ["cfg.a", "cfg.b", "cfg.c", "doc.title", "doc.rev", "set:cfg", "cfg.d", "cfg.e"];
-        let r1_expected =
-            ["cfg.a", "cfg.b", "cfg.c", "doc.title", "cfg.d", "doc.rev", "set:cfg", "cfg.e"];
+        let r0_expected = [
+            "cfg.a",
+            "cfg.b",
+            "cfg.c",
+            "doc.title",
+            "doc.rev",
+            "set:cfg",
+            "cfg.d",
+            "cfg.e",
+        ];
+        let r1_expected = [
+            "cfg.a",
+            "cfg.b",
+            "cfg.c",
+            "doc.title",
+            "cfg.d",
+            "doc.rev",
+            "set:cfg",
+            "cfg.e",
+        ];
         if log(&states[0]) != r0_expected || log(&states[1]) != r1_expected {
             return None;
         }
-        Some(format!("set over nested object dropped sibling key d: {k0:?}"))
+        Some(format!(
+            "set over nested object dropped sibling key d: {k0:?}"
+        ))
     }
 
     Bug {
@@ -202,6 +223,9 @@ pub(super) fn yorkie_2() -> Bug {
         reason: Some("misconception"),
         workload: w.build(),
         config: PruningConfig::default(),
-        imp: BugImpl::Yorkie { model: YorkieModel::new(2), check },
+        imp: BugImpl::Yorkie {
+            model: YorkieModel::new(2),
+            check,
+        },
     }
 }

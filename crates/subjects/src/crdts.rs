@@ -194,8 +194,11 @@ impl SystemModel for CrdtsModel {
                         OpOutcome::Applied
                     }
                     "todo_create" => {
-                        let title =
-                            op.arg(0).and_then(Value::as_str).unwrap_or("todo").to_owned();
+                        let title = op
+                            .arg(0)
+                            .and_then(Value::as_str)
+                            .unwrap_or("todo")
+                            .to_owned();
                         // Misconception #4: mint the next sequential id.
                         let next = state.todos.iter().map(|(id, _)| *id).max().unwrap_or(0) + 1;
                         state.todos.push((next, title));
@@ -316,7 +319,12 @@ mod tests {
         w.sync_untracked(r(0), r(1));
         w.sync_untracked(r(1), r(0));
         let states = run(&model, &w.build());
-        let tens = states[0].list.values().into_iter().filter(|v| **v == 10).count();
+        let tens = states[0]
+            .list
+            .values()
+            .into_iter()
+            .filter(|v| **v == 10)
+            .count();
         assert_eq!(tens, 2);
     }
 

@@ -11,8 +11,8 @@ use er_pi_model::{ReplicaId, Value};
 use er_pi_rdl::{LogSortOrder, TieBreak};
 
 use crate::{
-    CrdtsModel, OrbitConfig, OrbitModel, ReplicaDbModel, ReplicationMode, RoshiModel,
-    SubjectKind, YorkieModel,
+    CrdtsModel, OrbitConfig, OrbitModel, ReplicaDbModel, ReplicationMode, RoshiModel, SubjectKind,
+    YorkieModel,
 };
 
 /// One cell of the Table 2 matrix.
@@ -64,8 +64,7 @@ fn detect_roshi(m: Misconception) -> MatrixCell {
         Misconception::CausalDelivery => {
             // Equal timestamps + order-dependent tie-break: replica 0's
             // state depends on which sync executes first.
-            let mut session =
-                Session::new(RoshiModel::with_tie(3, TieBreak::LastApplied));
+            let mut session = Session::new(RoshiModel::with_tie(3, TieBreak::LastApplied));
             session.record(|sys| {
                 let i1 = sys.invoke(
                     r(1),
@@ -140,19 +139,19 @@ fn detect_roshi(m: Misconception) -> MatrixCell {
             let suite = TestSuite::new().with_assertion(
                 "no-item-duplication",
                 |ctx: &er_pi::CheckContext<'_, crate::RoshiState>| {
-                for (i, state) in ctx.states.iter().enumerate() {
-                    let copies = state
-                        .store
-                        .select("k", 0, usize::MAX)
-                        .into_iter()
-                        .filter(|m| m.member.starts_with("item:"))
-                        .count();
-                    if copies > 1 {
-                        return Err(format!("replica {i} holds {copies} copies of the item"));
+                    for (i, state) in ctx.states.iter().enumerate() {
+                        let copies = state
+                            .store
+                            .select("k", 0, usize::MAX)
+                            .into_iter()
+                            .filter(|m| m.member.starts_with("item:"))
+                            .count();
+                        if copies > 1 {
+                            return Err(format!("replica {i} holds {copies} copies of the item"));
+                        }
                     }
-                }
-                Ok(())
-            },
+                    Ok(())
+                },
             );
             detected(session, &suite)
         }
@@ -225,10 +224,8 @@ fn detect_replicadb(m: Misconception) -> MatrixCell {
         Misconception::CausalDelivery => {
             // The job assumes batches reflect a causally consistent source:
             // interleaving source writes with reads changes the sink.
-            let mut session = Session::new(ReplicaDbModel::new(
-                ReplicationMode::Incremental,
-                10_000,
-            ));
+            let mut session =
+                Session::new(ReplicaDbModel::new(ReplicationMode::Incremental, 10_000));
             session.record(|sys| {
                 sys.invoke(r(0), "put", [Value::from(1), Value::from(10)]);
                 sys.invoke(r(1), "read_batch", [Value::from(0), Value::from(100)]);
@@ -315,18 +312,18 @@ fn detect_crdts(m: Misconception) -> MatrixCell {
             let suite = TestSuite::new().with_assertion(
                 "no-move-duplication",
                 |ctx: &er_pi::CheckContext<'_, crate::CrdtsState>| {
-                for (i, state) in ctx.states.iter().enumerate() {
-                    let values = state.list.values();
-                    let mut seen = Vec::new();
-                    for v in values {
-                        if seen.contains(&v) {
-                            return Err(format!("replica {i} duplicated element {v}"));
+                    for (i, state) in ctx.states.iter().enumerate() {
+                        let values = state.list.values();
+                        let mut seen = Vec::new();
+                        for v in values {
+                            if seen.contains(&v) {
+                                return Err(format!("replica {i} duplicated element {v}"));
+                            }
+                            seen.push(v);
                         }
-                        seen.push(v);
                     }
-                }
-                Ok(())
-            },
+                    Ok(())
+                },
             );
             detected(session, &suite)
         }
@@ -341,16 +338,16 @@ fn detect_crdts(m: Misconception) -> MatrixCell {
             let suite = TestSuite::new().with_assertion(
                 "todo-ids-unique",
                 |ctx: &er_pi::CheckContext<'_, crate::CrdtsState>| {
-                for (i, state) in ctx.states.iter().enumerate() {
-                    let mut ids: Vec<i64> = state.todos.iter().map(|(id, _)| *id).collect();
-                    let before = ids.len();
-                    ids.dedup();
-                    if ids.len() != before {
-                        return Err(format!("replica {i} has clashing to-do ids"));
+                    for (i, state) in ctx.states.iter().enumerate() {
+                        let mut ids: Vec<i64> = state.todos.iter().map(|(id, _)| *id).collect();
+                        let before = ids.len();
+                        ids.dedup();
+                        if ids.len() != before {
+                            return Err(format!("replica {i} has clashing to-do ids"));
+                        }
                     }
-                }
-                Ok(())
-            },
+                    Ok(())
+                },
             );
             detected(session, &suite)
         }

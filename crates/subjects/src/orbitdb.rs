@@ -82,7 +82,10 @@ pub struct OrbitModel {
 impl OrbitModel {
     /// Creates the model with the default (correct) configuration.
     pub fn new(replicas: usize) -> Self {
-        OrbitModel { replicas, config: OrbitConfig::default() }
+        OrbitModel {
+            replicas,
+            config: OrbitConfig::default(),
+        }
     }
 
     /// Creates the model with an explicit configuration.
@@ -193,8 +196,7 @@ impl SystemModel for OrbitModel {
                     OpOutcome::Observed(Value::from(pulled as i64))
                 }
                 "audit" => {
-                    let values: Value =
-                        states[at].log.values().into_iter().cloned().collect();
+                    let values: Value = states[at].log.values().into_iter().cloned().collect();
                     OpOutcome::Observed(values)
                 }
                 "open_repo" => {
@@ -333,7 +335,10 @@ mod tests {
     fn poisoned_clock_halts_peer_progress() {
         let model = OrbitModel::with_config(
             2,
-            OrbitConfig { max_clock_skew: Some(1_000), ..OrbitConfig::default() },
+            OrbitConfig {
+                max_clock_skew: Some(1_000),
+                ..OrbitConfig::default()
+            },
         );
         let mut w = Workload::builder();
         let poison = w.update(r(0), "poison_clock", [Value::from(9_999_999)]);

@@ -59,7 +59,11 @@ pub struct ReplicaDbModel {
 impl ReplicaDbModel {
     /// Creates the model in the given mode with a staging budget.
     pub fn new(mode: ReplicationMode, memory_budget: u64) -> Self {
-        ReplicaDbModel { mode, memory_budget, row_bytes: 64 }
+        ReplicaDbModel {
+            mode,
+            memory_budget,
+            row_bytes: 64,
+        }
     }
 
     /// The configured replication mode.

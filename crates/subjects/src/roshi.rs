@@ -46,7 +46,10 @@ pub struct RoshiModel {
 impl RoshiModel {
     /// Creates the model with Roshi's documented insert-wins tie policy.
     pub fn new(replicas: usize) -> Self {
-        RoshiModel { replicas, tie: TieBreak::InsertWins }
+        RoshiModel {
+            replicas,
+            tie: TieBreak::InsertWins,
+        }
     }
 
     /// Creates the model with an explicit tie policy (Roshi-2 uses the
@@ -109,9 +112,7 @@ impl SystemModel for RoshiModel {
                     let key = op.arg(0).and_then(Value::as_str).unwrap_or("k");
                     let page = states[at].store.select(key, 0, usize::MAX);
                     states[at].last_select = Some(page.clone());
-                    OpOutcome::Observed(
-                        page.into_iter().map(|m| Value::from(m.member)).collect(),
-                    )
+                    OpOutcome::Observed(page.into_iter().map(|m| Value::from(m.member)).collect())
                 }
                 "read_deleted" => {
                     let key = op.arg(0).and_then(Value::as_str).unwrap_or("k");
@@ -208,7 +209,11 @@ mod tests {
     fn insert_select_through_the_model() {
         let mut session = Session::new(RoshiModel::new(2));
         session.record(|sys| {
-            sys.invoke(r(0), "insert", [Value::from("k"), Value::from("m1"), Value::from(10)]);
+            sys.invoke(
+                r(0),
+                "insert",
+                [Value::from("k"), Value::from("m1"), Value::from(10)],
+            );
             let sel = sys.invoke(r(0), "select", [Value::from("k")]);
             assert!(matches!(sys.outcome(sel), OpOutcome::Observed(_)));
             assert_eq!(sys.state(r(0)).last_select.as_ref().unwrap().len(), 1);
@@ -219,8 +224,11 @@ mod tests {
     fn split_sync_ships_the_log() {
         let mut session = Session::new(RoshiModel::new(2));
         session.record(|sys| {
-            let ins =
-                sys.invoke(r(0), "insert", [Value::from("k"), Value::from("m"), Value::from(5)]);
+            let ins = sys.invoke(
+                r(0),
+                "insert",
+                [Value::from("k"), Value::from("m"), Value::from(5)],
+            );
             sys.sync_split(r(0), r(1), Some(ins));
             assert_eq!(sys.state(r(1)).store.key_len("k"), 1);
         });

@@ -63,16 +63,16 @@ impl TownApp {
         er_pi::TestSuite::new().with_assertion(
             "no-stale-issue-transmitted",
             |ctx: &er_pi::CheckContext<'_, TownState>| {
-            for (replica, state) in ctx.states.iter().enumerate() {
-                if let Some(items) = &state.transmitted {
-                    if items.iter().any(|i| i == "otb") {
-                        return Err(format!(
-                            "replica {replica} transmitted the already-fixed issue \"otb\""
-                        ));
+                for (replica, state) in ctx.states.iter().enumerate() {
+                    if let Some(items) = &state.transmitted {
+                        if items.iter().any(|i| i == "otb") {
+                            return Err(format!(
+                                "replica {replica} transmitted the already-fixed issue \"otb\""
+                            ));
+                        }
                     }
                 }
-            }
-            Ok(())
+                Ok(())
             },
         )
     }
@@ -92,7 +92,10 @@ impl SystemModel for TownApp {
     }
 
     fn init(&self, replica: ReplicaId) -> TownState {
-        TownState { issues: OrSet::new(replica), transmitted: None }
+        TownState {
+            issues: OrSet::new(replica),
+            transmitted: None,
+        }
     }
 
     fn apply(&self, states: &mut [TownState], event: &Event) -> OpOutcome {

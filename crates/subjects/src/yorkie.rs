@@ -60,7 +60,11 @@ impl SystemModel for YorkieModel {
     }
 
     fn init(&self, replica: ReplicaId) -> YorkieState {
-        YorkieState { doc: JsonDoc::new(replica), inbox: VecDeque::new(), last_snapshot: None }
+        YorkieState {
+            doc: JsonDoc::new(replica),
+            inbox: VecDeque::new(),
+            last_snapshot: None,
+        }
     }
 
     fn apply(&self, states: &mut [YorkieState], event: &Event) -> OpOutcome {
@@ -97,7 +101,7 @@ impl SystemModel for YorkieModel {
                         };
                         let keys: Vec<String> = map.keys().cloned().collect();
                         states[at].last_snapshot = Some(keys.clone());
-                        return OpOutcome::Observed(keys.into_iter().collect());
+                        OpOutcome::Observed(keys.into_iter().collect())
                     }
                     // The Yorkie-2 misuse pattern: read the object and
                     // write it back wholesale ("normalize settings"). Any
@@ -110,9 +114,7 @@ impl SystemModel for YorkieModel {
                         let entries: BTreeMap<String, Value> = map
                             .iter()
                             .filter_map(|(k, v)| match v {
-                                er_pi_rdl::JsonValue::Prim(p) => {
-                                    Some((k.clone(), p.clone()))
-                                }
+                                er_pi_rdl::JsonValue::Prim(p) => Some((k.clone(), p.clone())),
                                 _ => None,
                             })
                             .collect();
@@ -207,7 +209,11 @@ mod tests {
     fn set_and_sync() {
         let model = YorkieModel::new(2);
         let mut w = Workload::builder();
-        let set = w.update(r(0), "set", [Value::from("profile.name"), Value::from("ada")]);
+        let set = w.update(
+            r(0),
+            "set",
+            [Value::from("profile.name"), Value::from("ada")],
+        );
         w.sync_pair(r(0), r(1), set);
         let states = run(&model, &w.build());
         assert_eq!(model.observe(&states[0]), model.observe(&states[1]));
@@ -221,7 +227,11 @@ mod tests {
         for v in ["x", "y", "z"] {
             w.update(r(0), "push", [Value::from("l"), Value::from(v)]);
         }
-        w.update(r(0), "move", [Value::from("l"), Value::from(0), Value::from(2)]);
+        w.update(
+            r(0),
+            "move",
+            [Value::from("l"), Value::from(0), Value::from(2)],
+        );
         let states = run(&model, &w.build());
         let doc = states[0].doc.get(&["l"]).unwrap();
         assert_eq!(doc.as_array().unwrap().len(), 3);
@@ -252,12 +262,26 @@ mod tests {
             last = w2.update(r(0), "push", [Value::from("l"), Value::from(v)]);
         }
         w2.sync_pair(r(0), r(1), last);
-        w2.update(r(0), "move_naive", [Value::from("l"), Value::from(0), Value::from(2)]);
-        w2.update(r(1), "move_naive", [Value::from("l"), Value::from(0), Value::from(1)]);
+        w2.update(
+            r(0),
+            "move_naive",
+            [Value::from("l"), Value::from(0), Value::from(2)],
+        );
+        w2.update(
+            r(1),
+            "move_naive",
+            [Value::from("l"), Value::from(0), Value::from(1)],
+        );
         w2.sync_untracked(r(0), r(1));
         w2.sync_untracked(r(1), r(0));
         let states = run(&model, &w2.build());
-        let arr = states[0].doc.get(&["l"]).unwrap().as_array().unwrap().to_vec();
+        let arr = states[0]
+            .doc
+            .get(&["l"])
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .to_vec();
         assert_eq!(
             arr.iter().filter(|v| **v == Value::from("x")).count(),
             2,

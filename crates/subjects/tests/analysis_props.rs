@@ -1,0 +1,132 @@
+//! Soundness properties of the auto-derived independence.
+//!
+//! The static analysis promises: two interleavings merged by the derived
+//! independent sets (under the derived interference relation) reach
+//! identical final states. Equivalently, replaying only the canonical
+//! representatives loses no distinct outcome. These properties check that
+//! promise on randomized workloads over the `crdts` subject model, which
+//! exercises counters, LWW registers, OR-sets, RGA lists, and id minting.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use er_pi::{ExploreMode, Session, TestSuite};
+use er_pi_model::{ReplicaId, Value, Workload};
+use er_pi_subjects::CrdtsModel;
+
+/// Update vocabulary drawn from: each op name lands in a different CRDT
+/// family in the analysis' commutativity table.
+const OPS: [&str; 6] = [
+    "counter_inc",
+    "counter_dec",
+    "reg_set",
+    "list_push",
+    "set_add",
+    "todo_create",
+];
+
+#[derive(Debug, Clone)]
+enum Step {
+    Op(u16, usize, i64),
+    Sync(u16, u16),
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u16..3, 0usize..OPS.len(), 1i64..5).prop_map(|(r, o, v)| Step::Op(r, o, v)),
+            (0u16..3, 0u16..3).prop_map(|(f, t)| Step::Sync(f, t)),
+        ],
+        1..6,
+    )
+}
+
+fn build_workload(steps: &[Step]) -> Workload {
+    let mut w = Workload::builder();
+    let mut last_update = None;
+    for step in steps {
+        match step {
+            Step::Op(r, o, v) => {
+                last_update = Some(w.update(ReplicaId::new(*r), OPS[*o], [Value::from(*v)]));
+            }
+            Step::Sync(f, t) if f != t => {
+                let (from, to) = (ReplicaId::new(*f), ReplicaId::new(*t));
+                match last_update {
+                    Some(u) => {
+                        w.sync_pair(from, to, u);
+                    }
+                    None => {
+                        w.sync_untracked(from, to);
+                    }
+                }
+            }
+            Step::Sync(..) => {}
+        }
+    }
+    w.build()
+}
+
+/// Replays the workload in ER-π mode and returns the explored count plus
+/// the set of distinct run outcomes (final observations + failure count).
+fn outcomes(workload: &Workload, auto: bool) -> (usize, BTreeSet<(Vec<Value>, usize)>) {
+    let mut session = Session::new(CrdtsModel::new(3));
+    session.set_workload(workload.clone());
+    session.set_mode(ExploreMode::ErPi);
+    session.set_keep_runs(true);
+    session.set_cap(100_000);
+    session.set_auto_independence(auto);
+    let report = session.replay(&TestSuite::new()).unwrap();
+    let set = report
+        .runs
+        .iter()
+        .map(|run| (run.observations.clone(), run.failed_ops))
+        .collect();
+    (report.explored, set)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Soundness: exploring only the canonical representatives of the
+    /// auto-derived independence classes yields exactly the same set of
+    /// final outcomes as the un-merged exploration — merging never hides
+    /// a distinct final state (and never invents one).
+    #[test]
+    fn auto_derived_merging_preserves_the_outcome_set(steps in arb_steps()) {
+        let workload = build_workload(&steps);
+        let (n_base, base) = outcomes(&workload, false);
+        let (n_auto, auto) = outcomes(&workload, true);
+        prop_assert!(
+            n_auto <= n_base,
+            "derived independence may only prune ({n_auto} > {n_base})"
+        );
+        prop_assert_eq!(auto, base, "merging lost or invented an outcome");
+    }
+
+    /// The derived relations are well-formed: independent sets hold at
+    /// least two trace events each, and every interference pair points at
+    /// a member of some set.
+    #[test]
+    fn derived_relations_are_well_formed(steps in arb_steps()) {
+        let workload = build_workload(&steps);
+        let analysis = er_pi::analyze(&workload);
+        let members: BTreeSet<_> = analysis
+            .independence
+            .sets
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        for set in &analysis.independence.sets {
+            prop_assert!(set.len() >= 2, "singleton set survived: {set:?}");
+            for id in set {
+                prop_assert!(id.index() < workload.len(), "unknown event {id:?}");
+            }
+        }
+        for (x, y) in &analysis.independence.interference {
+            prop_assert!(members.contains(y), "interference targets non-member {y:?}");
+            prop_assert!(x.index() < workload.len(), "unknown interferer {x:?}");
+        }
+    }
+}

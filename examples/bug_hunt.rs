@@ -13,7 +13,9 @@ use er_pi::ExploreMode;
 use er_pi_subjects::Bug;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "OrbitDB-5".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "OrbitDB-5".into());
     let Some(bug) = Bug::by_name(&name) else {
         eprintln!("unknown bug {name}; pick one of:");
         for b in Bug::catalogue() {
@@ -31,7 +33,11 @@ fn main() {
     );
     println!();
 
-    for mode in [ExploreMode::ErPi, ExploreMode::Dfs, ExploreMode::Random { seed: 7 }] {
+    for mode in [
+        ExploreMode::ErPi,
+        ExploreMode::Dfs,
+        ExploreMode::Random { seed: 7 },
+    ] {
         let repro = bug.reproduce(mode, 10_000);
         match repro.found_at {
             Some(n) => println!(
@@ -53,8 +59,14 @@ fn main() {
     println!();
     println!("pruning configuration ER-π used:");
     let config = bug.pruning_config();
-    println!("  developer-specified groups: {}", config.extra_groups.len());
-    println!("  independence sets:          {}", config.independent_sets.len());
+    println!(
+        "  developer-specified groups: {}",
+        config.extra_groups.len()
+    );
+    println!(
+        "  independence sets:          {}",
+        config.independent_sets.len()
+    );
     println!("  failed-ops rules:           {}", config.failed_ops.len());
     let stats = bug.prune_stats(10_000);
     println!(

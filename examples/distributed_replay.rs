@@ -14,8 +14,7 @@
 //! Run with: `cargo run --example distributed_replay`
 
 use er_pi::{
-    FailedOpsRule, InlineExecutor, PruningConfig, Session, SystemModel, TestSuite,
-    ThreadedExecutor, TimeModel,
+    FailedOpsRule, InlineExecutor, PruningConfig, Session, SystemModel, ThreadedExecutor, TimeModel,
 };
 use er_pi_model::{EventId, ReplicaId, Value};
 use er_pi_subjects::TownApp;

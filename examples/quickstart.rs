@@ -36,9 +36,11 @@ fn main() {
     });
 
     let n = session.workload().unwrap().len();
-    println!("recorded {n} events — {}! = {} conceivable interleavings", n, {
-        er_pi_model::factorial(n)
-    });
+    println!(
+        "recorded {n} events — {}! = {} conceivable interleavings",
+        n,
+        { er_pi_model::factorial(n) }
+    );
 
     // ER-π.End(assertions): replay every (pruned) interleaving.
     let report = session.replay(&TownApp::invariant()).unwrap();
@@ -50,7 +52,10 @@ fn main() {
             v.message
         );
     }
-    println!("  … {} violating interleavings in total", report.violations.len());
+    println!(
+        "  … {} violating interleavings in total",
+        report.violations.len()
+    );
 
     // A developer-provided failed-ops rule reproduces the paper's 19.
     let [ev1, ev2, ev3, ev4] = events;

@@ -53,7 +53,11 @@ fn motivating_example_full_pipeline() {
 
 #[test]
 fn all_three_modes_find_the_motivating_violation() {
-    for mode in [ExploreMode::ErPi, ExploreMode::Dfs, ExploreMode::Random { seed: 7 }] {
+    for mode in [
+        ExploreMode::ErPi,
+        ExploreMode::Dfs,
+        ExploreMode::Random { seed: 7 },
+    ] {
         let mut session = Session::new(TownApp::new(2));
         record_motivating(&mut session);
         session.set_mode(mode);
@@ -77,10 +81,8 @@ fn threaded_and_inline_executors_agree_on_every_pruned_order() {
     for il in explorer {
         let inline = InlineExecutor::execute(&model, &workload, &il, &time);
         let threaded = ThreadedExecutor::execute(&model, &workload, &il, &time).unwrap();
-        let obs_inline: Vec<Value> =
-            inline.states.iter().map(|s| model.observe(s)).collect();
-        let obs_threaded: Vec<Value> =
-            threaded.states.iter().map(|s| model.observe(s)).collect();
+        let obs_inline: Vec<Value> = inline.states.iter().map(|s| model.observe(s)).collect();
+        let obs_threaded: Vec<Value> = threaded.states.iter().map(|s| model.observe(s)).collect();
         assert_eq!(obs_inline, obs_threaded, "divergence on {il}");
         assert_eq!(inline.outcomes, threaded.outcomes, "outcomes on {il}");
         checked += 1;
@@ -122,7 +124,10 @@ fn constraints_directory_prunes_mid_session() {
     std::fs::write(dir.join("rule.json"), serde_json::to_string(&rule).unwrap()).unwrap();
     session.watch_constraints(&dir);
     let report = session.replay(&TownApp::invariant()).unwrap();
-    assert_eq!(report.explored, 19, "the dropped constraint shrank the space");
+    assert_eq!(
+        report.explored, 19,
+        "the dropped constraint shrank the space"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -131,7 +136,11 @@ fn recording_executes_against_the_real_subject() {
     // The LiveSystem is not a mock: recorded calls run the actual RDL.
     let mut session = Session::new(RoshiModel::new(2));
     session.record(|app| {
-        app.invoke(r(0), "insert", [Value::from("k"), Value::from("m"), Value::from(9)]);
+        app.invoke(
+            r(0),
+            "insert",
+            [Value::from("k"), Value::from("m"), Value::from(9)],
+        );
         let sel = app.invoke(r(0), "select", [Value::from("k")]);
         assert!(matches!(app.outcome(sel), er_pi::OpOutcome::Observed(_)));
         assert_eq!(app.state(r(0)).store.key_len("k"), 1);
@@ -148,9 +157,9 @@ fn cross_run_divergence_detector_spans_subjects() {
         app.sync_split(r(1), r(0), Some(s1));
         app.invoke(r(0), "set", [Value::from("k"), Value::from("local")]);
     });
-    let suite = TestSuite::new().with_cross(
-        er_pi::CrossCheck::same_state_across_interleavings("stable", 0),
-    );
+    let suite = TestSuite::new().with_cross(er_pi::CrossCheck::same_state_across_interleavings(
+        "stable", 0,
+    ));
     let report = session.replay(&suite).unwrap();
     assert!(!report.passed(), "LWW winner depends on the interleaving");
 }

@@ -113,11 +113,11 @@ fn pruning_configs_never_hide_a_bug() {
 fn table2_matrix_matches_the_paper() {
     let matrix = misconception_matrix();
     let expected: [[bool; 5]; 5] = [
-        [true, true, true, false, true],   // Roshi
-        [true, false, false, false, true], // OrbitDB
+        [true, true, true, false, true],    // Roshi
+        [true, false, false, false, true],  // OrbitDB
         [true, false, false, false, false], // ReplicaDB
-        [true, false, false, false, true], // Yorkie
-        [true, true, true, true, true],    // CRDTs
+        [true, false, false, false, true],  // Yorkie
+        [true, true, true, true, true],     // CRDTs
     ];
     for ((subject, row), exp_row) in matrix.iter().zip(expected) {
         for (cell, exp) in row.iter().zip(exp_row) {

@@ -3,8 +3,8 @@
 //! mean for ER-π's misconception detectors.
 
 use er_pi_model::ReplicaId;
-use er_pi_replica::{Cluster, DeliveryMode};
 use er_pi_rdl::{DeltaSync, OrSet, Rga};
+use er_pi_replica::{Cluster, DeliveryMode};
 
 fn r(i: u16) -> ReplicaId {
     ReplicaId::new(i)
@@ -47,7 +47,10 @@ fn orset_converges_under_reordered_delivery() {
 #[test]
 fn lossy_network_delays_but_does_not_corrupt() {
     let mut cluster: Cluster<OrSet<i64>> = Cluster::new(2, OrSet::new);
-    cluster.set_delivery(DeliveryMode::Lossy { loss_permille: 400, seed: 3 });
+    cluster.set_delivery(DeliveryMode::Lossy {
+        loss_permille: 400,
+        seed: 3,
+    });
     cluster.update(r(0), |s| {
         s.insert(7);
     });

@@ -1,0 +1,443 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! The real crates.io registry is unreachable in this build environment, so
+//! the workspace vendors a small serde-compatible surface: a self-describing
+//! [`Content`] tree as the data model, [`Serialize`] / [`Deserialize`] traits
+//! that convert to and from it, and (behind the `derive` feature) re-exported
+//! derive macros from the local `serde_derive`. `serde_json` renders
+//! `Content` to JSON text and back.
+//!
+//! Only the API surface this workspace uses is provided; the derive macros
+//! mirror real serde's externally-tagged representation so JSON produced here
+//! matches what the real stack would emit for these types.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model every serializable value lowers into.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (covers every unsigned value up to `i128::MAX`).
+    Int(i128),
+    /// An unsigned integer outside the `i128` range.
+    UInt(u128),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered list of key/value entries.
+    Map(Vec<(Content, Content)>),
+}
+
+/// Types that can lower themselves into a [`Content`] tree.
+pub trait Serialize {
+    /// Converts `self` into the serde data model.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can be rebuilt from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the serde data model.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// A deserialization error: a message describing what was expected.
+#[derive(Debug, Clone)]
+pub struct DeError(String);
+
+impl DeError {
+    /// An arbitrary error message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// "expected X while deserializing T".
+    pub fn expected(what: &str, ty: &str) -> Self {
+        DeError(format!("expected {what} while deserializing {ty}"))
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(field: &str, ty: &str) -> Self {
+        DeError(format!("missing field `{field}` while deserializing {ty}"))
+    }
+
+    /// An enum key did not match any variant.
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        DeError(format!("unknown variant `{variant}` for {ty}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Looks up `key` in a map's entry list (string keys only).
+pub fn content_get<'a>(entries: &'a [(Content, Content)], key: &str) -> Option<&'a Content> {
+    entries.iter().find_map(|(k, v)| match k {
+        Content::Str(s) if s == key => Some(v),
+        _ => None,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                match content {
+                    Content::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| DeError::custom(format!("{} out of range for {}", i, stringify!($t)))),
+                    Content::UInt(u) => <$t>::try_from(*u)
+                        .map_err(|_| DeError::custom(format!("{} out of range for {}", u, stringify!($t)))),
+                    Content::Str(s) => s.parse::<$t>()
+                        .map_err(|_| DeError::expected("integer string", stringify!($t))),
+                    _ => Err(DeError::expected("integer", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Serialize for i128 {
+    fn to_content(&self) -> Content {
+        Content::Int(*self)
+    }
+}
+
+impl Deserialize for i128 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Int(i) => Ok(*i),
+            Content::UInt(u) => {
+                i128::try_from(*u).map_err(|_| DeError::custom("u128 out of range for i128"))
+            }
+            Content::Str(s) => s
+                .parse()
+                .map_err(|_| DeError::expected("integer string", "i128")),
+            _ => Err(DeError::expected("integer", "i128")),
+        }
+    }
+}
+
+impl Serialize for u128 {
+    fn to_content(&self) -> Content {
+        match i128::try_from(*self) {
+            Ok(i) => Content::Int(i),
+            Err(_) => Content::UInt(*self),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Int(i) => {
+                u128::try_from(*i).map_err(|_| DeError::custom("negative value for u128"))
+            }
+            Content::UInt(u) => Ok(*u),
+            Content::Str(s) => s
+                .parse()
+                .map_err(|_| DeError::expected("integer string", "u128")),
+            _ => Err(DeError::expected("integer", "u128")),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", "bool")),
+        }
+    }
+}
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                match content {
+                    Content::F64(f) => Ok(*f as $t),
+                    Content::Int(i) => Ok(*i as $t),
+                    Content::UInt(u) => Ok(*u as $t),
+                    _ => Err(DeError::expected("number", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::expected("single-character string", "char")),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(()),
+            _ => Err(DeError::expected("null", "()")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference / container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(DeError::expected("sequence", "Vec")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(DeError::expected("sequence", "VecDeque")),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = $n; 1 })+;
+                match content {
+                    Content::Seq(items) if items.len() == LEN => {
+                        Ok(($($t::from_content(&items[$n])?,)+))
+                    }
+                    _ => Err(DeError::expected("tuple sequence", "tuple")),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_content(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+                .collect(),
+            _ => Err(DeError::expected("map", "BTreeMap")),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_content(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+                .collect(),
+            _ => Err(DeError::expected("map", "HashMap")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(DeError::expected("sequence", "BTreeSet")),
+        }
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T, S> Deserialize for HashSet<T, S>
+where
+    T: Deserialize + std::hash::Hash + Eq,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(DeError::expected("sequence", "HashSet")),
+        }
+    }
+}

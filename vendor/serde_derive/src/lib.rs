@@ -1,0 +1,555 @@
+//! Minimal offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! Generates `Serialize` / `Deserialize` impls against the vendored `serde`
+//! crate's `Content` data model. Supports the subset of shapes this workspace
+//! actually derives: braced structs (optionally generic with inline bounds),
+//! tuple structs, unit structs, and externally-tagged enums with unit /
+//! newtype / tuple / struct variants. Recognised attributes:
+//! `#[serde(transparent)]` (container) and `#[serde(default)]` (container or
+//! field).
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed item model
+// ---------------------------------------------------------------------------
+
+struct FieldInfo {
+    name: String,
+    default: bool,
+}
+
+enum Body {
+    Named(Vec<FieldInfo>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct GParam {
+    name: String,
+    bounds: String,
+}
+
+struct Item {
+    name: String,
+    transparent: bool,
+    container_default: bool,
+    generics: Vec<GParam>,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn ident_str(t: &TokenTree) -> String {
+    match t {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected identifier, found `{other}`"),
+    }
+}
+
+fn ident_is(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(id) if id.to_string() == s)
+}
+
+/// Returns the idents inside a `#[serde(...)]` attribute bracket group, or
+/// an empty list for any other attribute.
+fn serde_words(bracket: &Group) -> Vec<String> {
+    let toks: Vec<TokenTree> = bracket.stream().into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => match toks.get(1) {
+            Some(TokenTree::Group(inner)) => inner
+                .stream()
+                .into_iter()
+                .filter_map(|t| match t {
+                    TokenTree::Ident(id) => Some(id.to_string()),
+                    _ => None,
+                })
+                .collect(),
+            _ => Vec::new(),
+        },
+        _ => Vec::new(),
+    }
+}
+
+/// Skips `#[...]` attributes starting at `*i`, feeding serde words to `sink`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize, sink: &mut dyn FnMut(&str)) {
+    while *i + 1 < toks.len() && is_punct(&toks[*i], '#') {
+        if let TokenTree::Group(g) = &toks[*i + 1] {
+            for w in serde_words(g) {
+                sink(&w);
+            }
+        }
+        *i += 2;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    let mut transparent = false;
+    let mut container_default = false;
+    skip_attrs(&toks, &mut i, &mut |w| match w {
+        "transparent" => transparent = true,
+        "default" => container_default = true,
+        _ => {}
+    });
+    if ident_is(&toks[i], "pub") {
+        i += 1;
+        if matches!(&toks[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+            i += 1;
+        }
+    }
+    let kind = ident_str(&toks[i]);
+    i += 1;
+    let name = ident_str(&toks[i]);
+    i += 1;
+    let generics = parse_generics(&toks, &mut i);
+    let body = match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Tuple(count_tuple_fields(g))
+            }
+            Some(t) if is_punct(t, ';') => Body::Unit,
+            other => panic!("serde_derive: unsupported struct body after `{name}`: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g))
+            }
+            other => panic!("serde_derive: expected enum body for `{name}`, found {other:?}"),
+        },
+        other => panic!("serde_derive: unsupported item kind `{other}`"),
+    };
+    Item {
+        name,
+        transparent,
+        container_default,
+        generics,
+        body,
+    }
+}
+
+fn parse_generics(toks: &[TokenTree], i: &mut usize) -> Vec<GParam> {
+    let mut out = Vec::new();
+    if *i >= toks.len() || !is_punct(&toks[*i], '<') {
+        return out;
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut params: Vec<Vec<TokenTree>> = Vec::new();
+    while *i < toks.len() {
+        let t = &toks[*i];
+        if is_punct(t, '<') {
+            depth += 1;
+        } else if is_punct(t, '>') {
+            depth -= 1;
+            if depth == 0 {
+                *i += 1;
+                break;
+            }
+        } else if is_punct(t, ',') && depth == 1 {
+            params.push(std::mem::take(&mut current));
+            *i += 1;
+            continue;
+        }
+        current.push(t.clone());
+        *i += 1;
+    }
+    if !current.is_empty() {
+        params.push(current);
+    }
+    for p in params {
+        out.push(parse_gparam(&p));
+    }
+    out
+}
+
+fn parse_gparam(toks: &[TokenTree]) -> GParam {
+    if toks.is_empty() || matches!(&toks[0], TokenTree::Punct(p) if p.as_char() == '\'') {
+        panic!("serde_derive: lifetime/const generic params are not supported");
+    }
+    let name = ident_str(&toks[0]);
+    let bounds = if toks.len() > 2 && is_punct(&toks[1], ':') {
+        toks[2..]
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    } else {
+        String::new()
+    };
+    GParam { name, bounds }
+}
+
+fn parse_named_fields(g: &Group) -> Vec<FieldInfo> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        let mut default = false;
+        skip_attrs(&toks, &mut i, &mut |w| {
+            if w == "default" {
+                default = true;
+            }
+        });
+        if i >= toks.len() {
+            break;
+        }
+        if ident_is(&toks[i], "pub") {
+            i += 1;
+            if matches!(&toks[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+                i += 1;
+            }
+        }
+        let name = ident_str(&toks[i]);
+        i += 1;
+        assert!(
+            is_punct(&toks[i], ':'),
+            "serde_derive: expected `:` after field `{name}`"
+        );
+        i += 1;
+        // Skip the type up to the next top-level comma. Groups are single
+        // trees; only `<`/`>` puncts need explicit depth tracking.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            let t = &toks[i];
+            if is_punct(t, '<') {
+                depth += 1;
+            } else if is_punct(t, '>') {
+                depth -= 1;
+            } else if is_punct(t, ',') && depth == 0 {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        out.push(FieldInfo { name, default });
+    }
+    out
+}
+
+fn count_tuple_fields(g: &Group) -> usize {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1usize;
+    let mut saw_trailing = false;
+    for (idx, t) in toks.iter().enumerate() {
+        if is_punct(t, '<') {
+            depth += 1;
+        } else if is_punct(t, '>') {
+            depth -= 1;
+        } else if is_punct(t, ',') && depth == 0 {
+            if idx == toks.len() - 1 {
+                saw_trailing = true;
+            } else {
+                count += 1;
+            }
+        }
+    }
+    let _ = saw_trailing;
+    count
+}
+
+fn parse_variants(g: &Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i, &mut |_| {});
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_str(&toks[i]);
+        i += 1;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(vg).into_iter().map(|f| f.name).collect())
+            }
+            Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(vg))
+            }
+            _ => VariantShape::Unit,
+        };
+        while i < toks.len() && !is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        if i < toks.len() {
+            i += 1;
+        }
+        out.push(Variant { name, shape });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str, bound: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {}", item.name)
+    } else {
+        let ig: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| {
+                if g.bounds.is_empty() {
+                    format!("{}: {bound}", g.name)
+                } else {
+                    format!("{}: {} + {bound}", g.name, g.bounds)
+                }
+            })
+            .collect();
+        let tg: Vec<String> = item.generics.iter().map(|g| g.name.clone()).collect();
+        format!(
+            "impl<{}> ::serde::{trait_name} for {}<{}>",
+            ig.join(", "),
+            item.name,
+            tg.join(", ")
+        )
+    }
+}
+
+fn str_content(s: &str) -> String {
+    format!("::serde::Content::Str(::std::string::String::from(\"{s}\"))")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let header = impl_header(item, "Serialize", "::serde::Serialize");
+    let body = match &item.body {
+        Body::Named(fields) => {
+            if item.transparent && fields.len() == 1 {
+                format!("::serde::Serialize::to_content(&self.{})", fields[0].name)
+            } else {
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "({}, ::serde::Serialize::to_content(&self.{}))",
+                            str_content(&f.name),
+                            f.name
+                        )
+                    })
+                    .collect();
+                format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+            }
+        }
+        Body::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", elems.join(", "))
+        }
+        Body::Unit => "::serde::Content::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => {
+                            format!("Self::{vname} => {},", str_content(vname))
+                        }
+                        VariantShape::Tuple(1) => format!(
+                            "Self::{vname}(__f0) => ::serde::Content::Map(::std::vec![({}, ::serde::Serialize::to_content(__f0))]),",
+                            str_content(vname)
+                        ),
+                        VariantShape::Tuple(n) => {
+                            let pats: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_content(__f{i})"))
+                                .collect();
+                            format!(
+                                "Self::{vname}({}) => ::serde::Content::Map(::std::vec![({}, ::serde::Content::Seq(::std::vec![{}]))]),",
+                                pats.join(", "),
+                                str_content(vname),
+                                elems.join(", ")
+                            )
+                        }
+                        VariantShape::Named(fields) => {
+                            let pats = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({}, ::serde::Serialize::to_content({f}))",
+                                        str_content(f)
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "Self::{vname} {{ {pats} }} => ::serde::Content::Map(::std::vec![({}, ::serde::Content::Map(::std::vec![{}]))]),",
+                                str_content(vname),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] {header} {{ fn to_content(&self) -> ::serde::Content {{ {body} }} }}"
+    )
+}
+
+fn named_field_expr(f: &FieldInfo, container_default: bool, ty: &str, map_var: &str) -> String {
+    let missing = if f.default || container_default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::DeError::missing_field(\"{}\", \"{ty}\"))",
+            f.name
+        )
+    };
+    format!(
+        "{}: match ::serde::content_get({map_var}, \"{}\") {{ ::std::option::Option::Some(__v) => ::serde::Deserialize::from_content(__v)?, ::std::option::Option::None => {missing} }}",
+        f.name, f.name
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let header = impl_header(item, "Deserialize", "::serde::Deserialize");
+    let ty = &item.name;
+    let body = match &item.body {
+        Body::Named(fields) => {
+            if item.transparent && fields.len() == 1 {
+                format!(
+                    "::std::result::Result::Ok(Self {{ {}: ::serde::Deserialize::from_content(__c)? }})",
+                    fields[0].name
+                )
+            } else {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| named_field_expr(f, item.container_default, ty, "__m"))
+                    .collect();
+                format!(
+                    "match __c {{ ::serde::Content::Map(__m) => ::std::result::Result::Ok(Self {{ {} }}), _ => ::std::result::Result::Err(::serde::DeError::expected(\"map\", \"{ty}\")) }}",
+                    inits.join(", ")
+                )
+            }
+        }
+        Body::Tuple(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_content(__c)?))".to_string()
+        }
+        Body::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&__s[{i}])?"))
+                .collect();
+            format!(
+                "match __c {{ ::serde::Content::Seq(__s) if __s.len() == {n} => ::std::result::Result::Ok(Self({})), _ => ::std::result::Result::Err(::serde::DeError::expected(\"sequence of {n}\", \"{ty}\")) }}",
+                elems.join(", ")
+            )
+        }
+        Body::Unit => "::std::result::Result::Ok(Self)".to_string(),
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, VariantShape::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok(Self::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        VariantShape::Unit => None,
+                        VariantShape::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok(Self::{vname}(::serde::Deserialize::from_content(__v)?)),"
+                        )),
+                        VariantShape::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_content(&__s[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => match __v {{ ::serde::Content::Seq(__s) if __s.len() == {n} => ::std::result::Result::Ok(Self::{vname}({})), _ => ::std::result::Result::Err(::serde::DeError::expected(\"sequence of {n}\", \"{ty}::{vname}\")) }},",
+                                elems.join(", ")
+                            ))
+                        }
+                        VariantShape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|name| {
+                                    let f = FieldInfo { name: name.clone(), default: false };
+                                    named_field_expr(&f, false, ty, "__m2")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => match __v {{ ::serde::Content::Map(__m2) => ::std::result::Result::Ok(Self::{vname} {{ {} }}), _ => ::std::result::Result::Err(::serde::DeError::expected(\"map\", \"{ty}::{vname}\")) }},",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            let v_pat = if data_arms.is_empty() { "_" } else { "__v" };
+            format!(
+                "match __c {{ \
+                   ::serde::Content::Str(__s) => match __s.as_str() {{ {} __o => ::std::result::Result::Err(::serde::DeError::unknown_variant(__o, \"{ty}\")) }}, \
+                   ::serde::Content::Map(__m) if __m.len() == 1 => {{ \
+                     let (__k, {v_pat}) = &__m[0]; \
+                     let __k = match __k {{ ::serde::Content::Str(__s) => __s.as_str(), _ => return ::std::result::Result::Err(::serde::DeError::expected(\"string variant key\", \"{ty}\")) }}; \
+                     match __k {{ {} __o => ::std::result::Result::Err(::serde::DeError::unknown_variant(__o, \"{ty}\")) }} \
+                   }}, \
+                   _ => ::std::result::Result::Err(::serde::DeError::expected(\"externally tagged variant\", \"{ty}\")) }}",
+                unit_arms.join(" "),
+                data_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] {header} {{ fn from_content(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}"
+    )
+}
