@@ -11,6 +11,7 @@
 //! | `fig8_auto` | Figure 8 variant — hand-declared vs auto-derived independence (JSON) |
 //! | `fig9` | Figure 9 — per-algorithm pruning contributions |
 //! | `fig10` | Figure 10 — the succeed-or-crash micro-benchmark |
+//! | `fig_parallel` | Replay-pool wall-clock speedup at 1/2/4/8 workers (JSON) |
 
 /// The seed used for the Random exploration mode across all experiments.
 /// Fixed for reproducibility; any seed produces the same qualitative shape

@@ -16,7 +16,10 @@ pub enum ErPiError {
         /// Underlying cause.
         cause: String,
     },
-    /// The threaded executor lost a worker.
+    /// A replay worker panicked — either a replica thread of the threaded
+    /// executor or a shard worker of the parallel replay pool. The panic is
+    /// contained: the session stays usable and partial shard results are
+    /// discarded.
     ExecutorPanic(String),
 }
 

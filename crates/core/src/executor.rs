@@ -79,7 +79,6 @@ impl ThreadedExecutor {
         let sequencer = OrderSequencer::new(RedisLite::new(), "er-pi-replay");
         let states = Mutex::new(model.init_all());
         let outcomes = Mutex::new(vec![OpOutcome::Applied; il.len()]);
-        let sim_us = Mutex::new(time.reset_cost_us);
 
         // Partition tickets by owning replica.
         let replica_count = model.replicas();
@@ -94,36 +93,43 @@ impl ThreadedExecutor {
             tickets_per_replica[replica].push((pos as u64, id));
         }
 
-        let result: Result<(), String> = std::thread::scope(|scope| {
+        // Each replica thread accumulates its own simulated-time partial
+        // and returns it through `join`; the partials are then summed in
+        // replica order. This keeps the total structurally independent of
+        // thread completion order (and off the hot lock), so it is always
+        // equal to the inline executor's sum.
+        let result: Result<Vec<u64>, String> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for tickets in tickets_per_replica {
                 let sequencer = &sequencer;
                 let states = &states;
                 let outcomes = &outcomes;
-                let sim_us = &sim_us;
                 handles.push(scope.spawn(move || {
+                    let mut local_us = 0u64;
                     for (ticket, id) in tickets {
                         sequencer.run_in_order(ticket, || {
                             let event = workload.event(id);
                             let mut guard = states.lock();
                             let outcome = model.apply(&mut guard, event);
                             outcomes.lock()[ticket as usize] = outcome;
-                            *sim_us.lock() += time.event_cost_us(event);
+                            local_us += time.event_cost_us(event);
                         });
                     }
+                    local_us
                 }));
             }
+            let mut partials = Vec::with_capacity(replica_count);
             for handle in handles {
-                handle.join().map_err(|e| format!("{e:?}"))?;
+                partials.push(handle.join().map_err(|e| format!("{e:?}"))?);
             }
-            Ok(())
+            Ok(partials)
         });
-        result.map_err(ErPiError::ExecutorPanic)?;
+        let partials = result.map_err(ErPiError::ExecutorPanic)?;
 
         Ok(Execution {
             states: states.into_inner(),
             outcomes: outcomes.into_inner(),
-            sim_us: sim_us.into_inner(),
+            sim_us: time.reset_cost_us + partials.iter().sum::<u64>(),
         })
     }
 }
@@ -196,6 +202,31 @@ mod tests {
         assert_eq!(inline.states, threaded.states);
         assert_eq!(inline.outcomes, threaded.outcomes);
         assert_eq!(inline.sim_us, threaded.sim_us);
+
+        // Regression: on a multi-sync workload the per-event costs differ
+        // per replica (sync vs update, host profiles), so any accounting
+        // that depended on thread completion order would drift here. The
+        // per-thread partial sums must still equal the inline total.
+        let mut mw = Workload::builder();
+        let u0 = mw.update(ReplicaId::new(0), "op", [Value::from(0)]);
+        mw.sync_pair(ReplicaId::new(0), ReplicaId::new(1), u0);
+        let u1 = mw.update(ReplicaId::new(1), "op", [Value::from(1)]);
+        mw.sync_pair(ReplicaId::new(1), ReplicaId::new(2), u1);
+        let send = mw.sync_send(ReplicaId::new(2), ReplicaId::new(0), Some(u1));
+        mw.sync_exec(ReplicaId::new(0), ReplicaId::new(2), send);
+        mw.update(ReplicaId::new(2), "op", [Value::from(2)]);
+        let mw = mw.build();
+        let scrambled: Interleaving = [2u32, 0, 6, 1, 4, 3, 5]
+            .into_iter()
+            .map(er_pi_model::EventId::new)
+            .collect();
+        for il in [mw.recorded_order(), scrambled] {
+            let inline = InlineExecutor::execute(&OrderProbe, &mw, &il, &time);
+            let threaded = ThreadedExecutor::execute(&OrderProbe, &mw, &il, &time).unwrap();
+            assert_eq!(inline.sim_us, threaded.sim_us, "sim_us drift on {il}");
+            assert_eq!(inline.states, threaded.states);
+            assert_eq!(inline.outcomes, threaded.outcomes);
+        }
     }
 
     #[test]

@@ -131,6 +131,7 @@ mod constraints;
 mod error;
 mod executor;
 mod misconceptions;
+mod pool;
 mod profile;
 mod report;
 mod session;
@@ -142,7 +143,8 @@ pub use constraints::ConstraintsDir;
 pub use error::ErPiError;
 pub use executor::{InlineExecutor, ThreadedExecutor};
 pub use misconceptions::{misconception, Misconception};
-pub use profile::{FailureStats, ReplicaLoad, ResourceProfile};
+pub use pool::ReplayPool;
+pub use profile::{FailureStats, ReplicaLoad, ResourceProfile, WorkerLoad};
 pub use report::{Report, RunRecord, Violation};
 pub use session::{LiveSystem, Session};
 pub use system::{OpOutcome, SystemModel};

@@ -1,0 +1,475 @@
+//! The parallel replay scheduler: cross-interleaving parallelism.
+//!
+//! The paper's cost model is dominated by State-4 replay — every surviving
+//! interleaving is executed with checkpoint/reset. [`ThreadedExecutor`]
+//! parallelizes the replicas *within* one interleaving (faithful to §4.3's
+//! distributed lock, and bounded by it); the [`ReplayPool`] instead fans the
+//! pruned set itself across worker threads, each replaying whole
+//! interleavings independently against its own cloned checkpoint. Replays
+//! are embarrassingly parallel — runs share no state — so the only work is
+//! making the *merged* result indistinguishable from the sequential one:
+//!
+//! * every dispensed interleaving carries a stable exploration index
+//!   ([`IndexedSource`]), and merged runs are ordered by it;
+//! * under `stop_on_first_violation`, cancellation is cooperative (an
+//!   `AtomicBool` checked between interleavings) and the *lowest-indexed*
+//!   violation wins: runs past it are discarded, so the bug-reproduction
+//!   output is deterministic no matter which worker found what first;
+//! * a panicking model surfaces as [`ErPiError::ExecutorPanic`] and the
+//!   whole result set is discarded — the session itself is left usable.
+//!
+//! [`ThreadedExecutor`]: crate::ThreadedExecutor
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use er_pi_interleave::IndexedSource;
+use er_pi_model::{Interleaving, Value, Workload};
+use parking_lot::Mutex;
+
+use crate::{
+    CheckContext, ErPiError, InlineExecutor, Report, RunRecord, SystemModel, TestSuite, TimeModel,
+    Violation, WorkerLoad,
+};
+
+/// Sentinel for "no violation found yet" in the atomic minimum.
+const NO_VIOLATION: usize = usize::MAX;
+
+/// A pool of replay workers fanning the pruned interleaving set across
+/// threads.
+///
+/// Constructed by [`Session::replay`](crate::Session::replay) whenever the
+/// session's worker count is above one; also usable standalone through
+/// [`ReplayPool::replay`] for custom exploration sources.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayPool {
+    workers: usize,
+}
+
+/// What one worker hands back per replayed interleaving.
+struct WorkerRun {
+    index: usize,
+    record: RunRecord,
+    violations: Vec<(String, String)>,
+}
+
+/// The merged result of a pooled replay, before the session dresses it up
+/// as a [`Report`].
+pub(crate) struct PoolOutput {
+    /// Retained runs, ordered by exploration index (dense from 0).
+    pub runs: Vec<RunRecord>,
+    /// Per-run violations of the retained runs, in (run, assertion) order.
+    pub violations: Vec<Violation>,
+    /// Lowest run index with a violation, if any.
+    pub first_violation_at: Option<usize>,
+    /// Σ `sim_us` over the retained runs.
+    pub sim_us: u64,
+    /// Whether cooperative cancellation fired (stop-on-first-violation).
+    pub cancelled: bool,
+    /// Per-worker replay counters, in worker order.
+    pub worker_loads: Vec<WorkerLoad>,
+}
+
+impl ReplayPool {
+    /// Creates a pool with `workers` threads (`0` means "all available
+    /// cores").
+    pub fn new(workers: usize) -> Self {
+        ReplayPool {
+            workers: if workers == 0 {
+                Self::available_workers()
+            } else {
+                workers
+            },
+        }
+    }
+
+    /// The number of worker threads this pool spawns.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The platform's available parallelism (used for worker count `0` and
+    /// the session default); `1` when it cannot be queried.
+    pub fn available_workers() -> usize {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+
+    /// Replays everything `source` dispenses and merges the results into a
+    /// [`Report`] deterministically equal to a sequential replay of the
+    /// same source (compare with [`Report::diff`]).
+    ///
+    /// This is the standalone entry point over an explicit exploration
+    /// source; [`Session::replay`](crate::Session::replay) wires the same
+    /// machinery to the session's explorer, pruning configuration, and
+    /// static-analysis pass.
+    ///
+    /// # Errors
+    ///
+    /// [`ErPiError::ExecutorPanic`] if the model panics in any worker; all
+    /// shard results are discarded.
+    pub fn replay<M, I>(
+        &self,
+        model: &M,
+        workload: &Workload,
+        source: I,
+        time: &TimeModel,
+        suite: &TestSuite<M::State>,
+        stop_on_first_violation: bool,
+    ) -> Result<Report, ErPiError>
+    where
+        M: SystemModel + Sync,
+        I: Iterator<Item = Interleaving> + Send,
+    {
+        let started = std::time::Instant::now();
+        let mut source = IndexedSource::new(source, usize::MAX);
+        let out = self.run(
+            model,
+            workload,
+            &mut source,
+            time,
+            suite,
+            stop_on_first_violation,
+        )?;
+        let keep = !suite.cross_checks().is_empty();
+        let mut violations = out.violations;
+        for check in suite.cross_checks() {
+            if let Err(message) = check.check(&crate::CrossContext { runs: &out.runs }) {
+                violations.push(Violation {
+                    run: None,
+                    assertion: check.name().to_owned(),
+                    message,
+                    interleaving: None,
+                });
+            }
+        }
+        Ok(Report {
+            mode: "pool".into(),
+            explored: out.runs.len(),
+            first_violation_at: out.first_violation_at,
+            prune_stats: None,
+            wasted_work: 0,
+            wall_ms: started.elapsed().as_millis(),
+            sim_us: out.sim_us,
+            runs: if keep { out.runs } else { Vec::new() },
+            violations,
+            stopped_early: out.cancelled || source.truncated(),
+            diagnostics: Vec::new(),
+            worker_loads: out.worker_loads,
+        })
+    }
+
+    /// The scheduling core: workers claim `(index, interleaving)` pairs
+    /// from the shared source, execute them against fresh checkpoints, and
+    /// push results into a shared sink; the merge restores sequential
+    /// order. Used by both [`ReplayPool::replay`] and the session.
+    pub(crate) fn run<M, I>(
+        &self,
+        model: &M,
+        workload: &Workload,
+        source: &mut IndexedSource<I>,
+        time: &TimeModel,
+        suite: &TestSuite<M::State>,
+        stop_on_first_violation: bool,
+    ) -> Result<PoolOutput, ErPiError>
+    where
+        M: SystemModel + Sync,
+        I: Iterator<Item = Interleaving> + Send,
+    {
+        let dispenser = Mutex::new(source);
+        let sink: Mutex<Vec<WorkerRun>> = Mutex::new(Vec::new());
+        let cancel = AtomicBool::new(false);
+        let lowest_violation = AtomicUsize::new(NO_VIOLATION);
+        let panicked: Mutex<Option<String>> = Mutex::new(None);
+
+        let worker_loads = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.workers)
+                .map(|worker| {
+                    let dispenser = &dispenser;
+                    let sink = &sink;
+                    let cancel = &cancel;
+                    let lowest_violation = &lowest_violation;
+                    let panicked = &panicked;
+                    scope.spawn(move || {
+                        let mut load = WorkerLoad {
+                            worker,
+                            runs: 0,
+                            sim_us: 0,
+                        };
+                        loop {
+                            if cancel.load(Ordering::Acquire) {
+                                break;
+                            }
+                            // Claim-then-execute: once an index is claimed
+                            // it is always executed, so the dispensed index
+                            // range stays dense — the merge relies on it.
+                            let Some((index, il)) = dispenser.lock().next() else {
+                                break;
+                            };
+                            let executed = catch_unwind(AssertUnwindSafe(|| {
+                                execute_one(model, workload, index, il, time, suite)
+                            }));
+                            match executed {
+                                Ok(run) => {
+                                    load.runs += 1;
+                                    load.sim_us += run.record.sim_us;
+                                    let violated = !run.violations.is_empty();
+                                    if violated {
+                                        lowest_violation.fetch_min(run.index, Ordering::AcqRel);
+                                        if stop_on_first_violation {
+                                            cancel.store(true, Ordering::Release);
+                                        }
+                                    }
+                                    sink.lock().push(run);
+                                }
+                                Err(payload) => {
+                                    let mut note = panicked.lock();
+                                    if note.is_none() {
+                                        *note = Some(panic_message(payload.as_ref()));
+                                    }
+                                    cancel.store(true, Ordering::Release);
+                                    break;
+                                }
+                            }
+                        }
+                        load
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("pool workers catch model panics"))
+                .collect::<Vec<WorkerLoad>>()
+        });
+
+        if let Some(what) = panicked.into_inner() {
+            // Discard every shard's results; the session stays usable.
+            return Err(ErPiError::ExecutorPanic(what));
+        }
+
+        let mut produced = sink.into_inner();
+        produced.sort_unstable_by_key(|run| run.index);
+
+        // Lowest-indexed violation wins: under stop-on-first, runs beyond
+        // it were speculative and are discarded so the merged report equals
+        // the sequential one byte for byte.
+        let lowest = lowest_violation.into_inner();
+        let cancelled = stop_on_first_violation && lowest != NO_VIOLATION;
+        if cancelled {
+            produced.truncate(lowest + 1);
+        }
+
+        let mut runs = Vec::with_capacity(produced.len());
+        let mut violations = Vec::new();
+        let mut sim_us = 0u64;
+        for run in produced {
+            debug_assert_eq!(run.index, runs.len(), "merged indices must be dense");
+            sim_us += run.record.sim_us;
+            for (assertion, message) in run.violations {
+                violations.push(Violation {
+                    run: Some(run.index),
+                    assertion,
+                    message,
+                    interleaving: Some(run.record.interleaving.clone()),
+                });
+            }
+            runs.push(run.record);
+        }
+
+        Ok(PoolOutput {
+            runs,
+            violations,
+            first_violation_at: (lowest != NO_VIOLATION).then_some(lowest),
+            sim_us,
+            cancelled,
+            worker_loads,
+        })
+    }
+}
+
+/// Executes one interleaving against a fresh checkpoint and checks the
+/// suite — the per-item body shared by all workers.
+fn execute_one<M: SystemModel>(
+    model: &M,
+    workload: &Workload,
+    index: usize,
+    il: Interleaving,
+    time: &TimeModel,
+    suite: &TestSuite<M::State>,
+) -> WorkerRun {
+    let exec = InlineExecutor::execute(model, workload, &il, time);
+    let observations: Vec<Value> = exec.states.iter().map(|s| model.observe(s)).collect();
+    let ctx = CheckContext {
+        states: &exec.states,
+        observations: &observations,
+        interleaving: &il,
+        outcomes: &exec.outcomes,
+    };
+    let mut violations = Vec::new();
+    for assertion in suite.assertions() {
+        if let Err(message) = assertion.check(&ctx) {
+            violations.push((assertion.name().to_owned(), message));
+        }
+    }
+    let failed_ops = exec.outcomes.iter().filter(|o| o.is_failed()).count();
+    WorkerRun {
+        index,
+        record: RunRecord {
+            interleaving: il,
+            observations,
+            failed_ops,
+            sim_us: exec.sim_us,
+        },
+        violations,
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Assertion;
+    use er_pi_interleave::DfsExplorer;
+    use er_pi_model::{Event, EventKind, ReplicaId};
+
+    /// Integer register per replica; `set(v)` writes, fused sync copies.
+    struct RegApp;
+
+    impl SystemModel for RegApp {
+        type State = i64;
+
+        fn replicas(&self) -> usize {
+            2
+        }
+
+        fn init(&self, _replica: ReplicaId) -> i64 {
+            0
+        }
+
+        fn apply(&self, states: &mut [i64], event: &Event) -> crate::OpOutcome {
+            match &event.kind {
+                EventKind::LocalUpdate { op } => {
+                    states[event.replica.index()] = op.arg(0).and_then(Value::as_int).unwrap_or(0);
+                    crate::OpOutcome::Applied
+                }
+                EventKind::Sync { to, .. } => {
+                    states[to.index()] = states[event.replica.index()];
+                    crate::OpOutcome::Applied
+                }
+                _ => crate::OpOutcome::failed("unsupported"),
+            }
+        }
+
+        fn observe(&self, state: &i64) -> Value {
+            Value::from(*state)
+        }
+    }
+
+    fn two_writes() -> Workload {
+        let a = ReplicaId::new(0);
+        let b = ReplicaId::new(1);
+        let mut w = Workload::builder();
+        let w1 = w.update(a, "set", [Value::from(1)]);
+        w.sync_pair(a, b, w1);
+        let w2 = w.update(b, "set", [Value::from(2)]);
+        w.sync_pair(b, a, w2);
+        w.build()
+    }
+
+    #[test]
+    fn pool_covers_the_space_in_stable_order() {
+        let w = two_writes();
+        let time = TimeModel::paper_setup();
+        let suite = TestSuite::new().with_cross(crate::CrossCheck::new("keep", |_| Ok(())));
+        let sequential: Vec<Interleaving> = DfsExplorer::new(&w).collect();
+        for workers in [1, 2, 4] {
+            let pool = ReplayPool::new(workers);
+            let report = pool
+                .replay(&RegApp, &w, DfsExplorer::new(&w), &time, &suite, false)
+                .unwrap();
+            assert_eq!(report.explored, 24);
+            let replayed: Vec<&Interleaving> =
+                report.runs.iter().map(|r| &r.interleaving).collect();
+            assert_eq!(
+                replayed,
+                sequential.iter().collect::<Vec<_>>(),
+                "{workers} workers must preserve exploration order"
+            );
+            assert_eq!(report.worker_loads.len(), workers);
+            let total: usize = report.worker_loads.iter().map(|l| l.runs).sum();
+            assert_eq!(total, 24, "no lost or duplicated runs across workers");
+        }
+    }
+
+    #[test]
+    fn lowest_indexed_violation_wins() {
+        let w = two_writes();
+        let time = TimeModel::paper_setup();
+        let suite = TestSuite::new().with(Assertion::replicas_converge("conv"));
+        let baseline = ReplayPool::new(1)
+            .replay(&RegApp, &w, DfsExplorer::new(&w), &time, &suite, true)
+            .unwrap();
+        for workers in [2, 4, 8] {
+            let report = ReplayPool::new(workers)
+                .replay(&RegApp, &w, DfsExplorer::new(&w), &time, &suite, true)
+                .unwrap();
+            assert_eq!(report.first_violation_at, baseline.first_violation_at);
+            assert_eq!(report.explored, baseline.explored);
+            assert_eq!(report.violations, baseline.violations);
+            assert_eq!(report.sim_us, baseline.sim_us);
+            assert!(report.stopped_early);
+        }
+    }
+
+    #[test]
+    fn model_panics_surface_as_executor_panic() {
+        struct Bomb;
+        impl SystemModel for Bomb {
+            type State = ();
+            fn replicas(&self) -> usize {
+                1
+            }
+            fn init(&self, _r: ReplicaId) {}
+            fn apply(&self, _s: &mut [()], _e: &Event) -> crate::OpOutcome {
+                panic!("pool kaboom");
+            }
+            fn observe(&self, _s: &()) -> Value {
+                Value::Null
+            }
+        }
+        let mut w = Workload::builder();
+        w.update(ReplicaId::new(0), "x", [Value::from(1)]);
+        w.update(ReplicaId::new(0), "y", [Value::from(2)]);
+        let w = w.build();
+        let err = ReplayPool::new(4).replay(
+            &Bomb,
+            &w,
+            DfsExplorer::new(&w),
+            &TimeModel::paper_setup(),
+            &TestSuite::new(),
+            false,
+        );
+        match err {
+            Err(ErPiError::ExecutorPanic(what)) => assert!(what.contains("pool kaboom")),
+            other => panic!("expected ExecutorPanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_workers_means_available_parallelism() {
+        let pool = ReplayPool::new(0);
+        assert_eq!(pool.workers(), ReplayPool::available_workers());
+        assert!(pool.workers() >= 1);
+    }
+}

@@ -4,6 +4,8 @@ use er_pi_analysis::Diagnostic;
 use er_pi_interleave::PruneStats;
 use er_pi_model::{Interleaving, Value};
 
+use crate::WorkerLoad;
+
 /// The record of one replayed interleaving.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunRecord {
@@ -57,6 +59,10 @@ pub struct Report {
     /// Pre-replay lint diagnostics from the static trace analysis
     /// (misconception patterns flagged before any interleaving ran).
     pub diagnostics: Vec<Diagnostic>,
+    /// Per-worker replay counters of the parallel pool (empty for a
+    /// sequential replay). The run→worker assignment is
+    /// scheduling-dependent; every other field of the report is not.
+    pub worker_loads: Vec<WorkerLoad>,
 }
 
 impl Report {
@@ -68,6 +74,37 @@ impl Report {
     /// Total simulated seconds.
     pub fn sim_secs(&self) -> f64 {
         self.sim_us as f64 / 1e6
+    }
+
+    /// Compares the two reports' *deterministic* fields — everything except
+    /// wall-clock time and the run→worker assignment — and names the first
+    /// field that differs. `None` means the reports are equivalent: this is
+    /// the differential oracle behind the parallel-equivalence suite, where
+    /// a pooled replay must be indistinguishable from a sequential one.
+    pub fn diff(&self, other: &Report) -> Option<String> {
+        macro_rules! cmp {
+            ($field:ident) => {
+                if self.$field != other.$field {
+                    return Some(format!(
+                        "{}: {:?} != {:?}",
+                        stringify!($field),
+                        self.$field,
+                        other.$field
+                    ));
+                }
+            };
+        }
+        cmp!(mode);
+        cmp!(explored);
+        cmp!(first_violation_at);
+        cmp!(prune_stats);
+        cmp!(wasted_work);
+        cmp!(sim_us);
+        cmp!(stopped_early);
+        cmp!(violations);
+        cmp!(runs);
+        cmp!(diagnostics);
+        None
     }
 
     /// Compact one-line summary.
@@ -114,5 +151,34 @@ mod tests {
     #[test]
     fn empty_report_passes() {
         assert!(Report::default().passed());
+    }
+
+    #[test]
+    fn diff_ignores_wall_clock_and_worker_assignment() {
+        let a = Report {
+            wall_ms: 10,
+            worker_loads: vec![WorkerLoad {
+                worker: 0,
+                runs: 3,
+                sim_us: 9,
+            }],
+            ..Report::default()
+        };
+        let b = Report {
+            wall_ms: 99,
+            ..Report::default()
+        };
+        assert_eq!(a.diff(&b), None);
+    }
+
+    #[test]
+    fn diff_names_the_differing_field() {
+        let a = Report::default();
+        let b = Report {
+            explored: 7,
+            ..Report::default()
+        };
+        let diff = a.diff(&b).unwrap();
+        assert!(diff.contains("explored"), "{diff}");
     }
 }

@@ -1,11 +1,11 @@
 //! The testing session: `ER-π.Start()` … `ER-π.End(assertions)`.
 
-use std::collections::HashSet;
 use std::time::Instant;
 
 use er_pi_datalog::InterleavingStore;
 use er_pi_interleave::{
-    DfsExplorer, ErPiExplorer, ExploreMode, Explorer, PruneStats, PruningConfig, RandomExplorer,
+    DfsExplorer, ErPiExplorer, ExploreMode, Explorer, IndexedSource, PruneStats, PruningConfig,
+    RandomExplorer,
 };
 use er_pi_model::{
     EventId, Interleaving, OpDescriptor, ReplicaId, Value, Workload, WorkloadBuilder,
@@ -14,8 +14,8 @@ use er_pi_model::{
 use er_pi_analysis::TraceAnalysis;
 
 use crate::{
-    CheckContext, ConstraintsDir, CrossContext, ErPiError, InlineExecutor, OpOutcome, Report,
-    RunRecord, SystemModel, TestSuite, TimeModel, Violation,
+    CheckContext, ConstraintsDir, CrossContext, ErPiError, InlineExecutor, OpOutcome, ReplayPool,
+    Report, RunRecord, SystemModel, TestSuite, TimeModel, Violation, WorkerLoad,
 };
 
 /// The live, recording instance of the system under test.
@@ -132,15 +132,19 @@ enum AnyExplorer<'w> {
     Rand(RandomExplorer),
 }
 
-impl AnyExplorer<'_> {
-    fn next_il(&mut self) -> Option<Interleaving> {
+impl Iterator for AnyExplorer<'_> {
+    type Item = Interleaving;
+
+    fn next(&mut self) -> Option<Interleaving> {
         match self {
             AnyExplorer::ErPi(e) => e.next(),
             AnyExplorer::Dfs(e) => e.next(),
             AnyExplorer::Rand(e) => e.next(),
         }
     }
+}
 
+impl AnyExplorer<'_> {
     fn mode_name(&self) -> &'static str {
         match self {
             AnyExplorer::ErPi(e) => e.name(),
@@ -181,12 +185,27 @@ pub struct Session<M: SystemModel> {
     max_interleavings: usize,
     stop_on_first_violation: bool,
     keep_runs: bool,
+    workers: usize,
     time: TimeModel,
     constraints: Option<ConstraintsDir>,
     constraint_poll_every: usize,
     persist: bool,
     workload: Option<Workload>,
     store: Option<InterleavingStore>,
+}
+
+/// What either replay strategy produces before the report is assembled.
+struct ReplayOutcome {
+    mode: String,
+    runs: Vec<RunRecord>,
+    violations: Vec<Violation>,
+    first_violation_at: Option<usize>,
+    sim_us: u64,
+    stopped_early: bool,
+    prune_stats: Option<PruneStats>,
+    wasted: u64,
+    store: Option<InterleavingStore>,
+    worker_loads: Vec<WorkerLoad>,
 }
 
 impl<M: SystemModel> Session<M> {
@@ -201,6 +220,7 @@ impl<M: SystemModel> Session<M> {
             max_interleavings: 10_000,
             stop_on_first_violation: false,
             keep_runs: false,
+            workers: ReplayPool::available_workers(),
             time: TimeModel::paper_setup(),
             constraints: None,
             constraint_poll_every: 100,
@@ -257,6 +277,31 @@ impl<M: SystemModel> Session<M> {
     pub fn set_keep_runs(&mut self, keep: bool) -> &mut Self {
         self.keep_runs = keep;
         self
+    }
+
+    /// Sets the number of replay worker threads (default: all available
+    /// cores; `0` also means "all available cores").
+    ///
+    /// With more than one worker, [`Session::replay`] fans the pruned
+    /// interleaving set across a [`ReplayPool`]; the merged report is
+    /// deterministically identical to the sequential one (compare with
+    /// [`Report::diff`]). `1` forces the sequential in-situ path — the
+    /// reference the differential-equivalence suite checks the pool
+    /// against. Sessions watching a constraints directory replay
+    /// sequentially regardless, because State-4 ingestion is a feedback
+    /// loop on the live exploration order.
+    pub fn set_workers(&mut self, workers: usize) -> &mut Self {
+        self.workers = if workers == 0 {
+            ReplayPool::available_workers()
+        } else {
+            workers
+        };
+        self
+    }
+
+    /// The configured replay worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Replaces the simulated-time model.
@@ -336,12 +381,22 @@ impl<M: SystemModel> Session<M> {
     /// Replays the recorded workload's interleavings and checks `suite`
     /// after each one — States 2–4 of the paper's workflow.
     ///
+    /// With the session's worker count above one (the default is all
+    /// available cores, see [`Session::set_workers`]), the pruned set is
+    /// fanned across a [`ReplayPool`]; the merged report is
+    /// deterministically identical to a single-worker replay.
+    ///
     /// # Errors
     ///
     /// [`ErPiError::NothingRecorded`] without a prior
     /// [`Session::record`]/[`Session::set_workload`];
-    /// [`ErPiError::Constraints`] if a constraints file is malformed.
-    pub fn replay(&mut self, suite: &TestSuite<M::State>) -> Result<Report, ErPiError> {
+    /// [`ErPiError::Constraints`] if a constraints file is malformed;
+    /// [`ErPiError::ExecutorPanic`] if the model panics inside a pooled
+    /// replay worker (the session stays usable).
+    pub fn replay(&mut self, suite: &TestSuite<M::State>) -> Result<Report, ErPiError>
+    where
+        M: Sync,
+    {
         let workload = self.workload.clone().ok_or(ErPiError::NothingRecorded)?;
         let started = Instant::now();
 
@@ -366,36 +421,84 @@ impl<M: SystemModel> Session<M> {
             effective.absorb(analysis.to_pruning_config());
         }
 
-        let mut explorer = self.build_explorer(&workload, &effective);
-        let mode_name = explorer.mode_name().to_owned();
-        let mut executed: HashSet<u64> = HashSet::new();
+        // Constraint watching is a feedback loop on the live exploration
+        // order (State 4 → State 2), so it pins the sequential strategy.
+        let mut outcome = if self.workers > 1 && self.constraints.is_none() {
+            self.replay_pooled(&workload, &effective, suite)?
+        } else {
+            self.replay_sequential(&workload, &mut effective, suite)?
+        };
+
+        // Cross-interleaving checks (misconceptions #1/#5 detectors).
+        let cross_ctx = CrossContext {
+            runs: &outcome.runs,
+        };
+        for check in suite.cross_checks() {
+            if let Err(message) = check.check(&cross_ctx) {
+                outcome.violations.push(Violation {
+                    run: None,
+                    assertion: check.name().to_owned(),
+                    message,
+                    interleaving: None,
+                });
+            }
+        }
+
+        // Charge the Random mode's shuffle-retry overhead.
+        let sim_us_total = outcome.sim_us + outcome.wasted * self.time.shuffle_retry_cost_us;
+
+        self.store = outcome.store;
+        Ok(Report {
+            mode: outcome.mode,
+            explored: outcome.runs.len(),
+            first_violation_at: outcome.first_violation_at,
+            prune_stats: outcome.prune_stats,
+            wasted_work: outcome.wasted,
+            wall_ms: started.elapsed().as_millis(),
+            sim_us: sim_us_total,
+            runs: if self.keep_runs || !suite.cross_checks().is_empty() {
+                outcome.runs
+            } else {
+                Vec::new()
+            },
+            violations: outcome.violations,
+            stopped_early: outcome.stopped_early,
+            diagnostics,
+            worker_loads: outcome.worker_loads,
+        })
+    }
+
+    /// The in-situ sequential strategy: one interleaving at a time, with
+    /// State-4 constraint ingestion and regeneration between runs. This is
+    /// the reference semantics the parallel pool is checked against.
+    fn replay_sequential(
+        &mut self,
+        workload: &Workload,
+        effective: &mut PruningConfig,
+        suite: &TestSuite<M::State>,
+    ) -> Result<ReplayOutcome, ErPiError> {
+        let explorer = self.build_explorer(workload, effective);
+        let mode = explorer.mode_name().to_owned();
+        let mut source = IndexedSource::new(explorer, self.max_interleavings);
         let mut runs: Vec<RunRecord> = Vec::new();
         let mut violations: Vec<Violation> = Vec::new();
         let mut first_violation_at = None;
-        let mut sim_us_total: u64 = 0;
-        let mut stopped_early = false;
-        let mut store = self.persist.then(|| InterleavingStore::new(&workload));
+        let mut sim_us: u64 = 0;
+        let mut stopped_by_violation = false;
+        let mut store = self.persist.then(|| InterleavingStore::new(workload));
 
-        'explore: while let Some(il) = explorer.next_il() {
-            if runs.len() >= self.max_interleavings {
-                stopped_early = true;
-                break;
-            }
-            if !executed.insert(il.fingerprint()) {
-                continue; // already replayed before a regeneration
-            }
+        while let Some((run_index, il)) = source.next() {
             if let Some(store) = store.as_mut() {
                 store.store(&il);
             }
 
             // State 3: checkpointed execution of one interleaving. Fresh
             // states per run are the checkpoint/reset of §4.3.
-            let exec = InlineExecutor::execute(&self.model, &workload, &il, &self.time);
-            sim_us_total += exec.sim_us;
+            let exec = InlineExecutor::execute(&self.model, workload, &il, &self.time);
+            sim_us += exec.sim_us;
             let observations: Vec<Value> =
                 exec.states.iter().map(|s| self.model.observe(s)).collect();
 
-            let run_index = runs.len();
             let ctx = CheckContext {
                 states: &exec.states,
                 observations: &observations,
@@ -426,59 +529,106 @@ impl<M: SystemModel> Session<M> {
             });
 
             if violated && self.stop_on_first_violation {
-                stopped_early = true;
-                break 'explore;
+                stopped_by_violation = true;
+                break;
             }
 
             // State 4: periodically ingest runtime constraints and
-            // regenerate the (pruned) interleavings.
+            // regenerate the (pruned) interleavings; the source's dedup
+            // set skips everything already replayed.
             if let Some(constraints) = self.constraints.as_mut() {
                 if runs.len().is_multiple_of(self.constraint_poll_every) {
                     if let Some(newer) = constraints.poll()? {
                         self.config.absorb(newer.clone());
                         effective.absorb(newer);
                         if matches!(self.mode, ExploreMode::ErPi) {
-                            explorer = self.build_explorer(&workload, &effective);
+                            source.reseed(self.build_explorer(workload, effective));
                         }
                     }
                 }
             }
         }
 
-        // Cross-interleaving checks (misconceptions #1/#5 detectors).
-        let cross_ctx = CrossContext { runs: &runs };
-        for check in suite.cross_checks() {
-            if let Err(message) = check.check(&cross_ctx) {
-                violations.push(Violation {
-                    run: None,
-                    assertion: check.name().to_owned(),
-                    message,
-                    interleaving: None,
-                });
-            }
-        }
-
-        // Charge the Random mode's shuffle-retry overhead.
-        let wasted = explorer.wasted();
-        sim_us_total += wasted * self.time.shuffle_retry_cost_us;
-
-        self.store = store;
-        Ok(Report {
-            mode: mode_name,
-            explored: runs.len(),
-            first_violation_at,
-            prune_stats: explorer.stats(),
-            wasted_work: wasted,
-            wall_ms: started.elapsed().as_millis(),
-            sim_us: sim_us_total,
-            runs: if self.keep_runs || !suite.cross_checks().is_empty() {
-                runs
-            } else {
-                Vec::new()
-            },
+        let stopped_early = stopped_by_violation || source.truncated();
+        let explorer = source.inner();
+        Ok(ReplayOutcome {
+            mode,
+            runs,
             violations,
+            first_violation_at,
+            sim_us,
             stopped_early,
-            diagnostics,
+            prune_stats: explorer.stats(),
+            wasted: explorer.wasted(),
+            store,
+            worker_loads: Vec::new(),
+        })
+    }
+
+    /// The pooled strategy: the same dispensing discipline, with execution
+    /// fanned across [`ReplayPool`] workers and results merged back into
+    /// exploration order.
+    fn replay_pooled(
+        &self,
+        workload: &Workload,
+        effective: &PruningConfig,
+        suite: &TestSuite<M::State>,
+    ) -> Result<ReplayOutcome, ErPiError>
+    where
+        M: Sync,
+    {
+        let explorer = self.build_explorer(workload, effective);
+        let mode = explorer.mode_name().to_owned();
+        let mut source = IndexedSource::new(explorer, self.max_interleavings);
+        let pool = ReplayPool::new(self.workers);
+        let out = pool.run(
+            &self.model,
+            workload,
+            &mut source,
+            &self.time,
+            suite,
+            self.stop_on_first_violation,
+        )?;
+
+        // Deterministic explorer counters: after a cooperative cancellation
+        // the pool has usually dispensed past the sequential stop point, so
+        // the live explorer's pruning/retry counters depend on scheduling.
+        // Re-derive them by dispensing exactly the retained run count from
+        // a fresh explorer — cheap (generation only) and bit-equal to what
+        // the sequential strategy would have observed.
+        let (prune_stats, wasted) = if out.cancelled {
+            let mut redo = IndexedSource::new(
+                self.build_explorer(workload, effective),
+                self.max_interleavings,
+            );
+            for _ in 0..out.runs.len() {
+                redo.next();
+            }
+            (redo.inner().stats(), redo.inner().wasted())
+        } else {
+            (source.inner().stats(), source.inner().wasted())
+        };
+
+        // The persisted store mirrors the retained runs in dispatch order.
+        let store = self.persist.then(|| {
+            let mut store = InterleavingStore::new(workload);
+            for run in &out.runs {
+                store.store(&run.interleaving);
+            }
+            store
+        });
+
+        Ok(ReplayOutcome {
+            mode,
+            stopped_early: out.cancelled || source.truncated(),
+            runs: out.runs,
+            violations: out.violations,
+            first_violation_at: out.first_violation_at,
+            sim_us: out.sim_us,
+            prune_stats,
+            wasted,
+            store,
+            worker_loads: out.worker_loads,
         })
     }
 }

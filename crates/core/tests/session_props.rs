@@ -129,7 +129,7 @@ fn observation_set<M>(
     mode: ExploreMode,
 ) -> (usize, BTreeSet<Vec<Value>>)
 where
-    M: SystemModel,
+    M: SystemModel + Sync,
     M::State: 'static,
 {
     let mut session = Session::new(model);

@@ -71,6 +71,7 @@ mod grouping;
 mod independence;
 mod permute;
 mod replica_specific;
+mod shard;
 
 pub use config::{FailedOpsRule, PruningConfig};
 pub use erpi::{ErPiExplorer, PruneStats};
@@ -80,3 +81,4 @@ pub use grouping::{group_events, GroupedUnits};
 pub use independence::independence_canonical;
 pub use permute::Permutations;
 pub use replica_specific::replica_specific_canonical;
+pub use shard::IndexedSource;

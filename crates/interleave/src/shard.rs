@@ -1,0 +1,204 @@
+//! Shardable, indexed iteration over the pruned interleaving set.
+//!
+//! [`IndexedSource`] is the single dispensing discipline shared by the
+//! sequential replay loop and the parallel [`ReplayPool`]: it pulls
+//! candidates from any explorer, drops fingerprint duplicates (which appear
+//! after a State-4 regeneration), enforces the interleaving cap, and stamps
+//! every surviving interleaving with a stable, strictly increasing
+//! *exploration index*. Because both execution strategies draw from the same
+//! source, the index assigned to an interleaving is independent of how many
+//! workers later replay it — the invariant the differential-equivalence
+//! suite pins down.
+//!
+//! [`ReplayPool`]: https://docs.rs/er-pi
+
+use std::collections::HashSet;
+
+use er_pi_model::Interleaving;
+
+/// A deduplicating, capping, index-stamping wrapper around an explorer.
+///
+/// Semantics (identical to the historical sequential loop in
+/// `Session::replay`):
+///
+/// 1. pull the next candidate from the underlying explorer;
+/// 2. if the cap is already reached, mark the source *truncated* and stop —
+///    the candidate is discarded, mirroring the sequential loop's
+///    "`runs.len() >= cap` → `stopped_early`" check, which fires only when
+///    the explorer proves it had more to offer;
+/// 3. if the candidate's fingerprint was already dispensed, skip it
+///    (regenerated explorers re-emit old interleavings);
+/// 4. otherwise dispense `(index, interleaving)` with the next index.
+///
+/// ```
+/// use er_pi_interleave::{DfsExplorer, IndexedSource};
+/// use er_pi_model::{ReplicaId, Workload};
+///
+/// let mut w = Workload::builder();
+/// w.update(ReplicaId::new(0), "a", [1]);
+/// w.update(ReplicaId::new(1), "b", [2]);
+/// let w = w.build();
+///
+/// let mut source = IndexedSource::new(DfsExplorer::new(&w), 10);
+/// let (i0, _) = source.next().unwrap();
+/// let (i1, _) = source.next().unwrap();
+/// assert_eq!((i0, i1), (0, 1));
+/// assert!(source.next().is_none());
+/// assert!(!source.truncated(), "the space ran dry before the cap");
+/// ```
+#[derive(Debug)]
+pub struct IndexedSource<I> {
+    inner: I,
+    seen: HashSet<u64>,
+    next_index: usize,
+    cap: usize,
+    truncated: bool,
+}
+
+impl<I: Iterator<Item = Interleaving>> IndexedSource<I> {
+    /// Wraps `inner`, dispensing at most `cap` interleavings.
+    pub fn new(inner: I, cap: usize) -> Self {
+        IndexedSource {
+            inner,
+            seen: HashSet::new(),
+            next_index: 0,
+            cap,
+            truncated: false,
+        }
+    }
+
+    /// Replaces the underlying explorer while keeping the dedup set, the
+    /// index counter, and the cap — the State-4 regeneration: newly ingested
+    /// constraints rebuild the generator, and anything it re-emits that was
+    /// already replayed is skipped.
+    pub fn reseed(&mut self, inner: I) {
+        self.inner = inner;
+    }
+
+    /// Number of interleavings dispensed so far (also the next index).
+    pub fn dispensed(&self) -> usize {
+        self.next_index
+    }
+
+    /// Returns `true` once the cap cut the iteration short while the
+    /// explorer still had candidates.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// The wrapped explorer (e.g. to read its pruning counters).
+    pub fn inner(&self) -> &I {
+        &self.inner
+    }
+
+    /// Unwraps the underlying explorer.
+    pub fn into_inner(self) -> I {
+        self.inner
+    }
+}
+
+impl<I: Iterator<Item = Interleaving>> Iterator for IndexedSource<I> {
+    type Item = (usize, Interleaving);
+
+    fn next(&mut self) -> Option<(usize, Interleaving)> {
+        if self.truncated {
+            return None;
+        }
+        loop {
+            let il = self.inner.next()?;
+            if self.next_index >= self.cap {
+                self.truncated = true;
+                return None;
+            }
+            if !self.seen.insert(il.fingerprint()) {
+                continue;
+            }
+            let index = self.next_index;
+            self.next_index += 1;
+            return Some((index, il));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DfsExplorer, ErPiExplorer, PruningConfig};
+    use er_pi_model::{ReplicaId, Value, Workload};
+
+    fn workload(n: usize) -> Workload {
+        let mut w = Workload::builder();
+        for i in 0..n {
+            w.update(
+                ReplicaId::new((i % 3) as u16),
+                "op",
+                [Value::from(i as i64)],
+            );
+        }
+        w.build()
+    }
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        let w = workload(4);
+        let source = IndexedSource::new(DfsExplorer::new(&w), usize::MAX);
+        let indices: Vec<usize> = source.map(|(i, _)| i).collect();
+        assert_eq!(indices, (0..24).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cap_truncates_and_flags() {
+        let w = workload(4);
+        let mut source = IndexedSource::new(DfsExplorer::new(&w), 5);
+        let drawn: Vec<_> = source.by_ref().collect();
+        assert_eq!(drawn.len(), 5);
+        assert!(source.truncated());
+        assert_eq!(source.dispensed(), 5);
+        assert!(source.next().is_none(), "truncation is sticky");
+    }
+
+    #[test]
+    fn exact_cap_without_surplus_is_not_truncated() {
+        let w = workload(3);
+        let mut source = IndexedSource::new(DfsExplorer::new(&w), 6);
+        assert_eq!(source.by_ref().count(), 6);
+        assert!(
+            !source.truncated(),
+            "the explorer ran dry exactly at the cap"
+        );
+    }
+
+    #[test]
+    fn reseed_skips_already_dispensed_interleavings() {
+        let w = workload(3);
+        let mut source = IndexedSource::new(DfsExplorer::new(&w), usize::MAX);
+        let first_three: Vec<_> = source.by_ref().take(3).collect();
+        assert_eq!(first_three.len(), 3);
+        // Regenerate: the fresh explorer re-emits all six orders, but the
+        // three already dispensed are skipped and indices keep counting.
+        source.reseed(DfsExplorer::new(&w));
+        let rest: Vec<_> = source.by_ref().collect();
+        assert_eq!(rest.len(), 3);
+        assert_eq!(rest[0].0, 3, "indices continue after a reseed");
+        let mut all: Vec<u64> = first_three
+            .iter()
+            .chain(&rest)
+            .map(|(_, il)| il.fingerprint())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 6, "union covers the space with no duplicates");
+    }
+
+    #[test]
+    fn pruned_explorer_passes_through_unchanged() {
+        let w = workload(4);
+        let config = PruningConfig::default();
+        let direct: Vec<Interleaving> = ErPiExplorer::new(&w, &config).collect();
+        let sourced: Vec<Interleaving> =
+            IndexedSource::new(ErPiExplorer::new(&w, &config), usize::MAX)
+                .map(|(_, il)| il)
+                .collect();
+        assert_eq!(direct, sourced);
+    }
+}

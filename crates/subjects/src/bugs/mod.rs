@@ -18,7 +18,7 @@ mod roshi_bugs;
 mod yorkie_bugs;
 
 use er_pi::{
-    Assertion, ExploreMode, InlineExecutor, PruningConfig, Session, SystemModel, TestSuite,
+    Assertion, ExploreMode, InlineExecutor, PruningConfig, Report, Session, SystemModel, TestSuite,
     TimeModel,
 };
 use er_pi_interleave::{DfsExplorer, PruneStats};
@@ -193,26 +193,35 @@ impl std::fmt::Debug for Bug {
     }
 }
 
-fn run<M, S>(
+/// How one reproduction attempt is scheduled.
+struct RunPlan {
+    mode: ExploreMode,
+    cap: usize,
+    stop_on_first_violation: bool,
+    /// Replay worker threads; `1` pins the sequential reference path.
+    workers: usize,
+}
+
+fn run_report<M, S>(
     model: M,
     workload: &Workload,
     config: &PruningConfig,
-    mode: ExploreMode,
-    cap: usize,
+    plan: &RunPlan,
     check: for<'a> fn(&BugCtx<'a, S>) -> Option<String>,
-) -> Repro
+) -> Report
 where
-    M: SystemModel<State = S>,
+    M: SystemModel<State = S> + Sync,
     S: 'static,
 {
     let mut session = Session::new(model);
     session.set_workload(workload.clone());
-    if matches!(mode, ExploreMode::ErPi) {
+    if matches!(plan.mode, ExploreMode::ErPi) {
         session.set_config(config.clone());
     }
-    session.set_mode(mode);
-    session.set_cap(cap);
-    session.set_stop_on_first_violation(true);
+    session.set_mode(plan.mode);
+    session.set_cap(plan.cap);
+    session.set_stop_on_first_violation(plan.stop_on_first_violation);
+    session.set_workers(plan.workers);
     let suite = TestSuite::new().with(Assertion::new("bug-manifested", move |ctx| {
         let bug_ctx = BugCtx {
             states: ctx.states,
@@ -223,7 +232,28 @@ where
             None => Ok(()),
         }
     }));
-    let report = session.replay(&suite).expect("bug workload installed");
+    session.replay(&suite).expect("bug workload installed")
+}
+
+fn run<M, S>(
+    model: M,
+    workload: &Workload,
+    config: &PruningConfig,
+    mode: ExploreMode,
+    cap: usize,
+    check: for<'a> fn(&BugCtx<'a, S>) -> Option<String>,
+) -> Repro
+where
+    M: SystemModel<State = S> + Sync,
+    S: 'static,
+{
+    let plan = RunPlan {
+        mode,
+        cap,
+        stop_on_first_violation: true,
+        workers: 0, // all available cores
+    };
+    let report = run_report(model, workload, config, &plan, check);
     Repro {
         mode: report.mode.clone(),
         found_at: report.first_violation_at.map(|i| i + 1),
@@ -408,6 +438,42 @@ impl Bug {
                 cap,
                 *check,
             ),
+        }
+    }
+
+    /// Replays the bug's workload in ER-π mode and returns the full
+    /// [`Report`] — the entry point of the differential-equivalence test
+    /// harness. `workers == 1` pins the sequential reference path;
+    /// `workers == 0` uses all available cores. Reports produced at
+    /// different worker counts must satisfy [`Report::diff`] `== None`.
+    pub fn replay_report(
+        &self,
+        cap: usize,
+        stop_on_first_violation: bool,
+        workers: usize,
+    ) -> Report {
+        let plan = RunPlan {
+            mode: ExploreMode::ErPi,
+            cap,
+            stop_on_first_violation,
+            workers,
+        };
+        match &self.imp {
+            BugImpl::Roshi { model, check } => {
+                run_report(model.clone(), &self.workload, &self.config, &plan, *check)
+            }
+            BugImpl::Orbit { model, check } => {
+                run_report(model.clone(), &self.workload, &self.config, &plan, *check)
+            }
+            BugImpl::ReplicaDb { model, check } => {
+                run_report(model.clone(), &self.workload, &self.config, &plan, *check)
+            }
+            BugImpl::Yorkie { model, check } => {
+                run_report(model.clone(), &self.workload, &self.config, &plan, *check)
+            }
+            BugImpl::Crdts { model, check } => {
+                run_report(model.clone(), &self.workload, &self.config, &plan, *check)
+            }
         }
     }
 

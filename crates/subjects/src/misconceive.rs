@@ -41,7 +41,10 @@ fn r(i: u16) -> ReplicaId {
     ReplicaId::new(i)
 }
 
-fn detected<M: SystemModel>(mut session: Session<M>, suite: &TestSuite<M::State>) -> MatrixCell {
+fn detected<M: SystemModel + Sync>(
+    mut session: Session<M>,
+    suite: &TestSuite<M::State>,
+) -> MatrixCell {
     let report = session.replay(suite).expect("workload recorded");
     if report.passed() {
         MatrixCell::NotDetected
