@@ -56,6 +56,12 @@ impl<M: SystemModel> SystemModel for Latency<M> {
     fn observe(&self, state: &M::State) -> Value {
         self.0.observe(state)
     }
+
+    fn state_size_hint(&self, state: &M::State) -> usize {
+        // Forwarded so the wrapped model's snapshot-budget accounting
+        // survives the wrapper (sessions default to incremental replay).
+        self.0.state_size_hint(state)
+    }
 }
 
 #[derive(Serialize)]

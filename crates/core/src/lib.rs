@@ -130,6 +130,7 @@ mod checks;
 mod constraints;
 mod error;
 mod executor;
+mod incremental;
 mod misconceptions;
 mod pool;
 mod profile;
@@ -141,10 +142,11 @@ mod time;
 pub use checks::{Assertion, CheckContext, CrossCheck, CrossContext, TestSuite};
 pub use constraints::ConstraintsDir;
 pub use error::ErPiError;
-pub use executor::{InlineExecutor, ThreadedExecutor};
+pub use executor::{Execution, InlineExecutor, ThreadedExecutor};
+pub use incremental::{CheckpointTrie, IncrementalExecutor, DEFAULT_CACHE_BUDGET};
 pub use misconceptions::{misconception, Misconception};
 pub use pool::ReplayPool;
-pub use profile::{FailureStats, ReplicaLoad, ResourceProfile, WorkerLoad};
+pub use profile::{CacheStats, FailureStats, ReplicaLoad, ResourceProfile, WorkerLoad};
 pub use report::{Report, RunRecord, Violation};
 pub use session::{LiveSystem, Session};
 pub use system::{OpOutcome, SystemModel};

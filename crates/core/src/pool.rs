@@ -28,12 +28,21 @@ use er_pi_model::{Interleaving, Value, Workload};
 use parking_lot::Mutex;
 
 use crate::{
-    CheckContext, ErPiError, InlineExecutor, Report, RunRecord, SystemModel, TestSuite, TimeModel,
-    Violation, WorkerLoad,
+    CacheStats, CheckContext, ErPiError, IncrementalExecutor, InlineExecutor, Report, RunRecord,
+    SystemModel, TestSuite, TimeModel, Violation, WorkerLoad,
 };
 
 /// Sentinel for "no violation found yet" in the atomic minimum.
 const NO_VIOLATION: usize = usize::MAX;
+
+/// Interleavings claimed per dispenser lock acquisition. Contiguous chunks
+/// (rather than strided or item-at-a-time claims) preserve per-worker
+/// prefix locality: lexicographically adjacent interleavings land in the
+/// same worker's checkpoint trie, so incremental resumes stay hot. Chunks
+/// also amortize the dispenser lock. Cooperative cancellation is checked
+/// *between* chunks only — a claimed chunk always executes to completion,
+/// keeping the dispensed index range dense for the merge.
+const CLAIM_CHUNK: usize = 32;
 
 /// A pool of replay workers fanning the pruned interleaving set across
 /// threads.
@@ -68,6 +77,9 @@ pub(crate) struct PoolOutput {
     pub cancelled: bool,
     /// Per-worker replay counters, in worker order.
     pub worker_loads: Vec<WorkerLoad>,
+    /// Checkpoint-cache counters summed over the per-worker tries; `None`
+    /// when the pool ran the scratch executor.
+    pub cache_stats: Option<CacheStats>,
 }
 
 impl ReplayPool {
@@ -131,6 +143,7 @@ impl ReplayPool {
             time,
             suite,
             stop_on_first_violation,
+            None,
         )?;
         let keep = !suite.cross_checks().is_empty();
         let mut violations = out.violations;
@@ -157,13 +170,18 @@ impl ReplayPool {
             stopped_early: out.cancelled || source.truncated(),
             diagnostics: Vec::new(),
             worker_loads: out.worker_loads,
+            cache_stats: out.cache_stats,
         })
     }
 
-    /// The scheduling core: workers claim `(index, interleaving)` pairs
-    /// from the shared source, execute them against fresh checkpoints, and
-    /// push results into a shared sink; the merge restores sequential
-    /// order. Used by both [`ReplayPool::replay`] and the session.
+    /// The scheduling core: workers claim contiguous chunks of
+    /// `(index, interleaving)` pairs from the shared source, execute them
+    /// against fresh checkpoints — or, with `incremental_budget` set,
+    /// against a per-worker [`IncrementalExecutor`] resuming from cached
+    /// prefixes — and push results into a shared sink; the merge restores
+    /// sequential order. Used by both [`ReplayPool::replay`] and the
+    /// session.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn run<M, I>(
         &self,
         model: &M,
@@ -172,6 +190,7 @@ impl ReplayPool {
         time: &TimeModel,
         suite: &TestSuite<M::State>,
         stop_on_first_violation: bool,
+        incremental_budget: Option<usize>,
     ) -> Result<PoolOutput, ErPiError>
     where
         M: SystemModel + Sync,
@@ -183,7 +202,7 @@ impl ReplayPool {
         let lowest_violation = AtomicUsize::new(NO_VIOLATION);
         let panicked: Mutex<Option<String>> = Mutex::new(None);
 
-        let worker_loads = std::thread::scope(|scope| {
+        let worker_results = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.workers)
                 .map(|worker| {
                     let dispenser = &dispenser;
@@ -197,55 +216,83 @@ impl ReplayPool {
                             runs: 0,
                             sim_us: 0,
                         };
-                        loop {
+                        // Each worker owns its trie: no cross-thread
+                        // snapshot sharing, and the chunked dispenser keeps
+                        // the worker's stream prefix-coherent.
+                        let mut executor = incremental_budget.map(IncrementalExecutor::<M>::new);
+                        'claim: loop {
                             if cancel.load(Ordering::Acquire) {
                                 break;
                             }
-                            // Claim-then-execute: once an index is claimed
-                            // it is always executed, so the dispensed index
-                            // range stays dense — the merge relies on it.
-                            let Some((index, il)) = dispenser.lock().next() else {
+                            // Claim-then-execute: once a chunk is claimed it
+                            // is always executed in full (cancellation is
+                            // only checked between chunks), so the dispensed
+                            // index range stays dense — the merge relies on
+                            // it.
+                            let chunk = dispenser.lock().next_chunk(CLAIM_CHUNK);
+                            if chunk.is_empty() {
                                 break;
-                            };
-                            let executed = catch_unwind(AssertUnwindSafe(|| {
-                                execute_one(model, workload, index, il, time, suite)
-                            }));
-                            match executed {
-                                Ok(run) => {
-                                    load.runs += 1;
-                                    load.sim_us += run.record.sim_us;
-                                    let violated = !run.violations.is_empty();
-                                    if violated {
-                                        lowest_violation.fetch_min(run.index, Ordering::AcqRel);
-                                        if stop_on_first_violation {
-                                            cancel.store(true, Ordering::Release);
+                            }
+                            for (index, il) in chunk {
+                                let executed = catch_unwind(AssertUnwindSafe(|| {
+                                    execute_one(
+                                        model,
+                                        workload,
+                                        index,
+                                        il,
+                                        time,
+                                        suite,
+                                        executor.as_mut(),
+                                    )
+                                }));
+                                match executed {
+                                    Ok(run) => {
+                                        load.runs += 1;
+                                        load.sim_us += run.record.sim_us;
+                                        let violated = !run.violations.is_empty();
+                                        if violated {
+                                            lowest_violation.fetch_min(run.index, Ordering::AcqRel);
+                                            if stop_on_first_violation {
+                                                cancel.store(true, Ordering::Release);
+                                            }
                                         }
+                                        sink.lock().push(run);
                                     }
-                                    sink.lock().push(run);
-                                }
-                                Err(payload) => {
-                                    let mut note = panicked.lock();
-                                    if note.is_none() {
-                                        *note = Some(panic_message(payload.as_ref()));
+                                    Err(payload) => {
+                                        let mut note = panicked.lock();
+                                        if note.is_none() {
+                                            *note = Some(panic_message(payload.as_ref()));
+                                        }
+                                        cancel.store(true, Ordering::Release);
+                                        break 'claim;
                                     }
-                                    cancel.store(true, Ordering::Release);
-                                    break;
                                 }
                             }
                         }
-                        load
+                        (load, executor.map(|e| e.stats()))
                     })
                 })
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("pool workers catch model panics"))
-                .collect::<Vec<WorkerLoad>>()
+                .collect::<Vec<(WorkerLoad, Option<CacheStats>)>>()
         });
 
         if let Some(what) = panicked.into_inner() {
             // Discard every shard's results; the session stays usable.
             return Err(ErPiError::ExecutorPanic(what));
+        }
+
+        let mut worker_loads = Vec::with_capacity(worker_results.len());
+        let mut cache_stats: Option<CacheStats> = None;
+        for (load, stats) in worker_results {
+            worker_loads.push(load);
+            if let Some(stats) = stats {
+                cache_stats
+                    .get_or_insert_with(CacheStats::default)
+                    .absorb(&stats);
+            }
         }
 
         let mut produced = sink.into_inner();
@@ -284,12 +331,14 @@ impl ReplayPool {
             sim_us,
             cancelled,
             worker_loads,
+            cache_stats,
         })
     }
 }
 
-/// Executes one interleaving against a fresh checkpoint and checks the
-/// suite — the per-item body shared by all workers.
+/// Executes one interleaving — against a fresh checkpoint, or resuming
+/// from the worker's trie when an incremental executor is supplied — and
+/// checks the suite. The per-item body shared by all workers.
 fn execute_one<M: SystemModel>(
     model: &M,
     workload: &Workload,
@@ -297,8 +346,12 @@ fn execute_one<M: SystemModel>(
     il: Interleaving,
     time: &TimeModel,
     suite: &TestSuite<M::State>,
+    executor: Option<&mut IncrementalExecutor<M>>,
 ) -> WorkerRun {
-    let exec = InlineExecutor::execute(model, workload, &il, time);
+    let exec = match executor {
+        Some(incremental) => incremental.execute(model, workload, &il, time),
+        None => InlineExecutor::execute(model, workload, &il, time),
+    };
     let observations: Vec<Value> = exec.states.iter().map(|s| model.observe(s)).collect();
     let ctx = CheckContext {
         states: &exec.states,
@@ -429,6 +482,38 @@ mod tests {
             assert_eq!(report.violations, baseline.violations);
             assert_eq!(report.sim_us, baseline.sim_us);
             assert!(report.stopped_early);
+        }
+    }
+
+    #[test]
+    fn incremental_pool_matches_scratch_pool() {
+        let w = two_writes();
+        let time = TimeModel::paper_setup();
+        let suite = TestSuite::new().with_cross(crate::CrossCheck::new("keep", |_| Ok(())));
+        for workers in [1, 2, 4] {
+            let pool = ReplayPool::new(workers);
+            let mut scratch_src = IndexedSource::new(DfsExplorer::new(&w), usize::MAX);
+            let scratch = pool
+                .run(&RegApp, &w, &mut scratch_src, &time, &suite, false, None)
+                .unwrap();
+            let mut inc_src = IndexedSource::new(DfsExplorer::new(&w), usize::MAX);
+            let incremental = pool
+                .run(
+                    &RegApp,
+                    &w,
+                    &mut inc_src,
+                    &time,
+                    &suite,
+                    false,
+                    Some(crate::DEFAULT_CACHE_BUDGET),
+                )
+                .unwrap();
+            assert_eq!(scratch.runs, incremental.runs);
+            assert_eq!(scratch.violations, incremental.violations);
+            assert_eq!(scratch.sim_us, incremental.sim_us);
+            assert!(scratch.cache_stats.is_none());
+            let stats = incremental.cache_stats.expect("incremental counters");
+            assert_eq!(stats.hits + stats.misses, 24);
         }
     }
 

@@ -145,6 +145,64 @@ pub struct WorkerLoad {
     pub sim_us: u64,
 }
 
+/// Checkpoint-cache counters of an incremental replay — what the
+/// [`CheckpointTrie`](crate::CheckpointTrie) saved relative to replaying
+/// every interleaving from scratch.
+///
+/// Carried in [`Report::cache_stats`](crate::Report::cache_stats) when the
+/// session ran incrementally (`None` for a scratch replay). Like
+/// [`WorkerLoad`], the counters are legitimately scheduling-dependent under
+/// a parallel pool (each worker owns its own trie), so they are excluded
+/// from [`Report::diff`](crate::Report::diff).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Runs that resumed from a cached prefix checkpoint (depth > 0).
+    pub hits: u64,
+    /// Runs that found no usable checkpoint and replayed from scratch.
+    pub misses: u64,
+    /// Event applications skipped by resuming from cached prefixes — the
+    /// headline number of the `fig_prefix` benchmark.
+    pub events_saved: u64,
+    /// Bytes of snapshot state currently resident in the trie (sum of
+    /// [`SystemModel::state_size_hint`](crate::SystemModel::state_size_hint)
+    /// over cached states, plus bookkeeping overhead).
+    pub bytes_resident: usize,
+    /// Simulated time the skipped prefix events would have cost,
+    /// microseconds. The *reported* `sim_us` stays byte-identical to a
+    /// scratch replay (each resume is still charged `reset_cost_us` — a
+    /// rewind *is* a state reset); this field records how much of that
+    /// total was never physically re-executed, so latency models built on
+    /// `sim_us` can subtract it and stay honest.
+    pub sim_us_saved: u64,
+}
+
+impl CacheStats {
+    /// Merges another worker's counters into this one (pooled replays sum
+    /// the per-worker tries).
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.events_saved += other.events_saved;
+        self.bytes_resident += other.bytes_resident;
+        self.sim_us_saved += other.sim_us_saved;
+    }
+
+    /// Fraction of runs that resumed from a checkpoint (0 when no runs).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Simulated seconds saved by prefix reuse.
+    pub fn saved_secs(&self) -> f64 {
+        self.sim_us_saved as f64 / 1e6
+    }
+}
+
 /// Failure statistics across a set of replayed runs.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FailureStats {
@@ -219,6 +277,32 @@ mod tests {
         let one = profile.campaign_secs(1);
         let ten_k = profile.campaign_secs(10_000);
         assert!((ten_k / one - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cache_stats_merge_and_rates() {
+        let mut a = CacheStats {
+            hits: 3,
+            misses: 1,
+            events_saved: 30,
+            bytes_resident: 100,
+            sim_us_saved: 2_000_000,
+        };
+        let b = CacheStats {
+            hits: 1,
+            misses: 3,
+            events_saved: 10,
+            bytes_resident: 50,
+            sim_us_saved: 500_000,
+        };
+        a.absorb(&b);
+        assert_eq!(a.hits, 4);
+        assert_eq!(a.misses, 4);
+        assert_eq!(a.events_saved, 40);
+        assert_eq!(a.bytes_resident, 150);
+        assert!((a.hit_rate() - 0.5).abs() < 1e-12);
+        assert!((a.saved_secs() - 2.5).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use er_pi_analysis::Diagnostic;
 use er_pi_interleave::PruneStats;
 use er_pi_model::{Interleaving, Value};
 
-use crate::WorkerLoad;
+use crate::{CacheStats, WorkerLoad};
 
 /// The record of one replayed interleaving.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +63,11 @@ pub struct Report {
     /// sequential replay). The run→worker assignment is
     /// scheduling-dependent; every other field of the report is not.
     pub worker_loads: Vec<WorkerLoad>,
+    /// Checkpoint-cache counters of the incremental executor (`None` for a
+    /// scratch replay). Under a pool the counters are summed over the
+    /// per-worker tries, which makes them scheduling-dependent — like
+    /// `worker_loads` and `wall_ms` they are excluded from [`Report::diff`].
+    pub cache_stats: Option<CacheStats>,
 }
 
 impl Report {
@@ -76,8 +81,18 @@ impl Report {
         self.sim_us as f64 / 1e6
     }
 
+    /// Simulated time actually spent executing, microseconds: the reported
+    /// `sim_us` (which stays byte-identical to a scratch replay) minus the
+    /// prefix costs the incremental executor never physically re-applied
+    /// ([`CacheStats::sim_us_saved`]). Equal to `sim_us` for scratch runs.
+    pub fn sim_us_actual(&self) -> u64 {
+        self.sim_us
+            .saturating_sub(self.cache_stats.map_or(0, |c| c.sim_us_saved))
+    }
+
     /// Compares the two reports' *deterministic* fields — everything except
-    /// wall-clock time and the run→worker assignment — and names the first
+    /// wall-clock time, the run→worker assignment and the checkpoint-cache
+    /// counters (all legitimately scheduling-dependent) — and names the first
     /// field that differs. `None` means the reports are equivalent: this is
     /// the differential oracle behind the parallel-equivalence suite, where
     /// a pooled replay must be indistinguishable from a sequential one.
@@ -154,7 +169,7 @@ mod tests {
     }
 
     #[test]
-    fn diff_ignores_wall_clock_and_worker_assignment() {
+    fn diff_ignores_wall_clock_worker_assignment_and_cache_counters() {
         let a = Report {
             wall_ms: 10,
             worker_loads: vec![WorkerLoad {
@@ -162,6 +177,13 @@ mod tests {
                 runs: 3,
                 sim_us: 9,
             }],
+            cache_stats: Some(CacheStats {
+                hits: 5,
+                misses: 1,
+                events_saved: 40,
+                bytes_resident: 512,
+                sim_us_saved: 7,
+            }),
             ..Report::default()
         };
         let b = Report {
@@ -169,6 +191,20 @@ mod tests {
             ..Report::default()
         };
         assert_eq!(a.diff(&b), None);
+    }
+
+    #[test]
+    fn sim_us_actual_subtracts_saved_prefix_cost() {
+        let mut report = Report {
+            sim_us: 1_000,
+            ..Report::default()
+        };
+        assert_eq!(report.sim_us_actual(), 1_000);
+        report.cache_stats = Some(CacheStats {
+            sim_us_saved: 400,
+            ..CacheStats::default()
+        });
+        assert_eq!(report.sim_us_actual(), 600);
     }
 
     #[test]

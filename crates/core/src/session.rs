@@ -14,8 +14,9 @@ use er_pi_model::{
 use er_pi_analysis::TraceAnalysis;
 
 use crate::{
-    CheckContext, ConstraintsDir, CrossContext, ErPiError, InlineExecutor, OpOutcome, ReplayPool,
-    Report, RunRecord, SystemModel, TestSuite, TimeModel, Violation, WorkerLoad,
+    CacheStats, CheckContext, ConstraintsDir, CrossContext, ErPiError, IncrementalExecutor,
+    InlineExecutor, OpOutcome, ReplayPool, Report, RunRecord, SystemModel, TestSuite, TimeModel,
+    Violation, WorkerLoad, DEFAULT_CACHE_BUDGET,
 };
 
 /// The live, recording instance of the system under test.
@@ -186,6 +187,8 @@ pub struct Session<M: SystemModel> {
     stop_on_first_violation: bool,
     keep_runs: bool,
     workers: usize,
+    incremental: bool,
+    cache_budget: usize,
     time: TimeModel,
     constraints: Option<ConstraintsDir>,
     constraint_poll_every: usize,
@@ -206,6 +209,7 @@ struct ReplayOutcome {
     wasted: u64,
     store: Option<InterleavingStore>,
     worker_loads: Vec<WorkerLoad>,
+    cache_stats: Option<CacheStats>,
 }
 
 impl<M: SystemModel> Session<M> {
@@ -221,6 +225,8 @@ impl<M: SystemModel> Session<M> {
             stop_on_first_violation: false,
             keep_runs: false,
             workers: ReplayPool::available_workers(),
+            incremental: true,
+            cache_budget: DEFAULT_CACHE_BUDGET,
             time: TimeModel::paper_setup(),
             constraints: None,
             constraint_poll_every: 100,
@@ -302,6 +308,48 @@ impl<M: SystemModel> Session<M> {
     /// The configured replay worker count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Enables or disables prefix-sharing incremental replay (default:
+    /// **on**).
+    ///
+    /// Incrementally replayed sessions resume each interleaving from the
+    /// deepest cached common prefix in a [`CheckpointTrie`], applying only
+    /// the divergent suffix — the report stays byte-identical to a scratch
+    /// replay ([`Report::diff`] returns `None` between the two), but the
+    /// cache counters land in [`Report::cache_stats`] and the wall-clock
+    /// drops with the workload's prefix locality. Disable it to force the
+    /// §4.3 scratch semantics (e.g. when `SystemModel::apply` is not
+    /// deterministic — which also breaks replay itself — or to baseline
+    /// the saving, as `fig_prefix` does).
+    ///
+    /// [`CheckpointTrie`]: crate::CheckpointTrie
+    pub fn set_incremental(&mut self, incremental: bool) -> &mut Self {
+        self.incremental = incremental;
+        self
+    }
+
+    /// Whether incremental replay is enabled.
+    pub fn incremental(&self) -> bool {
+        self.incremental
+    }
+
+    /// Sets the snapshot budget of the incremental executor, in
+    /// [`state_size_hint`](SystemModel::state_size_hint)-accounted bytes
+    /// (default: [`DEFAULT_CACHE_BUDGET`], 64 MiB). Each pool worker gets
+    /// its own trie with this budget. A budget of `0` keeps incremental
+    /// bookkeeping but caches no snapshots — every run replays from
+    /// scratch.
+    ///
+    /// [`DEFAULT_CACHE_BUDGET`]: crate::DEFAULT_CACHE_BUDGET
+    pub fn set_cache_budget(&mut self, bytes: usize) -> &mut Self {
+        self.cache_budget = bytes;
+        self
+    }
+
+    /// The configured snapshot budget.
+    pub fn cache_budget(&self) -> usize {
+        self.cache_budget
     }
 
     /// Replaces the simulated-time model.
@@ -465,6 +513,7 @@ impl<M: SystemModel> Session<M> {
             stopped_early: outcome.stopped_early,
             diagnostics,
             worker_loads: outcome.worker_loads,
+            cache_stats: outcome.cache_stats,
         })
     }
 
@@ -486,6 +535,9 @@ impl<M: SystemModel> Session<M> {
         let mut sim_us: u64 = 0;
         let mut stopped_by_violation = false;
         let mut store = self.persist.then(|| InterleavingStore::new(workload));
+        let mut incremental = self
+            .incremental
+            .then(|| IncrementalExecutor::<M>::new(self.cache_budget));
 
         while let Some((run_index, il)) = source.next() {
             if let Some(store) = store.as_mut() {
@@ -493,8 +545,14 @@ impl<M: SystemModel> Session<M> {
             }
 
             // State 3: checkpointed execution of one interleaving. Fresh
-            // states per run are the checkpoint/reset of §4.3.
-            let exec = InlineExecutor::execute(&self.model, workload, &il, &self.time);
+            // states per run are the checkpoint/reset of §4.3; the
+            // incremental executor reaches the same states by resuming
+            // from the deepest cached prefix (byte-identical execution —
+            // see the correctness argument in `incremental`).
+            let exec = match incremental.as_mut() {
+                Some(executor) => executor.execute(&self.model, workload, &il, &self.time),
+                None => InlineExecutor::execute(&self.model, workload, &il, &self.time),
+            };
             sim_us += exec.sim_us;
             let observations: Vec<Value> =
                 exec.states.iter().map(|s| self.model.observe(s)).collect();
@@ -562,6 +620,7 @@ impl<M: SystemModel> Session<M> {
             wasted: explorer.wasted(),
             store,
             worker_loads: Vec::new(),
+            cache_stats: incremental.map(|e| e.stats()),
         })
     }
 
@@ -588,6 +647,7 @@ impl<M: SystemModel> Session<M> {
             &self.time,
             suite,
             self.stop_on_first_violation,
+            self.incremental.then_some(self.cache_budget),
         )?;
 
         // Deterministic explorer counters: after a cooperative cancellation
@@ -629,6 +689,7 @@ impl<M: SystemModel> Session<M> {
             wasted,
             store,
             worker_loads: out.worker_loads,
+            cache_stats: out.cache_stats,
         })
     }
 }
@@ -776,6 +837,34 @@ mod tests {
             report.first_violation_at.map(|i| i + 1),
             Some(report.explored)
         );
+    }
+
+    #[test]
+    fn incremental_default_diffs_clean_against_scratch() {
+        // `set_incremental` defaults on; its report must be byte-identical
+        // to the scratch executor's, sequentially and pooled, with the
+        // cache counters present only on the incremental side.
+        for workers in [1, 4] {
+            let mut incremental = Session::new(RegApp);
+            record_two_writes(&mut incremental);
+            incremental.set_mode(ExploreMode::Dfs).set_workers(workers);
+            assert!(incremental.incremental(), "incremental defaults on");
+            let inc = incremental.replay(&TestSuite::new()).unwrap();
+
+            let mut scratch = Session::new(RegApp);
+            record_two_writes(&mut scratch);
+            scratch
+                .set_mode(ExploreMode::Dfs)
+                .set_workers(workers)
+                .set_incremental(false);
+            let base = scratch.replay(&TestSuite::new()).unwrap();
+
+            assert_eq!(inc.diff(&base), None, "at {workers} workers");
+            assert!(base.cache_stats.is_none());
+            let stats = inc.cache_stats.expect("incremental counters");
+            assert_eq!(stats.hits + stats.misses, 24);
+            assert!(inc.sim_us_actual() <= inc.sim_us);
+        }
     }
 
     #[test]

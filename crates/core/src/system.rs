@@ -51,7 +51,12 @@ impl OpOutcome {
 /// `apply` receives *all* replica states because synchronization inherently
 /// spans two of them.
 pub trait SystemModel {
-    /// Per-replica state (cloneable for checkpoint/reset).
+    /// Per-replica state. The `Clone` bound is the snapshot contract of the
+    /// replay engine: checkpoint/reset clones states between runs, and the
+    /// incremental [`CheckpointTrie`](crate::CheckpointTrie) additionally
+    /// caches cloned prefix snapshots for copy-on-write reuse. A clone must
+    /// be an independent deep copy — replaying against it must not be
+    /// observable from the original.
     type State: Clone;
 
     /// Number of replicas in the system (the paper's setup uses three).
@@ -73,6 +78,19 @@ pub trait SystemModel {
         (0..self.replicas() as u16)
             .map(|i| self.init(ReplicaId::new(i)))
             .collect()
+    }
+
+    /// A cheap estimate of one state's resident size in bytes — the unit
+    /// the incremental executor's snapshot budget is accounted in (see
+    /// [`Session::set_cache_budget`](crate::Session::set_cache_budget)).
+    ///
+    /// The default is `size_of::<State>()`, which ignores heap payloads;
+    /// models whose states own significant heap data (sets, logs,
+    /// documents) should override it with a proportional estimate. Only
+    /// *relative* accuracy matters: the budget bounds cache growth, it
+    /// does not meter allocations.
+    fn state_size_hint(&self, _state: &Self::State) -> usize {
+        std::mem::size_of::<Self::State>()
     }
 }
 
@@ -118,5 +136,10 @@ mod tests {
     fn init_all_builds_one_state_per_replica() {
         let states = Dummy.init_all();
         assert_eq!(states, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn default_state_size_hint_is_shallow_size() {
+        assert_eq!(Dummy.state_size_hint(&7), std::mem::size_of::<u32>());
     }
 }

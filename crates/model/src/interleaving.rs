@@ -103,6 +103,31 @@ impl Interleaving {
             .collect()
     }
 
+    /// Length of the longest common prefix shared with `other` — the
+    /// number of leading events the two orders execute identically.
+    ///
+    /// This is the quantity the incremental replay engine trades on:
+    /// lexicographically adjacent interleavings share long prefixes, and a
+    /// cached checkpoint at depth `common_prefix_len` lets the executor
+    /// replay only the divergent suffix.
+    ///
+    /// ```
+    /// use er_pi_model::{EventId, Interleaving};
+    ///
+    /// let e = |i| EventId::new(i);
+    /// let a = Interleaving::new(vec![e(0), e(1), e(2), e(3)]);
+    /// let b = Interleaving::new(vec![e(0), e(1), e(3), e(2)]);
+    /// assert_eq!(a.common_prefix_len(&b), 2);
+    /// assert_eq!(a.common_prefix_len(&a), 4);
+    /// ```
+    pub fn common_prefix_len(&self, other: &Interleaving) -> usize {
+        self.order
+            .iter()
+            .zip(&other.order)
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+
     /// A stable 64-bit fingerprint of the order (FNV-1a), used by the Random
     /// explorer's seen-set and by persistence layers as a compact key.
     pub fn fingerprint(&self) -> u64 {
@@ -206,6 +231,15 @@ mod tests {
         let il = ids(&[2, 0, 1]);
         let table = il.position_table();
         assert_eq!(table, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn common_prefix_len_edges() {
+        let a = ids(&[0, 1, 2]);
+        let b = ids(&[1, 0, 2]);
+        assert_eq!(a.common_prefix_len(&b), 0);
+        assert_eq!(a.common_prefix_len(&ids(&[0, 1])), 2);
+        assert_eq!(ids(&[]).common_prefix_len(&a), 0);
     }
 
     #[test]

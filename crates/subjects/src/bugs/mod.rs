@@ -193,6 +193,53 @@ impl std::fmt::Debug for Bug {
     }
 }
 
+/// A type-erased handle for measuring `State: Clone` cost — the dominant
+/// per-snapshot expense of the incremental executor's checkpoint trie.
+///
+/// Built by [`Bug::clone_probe`]: holds the final replica states of the
+/// bug's recorded order (a representative fully-populated snapshot). Each
+/// [`CloneProbe::clone_states`] call deep-clones them and returns the
+/// summed [`SystemModel::state_size_hint`], so the `state_clone`
+/// micro-benchmark can weigh clone time against the budget charge the same
+/// clone would incur in the trie.
+pub struct CloneProbe {
+    clone_fn: Box<dyn Fn() -> usize + Send + Sync>,
+}
+
+impl CloneProbe {
+    /// Deep-clones the captured states once; returns their total size
+    /// hint in bytes.
+    pub fn clone_states(&self) -> usize {
+        (self.clone_fn)()
+    }
+}
+
+impl std::fmt::Debug for CloneProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CloneProbe").finish_non_exhaustive()
+    }
+}
+
+fn probe<M, S>(model: M, workload: &Workload) -> CloneProbe
+where
+    M: SystemModel<State = S> + Send + Sync + 'static,
+    S: Clone + Send + Sync + 'static,
+{
+    let exec = InlineExecutor::execute(
+        &model,
+        workload,
+        &workload.recorded_order(),
+        &TimeModel::paper_setup(),
+    );
+    let states = exec.states;
+    CloneProbe {
+        clone_fn: Box::new(move || {
+            let cloned = states.clone();
+            cloned.iter().map(|s| model.state_size_hint(s)).sum()
+        }),
+    }
+}
+
 /// How one reproduction attempt is scheduled.
 struct RunPlan {
     mode: ExploreMode,
@@ -200,6 +247,9 @@ struct RunPlan {
     stop_on_first_violation: bool,
     /// Replay worker threads; `1` pins the sequential reference path.
     workers: usize,
+    /// Prefix-sharing incremental replay; `false` pins the scratch
+    /// executor the incremental-equivalence suite compares against.
+    incremental: bool,
 }
 
 fn run_report<M, S>(
@@ -222,6 +272,7 @@ where
     session.set_cap(plan.cap);
     session.set_stop_on_first_violation(plan.stop_on_first_violation);
     session.set_workers(plan.workers);
+    session.set_incremental(plan.incremental);
     let suite = TestSuite::new().with(Assertion::new("bug-manifested", move |ctx| {
         let bug_ctx = BugCtx {
             states: ctx.states,
@@ -252,6 +303,7 @@ where
         cap,
         stop_on_first_violation: true,
         workers: 0, // all available cores
+        incremental: true,
     };
     let report = run_report(model, workload, config, &plan, check);
     Repro {
@@ -452,11 +504,25 @@ impl Bug {
         stop_on_first_violation: bool,
         workers: usize,
     ) -> Report {
+        self.replay_report_with(cap, stop_on_first_violation, workers, true)
+    }
+
+    /// Like [`Bug::replay_report`], with explicit control over incremental
+    /// replay: `incremental == false` pins the scratch executor, the
+    /// reference side of the incremental differential-equivalence suite.
+    pub fn replay_report_with(
+        &self,
+        cap: usize,
+        stop_on_first_violation: bool,
+        workers: usize,
+        incremental: bool,
+    ) -> Report {
         let plan = RunPlan {
             mode: ExploreMode::ErPi,
             cap,
             stop_on_first_violation,
             workers,
+            incremental,
         };
         match &self.imp {
             BugImpl::Roshi { model, check } => {
@@ -498,6 +564,19 @@ impl Bug {
             BugImpl::Crdts { model, check } => {
                 run_dfs_base(model.clone(), &self.workload, base, cap, *check)
             }
+        }
+    }
+
+    /// Builds a [`CloneProbe`] over this bug's model: the final states of
+    /// the recorded order, behind a type-erased deep-clone interface (the
+    /// `state_clone` micro-benchmark's input).
+    pub fn clone_probe(&self) -> CloneProbe {
+        match &self.imp {
+            BugImpl::Roshi { model, .. } => probe(model.clone(), &self.workload),
+            BugImpl::Orbit { model, .. } => probe(model.clone(), &self.workload),
+            BugImpl::ReplicaDb { model, .. } => probe(model.clone(), &self.workload),
+            BugImpl::Yorkie { model, .. } => probe(model.clone(), &self.workload),
+            BugImpl::Crdts { model, .. } => probe(model.clone(), &self.workload),
         }
     }
 

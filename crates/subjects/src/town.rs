@@ -139,6 +139,24 @@ impl SystemModel for TownApp {
             .unwrap_or(Value::Null);
         Value::List(vec![issues, transmitted])
     }
+
+    fn state_size_hint(&self, state: &TownState) -> usize {
+        // Proportional estimate for the incremental executor's snapshot
+        // budget: tagged OR-set entries dominate, the transmitted snapshot
+        // is a plain string list. Per-entry constants approximate the tag
+        // and container overhead; only relative accuracy matters.
+        let issues: usize = state
+            .issues
+            .elements()
+            .into_iter()
+            .map(|s| s.len() + 48)
+            .sum();
+        let transmitted: usize = state
+            .transmitted
+            .as_deref()
+            .map_or(0, |v| v.iter().map(|s| s.len() + 24).sum());
+        std::mem::size_of::<TownState>() + issues + transmitted
+    }
 }
 
 #[cfg(test)]
@@ -217,6 +235,21 @@ mod tests {
         assert!(
             erpi.first_violation_at.unwrap() <= dfs.first_violation_at.unwrap(),
             "pruned exploration reaches the bug at least as fast"
+        );
+    }
+
+    #[test]
+    fn size_hint_grows_with_the_issue_set() {
+        let app = TownApp::new(2);
+        let mut states = app.init_all();
+        let empty = app.state_size_hint(&states[0]);
+        let mut w = er_pi_model::Workload::builder();
+        w.update(ReplicaId::new(0), "add", [Value::from("otb")]);
+        let w = w.build();
+        app.apply(&mut states, w.event(er_pi_model::EventId::new(0)));
+        assert!(
+            app.state_size_hint(&states[0]) > empty,
+            "heap payload must be reflected in the budget charge"
         );
     }
 

@@ -1,0 +1,103 @@
+//! Differential-equivalence matrix for the incremental (checkpoint-trie)
+//! executor.
+//!
+//! The incremental engine's contract is stricter than "same verdict": the
+//! report it produces must be *byte-identical* to the scratch executor's —
+//! same runs, same outcomes, same violations, same `sim_us` — because the
+//! trie only skips work whose result is already known, never changes what
+//! a run computes. These tests pin that contract across the full 12-bug
+//! catalogue, with and without `stop_on_first_violation`, at 1, 2 and 4
+//! workers, always diffing against a *scratch* single-worker reference
+//! (PR 2's differential harness compared pooled-vs-sequential; here the
+//! axis is incremental-vs-scratch).
+//!
+//! `Report::diff` ignores wall-clock, per-worker load and the cache
+//! counters themselves — everything else must match exactly.
+
+use er_pi_subjects::Bug;
+
+const CAP: usize = 10_000;
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+#[test]
+fn incremental_equals_scratch_exhaustive() {
+    for bug in Bug::catalogue() {
+        let scratch = bug.replay_report_with(CAP, false, 1, false);
+        for workers in WORKER_COUNTS {
+            let incremental = bug.replay_report_with(CAP, false, workers, true);
+            assert_eq!(
+                scratch.diff(&incremental),
+                None,
+                "{} at {workers} workers: incremental diverged from scratch (exhaustive)",
+                bug.name
+            );
+        }
+    }
+}
+
+#[test]
+fn incremental_equals_scratch_stop_on_first() {
+    for bug in Bug::catalogue() {
+        let scratch = bug.replay_report_with(CAP, true, 1, false);
+        for workers in WORKER_COUNTS {
+            let incremental = bug.replay_report_with(CAP, true, workers, true);
+            assert_eq!(
+                scratch.diff(&incremental),
+                None,
+                "{} at {workers} workers: incremental diverged from scratch (stop-on-first)",
+                bug.name
+            );
+        }
+    }
+}
+
+/// The cache must actually engage on the catalogue: lexicographically
+/// adjacent interleavings share prefixes, so a sequential exhaustive sweep
+/// with more than a handful of runs must record hits and saved events —
+/// otherwise the equivalence above is vacuous (scratch == scratch).
+#[test]
+fn incremental_actually_reuses_prefixes() {
+    for bug in Bug::catalogue() {
+        let report = bug.replay_report_with(CAP, false, 1, true);
+        let stats = report
+            .cache_stats
+            .unwrap_or_else(|| panic!("{}: incremental run must report CacheStats", bug.name));
+        assert_eq!(
+            stats.hits + stats.misses,
+            report.explored as u64,
+            "{}: every explored interleaving is one cache probe",
+            bug.name
+        );
+        if report.explored > 2 {
+            assert!(
+                stats.hits > 0 && stats.events_saved > 0,
+                "{}: {} interleavings explored but no prefix reuse (hits={}, saved={})",
+                bug.name,
+                report.explored,
+                stats.hits,
+                stats.events_saved
+            );
+        }
+        assert!(
+            report.sim_us_actual() <= report.sim_us,
+            "{}: saved simulated time cannot exceed charged time",
+            bug.name
+        );
+    }
+}
+
+/// `sim_us` itself (as reported) is charged for the *full* interleaving —
+/// the saving is accounted separately in `CacheStats::sim_us_saved` — so
+/// the simulated-time figures in a report never depend on cache luck.
+#[test]
+fn charged_sim_us_is_cache_independent() {
+    for bug in Bug::catalogue() {
+        let scratch = bug.replay_report_with(CAP, false, 1, false);
+        let incremental = bug.replay_report_with(CAP, false, 4, true);
+        assert_eq!(
+            scratch.sim_us, incremental.sim_us,
+            "{}: charged sim_us must not depend on the executor",
+            bug.name
+        );
+    }
+}
