@@ -261,6 +261,7 @@ impl<S> CheckpointTrie<S> {
 pub struct IncrementalExecutor<M: SystemModel> {
     trie: CheckpointTrie<M::State>,
     stats: CacheStats,
+    last_resume_depth: usize,
 }
 
 impl<M: SystemModel> IncrementalExecutor<M> {
@@ -270,7 +271,15 @@ impl<M: SystemModel> IncrementalExecutor<M> {
         IncrementalExecutor {
             trie: CheckpointTrie::new(budget),
             stats: CacheStats::default(),
+            last_resume_depth: 0,
         }
+    }
+
+    /// The prefix depth the most recent [`IncrementalExecutor::execute`]
+    /// resumed from (0 = scratch replay). Telemetry reads this to attribute
+    /// each run as a cache hit or miss.
+    pub fn last_resume_depth(&self) -> usize {
+        self.last_resume_depth
     }
 
     /// The cache counters so far. `bytes_resident` reflects the trie's
@@ -308,6 +317,7 @@ impl<M: SystemModel> IncrementalExecutor<M> {
             .rev()
             .find(|&d| d > 0 && self.trie.nodes[path[d] as usize].snapshot.is_some())
             .unwrap_or(0);
+        self.last_resume_depth = resume_depth;
 
         let mut outcomes = Vec::with_capacity(il.len());
         let mut sim_us = time.reset_cost_us;

@@ -1,0 +1,110 @@
+//! Internal bundle threading telemetry and progress through the replay
+//! strategies.
+
+use std::sync::Arc;
+
+use er_pi_telemetry::{Progress, ProgressSnapshot, Telemetry, COORDINATOR_TRACK};
+
+/// The periodic progress callback installed with
+/// [`Session::set_progress_hook`](crate::Session::set_progress_hook).
+pub type ProgressHook = Arc<dyn Fn(&ProgressSnapshot) + Send + Sync>;
+
+/// Everything the replay paths need to observe a campaign: the telemetry
+/// handle, the shared progress aggregator, and the user's periodic hook.
+/// A disabled instrument is the common case and costs one branch per
+/// instrumented site.
+pub(crate) struct Instrument {
+    pub telemetry: Telemetry,
+    pub progress: Option<Arc<Progress>>,
+    pub hook: Option<ProgressHook>,
+    /// Sample period of the progress counters and hook, in runs.
+    pub every: usize,
+}
+
+impl Instrument {
+    /// No telemetry, no progress, no hook.
+    pub fn disabled() -> Self {
+        Instrument {
+            telemetry: Telemetry::disabled(),
+            progress: None,
+            hook: None,
+            every: 0,
+        }
+    }
+
+    /// Records one finished run on `worker`'s tally and, every
+    /// [`Instrument::every`] runs, samples the progress counters into the
+    /// sink and invokes the hook. `cache_hit` is `None` when incremental
+    /// replay is off.
+    pub fn run_done(&self, worker: usize, cache_hit: Option<bool>) {
+        let Some(progress) = &self.progress else {
+            return;
+        };
+        let total = progress.record_run(worker, cache_hit);
+        if self.every > 0 && total % self.every as u64 == 0 {
+            self.sample(progress);
+        }
+    }
+
+    /// Samples the aggregator into counters and the hook.
+    pub fn sample(&self, progress: &Progress) {
+        let snapshot = progress.snapshot();
+        self.telemetry.counter(
+            COORDINATOR_TRACK,
+            "progress:runs_per_sec",
+            snapshot.runs_per_sec,
+        );
+        if let Some(rate) = snapshot.cache_hit_rate {
+            self.telemetry
+                .counter(COORDINATOR_TRACK, "progress:cache_hit_rate", rate);
+        }
+        if let Some(eta) = snapshot.eta_secs {
+            self.telemetry
+                .counter(COORDINATOR_TRACK, "progress:eta_secs", eta);
+        }
+        if let Some(hook) = &self.hook {
+            hook(&snapshot);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_pi_telemetry::MemorySink;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn disabled_instrument_ignores_runs() {
+        let i = Instrument::disabled();
+        i.run_done(0, Some(true)); // no progress attached: no-op
+    }
+
+    #[test]
+    fn hook_fires_on_the_sample_period() {
+        let sink = Arc::new(MemorySink::new());
+        let fired = Arc::new(AtomicUsize::new(0));
+        let fired2 = fired.clone();
+        let i = Instrument {
+            telemetry: Telemetry::new(sink.clone()),
+            progress: Some(Arc::new(Progress::new(1))),
+            hook: Some(Arc::new(move |snap: &ProgressSnapshot| {
+                assert!(snap.runs_done > 0);
+                fired2.fetch_add(1, Ordering::Relaxed);
+            })),
+            every: 3,
+        };
+        for _ in 0..7 {
+            i.run_done(0, Some(false));
+        }
+        assert_eq!(fired.load(Ordering::Relaxed), 2, "fires at runs 3 and 6");
+        assert!(sink
+            .events()
+            .iter()
+            .any(|e| e.name == "progress:runs_per_sec"));
+        assert!(sink
+            .events()
+            .iter()
+            .any(|e| e.name == "progress:cache_hit_rate"));
+    }
+}

@@ -131,11 +131,13 @@ mod constraints;
 mod error;
 mod executor;
 mod incremental;
+mod instrument;
 mod misconceptions;
 mod pool;
 mod profile;
 mod report;
 mod session;
+mod summary;
 mod system;
 mod time;
 
@@ -149,9 +151,13 @@ pub use pool::ReplayPool;
 pub use profile::{CacheStats, FailureStats, ReplicaLoad, ResourceProfile, WorkerLoad};
 pub use report::{Report, RunRecord, Violation};
 pub use session::{LiveSystem, Session};
+pub use summary::{PrunerRow, SessionSummary};
 pub use system::{OpOutcome, SystemModel};
 pub use time::TimeModel;
 
 // Re-export the neighbours users need at the API boundary.
 pub use er_pi_analysis::{analyze, Diagnostic, LintPattern, TraceAnalysis};
-pub use er_pi_interleave::{ExploreMode, FailedOpsRule, PruningConfig};
+pub use er_pi_interleave::{ExploreMode, FailedOpsRule, FilterTimings, PruningConfig};
+/// The structured telemetry layer (sinks, progress, trace export) — see
+/// [`Session::set_telemetry`].
+pub use er_pi_telemetry as telemetry;

@@ -25,8 +25,10 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use er_pi_interleave::IndexedSource;
 use er_pi_model::{Interleaving, Value, Workload};
+use er_pi_telemetry::{worker_track, HitRateMonitor, Telemetry, TrackId};
 use parking_lot::Mutex;
 
+use crate::instrument::Instrument;
 use crate::{
     CacheStats, CheckContext, ErPiError, IncrementalExecutor, InlineExecutor, Report, RunRecord,
     SystemModel, TestSuite, TimeModel, Violation, WorkerLoad,
@@ -144,6 +146,7 @@ impl ReplayPool {
             suite,
             stop_on_first_violation,
             None,
+            &Instrument::disabled(),
         )?;
         let keep = !suite.cross_checks().is_empty();
         let mut violations = out.violations;
@@ -157,13 +160,26 @@ impl ReplayPool {
                 });
             }
         }
+        let wall_ms = started.elapsed().as_millis();
+        let session_summary = crate::SessionSummary {
+            mode: "pool".into(),
+            explored: out.runs.len(),
+            violations: violations.len(),
+            sim_us: out.sim_us,
+            wall_ms,
+            grouping_factor: None,
+            pruners: Vec::new(),
+            workers: out.worker_loads.clone(),
+            cache: out.cache_stats,
+            failures: crate::FailureStats::from_runs(&out.runs),
+        };
         Ok(Report {
             mode: "pool".into(),
             explored: out.runs.len(),
             first_violation_at: out.first_violation_at,
             prune_stats: None,
             wasted_work: 0,
-            wall_ms: started.elapsed().as_millis(),
+            wall_ms,
             sim_us: out.sim_us,
             runs: if keep { out.runs } else { Vec::new() },
             violations,
@@ -171,6 +187,7 @@ impl ReplayPool {
             diagnostics: Vec::new(),
             worker_loads: out.worker_loads,
             cache_stats: out.cache_stats,
+            session_summary,
         })
     }
 
@@ -191,6 +208,7 @@ impl ReplayPool {
         suite: &TestSuite<M::State>,
         stop_on_first_violation: bool,
         incremental_budget: Option<usize>,
+        instrument: &Instrument,
     ) -> Result<PoolOutput, ErPiError>
     where
         M: SystemModel + Sync,
@@ -216,10 +234,17 @@ impl ReplayPool {
                             runs: 0,
                             sim_us: 0,
                         };
+                        let telemetry = instrument.telemetry.clone();
+                        let track = worker_track(worker);
                         // Each worker owns its trie: no cross-thread
                         // snapshot sharing, and the chunked dispenser keeps
                         // the worker's stream prefix-coherent.
                         let mut executor = incremental_budget.map(IncrementalExecutor::<M>::new);
+                        // Each worker also watches its own trie's hit rate
+                        // — the warning names the worker via its track.
+                        let mut hit_monitor = (incremental_budget.is_some()
+                            && telemetry.is_active())
+                        .then(HitRateMonitor::default);
                         'claim: loop {
                             if cancel.load(Ordering::Acquire) {
                                 break;
@@ -229,11 +254,24 @@ impl ReplayPool {
                             // only checked between chunks), so the dispensed
                             // index range stays dense — the merge relies on
                             // it.
+                            let t_claim = telemetry.start();
                             let chunk = dispenser.lock().next_chunk(CLAIM_CHUNK);
                             if chunk.is_empty() {
                                 break;
                             }
+                            if telemetry.is_active() {
+                                telemetry.span_since(
+                                    track,
+                                    "claim",
+                                    t_claim,
+                                    vec![
+                                        ("first_index", chunk[0].0.into()),
+                                        ("count", chunk.len().into()),
+                                    ],
+                                );
+                            }
                             for (index, il) in chunk {
+                                let t_run = telemetry.start();
                                 let executed = catch_unwind(AssertUnwindSafe(|| {
                                     execute_one(
                                         model,
@@ -243,6 +281,8 @@ impl ReplayPool {
                                         time,
                                         suite,
                                         executor.as_mut(),
+                                        &telemetry,
+                                        track,
                                     )
                                 }));
                                 match executed {
@@ -256,6 +296,38 @@ impl ReplayPool {
                                                 cancel.store(true, Ordering::Release);
                                             }
                                         }
+                                        let resumed_depth =
+                                            executor.as_ref().map(|e| e.last_resume_depth());
+                                        if telemetry.is_active() {
+                                            telemetry.span_since(
+                                                track,
+                                                "run",
+                                                t_run,
+                                                vec![
+                                                    ("index", run.index.into()),
+                                                    (
+                                                        "resumed_depth",
+                                                        resumed_depth.unwrap_or(0).into(),
+                                                    ),
+                                                    ("sim_us", run.record.sim_us.into()),
+                                                    ("violated", violated.into()),
+                                                    ("failed_ops", run.record.failed_ops.into()),
+                                                ],
+                                            );
+                                        }
+                                        let cache_hit = resumed_depth.map(|d| d > 0);
+                                        if let (Some(monitor), Some(hit)) =
+                                            (hit_monitor.as_mut(), cache_hit)
+                                        {
+                                            if let Some(message) = monitor.record(hit) {
+                                                telemetry.warn(
+                                                    track,
+                                                    "cache:low-hit-rate",
+                                                    message,
+                                                );
+                                            }
+                                        }
+                                        instrument.run_done(worker, cache_hit);
                                         sink.lock().push(run);
                                     }
                                     Err(payload) => {
@@ -339,6 +411,7 @@ impl ReplayPool {
 /// Executes one interleaving — against a fresh checkpoint, or resuming
 /// from the worker's trie when an incremental executor is supplied — and
 /// checks the suite. The per-item body shared by all workers.
+#[allow(clippy::too_many_arguments)]
 fn execute_one<M: SystemModel>(
     model: &M,
     workload: &Workload,
@@ -347,6 +420,8 @@ fn execute_one<M: SystemModel>(
     time: &TimeModel,
     suite: &TestSuite<M::State>,
     executor: Option<&mut IncrementalExecutor<M>>,
+    telemetry: &Telemetry,
+    track: TrackId,
 ) -> WorkerRun {
     let exec = match executor {
         Some(incremental) => incremental.execute(model, workload, &il, time),
@@ -359,11 +434,23 @@ fn execute_one<M: SystemModel>(
         interleaving: &il,
         outcomes: &exec.outcomes,
     };
+    let t_check = telemetry.start();
     let mut violations = Vec::new();
     for assertion in suite.assertions() {
         if let Err(message) = assertion.check(&ctx) {
             violations.push((assertion.name().to_owned(), message));
         }
+    }
+    if telemetry.is_active() {
+        telemetry.span_since(
+            track,
+            "check",
+            t_check,
+            vec![
+                ("assertions", suite.assertions().len().into()),
+                ("violated", (!violations.is_empty()).into()),
+            ],
+        );
     }
     let failed_ops = exec.outcomes.iter().filter(|o| o.is_failed()).count();
     WorkerRun {
@@ -494,7 +581,16 @@ mod tests {
             let pool = ReplayPool::new(workers);
             let mut scratch_src = IndexedSource::new(DfsExplorer::new(&w), usize::MAX);
             let scratch = pool
-                .run(&RegApp, &w, &mut scratch_src, &time, &suite, false, None)
+                .run(
+                    &RegApp,
+                    &w,
+                    &mut scratch_src,
+                    &time,
+                    &suite,
+                    false,
+                    None,
+                    &Instrument::disabled(),
+                )
                 .unwrap();
             let mut inc_src = IndexedSource::new(DfsExplorer::new(&w), usize::MAX);
             let incremental = pool
@@ -506,6 +602,7 @@ mod tests {
                     &suite,
                     false,
                     Some(crate::DEFAULT_CACHE_BUDGET),
+                    &Instrument::disabled(),
                 )
                 .unwrap();
             assert_eq!(scratch.runs, incremental.runs);

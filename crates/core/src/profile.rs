@@ -41,7 +41,7 @@ pub struct ReplicaLoad {
 /// let profile = ResourceProfile::for_workload(&w, &TimeModel::paper_setup());
 /// // The Raspberry Pi replica (id 2) receives the sync — but the fused
 /// // sync executes at the sender, so replica 0 carries the cost here.
-/// assert_eq!(profile.busiest().replica, ReplicaId::new(0));
+/// assert_eq!(profile.busiest().unwrap().replica, ReplicaId::new(0));
 /// assert!(profile.run_cost_us() > 0);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
@@ -89,16 +89,10 @@ impl ResourceProfile {
         &self.loads
     }
 
-    /// The most expensive replica.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an empty workload.
-    pub fn busiest(&self) -> &ReplicaLoad {
-        self.loads
-            .iter()
-            .max_by_key(|l| l.cost_us)
-            .expect("profile of a non-empty workload")
+    /// The most expensive replica, or `None` for the profile of an empty
+    /// workload (no replicas, nothing to attribute).
+    pub fn busiest(&self) -> Option<&ReplicaLoad> {
+        self.loads.iter().max_by_key(|l| l.cost_us)
     }
 
     /// Total simulated cost of one replay, including the checkpoint/reset
@@ -269,6 +263,15 @@ mod tests {
         // One update on the Raspberry Pi profile costs over a millisecond.
         assert_eq!(pi.updates, 1);
         assert!(pi.cost_us > 1_000, "Pi op cost: {}", pi.cost_us);
+    }
+
+    #[test]
+    fn busiest_is_none_for_an_empty_workload() {
+        let empty = Workload::builder().build();
+        let profile = ResourceProfile::for_workload(&empty, &TimeModel::paper_setup());
+        assert!(profile.busiest().is_none());
+        let profile = ResourceProfile::for_workload(&workload(), &TimeModel::paper_setup());
+        assert!(profile.busiest().is_some());
     }
 
     #[test]

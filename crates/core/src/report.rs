@@ -4,7 +4,7 @@ use er_pi_analysis::Diagnostic;
 use er_pi_interleave::PruneStats;
 use er_pi_model::{Interleaving, Value};
 
-use crate::{CacheStats, WorkerLoad};
+use crate::{CacheStats, SessionSummary, WorkerLoad};
 
 /// The record of one replayed interleaving.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,6 +68,11 @@ pub struct Report {
     /// per-worker tries, which makes them scheduling-dependent — like
     /// `worker_loads` and `wall_ms` they are excluded from [`Report::diff`].
     pub cache_stats: Option<CacheStats>,
+    /// The end-of-session attribution table unifying the pruning, worker,
+    /// cache, and failure counters. Aggregates the scheduling-dependent
+    /// fields above (wall time, worker loads, cache counters), so it is
+    /// likewise excluded from [`Report::diff`].
+    pub session_summary: SessionSummary,
 }
 
 impl Report {

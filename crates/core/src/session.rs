@@ -1,22 +1,27 @@
 //! The testing session: `ER-π.Start()` … `ER-π.End(assertions)`.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use er_pi_datalog::InterleavingStore;
 use er_pi_interleave::{
-    DfsExplorer, ErPiExplorer, ExploreMode, Explorer, IndexedSource, PruneStats, PruningConfig,
-    RandomExplorer,
+    DfsExplorer, ErPiExplorer, ExploreMode, Explorer, FilterTimings, IndexedSource, PruneStats,
+    PruningConfig, RandomExplorer,
 };
 use er_pi_model::{
     EventId, Interleaving, OpDescriptor, ReplicaId, Value, Workload, WorkloadBuilder,
 };
+use er_pi_telemetry::{
+    HitRateMonitor, Progress, ProgressSnapshot, Sink, Telemetry, COORDINATOR_TRACK,
+};
 
 use er_pi_analysis::TraceAnalysis;
 
+use crate::instrument::{Instrument, ProgressHook};
 use crate::{
-    CacheStats, CheckContext, ConstraintsDir, CrossContext, ErPiError, IncrementalExecutor,
-    InlineExecutor, OpOutcome, ReplayPool, Report, RunRecord, SystemModel, TestSuite, TimeModel,
-    Violation, WorkerLoad, DEFAULT_CACHE_BUDGET,
+    CacheStats, CheckContext, ConstraintsDir, CrossContext, ErPiError, FailureStats,
+    IncrementalExecutor, InlineExecutor, OpOutcome, ReplayPool, Report, ResourceProfile, RunRecord,
+    SessionSummary, SystemModel, TestSuite, TimeModel, Violation, WorkerLoad, DEFAULT_CACHE_BUDGET,
 };
 
 /// The live, recording instance of the system under test.
@@ -168,6 +173,21 @@ impl AnyExplorer<'_> {
             _ => None,
         }
     }
+
+    /// Turns on per-filter wall-time measurement (ER-π mode only; the
+    /// other modes have no filters to time).
+    fn enable_timing(&mut self) {
+        if let AnyExplorer::ErPi(e) = self {
+            e.enable_timing();
+        }
+    }
+
+    fn timings(&self) -> Option<FilterTimings> {
+        match self {
+            AnyExplorer::ErPi(e) => Some(e.timings()),
+            _ => None,
+        }
+    }
 }
 
 /// One integration-testing session over a [`SystemModel`].
@@ -195,6 +215,9 @@ pub struct Session<M: SystemModel> {
     persist: bool,
     workload: Option<Workload>,
     store: Option<InterleavingStore>,
+    telemetry: Telemetry,
+    progress_hook: Option<ProgressHook>,
+    progress_every: usize,
 }
 
 /// What either replay strategy produces before the report is assembled.
@@ -210,6 +233,7 @@ struct ReplayOutcome {
     store: Option<InterleavingStore>,
     worker_loads: Vec<WorkerLoad>,
     cache_stats: Option<CacheStats>,
+    filter_timings: Option<FilterTimings>,
 }
 
 impl<M: SystemModel> Session<M> {
@@ -233,6 +257,9 @@ impl<M: SystemModel> Session<M> {
             persist: false,
             workload: None,
             store: None,
+            telemetry: Telemetry::disabled(),
+            progress_hook: None,
+            progress_every: 256,
         }
     }
 
@@ -372,12 +399,50 @@ impl<M: SystemModel> Session<M> {
         self
     }
 
+    /// Attaches a telemetry sink: recording, enumeration, each pruning
+    /// algorithm, dispatch, every replayed run, constraint checking, and
+    /// the end-of-session summary emit structured events into it (see the
+    /// `er_pi_telemetry` crate for the sinks).
+    ///
+    /// Telemetry is strictly write-only — attaching any sink leaves the
+    /// [`Report`] byte-identical to a detached run ([`Report::diff`]
+    /// returns `None` between the two; the `telemetry_equivalence` suite
+    /// pins this). The default is [`er_pi_telemetry::NullSink`], which
+    /// disables the whole layer down to one dead branch per instrumented
+    /// site.
+    pub fn set_telemetry(&mut self, sink: Arc<dyn Sink>) -> &mut Self {
+        self.telemetry = Telemetry::new(sink);
+        self
+    }
+
+    /// Installs a periodic progress callback, invoked every `every`
+    /// finished runs (from whichever thread crosses the boundary) with a
+    /// live [`ProgressSnapshot`]: runs/sec, measured ETA, the a-priori
+    /// [`ResourceProfile::campaign_secs`] projection, cache hit rate, and
+    /// per-worker utilization.
+    pub fn set_progress_hook(
+        &mut self,
+        every: usize,
+        hook: impl Fn(&ProgressSnapshot) + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.progress_every = every.max(1);
+        self.progress_hook = Some(Arc::new(hook));
+        self
+    }
+
     /// `ER-π.Start()` … `ER-π.End()`: runs `drive` against a live instance
     /// of the system, intercepting every call as an event. Returns the
     /// extracted workload.
     pub fn record(&mut self, drive: impl FnOnce(&mut LiveSystem<'_, M>)) -> &Workload {
+        let t_record = self.telemetry.start();
         let mut live = LiveSystem::new(&self.model);
         drive(&mut live);
+        self.telemetry.span_since(
+            COORDINATOR_TRACK,
+            "record",
+            t_record,
+            vec![("events", live.builder.len().into())],
+        );
         self.workload = Some(live.builder.build());
         self.workload.as_ref().expect("just set")
     }
@@ -447,11 +512,22 @@ impl<M: SystemModel> Session<M> {
     {
         let workload = self.workload.clone().ok_or(ErPiError::NothingRecorded)?;
         let started = Instant::now();
+        let instrument = self.build_instrument(&workload);
 
         // The static pass always runs: its lints land in the report, and —
         // if enabled — its derived independence feeds Algorithm 3.
+        let t_analyze = self.telemetry.start();
         let analysis = er_pi_analysis::analyze(&workload);
         let diagnostics = analysis.diagnostics.clone();
+        self.telemetry.span_since(
+            COORDINATOR_TRACK,
+            "analyze",
+            t_analyze,
+            vec![
+                ("events", workload.len().into()),
+                ("diagnostics", diagnostics.len().into()),
+            ],
+        );
 
         // Ingest any constraints already waiting before generating (the
         // State 4 → State 2 loop can begin with pre-discovered rules).
@@ -472,9 +548,9 @@ impl<M: SystemModel> Session<M> {
         // Constraint watching is a feedback loop on the live exploration
         // order (State 4 → State 2), so it pins the sequential strategy.
         let mut outcome = if self.workers > 1 && self.constraints.is_none() {
-            self.replay_pooled(&workload, &effective, suite)?
+            self.replay_pooled(&workload, &effective, suite, &instrument)?
         } else {
-            self.replay_sequential(&workload, &mut effective, suite)?
+            self.replay_sequential(&workload, &mut effective, suite, &instrument)?
         };
 
         // Cross-interleaving checks (misconceptions #1/#5 detectors).
@@ -494,6 +570,47 @@ impl<M: SystemModel> Session<M> {
 
         // Charge the Random mode's shuffle-retry overhead.
         let sim_us_total = outcome.sim_us + outcome.wasted * self.time.shuffle_retry_cost_us;
+        let wall_ms = started.elapsed().as_millis();
+
+        // Per-pruner attribution spans: one aggregate span per filter,
+        // placed back-to-back at the end of the coordinator track with the
+        // measured in-filter wall time as the duration.
+        self.emit_prune_spans(
+            outcome.prune_stats.as_ref(),
+            outcome.filter_timings.as_ref(),
+        );
+
+        let session_summary = SessionSummary {
+            mode: outcome.mode.clone(),
+            explored: outcome.runs.len(),
+            violations: outcome.violations.len(),
+            sim_us: sim_us_total,
+            wall_ms,
+            grouping_factor: outcome.prune_stats.map(|s| s.grouping_factor),
+            pruners: SessionSummary::pruner_rows(
+                outcome.prune_stats.as_ref(),
+                outcome.filter_timings.as_ref(),
+            ),
+            workers: outcome.worker_loads.clone(),
+            cache: outcome.cache_stats,
+            failures: FailureStats::from_runs(&outcome.runs),
+        };
+        if self.telemetry.is_active() {
+            self.telemetry.instant(
+                COORDINATOR_TRACK,
+                "summary",
+                vec![
+                    ("explored", session_summary.explored.into()),
+                    ("violations", session_summary.violations.into()),
+                    ("sim_us", session_summary.sim_us.into()),
+                    ("rendered", session_summary.render().into()),
+                ],
+            );
+        }
+        if let Some(progress) = &instrument.progress {
+            instrument.sample(progress);
+        }
+        self.telemetry.flush();
 
         self.store = outcome.store;
         Ok(Report {
@@ -502,7 +619,7 @@ impl<M: SystemModel> Session<M> {
             first_violation_at: outcome.first_violation_at,
             prune_stats: outcome.prune_stats,
             wasted_work: outcome.wasted,
-            wall_ms: started.elapsed().as_millis(),
+            wall_ms,
             sim_us: sim_us_total,
             runs: if self.keep_runs || !suite.cross_checks().is_empty() {
                 outcome.runs
@@ -514,7 +631,72 @@ impl<M: SystemModel> Session<M> {
             diagnostics,
             worker_loads: outcome.worker_loads,
             cache_stats: outcome.cache_stats,
+            session_summary,
         })
+    }
+
+    /// Builds the per-replay instrument: the cloned telemetry handle plus —
+    /// when anyone is watching — the shared progress aggregator seeded with
+    /// the session cap and the a-priori campaign projection.
+    fn build_instrument(&self, workload: &Workload) -> Instrument {
+        let watching = self.telemetry.is_active() || self.progress_hook.is_some();
+        if !watching {
+            return Instrument::disabled();
+        }
+        let workers = if self.workers > 1 && self.constraints.is_none() {
+            self.workers
+        } else {
+            1
+        };
+        let expected =
+            (self.max_interleavings < usize::MAX).then_some(self.max_interleavings as u64);
+        let campaign_secs = expected.map(|cap| {
+            ResourceProfile::for_workload(workload, &self.time).campaign_secs(cap as usize)
+        });
+        Instrument {
+            telemetry: self.telemetry.clone(),
+            progress: Some(Arc::new(
+                Progress::new(workers)
+                    .with_expected_total(expected)
+                    .with_campaign_secs(campaign_secs),
+            )),
+            hook: self.progress_hook.clone(),
+            every: self.progress_every,
+        }
+    }
+
+    /// Emits the per-pruner aggregate spans (`prune:<filter>`): checked /
+    /// rejected counts with the measured in-filter wall time as span
+    /// duration, laid out back-to-back so Perfetto renders the four
+    /// algorithms as adjacent blocks.
+    fn emit_prune_spans(&self, stats: Option<&PruneStats>, timings: Option<&FilterTimings>) {
+        if !self.telemetry.is_active() {
+            return;
+        }
+        let rows = SessionSummary::pruner_rows(stats, timings);
+        let mut cursor = self.telemetry.now_us();
+        for row in rows {
+            let label = match row.name {
+                "replica-specific" => "prune:replica-specific",
+                "independence" => "prune:independence",
+                "failed-ops" => "prune:failed-ops",
+                "causal" => "prune:causal",
+                _ => "prune:other",
+            };
+            let dur_us = row.wall_ns / 1_000;
+            self.telemetry.span(
+                COORDINATOR_TRACK,
+                label,
+                cursor,
+                dur_us,
+                vec![
+                    ("checked", row.checked.into()),
+                    ("rejected", row.rejected.into()),
+                    ("wall_ns", row.wall_ns.into()),
+                ],
+            );
+            cursor += dur_us.max(1);
+        }
     }
 
     /// The in-situ sequential strategy: one interleaving at a time, with
@@ -525,8 +707,13 @@ impl<M: SystemModel> Session<M> {
         workload: &Workload,
         effective: &mut PruningConfig,
         suite: &TestSuite<M::State>,
+        instrument: &Instrument,
     ) -> Result<ReplayOutcome, ErPiError> {
-        let explorer = self.build_explorer(workload, effective);
+        let telemetry = instrument.telemetry.clone();
+        let mut explorer = self.build_explorer(workload, effective);
+        if telemetry.is_active() {
+            explorer.enable_timing();
+        }
         let mode = explorer.mode_name().to_owned();
         let mut source = IndexedSource::new(explorer, self.max_interleavings);
         let mut runs: Vec<RunRecord> = Vec::new();
@@ -538,6 +725,8 @@ impl<M: SystemModel> Session<M> {
         let mut incremental = self
             .incremental
             .then(|| IncrementalExecutor::<M>::new(self.cache_budget));
+        let mut hit_monitor =
+            (self.incremental && telemetry.is_active()).then(HitRateMonitor::default);
 
         while let Some((run_index, il)) = source.next() {
             if let Some(store) = store.as_mut() {
@@ -549,10 +738,12 @@ impl<M: SystemModel> Session<M> {
             // incremental executor reaches the same states by resuming
             // from the deepest cached prefix (byte-identical execution —
             // see the correctness argument in `incremental`).
+            let t_run = telemetry.start();
             let exec = match incremental.as_mut() {
                 Some(executor) => executor.execute(&self.model, workload, &il, &self.time),
                 None => InlineExecutor::execute(&self.model, workload, &il, &self.time),
             };
+            let resumed_depth = incremental.as_ref().map(|e| e.last_resume_depth());
             sim_us += exec.sim_us;
             let observations: Vec<Value> =
                 exec.states.iter().map(|s| self.model.observe(s)).collect();
@@ -563,6 +754,7 @@ impl<M: SystemModel> Session<M> {
                 interleaving: &il,
                 outcomes: &exec.outcomes,
             };
+            let t_check = telemetry.start();
             let mut violated = false;
             for assertion in suite.assertions() {
                 if let Err(message) = assertion.check(&ctx) {
@@ -578,6 +770,36 @@ impl<M: SystemModel> Session<M> {
             if violated && first_violation_at.is_none() {
                 first_violation_at = Some(run_index);
             }
+            if telemetry.is_active() {
+                telemetry.span_since(
+                    COORDINATOR_TRACK,
+                    "check",
+                    t_check,
+                    vec![
+                        ("assertions", suite.assertions().len().into()),
+                        ("violated", violated.into()),
+                    ],
+                );
+                telemetry.span_since(
+                    COORDINATOR_TRACK,
+                    "run",
+                    t_run,
+                    vec![
+                        ("index", run_index.into()),
+                        ("resumed_depth", resumed_depth.unwrap_or(0).into()),
+                        ("sim_us", exec.sim_us.into()),
+                        ("violated", violated.into()),
+                        ("failed_ops", ctx_failed(&exec.outcomes).into()),
+                    ],
+                );
+            }
+            let cache_hit = resumed_depth.map(|d| d > 0);
+            if let (Some(monitor), Some(hit)) = (hit_monitor.as_mut(), cache_hit) {
+                if let Some(message) = monitor.record(hit) {
+                    telemetry.warn(COORDINATOR_TRACK, "cache:low-hit-rate", message);
+                }
+            }
+            instrument.run_done(0, cache_hit);
 
             runs.push(RunRecord {
                 interleaving: il,
@@ -621,6 +843,7 @@ impl<M: SystemModel> Session<M> {
             store,
             worker_loads: Vec::new(),
             cache_stats: incremental.map(|e| e.stats()),
+            filter_timings: explorer.timings(),
         })
     }
 
@@ -632,11 +855,15 @@ impl<M: SystemModel> Session<M> {
         workload: &Workload,
         effective: &PruningConfig,
         suite: &TestSuite<M::State>,
+        instrument: &Instrument,
     ) -> Result<ReplayOutcome, ErPiError>
     where
         M: Sync,
     {
-        let explorer = self.build_explorer(workload, effective);
+        let mut explorer = self.build_explorer(workload, effective);
+        if instrument.telemetry.is_active() {
+            explorer.enable_timing();
+        }
         let mode = explorer.mode_name().to_owned();
         let mut source = IndexedSource::new(explorer, self.max_interleavings);
         let pool = ReplayPool::new(self.workers);
@@ -648,6 +875,7 @@ impl<M: SystemModel> Session<M> {
             suite,
             self.stop_on_first_violation,
             self.incremental.then_some(self.cache_budget),
+            instrument,
         )?;
 
         // Deterministic explorer counters: after a cooperative cancellation
@@ -678,6 +906,11 @@ impl<M: SystemModel> Session<M> {
             store
         });
 
+        // Timings come from the *live* explorer: they are wall time, so —
+        // unlike the counters above — the dispensed-past-the-stop-point
+        // measurement is exactly what was really spent.
+        let filter_timings = source.inner().timings();
+
         Ok(ReplayOutcome {
             mode,
             stopped_early: out.cancelled || source.truncated(),
@@ -690,6 +923,7 @@ impl<M: SystemModel> Session<M> {
             store,
             worker_loads: out.worker_loads,
             cache_stats: out.cache_stats,
+            filter_timings,
         })
     }
 }
@@ -941,6 +1175,94 @@ mod tests {
             analysis.independence.sets.is_empty(),
             "LWW register writes conflict"
         );
+    }
+
+    #[test]
+    fn telemetry_covers_the_pipeline_and_never_changes_the_report() {
+        let sink = Arc::new(er_pi_telemetry::MemorySink::new());
+        let mut watched = Session::new(RegApp);
+        watched.set_telemetry(sink.clone());
+        record_two_writes(&mut watched);
+        watched.set_mode(ExploreMode::Dfs).set_workers(1);
+        let report = watched.replay(&TestSuite::new()).unwrap();
+
+        let mut plain = Session::new(RegApp);
+        record_two_writes(&mut plain);
+        plain.set_mode(ExploreMode::Dfs).set_workers(1);
+        let base = plain.replay(&TestSuite::new()).unwrap();
+        assert_eq!(report.diff(&base), None, "telemetry is write-only");
+
+        let events = sink.events();
+        for expected in ["record", "analyze", "run", "check", "summary"] {
+            assert!(
+                events.iter().any(|e| e.name == expected),
+                "missing {expected} event"
+            );
+        }
+        let runs = events.iter().filter(|e| e.name == "run").count();
+        assert_eq!(runs, report.explored);
+        assert_eq!(report.session_summary.explored, report.explored);
+        assert_eq!(report.session_summary.mode, report.mode);
+    }
+
+    #[test]
+    fn pooled_telemetry_lands_runs_on_worker_tracks() {
+        let sink = Arc::new(er_pi_telemetry::MemorySink::new());
+        let mut session = Session::new(RegApp);
+        session.set_telemetry(sink.clone());
+        record_two_writes(&mut session);
+        session.set_mode(ExploreMode::Dfs).set_workers(2);
+        let report = session.replay(&TestSuite::new()).unwrap();
+        assert_eq!(report.explored, 24);
+
+        let events = sink.events();
+        let run_tracks: std::collections::BTreeSet<u32> = events
+            .iter()
+            .filter(|e| e.name == "run")
+            .map(|e| e.track)
+            .collect();
+        assert!(
+            run_tracks.iter().all(|&t| t >= 1),
+            "pooled runs live on worker tracks, got {run_tracks:?}"
+        );
+        assert!(events.iter().any(|e| e.name == "claim"));
+        assert_eq!(report.session_summary.workers.len(), 2);
+    }
+
+    #[test]
+    fn erpi_mode_emits_per_pruner_spans() {
+        let sink = Arc::new(er_pi_telemetry::MemorySink::new());
+        let mut session = Session::new(RegApp);
+        session.set_telemetry(sink.clone());
+        record_two_writes(&mut session);
+        // Force a filter to actually run: require causal validity.
+        session.config_mut().require_causal = true;
+        session.set_workers(1);
+        let report = session.replay(&TestSuite::new()).unwrap();
+        assert!(sink.events().iter().any(|e| e.name == "prune:causal"));
+        let row = &report.session_summary.pruners[0];
+        assert_eq!(row.name, "causal");
+        assert!(row.checked > 0);
+    }
+
+    #[test]
+    fn progress_hook_fires_with_live_counters() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let fired = Arc::new(AtomicUsize::new(0));
+        let fired2 = fired.clone();
+        let mut session = Session::new(RegApp);
+        record_two_writes(&mut session);
+        session.set_mode(ExploreMode::Dfs).set_workers(1);
+        session.set_progress_hook(8, move |snap| {
+            assert!(snap.runs_done > 0);
+            assert!(snap.expected_total.is_some());
+            assert!(snap.campaign_secs_hint.is_some());
+            fired2.fetch_add(1, Ordering::Relaxed);
+        });
+        let report = session.replay(&TestSuite::new()).unwrap();
+        assert_eq!(report.explored, 24);
+        // Every 8 runs (3×) plus the final end-of-replay sample.
+        assert_eq!(fired.load(Ordering::Relaxed), 4);
     }
 
     #[test]

@@ -1,5 +1,8 @@
 //! The Redlock-style distributed mutex.
 
+use std::collections::HashMap;
+
+use er_pi_telemetry::{Telemetry, TrackId, COORDINATOR_TRACK};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -63,6 +66,11 @@ pub struct Redlock {
     fencing_key: String,
     config: RedlockConfig,
     rng: parking_lot::Mutex<StdRng>,
+    telemetry: Telemetry,
+    track: TrackId,
+    /// Acquisition timestamps keyed by owner token, for the `dlock:hold`
+    /// span emitted on release. Touched only when telemetry is active.
+    holds: parking_lot::Mutex<HashMap<String, u64>>,
 }
 
 impl Redlock {
@@ -85,7 +93,23 @@ impl Redlock {
             stores,
             config,
             rng: parking_lot::Mutex::new(StdRng::seed_from_u64(0x5eed)),
+            telemetry: Telemetry::disabled(),
+            track: COORDINATOR_TRACK,
+            holds: parking_lot::Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Attaches a telemetry handle; spans land on `track`.
+    ///
+    /// An active handle makes the lock emit `dlock:acquire` spans (with an
+    /// `attempts` count), a `dlock:contention` instant whenever an
+    /// acquisition does not succeed on its first attempt, and a
+    /// `dlock:hold` span covering acquisition → release. A disabled handle
+    /// (the default) costs one branch per operation.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry, track: TrackId) -> &mut Self {
+        self.telemetry = telemetry;
+        self.track = track;
+        self
     }
 
     /// Majority threshold.
@@ -109,6 +133,11 @@ impl Redlock {
         }
         if held >= self.quorum() {
             let fencing = self.stores[0].incr(&self.fencing_key);
+            if self.telemetry.is_active() {
+                self.holds
+                    .lock()
+                    .insert(token.clone(), self.telemetry.now_us());
+            }
             Some(LockGuard { token, fencing })
         } else {
             // Failed to reach quorum: roll back partial acquisitions.
@@ -123,8 +152,27 @@ impl Redlock {
     ///
     /// Returns `None` if `max_retries` attempts all failed.
     pub fn acquire(&self) -> Option<LockGuard> {
-        for _ in 0..self.config.max_retries {
+        let start_us = self.telemetry.now_us();
+        for attempt in 0..self.config.max_retries {
             if let Some(guard) = self.try_acquire() {
+                if self.telemetry.is_active() {
+                    if attempt > 0 {
+                        self.telemetry.instant(
+                            self.track,
+                            "dlock:contention",
+                            vec![("retries", u64::from(attempt).into())],
+                        );
+                    }
+                    self.telemetry.span_since(
+                        self.track,
+                        "dlock:acquire",
+                        start_us,
+                        vec![
+                            ("attempts", u64::from(attempt + 1).into()),
+                            ("fencing", guard.fencing.into()),
+                        ],
+                    );
+                }
                 return Some(guard);
             }
             if self.config.yield_between_retries {
@@ -137,10 +185,25 @@ impl Redlock {
     /// Releases the lock if `guard` still owns it on each instance.
     /// Returns how many instances actually released.
     pub fn release(&self, guard: &LockGuard) -> usize {
-        self.stores
+        let released = self
+            .stores
             .iter()
             .filter(|s| s.del_if_value(&self.key, &guard.token))
-            .count()
+            .count();
+        if self.telemetry.is_active() {
+            if let Some(start_us) = self.holds.lock().remove(&guard.token) {
+                self.telemetry.span_since(
+                    self.track,
+                    "dlock:hold",
+                    start_us,
+                    vec![
+                        ("fencing", guard.fencing.into()),
+                        ("released", released.into()),
+                    ],
+                );
+            }
+        }
+        released
     }
 
     /// Extends the lease on every instance still owned by `guard`.
@@ -252,6 +315,118 @@ mod tests {
         // Re-attempt still fails identically (no residue blocks retries of
         // the same loser; the winner's keys are untouched).
         assert!(lock.try_acquire().is_none());
+    }
+
+    #[test]
+    fn telemetry_emits_acquire_and_hold_spans() {
+        use er_pi_telemetry::{EventKind, MemorySink, Telemetry};
+        let sink = Arc::new(MemorySink::new());
+        let mut lock = Redlock::single(RedisLite::new(), "L");
+        lock.set_telemetry(Telemetry::new(sink.clone()), 3);
+        let g = lock.acquire().unwrap();
+        lock.release(&g);
+        let events = sink.events();
+        let acquire = events
+            .iter()
+            .find(|e| e.name == "dlock:acquire")
+            .expect("acquire span");
+        assert_eq!(acquire.track, 3);
+        match &acquire.kind {
+            EventKind::Span { args, .. } => {
+                assert!(args.iter().any(|(k, _)| *k == "attempts"));
+            }
+            other => panic!("expected span, got {other:?}"),
+        }
+        assert!(
+            events.iter().any(|e| e.name == "dlock:hold"),
+            "hold span emitted on release"
+        );
+        assert!(
+            !events.iter().any(|e| e.name == "dlock:contention"),
+            "uncontended first-attempt acquire emits no contention instant"
+        );
+    }
+
+    #[test]
+    fn exhausted_acquire_budget_emits_nothing() {
+        use er_pi_telemetry::{MemorySink, Telemetry};
+        let sink = Arc::new(MemorySink::new());
+        let store = RedisLite::new();
+        // Hold the key under a foreign token (a second Redlock instance
+        // would draw the same seeded token sequence as the waiter).
+        assert!(store.set_nx_px("L", "foreign-holder", 60_000));
+        let mut waiter = Redlock::new(
+            vec![store],
+            "L",
+            RedlockConfig {
+                max_retries: 5,
+                yield_between_retries: false,
+                ..RedlockConfig::default()
+            },
+        );
+        waiter.set_telemetry(Telemetry::new(sink.clone()), 0);
+        assert!(waiter.acquire().is_none(), "budget exhausted");
+        assert!(
+            sink.events().is_empty(),
+            "a failed acquire emits nothing; spans only cover successes"
+        );
+    }
+
+    #[test]
+    fn telemetry_reports_contention_once_the_lease_expires() {
+        use er_pi_telemetry::{ArgValue, EventKind, MemorySink, Telemetry};
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        /// A clock that jumps 10ms every read, so the holder's lease
+        /// deterministically expires a few retries into the waiter's loop.
+        struct TickingTime(AtomicU64);
+        impl crate::TimeSource for TickingTime {
+            fn now_ms(&self) -> u64 {
+                self.0.fetch_add(10, Ordering::SeqCst)
+            }
+        }
+
+        let store = RedisLite::with_time(Arc::new(TickingTime(AtomicU64::new(0))));
+        // Foreign token, 50ms lease: expires a few clock reads in.
+        assert!(store.set_nx_px("L", "foreign-holder", 50));
+
+        let sink = Arc::new(MemorySink::new());
+        let mut waiter = Redlock::new(
+            vec![store],
+            "L",
+            RedlockConfig {
+                ttl_ms: 50,
+                max_retries: 1_000,
+                yield_between_retries: false,
+            },
+        );
+        waiter.set_telemetry(Telemetry::new(sink.clone()), 0);
+        waiter.acquire().expect("lease expiry frees the lock");
+
+        let events = sink.events();
+        let contention = events
+            .iter()
+            .find(|e| e.name == "dlock:contention")
+            .expect("retried acquisition flags contention");
+        match &contention.kind {
+            EventKind::Instant { args } => {
+                let retries = args.iter().find(|(k, _)| *k == "retries").unwrap();
+                assert!(matches!(&retries.1, ArgValue::UInt(n) if *n > 0));
+            }
+            other => panic!("expected instant, got {other:?}"),
+        }
+        assert!(events.iter().any(|e| e.name == "dlock:acquire"));
+    }
+
+    #[test]
+    fn disabled_telemetry_leaves_no_hold_bookkeeping() {
+        let lock = Redlock::single(RedisLite::new(), "L");
+        let g = lock.acquire().unwrap();
+        assert!(
+            lock.holds.lock().is_empty(),
+            "inactive handle skips the map"
+        );
+        lock.release(&g);
     }
 
     #[test]

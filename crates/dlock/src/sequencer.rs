@@ -2,6 +2,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use er_pi_telemetry::{Telemetry, TrackId, COORDINATOR_TRACK};
+
 use crate::{RedisLite, Redlock, RedlockConfig};
 
 /// Enforces a scheduled total order across concurrently executing replica
@@ -20,6 +22,8 @@ pub struct OrderSequencer {
     lock: Redlock,
     turn_key: String,
     completed: AtomicU64,
+    telemetry: Telemetry,
+    track: TrackId,
 }
 
 impl OrderSequencer {
@@ -40,7 +44,23 @@ impl OrderSequencer {
             lock,
             turn_key,
             completed: AtomicU64::new(0),
+            telemetry: Telemetry::disabled(),
+            track: COORDINATOR_TRACK,
         }
+    }
+
+    /// Attaches a telemetry handle; spans land on `track`.
+    ///
+    /// The sequencer emits a `dlock:turn-wait` span per ticket covering the
+    /// wait from [`OrderSequencer::run_in_order`] entry until the turn
+    /// counter reached the ticket, and forwards the handle to the inner
+    /// [`Redlock`] so its acquire/hold/contention spans appear on the same
+    /// track.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry, track: TrackId) -> &mut Self {
+        self.lock.set_telemetry(telemetry.clone(), track);
+        self.telemetry = telemetry;
+        self.track = track;
+        self
     }
 
     /// The ticket currently allowed to run.
@@ -63,10 +83,18 @@ impl OrderSequencer {
     /// Panics if the distributed lock cannot be acquired within its retry
     /// budget (which indicates a deadlocked or crashed peer).
     pub fn run_in_order<R>(&self, ticket: u64, f: impl FnOnce() -> R) -> R {
+        let wait_start_us = self.telemetry.now_us();
+        let mut spins = 0u64;
         loop {
             let guard = self.lock.acquire().expect("sequencer lock acquisition");
             let turn = self.current_turn();
             if turn == ticket {
+                self.telemetry.span_since(
+                    self.track,
+                    "dlock:turn-wait",
+                    wait_start_us,
+                    vec![("ticket", ticket.into()), ("spins", spins.into())],
+                );
                 let out = f();
                 self.store.set(&self.turn_key, &(ticket + 1).to_string());
                 self.completed.fetch_add(1, Ordering::SeqCst);
@@ -74,6 +102,7 @@ impl OrderSequencer {
                 return out;
             }
             self.lock.release(&guard);
+            spins += 1;
             std::thread::yield_now();
         }
     }
@@ -159,6 +188,42 @@ mod tests {
         a.run_in_order(0, || ());
         assert_eq!(a.current_turn(), 1);
         assert_eq!(b.current_turn(), 0);
+    }
+
+    #[test]
+    fn telemetry_emits_one_turn_wait_span_per_ticket() {
+        use er_pi_telemetry::{ArgValue, EventKind, MemorySink, Telemetry};
+        let sink = Arc::new(MemorySink::new());
+        let mut seq = OrderSequencer::new(RedisLite::new(), "t5");
+        seq.set_telemetry(Telemetry::new(sink.clone()), 7);
+        seq.run_in_order(0, || ());
+        seq.run_in_order(1, || ());
+        let events = sink.events();
+        let waits: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "dlock:turn-wait")
+            .collect();
+        assert_eq!(waits.len(), 2);
+        assert!(waits.iter().all(|e| e.track == 7));
+        let tickets: Vec<u64> = waits
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Span { args, .. } => {
+                    args.iter()
+                        .find(|(k, _)| *k == "ticket")
+                        .map(|(_, v)| match v {
+                            ArgValue::UInt(n) => *n,
+                            other => panic!("ticket should be a uint, got {other:?}"),
+                        })
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tickets, vec![0, 1]);
+        assert!(
+            events.iter().any(|e| e.name == "dlock:acquire"),
+            "the inner lock inherits the handle"
+        );
     }
 
     #[test]

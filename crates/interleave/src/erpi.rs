@@ -9,21 +9,34 @@ use crate::{
 
 /// Per-algorithm pruning counters, observed while exploring.
 ///
-/// `grouping_factor` is analytic (`n! / u!`); the other three count the
-/// candidate interleavings each canonical filter rejected — the data behind
-/// Figure 9 ("Individual Algorithm's Contribution to the Reduction of
-/// Interleavings Number").
+/// `grouping_factor` is analytic (`n! / u!`); for each canonical filter the
+/// `*_checked` field counts the candidates that reached it (count-in) and
+/// the `*_rejected` field the candidates it eliminated (count-out minus
+/// count-in) — together the data behind Figure 9 ("Individual Algorithm's
+/// Contribution to the Reduction of Interleavings Number"). Filters run in
+/// a fixed order (replica-specific, independence, failed-ops, causal), so
+/// each filter's count-in is the previous filter's survivors; all counters
+/// are deterministic functions of the workload and pruning config and are
+/// therefore safe to compare in `Report::diff`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PruneStats {
     /// Interleavings merged away by event grouping, per unit permutation
     /// (analytic): `n!/u!` interleavings collapse into every emitted one.
     pub grouping_factor: u128,
+    /// Candidates that reached replica-specific canonicalization.
+    pub replica_specific_checked: u64,
     /// Candidates rejected by replica-specific canonicalization.
     pub replica_specific_rejected: u64,
+    /// Candidates that reached event-independence canonicalization.
+    pub independence_checked: u64,
     /// Candidates rejected by event-independence canonicalization.
     pub independence_rejected: u64,
+    /// Candidates that reached failed-ops canonicalization.
+    pub failed_ops_checked: u64,
     /// Candidates rejected by failed-ops canonicalization.
     pub failed_ops_rejected: u64,
+    /// Candidates that reached the causal-validity extension filter.
+    pub causal_checked: u64,
     /// Candidates rejected by the causal-validity extension filter.
     pub causal_rejected: u64,
     /// Interleavings emitted.
@@ -39,6 +52,65 @@ impl PruneStats {
             + self.failed_ops_rejected
             + self.causal_rejected
     }
+
+    /// `(name, checked, rejected)` rows for the configured filters, in
+    /// evaluation order — the telemetry attribution table. Filters that
+    /// never saw a candidate (not configured, or exploration rejected
+    /// everything earlier) are omitted.
+    pub fn per_filter(&self) -> Vec<(&'static str, u64, u64)> {
+        [
+            (
+                "replica-specific",
+                self.replica_specific_checked,
+                self.replica_specific_rejected,
+            ),
+            (
+                "independence",
+                self.independence_checked,
+                self.independence_rejected,
+            ),
+            (
+                "failed-ops",
+                self.failed_ops_checked,
+                self.failed_ops_rejected,
+            ),
+            ("causal", self.causal_checked, self.causal_rejected),
+        ]
+        .into_iter()
+        .filter(|&(_, checked, _)| checked > 0)
+        .collect()
+    }
+}
+
+/// Wall-clock time spent inside each canonical filter, in nanoseconds.
+///
+/// Collected only when [`ErPiExplorer::enable_timing`] was called — timing
+/// reads the monotonic clock twice per filter evaluation, which the
+/// deterministic replay paths must not pay (and whose values must never
+/// reach `Report`, where they would break run-to-run comparison). The
+/// telemetry layer turns these into per-pruner spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FilterTimings {
+    /// Nanoseconds spent in replica-specific canonicalization.
+    pub replica_specific_ns: u64,
+    /// Nanoseconds spent in event-independence canonicalization.
+    pub independence_ns: u64,
+    /// Nanoseconds spent in failed-ops canonicalization.
+    pub failed_ops_ns: u64,
+    /// Nanoseconds spent in the causal-validity extension filter.
+    pub causal_ns: u64,
+}
+
+impl FilterTimings {
+    /// `(name, nanoseconds)` rows in filter evaluation order.
+    pub fn per_filter(&self) -> [(&'static str, u64); 4] {
+        [
+            ("replica-specific", self.replica_specific_ns),
+            ("independence", self.independence_ns),
+            ("failed-ops", self.failed_ops_ns),
+            ("causal", self.causal_ns),
+        ]
+    }
 }
 
 /// ER-π's interleaving generator: permutations of grouped units, filtered to
@@ -53,6 +125,8 @@ pub struct ErPiExplorer<'w> {
     grouped: GroupedUnits,
     perms: crate::Permutations,
     stats: PruneStats,
+    timing: bool,
+    timings: FilterTimings,
 }
 
 impl<'w> ErPiExplorer<'w> {
@@ -74,6 +148,8 @@ impl<'w> ErPiExplorer<'w> {
                 grouping_factor,
                 ..PruneStats::default()
             },
+            timing: false,
+            timings: FilterTimings::default(),
         }
     }
 
@@ -87,27 +163,73 @@ impl<'w> ErPiExplorer<'w> {
         self.stats
     }
 
-    /// Checks every configured canonical predicate; returns the name of the
-    /// first filter that rejects, or `None` if the order is canonical.
-    fn rejecting_filter(&self, order: &[er_pi_model::EventId]) -> Option<&'static str> {
+    /// Starts measuring per-filter wall time (off by default — it costs two
+    /// monotonic-clock reads per filter evaluation). Read the result with
+    /// [`ErPiExplorer::timings`].
+    pub fn enable_timing(&mut self) {
+        self.timing = true;
+    }
+
+    /// Per-filter wall time accumulated so far. All zeros unless
+    /// [`ErPiExplorer::enable_timing`] was called.
+    pub fn timings(&self) -> FilterTimings {
+        self.timings
+    }
+
+    /// Checks every configured canonical predicate, updating the per-filter
+    /// count-in counters (and wall-time, when enabled); returns the name of
+    /// the first filter that rejects, or `None` if the order is canonical.
+    fn rejecting_filter(&mut self, order: &[er_pi_model::EventId]) -> Option<&'static str> {
         if let Some(target) = self.config.target_replica {
-            if !replica_specific_canonical(self.workload, order, target) {
+            self.stats.replica_specific_checked += 1;
+            let t = self.timing.then(std::time::Instant::now);
+            let ok = replica_specific_canonical(self.workload, order, target);
+            if let Some(t) = t {
+                self.timings.replica_specific_ns += t.elapsed().as_nanos() as u64;
+            }
+            if !ok {
                 return Some("replica-specific");
             }
         }
-        for set in &self.config.independent_sets {
-            if !independence_canonical(order, set, &self.config.interference) {
+        if !self.config.independent_sets.is_empty() {
+            self.stats.independence_checked += 1;
+            let t = self.timing.then(std::time::Instant::now);
+            let ok = self
+                .config
+                .independent_sets
+                .iter()
+                .all(|set| independence_canonical(order, set, &self.config.interference));
+            if let Some(t) = t {
+                self.timings.independence_ns += t.elapsed().as_nanos() as u64;
+            }
+            if !ok {
                 return Some("independence");
             }
         }
-        for rule in &self.config.failed_ops {
-            if !failed_ops_canonical(order, rule) {
+        if !self.config.failed_ops.is_empty() {
+            self.stats.failed_ops_checked += 1;
+            let t = self.timing.then(std::time::Instant::now);
+            let ok = self
+                .config
+                .failed_ops
+                .iter()
+                .all(|rule| failed_ops_canonical(order, rule));
+            if let Some(t) = t {
+                self.timings.failed_ops_ns += t.elapsed().as_nanos() as u64;
+            }
+            if !ok {
                 return Some("failed-ops");
             }
         }
         if self.config.require_causal {
+            self.stats.causal_checked += 1;
+            let t = self.timing.then(std::time::Instant::now);
             let il = Interleaving::new(order.to_vec());
-            if !self.workload.is_causally_valid(&il) {
+            let ok = self.workload.is_causally_valid(&il);
+            if let Some(t) = t {
+                self.timings.causal_ns += t.elapsed().as_nanos() as u64;
+            }
+            if !ok {
                 return Some("causal");
             }
         }
@@ -194,7 +316,70 @@ mod tests {
         let stats = explorer.stats();
         assert_eq!(stats.emitted, 19);
         assert_eq!(stats.failed_ops_rejected, 5);
+        assert_eq!(stats.failed_ops_checked, 24, "every candidate reached it");
         assert_eq!(stats.grouping_factor, 210); // 5040 / 24
+        assert_eq!(stats.per_filter(), vec![("failed-ops", 24, 5)]);
+    }
+
+    #[test]
+    fn count_in_chains_through_the_filter_order() {
+        // Configure both the replica-specific and causal filters: causal's
+        // count-in must equal replica-specific's survivors.
+        let a = r(0);
+        let b = r(1);
+        let mut w = Workload::builder();
+        let base = w.update(a, "base", [Value::from(0)]);
+        w.sync_pair(a, b, base);
+        let p = w.update(a, "p", [Value::from(1)]);
+        let q = w.update(a, "q", [Value::from(2)]);
+        w.depends(q, p);
+        let w = w.build();
+        let config = PruningConfig {
+            require_causal: true,
+            ..PruningConfig::default().with_target_replica(b)
+        };
+        let mut explorer = ErPiExplorer::new(&w, &config);
+        let emitted = explorer.by_ref().count() as u64;
+        let stats = explorer.stats();
+        assert_eq!(
+            stats.causal_checked,
+            stats.replica_specific_checked - stats.replica_specific_rejected
+        );
+        assert_eq!(stats.causal_checked - stats.causal_rejected, emitted);
+        assert_eq!(
+            stats.per_filter(),
+            vec![
+                (
+                    "replica-specific",
+                    stats.replica_specific_checked,
+                    stats.replica_specific_rejected
+                ),
+                ("causal", stats.causal_checked, stats.causal_rejected),
+            ]
+        );
+    }
+
+    #[test]
+    fn timings_stay_zero_unless_enabled() {
+        let (w, [ev1, ev2, ev3, ev4]) = motivating();
+        let config = PruningConfig::default().with_failed_ops(FailedOpsRule {
+            predecessors: vec![ev4],
+            successors: vec![ev1, ev2, ev3],
+        });
+        let mut silent = ErPiExplorer::new(&w, &config);
+        silent.by_ref().count();
+        assert_eq!(silent.timings(), FilterTimings::default());
+
+        let mut timed = ErPiExplorer::new(&w, &config);
+        timed.enable_timing();
+        timed.by_ref().count();
+        let timings = timed.timings();
+        // The failed-ops filter evaluated 24 candidates; the others never ran.
+        assert_eq!(timings.replica_specific_ns, 0);
+        assert_eq!(timings.independence_ns, 0);
+        assert_eq!(timings.causal_ns, 0);
+        // Timing must not change what is emitted or counted.
+        assert_eq!(timed.stats(), silent.stats());
     }
 
     #[test]

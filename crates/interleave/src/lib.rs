@@ -74,7 +74,7 @@ mod replica_specific;
 mod shard;
 
 pub use config::{FailedOpsRule, PruningConfig};
-pub use erpi::{ErPiExplorer, PruneStats};
+pub use erpi::{ErPiExplorer, FilterTimings, PruneStats};
 pub use explorer::{DfsExplorer, ExploreMode, Explorer, RandomExplorer};
 pub use failed_ops::failed_ops_canonical;
 pub use grouping::{group_events, GroupedUnits};

@@ -17,6 +17,9 @@ mod rdb_bugs;
 mod roshi_bugs;
 mod yorkie_bugs;
 
+use std::sync::Arc;
+
+use er_pi::telemetry::Sink;
 use er_pi::{
     Assertion, ExploreMode, InlineExecutor, PruningConfig, Report, Session, SystemModel, TestSuite,
     TimeModel,
@@ -250,6 +253,63 @@ struct RunPlan {
     /// Prefix-sharing incremental replay; `false` pins the scratch
     /// executor the incremental-equivalence suite compares against.
     incremental: bool,
+    /// Telemetry sink to attach, if any. Telemetry is write-only, so the
+    /// resulting [`Report`] must be byte-identical with or without it
+    /// (pinned by the telemetry-equivalence suite).
+    telemetry: Option<Arc<dyn Sink>>,
+}
+
+/// Options for [`Bug::replay_report_opts`] — the fully general scheduling
+/// knob set behind the differential-equivalence harnesses.
+///
+/// ```
+/// use er_pi_subjects::{Bug, ReplayOptions};
+///
+/// let bug = Bug::by_name("Roshi-1").unwrap();
+/// let report = bug.replay_report_opts(&ReplayOptions {
+///     workers: 2,
+///     ..ReplayOptions::default()
+/// });
+/// assert!(report.explored > 0);
+/// ```
+#[derive(Clone)]
+pub struct ReplayOptions {
+    /// Replay at most this many interleavings (the paper caps at 10 000).
+    pub cap: usize,
+    /// Stop at the first violating interleaving.
+    pub stop_on_first_violation: bool,
+    /// Replay worker threads; `1` pins the sequential reference path,
+    /// `0` uses all available cores.
+    pub workers: usize,
+    /// Prefix-sharing incremental replay; `false` pins the scratch
+    /// executor.
+    pub incremental: bool,
+    /// Telemetry sink to attach to the session, if any.
+    pub telemetry: Option<Arc<dyn Sink>>,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions {
+            cap: 10_000,
+            stop_on_first_violation: false,
+            workers: 1,
+            incremental: true,
+            telemetry: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for ReplayOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplayOptions")
+            .field("cap", &self.cap)
+            .field("stop_on_first_violation", &self.stop_on_first_violation)
+            .field("workers", &self.workers)
+            .field("incremental", &self.incremental)
+            .field("telemetry", &self.telemetry.is_some())
+            .finish()
+    }
 }
 
 fn run_report<M, S>(
@@ -273,6 +333,9 @@ where
     session.set_stop_on_first_violation(plan.stop_on_first_violation);
     session.set_workers(plan.workers);
     session.set_incremental(plan.incremental);
+    if let Some(sink) = &plan.telemetry {
+        session.set_telemetry(Arc::clone(sink));
+    }
     let suite = TestSuite::new().with(Assertion::new("bug-manifested", move |ctx| {
         let bug_ctx = BugCtx {
             states: ctx.states,
@@ -304,6 +367,7 @@ where
         stop_on_first_violation: true,
         workers: 0, // all available cores
         incremental: true,
+        telemetry: None,
     };
     let report = run_report(model, workload, config, &plan, check);
     Repro {
@@ -517,12 +581,25 @@ impl Bug {
         workers: usize,
         incremental: bool,
     ) -> Report {
-        let plan = RunPlan {
-            mode: ExploreMode::ErPi,
+        self.replay_report_opts(&ReplayOptions {
             cap,
             stop_on_first_violation,
             workers,
             incremental,
+            telemetry: None,
+        })
+    }
+
+    /// The fully general replay entry point: every scheduling knob plus an
+    /// optional telemetry sink, via [`ReplayOptions`].
+    pub fn replay_report_opts(&self, opts: &ReplayOptions) -> Report {
+        let plan = RunPlan {
+            mode: ExploreMode::ErPi,
+            cap: opts.cap,
+            stop_on_first_violation: opts.stop_on_first_violation,
+            workers: opts.workers,
+            incremental: opts.incremental,
+            telemetry: opts.telemetry.clone(),
         };
         match &self.imp {
             BugImpl::Roshi { model, check } => {

@@ -27,7 +27,7 @@ mod roshi;
 mod town;
 mod yorkie;
 
-pub use bugs::{Bug, BugCtx, BugStatus, CloneProbe, Repro, SubjectKind};
+pub use bugs::{Bug, BugCtx, BugStatus, CloneProbe, ReplayOptions, Repro, SubjectKind};
 pub use crdts::{CrdtsModel, CrdtsState};
 pub use misconceive::{detect_misconception, misconception_matrix, MatrixCell};
 pub use orbitdb::{OrbitConfig, OrbitModel, OrbitState};

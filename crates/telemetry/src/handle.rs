@@ -1,0 +1,244 @@
+//! The [`Telemetry`] handle: what instrumentation sites hold.
+
+use std::borrow::Cow;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::event::{Args, EventKind, TelemetryEvent, TrackId};
+use crate::sink::Sink;
+
+/// A cheap, cloneable handle to an installed [`Sink`].
+///
+/// Instrumentation sites hold one of these and gate every emission on
+/// [`Telemetry::is_active`] — a single branch. The active flag is captured
+/// from [`Sink::enabled`] when the handle is built, so the disabled path
+/// (no sink, or [`NullSink`](crate::NullSink)) never reads the clock, never
+/// builds arguments, and never allocates.
+#[derive(Clone)]
+pub struct Telemetry {
+    sink: Option<Arc<dyn Sink>>,
+    origin: Instant,
+    active: bool,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("active", &self.active)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::disabled()
+    }
+}
+
+impl Telemetry {
+    /// A handle with no sink: every emission is a no-op behind one branch.
+    pub fn disabled() -> Self {
+        Telemetry {
+            sink: None,
+            origin: Instant::now(),
+            active: false,
+        }
+    }
+
+    /// Wraps `sink`. Timestamps are microseconds since this call.
+    pub fn new(sink: Arc<dyn Sink>) -> Self {
+        let active = sink.enabled();
+        Telemetry {
+            sink: Some(sink),
+            origin: Instant::now(),
+            active,
+        }
+    }
+
+    /// Whether events will actually reach a sink. Emission helpers check
+    /// this themselves; call it directly only to skip *building* expensive
+    /// arguments.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Microseconds since the handle was built (0 when inactive — don't
+    /// read the clock nobody is watching).
+    #[inline]
+    pub fn now_us(&self) -> u64 {
+        if self.active {
+            self.origin.elapsed().as_micros() as u64
+        } else {
+            0
+        }
+    }
+
+    /// Starts a span: returns the timestamp to later pass to
+    /// [`Telemetry::span_since`].
+    #[inline]
+    pub fn start(&self) -> u64 {
+        self.now_us()
+    }
+
+    /// Emits a completed span that began at `start_us` (from
+    /// [`Telemetry::start`]) and ends now.
+    #[inline]
+    pub fn span_since(
+        &self,
+        track: TrackId,
+        name: impl Into<Cow<'static, str>>,
+        start_us: u64,
+        args: Args,
+    ) {
+        if !self.active {
+            return;
+        }
+        let end = self.now_us();
+        self.emit(TelemetryEvent {
+            ts_us: start_us,
+            track,
+            name: name.into(),
+            kind: EventKind::Span {
+                dur_us: end.saturating_sub(start_us),
+                args,
+            },
+        });
+    }
+
+    /// Emits a completed span with an explicit duration (for durations
+    /// measured elsewhere, e.g. aggregated pruner wall time).
+    #[inline]
+    pub fn span(
+        &self,
+        track: TrackId,
+        name: impl Into<Cow<'static, str>>,
+        start_us: u64,
+        dur_us: u64,
+        args: Args,
+    ) {
+        if !self.active {
+            return;
+        }
+        self.emit(TelemetryEvent {
+            ts_us: start_us,
+            track,
+            name: name.into(),
+            kind: EventKind::Span { dur_us, args },
+        });
+    }
+
+    /// Emits a point-in-time marker.
+    #[inline]
+    pub fn instant(&self, track: TrackId, name: impl Into<Cow<'static, str>>, args: Args) {
+        if !self.active {
+            return;
+        }
+        self.emit(TelemetryEvent {
+            ts_us: self.now_us(),
+            track,
+            name: name.into(),
+            kind: EventKind::Instant { args },
+        });
+    }
+
+    /// Emits a sampled counter value.
+    #[inline]
+    pub fn counter(&self, track: TrackId, name: impl Into<Cow<'static, str>>, value: f64) {
+        if !self.active {
+            return;
+        }
+        self.emit(TelemetryEvent {
+            ts_us: self.now_us(),
+            track,
+            name: name.into(),
+            kind: EventKind::Counter { value },
+        });
+    }
+
+    /// Emits a one-line warning diagnostic.
+    #[inline]
+    pub fn warn(
+        &self,
+        track: TrackId,
+        name: impl Into<Cow<'static, str>>,
+        message: impl Into<String>,
+    ) {
+        if !self.active {
+            return;
+        }
+        self.emit(TelemetryEvent {
+            ts_us: self.now_us(),
+            track,
+            name: name.into(),
+            kind: EventKind::Warning {
+                message: message.into(),
+            },
+        });
+    }
+
+    /// Flushes the underlying sink.
+    pub fn flush(&self) {
+        if let Some(sink) = &self.sink {
+            sink.flush();
+        }
+    }
+
+    fn emit(&self, event: TelemetryEvent) {
+        if let Some(sink) = &self.sink {
+            sink.emit(&event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemorySink, NullSink, COORDINATOR_TRACK};
+
+    #[test]
+    fn disabled_handle_drops_everything() {
+        let t = Telemetry::disabled();
+        assert!(!t.is_active());
+        assert_eq!(t.now_us(), 0);
+        t.instant(COORDINATOR_TRACK, "x", vec![]);
+        t.counter(COORDINATOR_TRACK, "c", 1.0);
+        t.flush();
+    }
+
+    #[test]
+    fn null_sink_deactivates_the_handle() {
+        let t = Telemetry::new(Arc::new(NullSink));
+        assert!(!t.is_active());
+    }
+
+    #[test]
+    fn memory_sink_receives_spans_with_durations() {
+        let sink = Arc::new(MemorySink::new());
+        let t = Telemetry::new(sink.clone());
+        assert!(t.is_active());
+        let start = t.start();
+        t.span_since(1, "run", start, vec![("index", 4u64.into())]);
+        t.warn(1, "cache:low-hit-rate", "hit rate degraded");
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        match &events[0].kind {
+            EventKind::Span { args, .. } => {
+                assert_eq!(args[0].0, "index");
+            }
+            other => panic!("expected span, got {other:?}"),
+        }
+        assert_eq!(events[1].kind.kind_name(), "warning");
+    }
+
+    #[test]
+    fn clones_share_the_origin() {
+        let sink = Arc::new(MemorySink::new());
+        let t = Telemetry::new(sink.clone());
+        let t2 = t.clone();
+        t.instant(0, "a", vec![]);
+        t2.instant(1, "b", vec![]);
+        let events = sink.events();
+        assert!(events[1].ts_us >= events[0].ts_us);
+    }
+}
