@@ -161,8 +161,27 @@ pub(crate) fn derive(
         .filter(|ev| matches!(&profiles[ev.id.index()], Some(p) if p.kind != OpKind::Read))
         .map(|ev| ev.id)
         .collect();
+    // Recorded workloads repeat the same few (family, op-kind, args)
+    // shapes over and over, so the quadratic loop would re-consult the
+    // commutativity table with identical inputs per *event* pair. Dedupe
+    // the profiles into equality classes first (OpProfile is `PartialEq`
+    // but not `Hash` — `Value` arguments preclude hashing — so class
+    // lookup is a linear scan over the handful of distinct shapes) and
+    // memoize one table verdict per unordered class pair.
+    let mut classes: Vec<&OpProfile> = Vec::new();
+    let class_of: Vec<usize> = updates
+        .iter()
+        .map(|&e| {
+            let p = profiles[e.index()].as_ref().expect("profiled");
+            classes.iter().position(|c| *c == p).unwrap_or_else(|| {
+                classes.push(p);
+                classes.len() - 1
+            })
+        })
+        .collect();
+    let mut verdicts: Vec<Option<bool>> = vec![None; classes.len() * classes.len()];
     for (i, &a) in updates.iter().enumerate() {
-        for &b in &updates[i + 1..] {
+        for (j, &b) in updates.iter().enumerate().skip(i + 1) {
             if hb.concurrent(a, b) {
                 db.insert(fact("concurrent", [a.index(), b.index()]));
                 db.insert(fact("concurrent", [b.index(), a.index()]));
@@ -171,15 +190,10 @@ pub(crate) fn derive(
                 db.insert(fact("co_replica", [a.index(), b.index()]));
                 db.insert(fact("co_replica", [b.index(), a.index()]));
             }
-            let (pa, pb) = (
-                profiles[a.index()].as_ref().expect("profiled"),
-                profiles[b.index()].as_ref().expect("profiled"),
-            );
-            let rel = if pa.commutes_with(pb).is_none() {
-                "commutes"
-            } else {
-                "conflicts"
-            };
+            let (ca, cb) = (class_of[i], class_of[j]);
+            let commutes = *verdicts[ca * classes.len() + cb]
+                .get_or_insert_with(|| classes[ca].commutes_with(classes[cb]).is_none());
+            let rel = if commutes { "commutes" } else { "conflicts" };
             db.insert(fact(rel, [a.index(), b.index()]));
             db.insert(fact(rel, [b.index(), a.index()]));
         }
@@ -354,6 +368,58 @@ mod tests {
         assert!(db.contains(&fact("concurrent", [a.index(), b.index()])));
         assert!(db.contains(&fact("commutes", [a.index(), b.index()])));
         assert_eq!(db.relation_len("opaque"), 0);
+    }
+
+    #[test]
+    fn memoized_verdicts_match_the_naive_table_walk() {
+        // A workload that repeats a handful of op shapes across replicas —
+        // the profile-class memo must produce exactly the facts a naive
+        // per-event-pair table walk would, for every pair and direction.
+        let mut w = Workload::builder();
+        for rep in 0..3u16 {
+            w.update(r(rep), "counter_inc", [Value::from(1)]);
+            w.update(r(rep), "set_add", [Value::from("x")]);
+            w.update(r(rep), "set_remove", [Value::from("x")]);
+            w.update(r(rep), "put", [Value::from(i64::from(rep)), Value::from(1)]);
+            w.update(r(rep), "reg_set", [Value::from(7)]);
+        }
+        let workload = w.build();
+        let analysis = analyze(&workload);
+        let db = analysis.database();
+
+        let profiled: Vec<_> = workload
+            .events()
+            .iter()
+            .filter_map(|ev| {
+                let p = analysis.profile(ev.id)?;
+                (p.kind != er_pi_rdl::OpKind::Read).then(|| (ev.id, p.clone()))
+            })
+            .collect();
+        assert!(profiled.len() >= 15, "workload must exercise repetition");
+        for (i, (a, pa)) in profiled.iter().enumerate() {
+            for (b, pb) in &profiled[i + 1..] {
+                let rel = if pa.commutes_with(pb).is_none() {
+                    "commutes"
+                } else {
+                    "conflicts"
+                };
+                let anti = if rel == "commutes" {
+                    "conflicts"
+                } else {
+                    "commutes"
+                };
+                for (x, y) in [(a, b), (b, a)] {
+                    assert!(
+                        db.contains(&fact(rel, [x.index(), y.index()])),
+                        "missing {rel}({x:?}, {y:?})"
+                    );
+                    assert!(
+                        !db.contains(&fact(anti, [x.index(), y.index()])),
+                        "contradictory {anti}({x:?}, {y:?})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

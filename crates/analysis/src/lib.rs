@@ -50,9 +50,13 @@
 //! **Semantic layer.** On top of the mechanical argument, a pair only
 //! enters the independent set when the per-type commutativity table of
 //! `er-pi-rdl` approves it (counters commute; same-element OR-set
-//! add/remove conflict; overlapping RGA inserts conflict; equal-timestamp
+//! add/remove conflict; concurrent RGA inserts conflict; equal-timestamp
 //! LWW writes conflict on tie-break; sequential-ID creation never
-//! commutes). This second gate is deliberately conservative — it protects
+//! commutes). That table is itself checked: the bounded certifier
+//! ([`certify_table`]) replays every claim in both orders against the real
+//! `er-pi-rdl` types and demands convergence for "commutes" entries and a
+//! concrete divergence witness for every conflict reason.
+//! This second gate is deliberately conservative — it protects
 //! workloads whose sync timing is implicit in the model (LWW tie-breaks,
 //! log orders) and keeps the derived relation aligned with the paper's
 //! semantic notion of independence. Conservatism cannot cause unsoundness:
@@ -77,11 +81,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod audit;
+mod certify;
 mod derive;
 mod hb;
 mod lint;
 mod vocab;
 
+pub use audit::{
+    certify_table, certify_table_with, validate_independence, validate_table, CertBounds,
+    CertClaim, CertSummary, CertifiedTable, Verdict,
+};
+pub use certify::{family_name, kind_sig, CertWitness, PairEvidence};
 pub use derive::{analysis_rules, DerivedIndependence};
 pub use hb::HbGraph;
 pub use lint::{Diagnostic, LintPattern};

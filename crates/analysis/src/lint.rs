@@ -39,10 +39,18 @@ pub enum LintPattern {
     /// An observation or last-writer-wins write racing a delivery into the
     /// same replica (misconception 5: *no coordination is ever needed*).
     UncoordinatedObserver,
+    /// An unsound or vacuous entry in the commutativity table, or an
+    /// independence declaration the certified table contradicts. Not a
+    /// Table 2 misconception (number 0): it flags the *analysis inputs*
+    /// rather than the workload, and is raised by the bounded certifier
+    /// ([`crate::certify_table`]) and its validators.
+    IndependenceSoundness,
 }
 
 impl LintPattern {
-    /// The Table 2 misconception number (1–5) this pattern witnesses.
+    /// The Table 2 misconception number (1–5) this pattern witnesses, or 0
+    /// for [`LintPattern::IndependenceSoundness`] findings, which audit the
+    /// analysis tables rather than the workload.
     pub fn misconception(self) -> u8 {
         match self {
             LintPattern::RacingDeliveries => 1,
@@ -50,6 +58,7 @@ impl LintPattern {
             LintPattern::ConcurrentMoves => 3,
             LintPattern::RacingIdMint => 4,
             LintPattern::UncoordinatedObserver => 5,
+            LintPattern::IndependenceSoundness => 0,
         }
     }
 
@@ -61,6 +70,7 @@ impl LintPattern {
             LintPattern::ConcurrentMoves => "concurrent-moves",
             LintPattern::RacingIdMint => "racing-id-mint",
             LintPattern::UncoordinatedObserver => "uncoordinated-observer",
+            LintPattern::IndependenceSoundness => "independence-soundness",
         }
     }
 }
@@ -68,7 +78,8 @@ impl LintPattern {
 /// One pre-replay diagnostic with event provenance.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Diagnostic {
-    /// Table 2 misconception number (1–5).
+    /// Table 2 misconception number (1–5), or 0 for independence-soundness
+    /// findings.
     pub misconception: u8,
     /// The flagged pattern.
     pub pattern: LintPattern,

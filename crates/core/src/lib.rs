@@ -136,6 +136,7 @@ mod misconceptions;
 mod pool;
 mod profile;
 mod report;
+mod sanitizer;
 mod session;
 mod summary;
 mod system;
@@ -150,13 +151,18 @@ pub use misconceptions::{misconception, Misconception};
 pub use pool::ReplayPool;
 pub use profile::{CacheStats, FailureStats, ReplicaLoad, ResourceProfile, WorkerLoad};
 pub use report::{Report, RunRecord, Violation};
+pub use sanitizer::{IndependenceViolation, SanitizerReport};
 pub use session::{LiveSystem, Session};
 pub use summary::{PrunerRow, SessionSummary};
 pub use system::{OpOutcome, SystemModel};
 pub use time::TimeModel;
 
 // Re-export the neighbours users need at the API boundary.
-pub use er_pi_analysis::{analyze, Diagnostic, LintPattern, TraceAnalysis};
+pub use er_pi_analysis::{
+    analyze, certify_table, certify_table_with, validate_independence, validate_table, CertBounds,
+    CertClaim, CertSummary, CertWitness, CertifiedTable, Diagnostic, LintPattern, TraceAnalysis,
+    Verdict,
+};
 pub use er_pi_interleave::{ExploreMode, FailedOpsRule, FilterTimings, PruningConfig};
 /// The structured telemetry layer (sinks, progress, trace export) — see
 /// [`Session::set_telemetry`].

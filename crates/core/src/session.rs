@@ -21,7 +21,8 @@ use crate::instrument::{Instrument, ProgressHook};
 use crate::{
     CacheStats, CheckContext, ConstraintsDir, CrossContext, ErPiError, FailureStats,
     IncrementalExecutor, InlineExecutor, OpOutcome, ReplayPool, Report, ResourceProfile, RunRecord,
-    SessionSummary, SystemModel, TestSuite, TimeModel, Violation, WorkerLoad, DEFAULT_CACHE_BUDGET,
+    SanitizerReport, SessionSummary, SystemModel, TestSuite, TimeModel, Violation, WorkerLoad,
+    DEFAULT_CACHE_BUDGET,
 };
 
 /// The live, recording instance of the system under test.
@@ -213,8 +214,11 @@ pub struct Session<M: SystemModel> {
     constraints: Option<ConstraintsDir>,
     constraint_poll_every: usize,
     persist: bool,
+    sanitize: bool,
+    certify: bool,
     workload: Option<Workload>,
     store: Option<InterleavingStore>,
+    sanitizer_report: Option<SanitizerReport>,
     telemetry: Telemetry,
     progress_hook: Option<ProgressHook>,
     progress_every: usize,
@@ -255,8 +259,11 @@ impl<M: SystemModel> Session<M> {
             constraints: None,
             constraint_poll_every: 100,
             persist: false,
+            sanitize: false,
+            certify: false,
             workload: None,
             store: None,
+            sanitizer_report: None,
             telemetry: Telemetry::disabled(),
             progress_hook: None,
             progress_every: 256,
@@ -399,6 +406,56 @@ impl<M: SystemModel> Session<M> {
         self
     }
 
+    /// Enables the replay-time independence sanitizer (default: **off**).
+    ///
+    /// After each [`Session::replay`], every run in which two events of a
+    /// declared independent set executed adjacently (with no declared
+    /// interferer inside the set's span — the precondition for Algorithm
+    /// 3's merging) is re-checked: the run's prefix is re-executed, the
+    /// pair is applied in both orders, and the hashed replica observations
+    /// plus per-event [`OpOutcome`]s are compared. Any difference lands in
+    /// [`Session::sanitizer_report`] as an
+    /// [`IndependenceViolation`](crate::IndependenceViolation).
+    ///
+    /// The sanitizer never changes the [`Report`]: a sanitizer-on replay is
+    /// byte-identical to a sanitizer-off one under [`Report::diff`] (pinned
+    /// by the `sanitizer_equivalence` suite).
+    pub fn set_sanitizer(&mut self, sanitize: bool) -> &mut Self {
+        self.sanitize = sanitize;
+        self
+    }
+
+    /// Whether the independence sanitizer is enabled.
+    pub fn sanitizer(&self) -> bool {
+        self.sanitize
+    }
+
+    /// The independence findings of the last sanitizer-enabled replay
+    /// (`None` before the first such replay, or while the sanitizer is
+    /// off).
+    pub fn sanitizer_report(&self) -> Option<&SanitizerReport> {
+        self.sanitizer_report.as_ref()
+    }
+
+    /// Enables pre-replay certification of the commutativity table
+    /// (default: **off**).
+    ///
+    /// Each [`Session::replay`] then runs the bounded certifier
+    /// ([`er_pi_analysis::certify_table`]) and validates both the table and
+    /// the replay's effective independence declarations against it; any
+    /// unsound or vacuous entry is appended to [`Report::diagnostics`] as
+    /// an `independence-soundness` lint (misconception number 0), alongside
+    /// the five misconception lints.
+    pub fn set_certify(&mut self, certify: bool) -> &mut Self {
+        self.certify = certify;
+        self
+    }
+
+    /// Whether pre-replay table certification is enabled.
+    pub fn certify(&self) -> bool {
+        self.certify
+    }
+
     /// Attaches a telemetry sink: recording, enumeration, each pruning
     /// algorithm, dispatch, every replayed run, constraint checking, and
     /// the end-of-session summary emit structured events into it (see the
@@ -518,7 +575,7 @@ impl<M: SystemModel> Session<M> {
         // if enabled — its derived independence feeds Algorithm 3.
         let t_analyze = self.telemetry.start();
         let analysis = er_pi_analysis::analyze(&workload);
-        let diagnostics = analysis.diagnostics.clone();
+        let mut diagnostics = analysis.diagnostics.clone();
         self.telemetry.span_since(
             COORDINATOR_TRACK,
             "analyze",
@@ -545,6 +602,31 @@ impl<M: SystemModel> Session<M> {
             effective.absorb(analysis.to_pruning_config());
         }
 
+        // Pre-campaign certification: audit the commutativity table itself
+        // and cross-check the effective independence declarations against
+        // the certified verdicts. Findings join the misconception lints.
+        if self.certify {
+            let t_certify = self.telemetry.start();
+            let table = er_pi_analysis::certify_table();
+            let mut findings = er_pi_analysis::validate_table(&table);
+            findings.extend(er_pi_analysis::validate_independence(
+                &workload, &effective, &table,
+            ));
+            self.telemetry.span_since(
+                COORDINATOR_TRACK,
+                "certify",
+                t_certify,
+                vec![
+                    (
+                        "claims",
+                        (table.commute_claims.len() + table.conflict_claims.len()).into(),
+                    ),
+                    ("findings", findings.len().into()),
+                ],
+            );
+            diagnostics.extend(findings);
+        }
+
         // Constraint watching is a feedback loop on the live exploration
         // order (State 4 → State 2), so it pins the sequential strategy.
         let mut outcome = if self.workers > 1 && self.constraints.is_none() {
@@ -552,6 +634,26 @@ impl<M: SystemModel> Session<M> {
         } else {
             self.replay_sequential(&workload, &mut effective, suite, &instrument)?
         };
+
+        // Dynamic independence cross-check: re-execute every adjacent
+        // declared-independent pair swap the pruners relied on. Strictly
+        // read-only with respect to the report — findings live on the
+        // session only.
+        self.sanitizer_report = self.sanitize.then(|| {
+            let t_sanitize = self.telemetry.start();
+            let report =
+                crate::sanitizer::sanitize(&self.model, &workload, &effective, &outcome.runs);
+            self.telemetry.span_since(
+                COORDINATOR_TRACK,
+                "sanitize",
+                t_sanitize,
+                vec![
+                    ("pairs_checked", report.pairs_checked.into()),
+                    ("violations", report.violations.len().into()),
+                ],
+            );
+            report
+        });
 
         // Cross-interleaving checks (misconceptions #1/#5 detectors).
         let cross_ctx = CrossContext {
@@ -1263,6 +1365,94 @@ mod tests {
         assert_eq!(report.explored, 24);
         // Every 8 runs (3×) plus the final end-of-replay sample.
         assert_eq!(fired.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn sanitizer_catches_false_independence_declaration() {
+        // Two same-replica register writes do NOT commute (the second one
+        // wins); declaring them independent is unsound, and the sanitizer
+        // proves it dynamically from the retained runs — even though the
+        // pruner already merged the swapped order away.
+        let mut session = Session::new(RegApp);
+        let r0 = ReplicaId::new(0);
+        session.record(|sys| {
+            sys.invoke(r0, "set", [Value::from(1)]);
+            sys.invoke(r0, "set", [Value::from(2)]);
+        });
+        session
+            .config_mut()
+            .independent_sets
+            .push(vec![EventId::new(0), EventId::new(1)]);
+        session.set_workers(1).set_sanitizer(true);
+        assert!(session.sanitizer());
+        let with = session.replay(&TestSuite::new()).unwrap();
+        let findings = session.sanitizer_report().expect("sanitizer ran").clone();
+        assert!(!findings.passed());
+        assert_eq!(findings.violations[0].first, EventId::new(0));
+        assert_eq!(findings.violations[0].second, EventId::new(1));
+        assert!(findings.pairs_checked >= 1);
+
+        // The report itself is untouched by the sanitizer.
+        session.set_sanitizer(false);
+        let without = session.replay(&TestSuite::new()).unwrap();
+        assert_eq!(with.diff(&without), None);
+        assert!(session.sanitizer_report().is_none());
+    }
+
+    #[test]
+    fn sanitizer_accepts_sound_independence() {
+        // Writes at different replicas with no sync genuinely commute:
+        // zero violations, and dedup keeps re-execution bounded.
+        let mut session = Session::new(RegApp);
+        session.record(|sys| {
+            sys.invoke(ReplicaId::new(0), "set", [Value::from(1)]);
+            sys.invoke(ReplicaId::new(1), "set", [Value::from(2)]);
+        });
+        session
+            .config_mut()
+            .independent_sets
+            .push(vec![EventId::new(0), EventId::new(1)]);
+        session.set_mode(ExploreMode::Dfs).set_workers(1);
+        session.set_sanitizer(true);
+        session.replay(&TestSuite::new()).unwrap();
+        let findings = session.sanitizer_report().unwrap();
+        assert!(findings.passed(), "{:?}", findings.violations);
+        assert_eq!(findings.runs_scanned, 2);
+        assert!(findings.pairs_checked >= 1);
+    }
+
+    #[test]
+    fn certify_surfaces_unsound_declarations_as_diagnostics() {
+        let mut session = Session::new(RegApp);
+        session.record(|sys| {
+            sys.invoke(ReplicaId::new(0), "reg_set", [Value::from(1)]);
+            sys.invoke(ReplicaId::new(1), "reg_set", [Value::from(2)]);
+        });
+        session.set_certify(true);
+        assert!(session.certify());
+
+        // Healthy table, no declarations: certification is silent.
+        let clean = session.replay(&TestSuite::new()).unwrap();
+        assert!(clean
+            .diagnostics
+            .iter()
+            .all(|d| d.pattern != crate::LintPattern::IndependenceSoundness));
+
+        // Declaring the conflicting LWW writes independent is flagged
+        // before the campaign, with the certified conflict reason.
+        session
+            .config_mut()
+            .independent_sets
+            .push(vec![EventId::new(0), EventId::new(1)]);
+        let flagged = session.replay(&TestSuite::new()).unwrap();
+        let finding = flagged
+            .diagnostics
+            .iter()
+            .find(|d| d.pattern == crate::LintPattern::IndependenceSoundness)
+            .expect("soundness diagnostic");
+        assert_eq!(finding.misconception, 0);
+        assert!(finding.message.contains("register writes tie-break"));
+        session.config_mut().independent_sets.clear();
     }
 
     #[test]

@@ -13,6 +13,17 @@
 //! only costs pruning opportunities; it never merges interleavings that
 //! could differ.
 //!
+//! Every arm of the table is checked by the bounded commutativity certifier
+//! in `er-pi-analysis` (`certify_table`): "commutes" claims are replayed in
+//! both orders against the real types and must converge, and each conflict
+//! reason listed by [`conflict_reasons`] must carry a concrete divergence
+//! witness (or be a defensive fallback unreachable from the proxy
+//! vocabulary). Two findings of that audit are baked in here: RGA inserts
+//! resolve their anchor from the *current* visible list, so concurrent
+//! inserts conflict even at known-distinct indices, and a second remove of
+//! the same element fails on observed-remove sets, so same-element removes
+//! race on their outcome even though the final state converges.
+//!
 //! ```
 //! use er_pi_model::Value;
 //! use er_pi_rdl::{CrdtType, OpKind, OpProfile};
@@ -151,19 +162,19 @@ fn known_distinct(a: &Option<Value>, b: &Option<Value>) -> bool {
     matches!((a, b), (Some(x), Some(y)) if x != y)
 }
 
-fn known_distinct_pos(a: &Option<i64>, b: &Option<i64>) -> bool {
-    matches!((a, b), (Some(x), Some(y)) if x != y)
-}
-
 /// The one-directional conflict table; [`OpProfile::commutes_with`]
 /// symmetrizes it.
 fn conflict(crdt: CrdtType, a: &OpKind, b: &OpKind) -> Option<&'static str> {
     use OpKind::*;
     // Reads conflict with every mutation of the same object: the observed
-    // value depends on whether the mutation ran first.
-    if matches!(a, Read) {
-        return match b {
-            Read => None,
+    // value depends on whether the mutation ran first. Checked for either
+    // operand here — the family arms below never see a `Read`, and the
+    // one-directional `conflict(mutation, read)` call must not fall into a
+    // family's defensive fallback (a certifier-found misfiling: the
+    // fallback's `Some` would short-circuit the symmetrization pass).
+    if matches!(a, Read) || matches!(b, Read) {
+        return match (a, b) {
+            (Read, Read) => None,
             _ => Some("observation does not commute with a mutation"),
         };
     }
@@ -178,46 +189,61 @@ fn conflict(crdt: CrdtType, a: &OpKind, b: &OpKind) -> Option<&'static str> {
             (Add { .. }, Add { .. }) => None,
             _ => Some("unsupported grow-only set operation"),
         },
-        // Observed-remove flavoured sets: adds commute (fresh tags), removes
-        // commute (both drop the observed tags), but an add and a remove of
-        // the same element race — remove-before-add and add-before-remove
-        // leave different states.
-        CrdtType::OrSet | CrdtType::TwoPhaseSet | CrdtType::LwwElementSet | CrdtType::OrMap => {
-            match (a, b) {
-                (Add { .. }, Add { .. }) if crdt != CrdtType::LwwElementSet => None,
-                (Add { element: x }, Add { element: y }) => {
-                    // LWW element sets tie-break equal timestamps per
-                    // element: same-element adds conflict.
-                    if known_distinct(x, y) {
-                        None
-                    } else {
-                        Some("same-element LWW adds tie-break on timestamps")
-                    }
+        // Observed-remove flavoured sets and maps: adds commute (fresh
+        // tags), but an add and a remove of the same element race —
+        // remove-before-add and add-before-remove leave different states —
+        // and two removes of the same element race on their *outcome*: the
+        // second remove finds nothing to observe and fails, so which of the
+        // two fails depends on order even though the final state converges.
+        CrdtType::OrSet | CrdtType::TwoPhaseSet | CrdtType::OrMap => match (a, b) {
+            (Add { .. }, Add { .. }) => None,
+            (Remove { element: x }, Remove { element: y }) => {
+                if known_distinct(x, y) {
+                    None
+                } else {
+                    Some("same-element removes race on the failure outcome")
                 }
-                (Remove { .. }, Remove { .. }) => None,
-                (Add { element: x }, Remove { element: y })
-                | (Remove { element: x }, Add { element: y }) => {
-                    if known_distinct(x, y) {
-                        None
-                    } else {
-                        Some("add and remove of one element race")
-                    }
-                }
-                (Write { key: x }, Write { key: y })
-                | (Write { key: x }, Remove { element: y })
-                | (Remove { element: x }, Write { key: y }) => {
-                    if known_distinct(x, y) {
-                        None
-                    } else {
-                        Some("same-key map updates race")
-                    }
-                }
-                (MintId, _) | (_, MintId) => {
-                    Some("sequential-ID creation reads a non-replicated maximum")
-                }
-                _ => Some("unsupported set operation"),
             }
-        }
+            (Add { element: x }, Remove { element: y })
+            | (Remove { element: x }, Add { element: y }) => {
+                if known_distinct(x, y) {
+                    None
+                } else {
+                    Some("add and remove of one element race")
+                }
+            }
+            (Write { key: x }, Write { key: y })
+            | (Write { key: x }, Remove { element: y })
+            | (Remove { element: x }, Write { key: y }) => {
+                if known_distinct(x, y) {
+                    None
+                } else {
+                    Some("same-key map updates race")
+                }
+            }
+            (MintId, _) | (_, MintId) => {
+                Some("sequential-ID creation reads a non-replicated maximum")
+            }
+            _ => Some("unsupported set operation"),
+        },
+        // Timestamped add/remove sets: adds and removes return nothing and
+        // keep the per-element *maximum* timestamp, so same-kind pairs
+        // commute even on one element — the certifier found the previous
+        // same-element add/add conflict entry vacuous (no divergence witness
+        // exists). An add racing a remove of one element still tie-breaks on
+        // timestamps, which swaps flip.
+        CrdtType::LwwElementSet => match (a, b) {
+            (Add { .. }, Add { .. }) | (Remove { .. }, Remove { .. }) => None,
+            (Add { element: x }, Remove { element: y })
+            | (Remove { element: x }, Add { element: y }) => {
+                if known_distinct(x, y) {
+                    None
+                } else {
+                    Some("add and remove of one element race")
+                }
+            }
+            _ => Some("unsupported set operation"),
+        },
         // LWW registers: concurrent writes with equal timestamps resolve by
         // tie-break, so write/write conflicts unless keyed and disjoint.
         CrdtType::LwwRegister | CrdtType::MvRegister | CrdtType::JsonDoc => match (a, b) {
@@ -236,12 +262,26 @@ fn conflict(crdt: CrdtType, a: &OpKind, b: &OpKind) -> Option<&'static str> {
                     Some("write and delete of one path race")
                 }
             }
-            (Remove { .. }, Remove { .. }) => None,
+            // Document path removes fail when the path is already gone, so
+            // which remove fails depends on order (JsonDoc returns a
+            // `Result`). Plain registers have no remove in the proxy
+            // vocabulary, so the keyed judgement is harmless for them.
+            (Remove { element: x }, Remove { element: y }) => {
+                if crdt != CrdtType::JsonDoc || known_distinct(x, y) {
+                    None
+                } else {
+                    Some("same-element removes race on the failure outcome")
+                }
+            }
             _ => Some("unsupported register operation"),
         },
         // LWW maps: keyed writes/removes commute iff keys are known
-        // disjoint.
+        // disjoint. Same-key removes both leave a tombstone whose timestamp
+        // resolves to the maximum, and signal an LWW win rather than a
+        // failure, so they commute — the certifier found the previous
+        // same-key remove/remove conflict entry vacuous.
         CrdtType::LwwMap => match (a, b) {
+            (Remove { .. }, Remove { .. }) => None,
             (
                 Write { key: x } | Remove { element: x },
                 Write { key: y } | Remove { element: y },
@@ -254,17 +294,17 @@ fn conflict(crdt: CrdtType, a: &OpKind, b: &OpKind) -> Option<&'static str> {
             }
             _ => Some("unsupported map operation"),
         },
-        // Sequences: inserts at overlapping (or unknown) positions
-        // conflict; deletions and moves shift indices, so any combination
-        // involving them conflicts, and the delete+insert move
-        // reimplementation conflicts even with itself.
+        // Sequences: an insert resolves its anchor (the element currently
+        // before the target index) from the *visible* list at application
+        // time, so a concurrent insert shifts it even at a known-distinct
+        // index — the certifier holds a divergence witness for inserts at
+        // distinct indices, so all insert pairs conflict. Deletions and
+        // moves shift indices, so any combination involving them conflicts,
+        // and the delete+insert move reimplementation conflicts even with
+        // itself.
         CrdtType::Rga => match (a, b) {
-            (Insert { position: x }, Insert { position: y }) => {
-                if known_distinct_pos(x, y) {
-                    None
-                } else {
-                    Some("inserts at overlapping list positions race")
-                }
+            (Insert { .. }, Insert { .. }) => {
+                Some("concurrent list inserts race on anchor resolution")
             }
             (Delete { .. } | Move { .. }, _) | (_, Delete { .. } | Move { .. }) => {
                 Some("index-shifting list operation")
@@ -289,6 +329,143 @@ fn conflict(crdt: CrdtType, a: &OpKind, b: &OpKind) -> Option<&'static str> {
         // never commute.
         CrdtType::MerkleLog => Some("log appends are order-observable"),
     }
+}
+
+/// One row of the conflict-reason enumeration: a reason string the table
+/// can emit, the families whose arms emit it, and whether the arm is a
+/// defensive fallback that no operation expressible through the proxy
+/// vocabulary (or the library's public API) can reach.
+///
+/// The bounded certifier in `er-pi-analysis` iterates this enumeration to
+/// check coverage: every non-defensive reason must carry a concrete
+/// divergence witness, and every defensive reason must stay unreachable
+/// from executable operation pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConflictReason {
+    /// The reason string exactly as `commutes_with` returns it.
+    pub reason: &'static str,
+    /// Families whose table arms can emit this reason.
+    pub families: &'static [CrdtType],
+    /// `true` when the arm is a defensive fallback for operation kinds the
+    /// family does not support; such arms must never fire for executable
+    /// pairs.
+    pub defensive: bool,
+}
+
+/// Enumerates every distinct conflict reason the table can emit, together
+/// with the families producing it. The list is the table's claim surface:
+/// the certifier fails if an executable pair emits a reason missing here,
+/// so additions to [`conflict`] must be mirrored below.
+pub fn conflict_reasons() -> &'static [ConflictReason] {
+    use CrdtType::*;
+    const ALL: &[CrdtType] = &[
+        GCounter,
+        PnCounter,
+        LwwRegister,
+        MvRegister,
+        GSet,
+        TwoPhaseSet,
+        OrSet,
+        LwwElementSet,
+        Rga,
+        LwwMap,
+        OrMap,
+        LwwTimeSeries,
+        MerkleLog,
+        JsonDoc,
+    ];
+    &[
+        ConflictReason {
+            reason: "observation does not commute with a mutation",
+            families: ALL,
+            defensive: false,
+        },
+        ConflictReason {
+            reason: "unsupported counter operation",
+            families: &[GCounter, PnCounter],
+            defensive: true,
+        },
+        ConflictReason {
+            reason: "unsupported grow-only set operation",
+            families: &[GSet],
+            defensive: true,
+        },
+        ConflictReason {
+            reason: "add and remove of one element race",
+            families: &[OrSet, TwoPhaseSet, LwwElementSet],
+            defensive: false,
+        },
+        ConflictReason {
+            reason: "same-element removes race on the failure outcome",
+            families: &[OrSet, TwoPhaseSet, OrMap, JsonDoc],
+            defensive: false,
+        },
+        ConflictReason {
+            reason: "same-key map updates race",
+            families: &[LwwMap, OrMap],
+            defensive: false,
+        },
+        ConflictReason {
+            reason: "sequential-ID creation reads a non-replicated maximum",
+            families: &[OrMap],
+            defensive: false,
+        },
+        ConflictReason {
+            reason: "unsupported set operation",
+            families: &[OrSet, TwoPhaseSet, LwwElementSet, OrMap],
+            defensive: true,
+        },
+        ConflictReason {
+            reason: "register writes tie-break on equal timestamps",
+            families: &[LwwRegister, MvRegister, JsonDoc],
+            defensive: false,
+        },
+        ConflictReason {
+            reason: "write and delete of one path race",
+            families: &[JsonDoc],
+            defensive: false,
+        },
+        ConflictReason {
+            reason: "unsupported register operation",
+            families: &[LwwRegister, MvRegister, JsonDoc],
+            defensive: true,
+        },
+        ConflictReason {
+            reason: "unsupported map operation",
+            families: &[LwwMap],
+            defensive: true,
+        },
+        ConflictReason {
+            reason: "concurrent list inserts race on anchor resolution",
+            families: &[Rga],
+            defensive: false,
+        },
+        ConflictReason {
+            reason: "index-shifting list operation",
+            families: &[Rga],
+            defensive: false,
+        },
+        ConflictReason {
+            reason: "unsupported sequence operation",
+            families: &[Rga],
+            defensive: true,
+        },
+        ConflictReason {
+            reason: "same-member scored updates tie-break on timestamps",
+            families: &[LwwTimeSeries],
+            defensive: false,
+        },
+        ConflictReason {
+            reason: "unsupported time-series operation",
+            families: &[LwwTimeSeries],
+            defensive: true,
+        },
+        ConflictReason {
+            reason: "log appends are order-observable",
+            families: &[MerkleLog],
+            defensive: false,
+        },
+    ]
 }
 
 #[cfg(test)]
@@ -338,7 +515,34 @@ mod tests {
         assert!(add("x").commutes_with(&del("x")).is_some());
         assert!(del("x").commutes_with(&add("x")).is_some(), "symmetric");
         assert!(add("x").commutes_with(&del("y")).is_none());
+        assert!(
+            del("x").commutes_with(&del("x")).is_some(),
+            "the second remove of one element fails, so the outcome races"
+        );
+        assert!(del("x").commutes_with(&del("y")).is_none());
+    }
+
+    #[test]
+    fn lww_element_set_same_kind_pairs_commute() {
+        let add = |e: &str| {
+            p(
+                CrdtType::LwwElementSet,
+                OpKind::Add {
+                    element: Some(Value::from(e)),
+                },
+            )
+        };
+        let del = |e: &str| {
+            p(
+                CrdtType::LwwElementSet,
+                OpKind::Remove {
+                    element: Some(Value::from(e)),
+                },
+            )
+        };
+        assert!(add("x").commutes_with(&add("x")).is_none());
         assert!(del("x").commutes_with(&del("x")).is_none());
+        assert!(add("x").commutes_with(&del("x")).is_some());
     }
 
     #[test]
@@ -357,10 +561,12 @@ mod tests {
     }
 
     #[test]
-    fn rga_inserts_conflict_only_when_overlapping() {
+    fn rga_inserts_always_conflict() {
+        // Even at known-distinct indices: the anchor of the later insert is
+        // resolved from the visible list, which the other insert shifts.
         let ins = |i: i64| p(CrdtType::Rga, OpKind::Insert { position: Some(i) });
         assert!(ins(0).commutes_with(&ins(0)).is_some());
-        assert!(ins(0).commutes_with(&ins(3)).is_none());
+        assert!(ins(0).commutes_with(&ins(3)).is_some());
         let unknown = p(CrdtType::Rga, OpKind::Insert { position: None });
         assert!(unknown.commutes_with(&ins(3)).is_some());
     }
@@ -403,6 +609,70 @@ mod tests {
         };
         assert!(doc("a").commutes_with(&doc("b")).is_none());
         assert!(doc("a").commutes_with(&doc("a")).is_some());
+    }
+
+    #[test]
+    fn lww_map_removes_commute() {
+        let rm = |k: i64| {
+            p(
+                CrdtType::LwwMap,
+                OpKind::Remove {
+                    element: Some(Value::from(k)),
+                },
+            )
+        };
+        let w = |k: i64| {
+            p(
+                CrdtType::LwwMap,
+                OpKind::Write {
+                    key: Some(Value::from(k)),
+                },
+            )
+        };
+        assert!(rm(1).commutes_with(&rm(1)).is_none(), "tombstones take max");
+        assert!(rm(1).commutes_with(&w(1)).is_some());
+    }
+
+    #[test]
+    fn json_doc_removes_of_one_path_conflict() {
+        let rm = |k: &str| {
+            p(
+                CrdtType::JsonDoc,
+                OpKind::Remove {
+                    element: Some(Value::from(k)),
+                },
+            )
+        };
+        assert!(rm("p").commutes_with(&rm("p")).is_some());
+        assert!(rm("p").commutes_with(&rm("q")).is_none());
+    }
+
+    #[test]
+    fn every_emitted_reason_is_enumerated() {
+        // Spot-check that reasons produced by the table appear in
+        // `conflict_reasons` (the certifier checks this exhaustively over
+        // the executable vocabulary).
+        let listed: Vec<&str> = conflict_reasons().iter().map(|r| r.reason).collect();
+        let add = p(
+            CrdtType::OrSet,
+            OpKind::Add {
+                element: Some(Value::from("x")),
+            },
+        );
+        let del = p(
+            CrdtType::OrSet,
+            OpKind::Remove {
+                element: Some(Value::from("x")),
+            },
+        );
+        assert!(listed.contains(&add.commutes_with(&del).unwrap()));
+        let app = p(CrdtType::MerkleLog, OpKind::Append);
+        assert!(listed.contains(&app.commutes_with(&app).unwrap()));
+        // No duplicate reason rows.
+        let mut dedup = listed.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), listed.len());
     }
 
     #[test]

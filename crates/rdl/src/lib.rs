@@ -61,7 +61,7 @@ mod set;
 mod timeseries;
 mod traits;
 
-pub use commute::{CrdtType, OpKind, OpProfile};
+pub use commute::{conflict_reasons, ConflictReason, CrdtType, OpKind, OpProfile};
 pub use counter::{GCounter, PnCounter};
 pub use doc::{DocError, DocOp, JsonDoc, JsonValue, PathSegment};
 pub use hash::fnv1a64;

@@ -21,8 +21,8 @@ use std::sync::Arc;
 
 use er_pi::telemetry::Sink;
 use er_pi::{
-    Assertion, ExploreMode, InlineExecutor, PruningConfig, Report, Session, SystemModel, TestSuite,
-    TimeModel,
+    Assertion, ExploreMode, InlineExecutor, PruningConfig, Report, SanitizerReport, Session,
+    SystemModel, TestSuite, TimeModel,
 };
 use er_pi_interleave::{DfsExplorer, PruneStats};
 use er_pi_model::{EventId, Workload};
@@ -257,6 +257,11 @@ struct RunPlan {
     /// resulting [`Report`] must be byte-identical with or without it
     /// (pinned by the telemetry-equivalence suite).
     telemetry: Option<Arc<dyn Sink>>,
+    /// Run the replay-time independence sanitizer. Sanitizer findings land
+    /// next to the [`Report`], never inside it, so the report must also be
+    /// byte-identical with or without this (pinned by the
+    /// sanitizer-equivalence suite).
+    sanitize: bool,
 }
 
 /// Options for [`Bug::replay_report_opts`] — the fully general scheduling
@@ -286,6 +291,9 @@ pub struct ReplayOptions {
     pub incremental: bool,
     /// Telemetry sink to attach to the session, if any.
     pub telemetry: Option<Arc<dyn Sink>>,
+    /// Run the replay-time independence sanitizer alongside the replay;
+    /// retrieve its findings via [`Bug::replay_report_checked`].
+    pub sanitize: bool,
 }
 
 impl Default for ReplayOptions {
@@ -296,6 +304,7 @@ impl Default for ReplayOptions {
             workers: 1,
             incremental: true,
             telemetry: None,
+            sanitize: false,
         }
     }
 }
@@ -308,6 +317,7 @@ impl std::fmt::Debug for ReplayOptions {
             .field("workers", &self.workers)
             .field("incremental", &self.incremental)
             .field("telemetry", &self.telemetry.is_some())
+            .field("sanitize", &self.sanitize)
             .finish()
     }
 }
@@ -318,7 +328,7 @@ fn run_report<M, S>(
     config: &PruningConfig,
     plan: &RunPlan,
     check: for<'a> fn(&BugCtx<'a, S>) -> Option<String>,
-) -> Report
+) -> (Report, Option<SanitizerReport>)
 where
     M: SystemModel<State = S> + Sync,
     S: 'static,
@@ -333,6 +343,7 @@ where
     session.set_stop_on_first_violation(plan.stop_on_first_violation);
     session.set_workers(plan.workers);
     session.set_incremental(plan.incremental);
+    session.set_sanitizer(plan.sanitize);
     if let Some(sink) = &plan.telemetry {
         session.set_telemetry(Arc::clone(sink));
     }
@@ -346,7 +357,8 @@ where
             None => Ok(()),
         }
     }));
-    session.replay(&suite).expect("bug workload installed")
+    let report = session.replay(&suite).expect("bug workload installed");
+    (report, session.sanitizer_report().cloned())
 }
 
 fn run<M, S>(
@@ -368,8 +380,9 @@ where
         workers: 0, // all available cores
         incremental: true,
         telemetry: None,
+        sanitize: false,
     };
-    let report = run_report(model, workload, config, &plan, check);
+    let (report, _) = run_report(model, workload, config, &plan, check);
     Repro {
         mode: report.mode.clone(),
         found_at: report.first_violation_at.map(|i| i + 1),
@@ -587,12 +600,21 @@ impl Bug {
             workers,
             incremental,
             telemetry: None,
+            sanitize: false,
         })
     }
 
     /// The fully general replay entry point: every scheduling knob plus an
     /// optional telemetry sink, via [`ReplayOptions`].
     pub fn replay_report_opts(&self, opts: &ReplayOptions) -> Report {
+        self.replay_report_checked(opts).0
+    }
+
+    /// Like [`Bug::replay_report_opts`], additionally returning the
+    /// independence sanitizer's findings (`Some` iff `opts.sanitize`).
+    /// The [`Report`] half must be byte-identical to a sanitizer-off
+    /// replay — the sanitizer observes, it never steers.
+    pub fn replay_report_checked(&self, opts: &ReplayOptions) -> (Report, Option<SanitizerReport>) {
         let plan = RunPlan {
             mode: ExploreMode::ErPi,
             cap: opts.cap,
@@ -600,6 +622,7 @@ impl Bug {
             workers: opts.workers,
             incremental: opts.incremental,
             telemetry: opts.telemetry.clone(),
+            sanitize: opts.sanitize,
         };
         match &self.imp {
             BugImpl::Roshi { model, check } => {

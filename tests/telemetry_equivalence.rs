@@ -30,6 +30,7 @@ fn opts(stop: bool, workers: usize, telemetry: Option<Arc<dyn Sink>>) -> ReplayO
         workers,
         incremental: true,
         telemetry,
+        sanitize: false,
     }
 }
 
