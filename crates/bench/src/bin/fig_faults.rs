@@ -1,0 +1,265 @@
+//! Fault-schedule exploration: fault-space size vs pruned replays.
+//!
+//! For the exactly-once ledger subject and a convergence crdts subject,
+//! sweeps fault-space budgets (`none`, the default duplicate-only space,
+//! `all(1)`, `all(2)`) and emits, per point:
+//!
+//! * `plans` — the enumerated fault-plan count ([`enumerate_plans`]),
+//! * `replays_unpruned` — the fault product over the *raw* order space
+//!   (causal pruning off: causally invalid orders replay as wasted
+//!   no-op runs, exactly as the paper counts them),
+//! * `replays` — what the session executes with the causal pruner on,
+//!   with the pruner's candidate/rejection totals recomputed under the
+//!   fault product (`reduction` is the ratio),
+//! * the violations found and how many are fault-dependent — fault-free
+//!   exploration of both subjects is clean, so every finding must carry
+//!   its fault schedule (`fault_model_sound`), and
+//! * `divergence` — `Report::diff` of a 4-worker incremental run against
+//!   the sequential scratch reference (must be null: fault plans are part
+//!   of run identity).
+//!
+//! Usage: `fig_faults [--cap N] [--pretty]`
+//!
+//! [`enumerate_plans`]: er_pi::enumerate_plans
+
+use std::time::Instant;
+
+use er_pi::{enumerate_plans, CheckContext, FaultSpace, Report, Session, TestSuite};
+use er_pi_model::{FaultPlan, ReplicaId, Value, Workload};
+use er_pi_subjects::{CrdtsModel, LedgerApp, LedgerState};
+use serde::Serialize;
+
+fn r(i: u16) -> ReplicaId {
+    ReplicaId::new(i)
+}
+
+/// Two credits on different replicas, each shipped to the other — the
+/// workload whose duplicate-delivery bug only fault schedules reach. The
+/// second credit is a read-modify-write issued after the first arrives,
+/// so causally invalid unit orders exist for the pruner to reject.
+fn ledger_workload() -> Workload {
+    let mut w = Workload::builder();
+    let a = w.update(r(0), "credit", [Value::from(10)]);
+    let s1 = w.sync_pair(r(0), r(1), a);
+    let b = w.update(r(1), "credit", [Value::from(20)]);
+    w.depends(b, s1);
+    w.sync_pair(r(1), r(0), b);
+    w.build()
+}
+
+fn exactly_once_suite() -> TestSuite<LedgerState> {
+    TestSuite::new().with_assertion("exactly-once", |ctx: &CheckContext<'_, LedgerState>| {
+        for (i, state) in ctx.states.iter().enumerate() {
+            if let Some(id) = state.duplicated_entry() {
+                return Err(format!("replica {i} applied entry {id} twice"));
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Two updates cross-shipped between two replicas, the second causally
+/// after receiving the first.
+fn crdts_workload() -> Workload {
+    let mut w = Workload::builder();
+    let a = w.update(r(0), "set_add", [Value::from(1)]);
+    let s1 = w.sync_pair(r(0), r(1), a);
+    let b = w.update(r(1), "counter_inc", [Value::from(2)]);
+    w.depends(b, s1);
+    w.sync_pair(r(1), r(0), b);
+    w.build()
+}
+
+/// The swept fault spaces; `None` is the fault-free baseline.
+fn spaces() -> Vec<(&'static str, Option<FaultSpace>)> {
+    vec![
+        ("none", None),
+        ("default(1)", Some(FaultSpace::default())),
+        ("all(1)", Some(FaultSpace::all(1))),
+        ("all(2)", Some(FaultSpace::all(2))),
+    ]
+}
+
+#[derive(Serialize)]
+struct Point {
+    subject: &'static str,
+    space: &'static str,
+    /// Enumerated fault plans (1 = just the empty baseline plan).
+    plans: usize,
+    /// Runs with the causal pruner off: every raw order × every plan,
+    /// causally invalid orders replayed as wasted no-ops.
+    replays_unpruned: usize,
+    /// Runs with the causal pruner on — the pruned fault product.
+    replays: usize,
+    /// `replays_unpruned / replays`.
+    reduction: f64,
+    /// Pruner totals under the fault product (causal run).
+    candidates_examined: u64,
+    causal_rejected: u64,
+    violations: usize,
+    /// Violations whose runs carry a non-empty fault schedule.
+    fault_dependent_violations: usize,
+    wall_ms: u128,
+    /// 4-worker incremental vs sequential scratch `Report::diff` (must be
+    /// null).
+    divergence: Option<String>,
+}
+
+#[derive(Serialize)]
+struct Document {
+    cap: usize,
+    points: Vec<Point>,
+    /// True iff every divergence field is null.
+    all_reports_identical: bool,
+    /// True iff fault-free exploration is clean on both subjects and every
+    /// violation found anywhere carries a non-empty fault schedule.
+    fault_model_sound: bool,
+}
+
+/// One subject: a fresh session per call, so reports are independent.
+trait Subject {
+    fn name(&self) -> &'static str;
+    fn workload(&self) -> Workload;
+    fn run(&self, cfg: &RunConfig) -> Report;
+}
+
+struct RunConfig {
+    space: Option<FaultSpace>,
+    workers: usize,
+    incremental: bool,
+    causal: bool,
+    cap: usize,
+}
+
+struct Ledger;
+struct Crdts;
+
+fn configure<M: er_pi::SystemModel>(session: &mut Session<M>, workload: Workload, cfg: &RunConfig) {
+    session
+        .set_workload(workload)
+        .set_workers(cfg.workers)
+        .set_incremental(cfg.incremental)
+        .set_cap(cfg.cap);
+    match &cfg.space {
+        Some(space) => session.set_fault_space(space.clone()),
+        None => session.set_fault_plans(vec![FaultPlan::empty()]),
+    };
+    session.config_mut().require_causal = cfg.causal;
+}
+
+impl Subject for Ledger {
+    fn name(&self) -> &'static str {
+        "ledger"
+    }
+    fn workload(&self) -> Workload {
+        ledger_workload()
+    }
+    fn run(&self, cfg: &RunConfig) -> Report {
+        let mut session = Session::new(LedgerApp::new(2));
+        configure(&mut session, ledger_workload(), cfg);
+        session.replay(&exactly_once_suite()).expect("replays")
+    }
+}
+
+impl Subject for Crdts {
+    fn name(&self) -> &'static str {
+        "crdts"
+    }
+    fn workload(&self) -> Workload {
+        crdts_workload()
+    }
+    fn run(&self, cfg: &RunConfig) -> Report {
+        let mut session = Session::new(CrdtsModel::new(2));
+        configure(&mut session, crdts_workload(), cfg);
+        session
+            .replay(&TestSuite::new().with(er_pi::Assertion::replicas_converge("converge")))
+            .expect("replays")
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let cap: usize = get("--cap")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(er_pi_bench::CAP)
+        .max(1);
+    let pretty = args.iter().any(|a| a == "--pretty");
+
+    let subjects: Vec<Box<dyn Subject>> = vec![Box::new(Ledger), Box::new(Crdts)];
+    let mut points = Vec::new();
+    for subject in &subjects {
+        let workload = subject.workload();
+        for (label, space) in spaces() {
+            let plans = match &space {
+                Some(space) => enumerate_plans(&workload, space).len(),
+                None => 1,
+            };
+            let cfg = |workers, incremental, causal| RunConfig {
+                space: space.clone(),
+                workers,
+                incremental,
+                causal,
+                cap,
+            };
+            let unpruned = subject.run(&cfg(1, false, false));
+            let started = Instant::now();
+            let report = subject.run(&cfg(1, false, true));
+            let wall_ms = started.elapsed().as_millis();
+            let parallel = subject.run(&cfg(4, true, true));
+            let fault_dependent_violations = report
+                .violations
+                .iter()
+                .filter(|v| {
+                    v.interleaving
+                        .as_ref()
+                        .is_some_and(|il| !il.faults().is_empty())
+                })
+                .count();
+            let stats = report.prune_stats;
+            points.push(Point {
+                subject: subject.name(),
+                space: label,
+                plans,
+                replays_unpruned: unpruned.explored,
+                replays: report.explored,
+                reduction: unpruned.explored as f64 / report.explored.max(1) as f64,
+                candidates_examined: stats.as_ref().map_or(0, |s| s.examined()),
+                causal_rejected: stats.as_ref().map_or(0, |s| s.causal_rejected),
+                violations: report.violations.len(),
+                fault_dependent_violations,
+                wall_ms,
+                divergence: report.diff(&parallel),
+            });
+        }
+    }
+
+    let all_reports_identical = points.iter().all(|p| p.divergence.is_none());
+    let fault_model_sound = points.iter().all(|p| {
+        if p.space == "none" {
+            p.violations == 0
+        } else {
+            p.violations == p.fault_dependent_violations
+        }
+    });
+
+    let doc = Document {
+        cap,
+        points,
+        all_reports_identical,
+        fault_model_sound,
+    };
+
+    let rendered = if pretty {
+        serde_json::to_string_pretty(&doc)
+    } else {
+        serde_json::to_string(&doc)
+    }
+    .expect("report serializes");
+    println!("{rendered}");
+}

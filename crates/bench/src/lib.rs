@@ -14,6 +14,7 @@
 //! | `fig_parallel` | Replay-pool wall-clock speedup at 1/2/4/8 workers (JSON) |
 //! | `fig_prefix` | Prefix-sharing incremental replay: events applied, scratch vs incremental (JSON) |
 //! | `fig_telemetry` | Telemetry overhead (NullSink vs detached) and trace-event schema (JSON) |
+//! | `fig_faults` | Fault-schedule exploration: fault-space size vs pruned replays (JSON) |
 
 /// The seed used for the Random exploration mode across all experiments.
 /// Fixed for reproducibility; any seed produces the same qualitative shape

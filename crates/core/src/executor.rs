@@ -5,6 +5,7 @@ use er_pi_dlock::{OrderSequencer, RedisLite};
 use er_pi_model::{Interleaving, Workload};
 use parking_lot::Mutex;
 
+use crate::faultexec::{Delivery, FaultInterpreter};
 use crate::{ErPiError, OpOutcome, SystemModel, TimeModel};
 
 /// The result of executing one interleaving.
@@ -24,7 +25,10 @@ pub struct Execution<S> {
 pub struct InlineExecutor;
 
 impl InlineExecutor {
-    /// Executes `il` against fresh states of `model`.
+    /// Executes `il` against fresh states of `model`, interpreting the
+    /// interleaving's fault schedule deterministically (fault surgery
+    /// rearranges state transitions; the simulated-time ledger is unchanged
+    /// from fault-free replay).
     pub fn execute<M: SystemModel>(
         model: &M,
         workload: &Workload,
@@ -34,11 +38,25 @@ impl InlineExecutor {
         let mut states = model.init_all();
         let mut outcomes = Vec::with_capacity(il.len());
         let mut sim_us = time.reset_cost_us;
-        for &id in il.iter() {
+        let mut faults = FaultInterpreter::new(il.faults());
+        for (pos, &id) in il.iter().enumerate() {
             let event = workload.event(id);
             sim_us += time.event_cost_us(event);
-            outcomes.push(model.apply(&mut states, event));
+            faults.begin_step(model, &mut states, event);
+            let outcome = match faults.delivery(event, pos) {
+                Delivery::Normal => {
+                    let out = model.apply(&mut states, event);
+                    if faults.duplicate(event) {
+                        let _ = model.apply(&mut states, event);
+                    }
+                    out
+                }
+                other => FaultInterpreter::faulted_outcome(other),
+            };
+            outcomes.push(outcome);
+            faults.end_step(model, &mut states, workload, pos);
         }
+        faults.finish(model, &mut states, workload);
         Execution {
             states,
             outcomes,
@@ -79,6 +97,10 @@ impl ThreadedExecutor {
         let sequencer = OrderSequencer::new(RedisLite::new(), "er-pi-replay");
         let states = Mutex::new(model.init_all());
         let outcomes = Mutex::new(vec![OpOutcome::Applied; il.len()]);
+        // The sequencer already imposes the total schedule order, so the
+        // fault interpreter can live behind one lock and observe exactly
+        // the same step sequence as the inline executor.
+        let faults = Mutex::new(FaultInterpreter::new(il.faults()));
 
         // Partition tickets by owning replica.
         let replica_count = model.replicas();
@@ -104,14 +126,28 @@ impl ThreadedExecutor {
                 let sequencer = &sequencer;
                 let states = &states;
                 let outcomes = &outcomes;
+                let faults = &faults;
                 handles.push(scope.spawn(move || {
                     let mut local_us = 0u64;
                     for (ticket, id) in tickets {
                         sequencer.run_in_order(ticket, || {
                             let event = workload.event(id);
+                            let pos = ticket as usize;
                             let mut guard = states.lock();
-                            let outcome = model.apply(&mut guard, event);
-                            outcomes.lock()[ticket as usize] = outcome;
+                            let mut interp = faults.lock();
+                            interp.begin_step(model, &mut guard, event);
+                            let outcome = match interp.delivery(event, pos) {
+                                Delivery::Normal => {
+                                    let out = model.apply(&mut guard, event);
+                                    if interp.duplicate(event) {
+                                        let _ = model.apply(&mut guard, event);
+                                    }
+                                    out
+                                }
+                                other => FaultInterpreter::faulted_outcome(other),
+                            };
+                            outcomes.lock()[pos] = outcome;
+                            interp.end_step(model, &mut guard, workload, pos);
                             local_us += time.event_cost_us(event);
                         });
                     }
@@ -126,8 +162,12 @@ impl ThreadedExecutor {
         });
         let partials = result.map_err(ErPiError::ExecutorPanic)?;
 
+        let mut final_states = states.into_inner();
+        faults
+            .into_inner()
+            .finish(model, &mut final_states, workload);
         Ok(Execution {
-            states: states.into_inner(),
+            states: final_states,
             outcomes: outcomes.into_inner(),
             sim_us: time.reset_cost_us + partials.iter().sum::<u64>(),
         })
@@ -227,6 +267,28 @@ mod tests {
             assert_eq!(inline.states, threaded.states);
             assert_eq!(inline.outcomes, threaded.outcomes);
         }
+    }
+
+    #[test]
+    fn threaded_matches_inline_under_faults() {
+        use er_pi_model::{FaultEvent, FaultKind, FaultPlan};
+        let w = probe_workload();
+        let time = TimeModel::paper_setup();
+        let ids: Vec<er_pi_model::EventId> = w.event_ids().collect();
+        let plan = FaultPlan::new(vec![
+            FaultEvent::new(ids[1], FaultKind::Drop),
+            FaultEvent::new(ids[2], FaultKind::Duplicate),
+            FaultEvent::new(ids[3], FaultKind::Delay { by: 2 }),
+        ]);
+        let il = w.recorded_order().with_faults(plan);
+        let inline = InlineExecutor::execute(&OrderProbe, &w, &il, &time);
+        let threaded = ThreadedExecutor::execute(&OrderProbe, &w, &il, &time).unwrap();
+        assert_eq!(inline.states, threaded.states);
+        assert_eq!(inline.outcomes, threaded.outcomes);
+        assert_eq!(inline.sim_us, threaded.sim_us);
+        // Faults do not change the simulated-time ledger.
+        let fault_free = InlineExecutor::execute(&OrderProbe, &w, &w.recorded_order(), &time);
+        assert_eq!(inline.sim_us, fault_free.sim_us);
     }
 
     #[test]

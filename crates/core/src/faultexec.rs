@@ -1,0 +1,450 @@
+//! Deterministic interpretation of [`FaultPlan`]s during replay.
+//!
+//! Every executor (inline, threaded, incremental) runs scheduled faults
+//! through one [`FaultInterpreter`], so the semantics — and therefore the
+//! produced `(states, outcomes)` — are byte-identical across execution
+//! paths. The interpreter is pure bookkeeping over the plan:
+//!
+//! * **Topology faults** (`Partition`/`Heal`/`CrashRestart`) fire *before*
+//!   their anchor event executes.
+//! * **Delivery faults** (`Drop`/`Delay`/`Duplicate`) decide what happens
+//!   *to* the anchor event itself. A sync event whose endpoints are
+//!   partitioned fails regardless of anchored faults.
+//! * **Delayed effects** fire at the end of the step whose position reaches
+//!   `anchor position + by`, in scheduling order; effects still pending when
+//!   the run ends are flushed after the last event (unless partitioned).
+//!
+//! Fault surgery rearranges *which* state transitions happen, not the
+//! simulated-time ledger: `sim_us` stays `reset_cost + Σ event costs`
+//! exactly as in fault-free replay, so the time model needs no fault
+//! special-casing and incremental accounting is unchanged.
+
+use std::collections::HashSet;
+
+use er_pi_model::{Event, EventId, FaultKind, FaultPlan, ReplicaId, Workload};
+
+use crate::{OpOutcome, SystemModel};
+
+/// What happens to the anchor event at its own schedule slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Delivery {
+    /// Apply normally (a scheduled `Duplicate` additionally re-applies).
+    Normal,
+    /// The endpoints are partitioned: fail without applying.
+    Partitioned,
+    /// A scheduled `Drop`: fail without applying.
+    Dropped,
+    /// A scheduled `Delay`: fail at this slot; the effect fires later.
+    Delayed,
+}
+
+/// Failure reasons recorded for faulted slots (stable strings: they are part
+/// of the byte-identical report contract).
+pub(crate) const REASON_PARTITIONED: &str = "fault: partitioned link";
+pub(crate) const REASON_DROPPED: &str = "fault: message dropped";
+pub(crate) const REASON_DELAYED: &str = "fault: delivery delayed";
+
+/// Replays one interleaving's fault schedule deterministically.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultInterpreter<'p> {
+    plan: &'p FaultPlan,
+    /// Cut links, normalized `(min, max)`.
+    partitions: HashSet<(ReplicaId, ReplicaId)>,
+    /// Delayed effects: `(fire_pos, event)`, in scheduling order.
+    pending: Vec<(usize, EventId)>,
+}
+
+fn normalize(a: ReplicaId, b: ReplicaId) -> (ReplicaId, ReplicaId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl<'p> FaultInterpreter<'p> {
+    pub(crate) fn new(plan: &'p FaultPlan) -> Self {
+        FaultInterpreter {
+            plan,
+            partitions: HashSet::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Returns `true` when the plan schedules no faults — callers may take
+    /// the zero-overhead fault-free path.
+    pub(crate) fn idle(&self) -> bool {
+        self.plan.is_empty()
+    }
+
+    fn is_partitioned(&self, event: &Event) -> bool {
+        event
+            .sync_endpoints()
+            .map(|(a, b)| self.partitions.contains(&normalize(a, b)))
+            .unwrap_or(false)
+    }
+
+    /// Fires the topology faults anchored at `event` (before it executes).
+    pub(crate) fn begin_step<M: SystemModel>(
+        &mut self,
+        model: &M,
+        states: &mut [M::State],
+        event: &Event,
+    ) {
+        if self.idle() {
+            return;
+        }
+        for fault in self.plan.at(event.id) {
+            match fault.kind {
+                FaultKind::Partition { from, to } => {
+                    self.partitions.insert(normalize(from, to));
+                }
+                FaultKind::Heal { from, to } => {
+                    self.partitions.remove(&normalize(from, to));
+                }
+                FaultKind::CrashRestart { replica } => model.recover(states, replica),
+                _ => {}
+            }
+        }
+    }
+
+    /// Decides the anchor event's own delivery. `pos` is its schedule slot.
+    ///
+    /// Precedence when a plan stacks delivery faults on one anchor:
+    /// partition > drop > delay > duplicate (the enumerator never stacks,
+    /// but hand-written plans may).
+    pub(crate) fn delivery(&mut self, event: &Event, pos: usize) -> Delivery {
+        if self.idle() {
+            return Delivery::Normal;
+        }
+        if self.is_partitioned(event) {
+            return Delivery::Partitioned;
+        }
+        let mut delay = None;
+        let mut duplicate = false;
+        for fault in self.plan.at(event.id) {
+            match fault.kind {
+                FaultKind::Drop => return Delivery::Dropped,
+                FaultKind::Delay { by } => delay = Some(by.max(1) as usize),
+                FaultKind::Duplicate => duplicate = true,
+                _ => {}
+            }
+        }
+        if let Some(by) = delay {
+            self.pending.push((pos + by, event.id));
+            return Delivery::Delayed;
+        }
+        if duplicate {
+            return Delivery::Normal;
+        }
+        Delivery::Normal
+    }
+
+    /// Returns `true` if `event` should be applied a second time (a
+    /// duplicated delivery). Only meaningful after a `Normal` delivery.
+    pub(crate) fn duplicate(&self, event: &Event) -> bool {
+        !self.idle()
+            && self
+                .plan
+                .at(event.id)
+                .any(|f| f.kind == FaultKind::Duplicate)
+    }
+
+    /// Fires delayed effects due at or before `pos` (end of that step).
+    /// Their outcomes are discarded — the schedule slot already recorded
+    /// [`REASON_DELAYED`].
+    pub(crate) fn end_step<M: SystemModel>(
+        &mut self,
+        model: &M,
+        states: &mut [M::State],
+        workload: &Workload,
+        pos: usize,
+    ) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].0 <= pos {
+                let (_, id) = self.pending.remove(i);
+                let event = workload.event(id);
+                if !self.is_partitioned(event) {
+                    let _ = model.apply(states, event);
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Flushes every still-pending delayed effect after the last event.
+    pub(crate) fn finish<M: SystemModel>(
+        &mut self,
+        model: &M,
+        states: &mut [M::State],
+        workload: &Workload,
+    ) {
+        let pending = std::mem::take(&mut self.pending);
+        for (_, id) in pending {
+            let event = workload.event(id);
+            if !self.is_partitioned(event) {
+                let _ = model.apply(states, event);
+            }
+        }
+    }
+
+    /// Rebuilds the interpreter's bookkeeping as if the events at positions
+    /// `0..depth` of `order` had executed — without touching states (the
+    /// checkpoint snapshot already contains their effects). Used when the
+    /// incremental executor resumes from a cached prefix: partition state is
+    /// replayed, and delayed effects that fired inside the prefix are
+    /// discarded while those still outstanding at `depth` are retained.
+    pub(crate) fn fast_forward(&mut self, workload: &Workload, order: &[EventId], depth: usize) {
+        if self.idle() {
+            return;
+        }
+        for (pos, &id) in order.iter().take(depth).enumerate() {
+            for fault in self.plan.at(id) {
+                match fault.kind {
+                    FaultKind::Partition { from, to } => {
+                        self.partitions.insert(normalize(from, to));
+                    }
+                    FaultKind::Heal { from, to } => {
+                        self.partitions.remove(&normalize(from, to));
+                    }
+                    _ => {}
+                }
+            }
+            let event = workload.event(id);
+            if self.is_partitioned(event) {
+                continue; // the slot failed; nothing was scheduled
+            }
+            if self.plan.at(id).any(|f| matches!(f.kind, FaultKind::Drop)) {
+                continue;
+            }
+            if let Some(by) = self.plan.at(id).find_map(|f| match f.kind {
+                FaultKind::Delay { by } => Some(by.max(1) as usize),
+                _ => None,
+            }) {
+                self.pending.push((pos + by, id));
+            }
+            // An effect fires at the end of the first step whose position
+            // reaches fire_pos; within the prefix that means fire_pos <
+            // depth (steps 0..depth ran, so end-of-step fired through
+            // depth-1).
+            self.pending.retain(|&(fire, _)| fire > pos);
+        }
+    }
+
+    /// The outcome recorded for a non-`Normal` delivery.
+    pub(crate) fn faulted_outcome(delivery: Delivery) -> OpOutcome {
+        match delivery {
+            Delivery::Partitioned => OpOutcome::failed(REASON_PARTITIONED),
+            Delivery::Dropped => OpOutcome::failed(REASON_DROPPED),
+            Delivery::Delayed => OpOutcome::failed(REASON_DELAYED),
+            Delivery::Normal => unreachable!("normal delivery records the model outcome"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_pi_model::{FaultEvent, Interleaving, ReplicaId, Value};
+
+    struct Probe;
+
+    impl SystemModel for Probe {
+        type State = Vec<i64>;
+
+        fn replicas(&self) -> usize {
+            2
+        }
+
+        fn init(&self, _replica: ReplicaId) -> Vec<i64> {
+            Vec::new()
+        }
+
+        fn apply(&self, states: &mut [Vec<i64>], event: &Event) -> OpOutcome {
+            let v = event
+                .op()
+                .and_then(|op| op.arg(0))
+                .and_then(Value::as_int)
+                .unwrap_or(100 + event.id.raw() as i64);
+            states[event.replica.index()].push(v);
+            OpOutcome::Applied
+        }
+
+        fn observe(&self, state: &Vec<i64>) -> Value {
+            state.iter().copied().collect()
+        }
+    }
+
+    fn run(workload: &Workload, il: &Interleaving) -> (Vec<Vec<i64>>, Vec<OpOutcome>) {
+        let model = Probe;
+        let mut states = model.init_all();
+        let mut outcomes = Vec::new();
+        let mut interp = FaultInterpreter::new(il.faults());
+        for (pos, &id) in il.iter().enumerate() {
+            let event = workload.event(id);
+            interp.begin_step(&model, &mut states, event);
+            let outcome = match interp.delivery(event, pos) {
+                Delivery::Normal => {
+                    let out = model.apply(&mut states, event);
+                    if interp.duplicate(event) {
+                        let _ = model.apply(&mut states, event);
+                    }
+                    out
+                }
+                other => FaultInterpreter::faulted_outcome(other),
+            };
+            outcomes.push(outcome);
+            interp.end_step(&model, &mut states, workload, pos);
+        }
+        interp.finish(&model, &mut states, workload);
+        (states, outcomes)
+    }
+
+    fn r(i: u16) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+
+    fn three_ops() -> (Workload, Vec<er_pi_model::EventId>) {
+        let mut w = Workload::builder();
+        let ids = vec![
+            w.update(r(0), "op", [Value::from(1)]),
+            w.update(r(0), "op", [Value::from(2)]),
+            w.update(r(0), "op", [Value::from(3)]),
+        ];
+        (w.build(), ids)
+    }
+
+    #[test]
+    fn drop_suppresses_the_anchor() {
+        let (w, ids) = three_ops();
+        let il = w
+            .recorded_order()
+            .with_faults(FaultPlan::new(vec![FaultEvent::new(
+                ids[1],
+                FaultKind::Drop,
+            )]));
+        let (states, outcomes) = run(&w, &il);
+        assert_eq!(states[0], vec![1, 3]);
+        assert_eq!(outcomes[1], OpOutcome::failed(REASON_DROPPED));
+    }
+
+    #[test]
+    fn duplicate_applies_twice() {
+        let (w, ids) = three_ops();
+        let il = w
+            .recorded_order()
+            .with_faults(FaultPlan::new(vec![FaultEvent::new(
+                ids[0],
+                FaultKind::Duplicate,
+            )]));
+        let (states, outcomes) = run(&w, &il);
+        assert_eq!(states[0], vec![1, 1, 2, 3]);
+        assert_eq!(outcomes[0], OpOutcome::Applied);
+    }
+
+    #[test]
+    fn delay_moves_the_effect_later() {
+        let (w, ids) = three_ops();
+        let il = w
+            .recorded_order()
+            .with_faults(FaultPlan::new(vec![FaultEvent::new(
+                ids[0],
+                FaultKind::Delay { by: 2 },
+            )]));
+        let (states, outcomes) = run(&w, &il);
+        // op1 fires at the end of step 2 (after op3 applied).
+        assert_eq!(states[0], vec![2, 3, 1]);
+        assert_eq!(outcomes[0], OpOutcome::failed(REASON_DELAYED));
+        assert_eq!(outcomes[1], OpOutcome::Applied);
+    }
+
+    #[test]
+    fn delay_past_the_end_flushes_at_finish() {
+        let (w, ids) = three_ops();
+        let il = w
+            .recorded_order()
+            .with_faults(FaultPlan::new(vec![FaultEvent::new(
+                ids[2],
+                FaultKind::Delay { by: 5 },
+            )]));
+        let (states, _) = run(&w, &il);
+        assert_eq!(states[0], vec![1, 2, 3], "flushed after the last event");
+    }
+
+    #[test]
+    fn partition_window_fails_syncs_until_heal() {
+        let mut w = Workload::builder();
+        let a = w.update(r(0), "op", [Value::from(1)]);
+        let s1 = w.sync_pair(r(0), r(1), a);
+        let b = w.update(r(0), "op", [Value::from(2)]);
+        let s2 = w.sync_pair(r(0), r(1), b);
+        let w = w.build();
+        let il = w.recorded_order().with_faults(FaultPlan::new(vec![
+            FaultEvent::new(
+                s1,
+                FaultKind::Partition {
+                    from: r(0),
+                    to: r(1),
+                },
+            ),
+            FaultEvent::new(
+                s2,
+                FaultKind::Heal {
+                    from: r(0),
+                    to: r(1),
+                },
+            ),
+        ]));
+        let (states, outcomes) = run(&w, &il);
+        assert_eq!(outcomes[s1.index()], OpOutcome::failed(REASON_PARTITIONED));
+        assert_eq!(outcomes[s2.index()], OpOutcome::Applied);
+        // The probe records applies at the sender: two updates plus the
+        // healed sync ran there; the partitioned sync never applied.
+        assert_eq!(states[0].len(), 3);
+    }
+
+    #[test]
+    fn crash_restart_reinitializes_by_default() {
+        let (w, ids) = three_ops();
+        let il = w
+            .recorded_order()
+            .with_faults(FaultPlan::new(vec![FaultEvent::new(
+                ids[2],
+                FaultKind::CrashRestart { replica: r(0) },
+            )]));
+        let (states, _) = run(&w, &il);
+        // Crash before op3 wipes ops 1 and 2.
+        assert_eq!(states[0], vec![3]);
+    }
+
+    #[test]
+    fn fast_forward_retains_only_outstanding_delays() {
+        let (w, ids) = three_ops();
+        let plan = FaultPlan::new(vec![
+            FaultEvent::new(ids[0], FaultKind::Delay { by: 1 }),
+            FaultEvent::new(ids[1], FaultKind::Delay { by: 2 }),
+        ]);
+        let order: Vec<_> = w.event_ids().collect();
+        // Prefix of 2 steps: delay@e0 fires at end of step 1 (inside the
+        // prefix); delay@e1 fires at step 3 (outstanding).
+        let mut interp = FaultInterpreter::new(&plan);
+        interp.fast_forward(&w, &order, 2);
+        assert_eq!(interp.pending, vec![(3, ids[1])]);
+        // A full-depth fast-forward of a partition plan rebuilds topology.
+        let pplan = FaultPlan::new(vec![FaultEvent::new(
+            ids[0],
+            FaultKind::Partition {
+                from: r(0),
+                to: r(1),
+            },
+        )]);
+        let mut interp = FaultInterpreter::new(&pplan);
+        interp.fast_forward(&w, &order, 3);
+        assert!(interp.partitions.contains(&(r(0), r(1))));
+    }
+}

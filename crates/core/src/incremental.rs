@@ -28,6 +28,7 @@
 
 use er_pi_model::{EventId, Interleaving, Workload};
 
+use crate::faultexec::{Delivery, FaultInterpreter};
 use crate::{CacheStats, Execution, OpOutcome, SystemModel, TimeModel};
 
 /// Default snapshot budget for incremental sessions: 64 MiB of
@@ -49,13 +50,25 @@ struct Snapshot<S> {
     tick: u64,
 }
 
-/// One trie node. The edge *into* the node is labelled by `event`: the node
-/// at depth `d` along a path represents the prefix `il[0..d]`, and stores
-/// the [`OpOutcome`] that `il[d-1]` produced when first executed.
+/// One trie node. The edge *into* the node is labelled by `(event, fault
+/// digest)`: the node at depth `d` along a path represents the prefix
+/// `il[0..d]` *under the faults anchored inside it*, and stores the
+/// [`OpOutcome`] that `il[d-1]` produced when first executed.
+///
+/// The digest is [`FaultPlan::digest_at`](er_pi_model::FaultPlan::digest_at)
+/// for the edge's event (0 when no fault anchors there), which makes fault
+/// schedules part of the trie key: two plans that agree on every anchor
+/// along a prefix deterministically reach the same states there (all
+/// derived effects of an anchor — delayed firings, partition windows, crash
+/// recovery — occur at or after the anchor's own step), so they may share
+/// that prefix's snapshots; plans that disagree diverge at the first
+/// differing anchor and never share deeper nodes.
 #[derive(Debug)]
 struct Node<S> {
     /// Event labelling the edge from the parent (unused for the root).
     event: EventId,
+    /// Digest of the faults anchored at `event` under the path's plan.
+    digest: u64,
     /// Outcome of applying that event at this prefix (root: placeholder).
     outcome: OpOutcome,
     /// Depth of this node (= prefix length it represents).
@@ -94,6 +107,7 @@ impl<S> CheckpointTrie<S> {
         CheckpointTrie {
             nodes: vec![Node {
                 event: EventId::new(0),
+                digest: 0,
                 outcome: OpOutcome::Applied,
                 depth: 0,
                 children: Vec::new(),
@@ -131,16 +145,25 @@ impl<S> CheckpointTrie<S> {
         self.cached.len()
     }
 
-    fn child(&self, node: u32, event: EventId) -> Option<u32> {
+    fn child(&self, node: u32, event: EventId, digest: u64) -> Option<u32> {
         self.nodes[node as usize]
             .children
             .iter()
             .copied()
-            .find(|&c| self.nodes[c as usize].event == event)
+            .find(|&c| {
+                let child = &self.nodes[c as usize];
+                child.event == event && child.digest == digest
+            })
     }
 
-    fn child_or_insert(&mut self, node: u32, event: EventId, outcome: OpOutcome) -> u32 {
-        if let Some(existing) = self.child(node, event) {
+    fn child_or_insert(
+        &mut self,
+        node: u32,
+        event: EventId,
+        digest: u64,
+        outcome: OpOutcome,
+    ) -> u32 {
+        if let Some(existing) = self.child(node, event, digest) {
             debug_assert_eq!(
                 self.nodes[existing as usize].outcome, outcome,
                 "non-deterministic SystemModel::apply at a shared prefix"
@@ -151,6 +174,7 @@ impl<S> CheckpointTrie<S> {
         let depth = self.nodes[node as usize].depth + 1;
         self.nodes.push(Node {
             event,
+            digest,
             outcome,
             depth,
             children: Vec::new(),
@@ -223,7 +247,7 @@ impl<S> CheckpointTrie<S> {
         path.push(0u32);
         let mut cur = 0u32;
         for &id in il.iter() {
-            match self.child(cur, id) {
+            match self.child(cur, id, il.faults().digest_at(id)) {
                 Some(next) => {
                     cur = next;
                     path.push(next);
@@ -345,18 +369,44 @@ impl<M: SystemModel> IncrementalExecutor<M> {
             model.init_all()
         };
 
+        // Rebuild the fault interpreter's bookkeeping (partition topology,
+        // outstanding delayed effects) as of the resume depth; the snapshot
+        // states already contain everything the skipped prefix did.
+        let mut faults = FaultInterpreter::new(il.faults());
+        faults.fast_forward(workload, il.as_slice(), resume_depth);
+
         let mut cur = path[resume_depth];
         for (pos, &id) in il.iter().enumerate().skip(resume_depth) {
-            let outcome = model.apply(&mut states, workload.event(id));
-            cur = self.trie.child_or_insert(cur, id, outcome.clone());
+            let event = workload.event(id);
+            faults.begin_step(model, &mut states, event);
+            let outcome = match faults.delivery(event, pos) {
+                Delivery::Normal => {
+                    let out = model.apply(&mut states, event);
+                    if faults.duplicate(event) {
+                        let _ = model.apply(&mut states, event);
+                    }
+                    out
+                }
+                other => FaultInterpreter::faulted_outcome(other),
+            };
+            cur = self
+                .trie
+                .child_or_insert(cur, id, il.faults().digest_at(id), outcome.clone());
             outcomes.push(outcome);
+            // Delayed effects due at this step land before the snapshot, so
+            // a stored prefix is the full deterministic function of its
+            // `(events, anchored faults)` path.
+            faults.end_step(model, &mut states, workload, pos);
             // Snapshot every interior prefix we just reached; the final
             // depth is never resumed from (a repeat of the same
-            // interleaving resumes at N-1 and re-applies the last event).
+            // interleaving resumes at N-1 and re-applies the last event),
+            // and the end-of-run fault flush below therefore never leaks
+            // into a cached snapshot.
             if pos + 1 < il.len() {
                 self.trie.store(model, cur, &states);
             }
         }
+        faults.finish(model, &mut states, workload);
 
         Execution {
             states,
@@ -507,6 +557,42 @@ mod tests {
         let trie = exec.trie();
         assert!(trie.bytes_resident() <= trie.budget());
         assert!(trie.cached_snapshots() > 0);
+    }
+
+    #[test]
+    fn matches_inline_across_fault_plans_sharing_one_trie() {
+        use er_pi_model::{FaultEvent, FaultKind, FaultPlan};
+        let w = workload(4);
+        let time = TimeModel::paper_setup();
+        let ids: Vec<EventId> = w.event_ids().collect();
+        let plans = vec![
+            FaultPlan::empty(),
+            FaultPlan::new(vec![FaultEvent::new(ids[1], FaultKind::Drop)]),
+            FaultPlan::new(vec![FaultEvent::new(ids[1], FaultKind::Duplicate)]),
+            FaultPlan::new(vec![FaultEvent::new(ids[0], FaultKind::Delay { by: 2 })]),
+            FaultPlan::new(vec![FaultEvent::new(
+                ids[2],
+                FaultKind::CrashRestart {
+                    replica: ReplicaId::new(0),
+                },
+            )]),
+        ];
+        // One trie serves the whole product (plan-minor, like the session's
+        // fault product explorer): every execution must stay byte-identical
+        // to scratch replay even though plans interleave in the cache.
+        let mut exec = IncrementalExecutor::<LogModel>::new(DEFAULT_CACHE_BUDGET);
+        for base in lexicographic_orders(4) {
+            for plan in &plans {
+                let il = base.clone().with_faults(plan.clone());
+                let scratch = InlineExecutor::execute(&LogModel, &w, &il, &time);
+                let inc = exec.execute(&LogModel, &w, &il, &time);
+                assert_eq!(scratch.states, inc.states, "states diverged on {il}");
+                assert_eq!(scratch.outcomes, inc.outcomes, "outcomes diverged on {il}");
+                assert_eq!(scratch.sim_us, inc.sim_us, "sim_us diverged on {il}");
+            }
+        }
+        let stats = exec.stats();
+        assert!(stats.hits > 0, "fault product still shares prefixes");
     }
 
     #[test]

@@ -130,6 +130,7 @@ mod checks;
 mod constraints;
 mod error;
 mod executor;
+mod faultexec;
 mod incremental;
 mod instrument;
 mod misconceptions;
@@ -163,7 +164,11 @@ pub use er_pi_analysis::{
     CertClaim, CertSummary, CertWitness, CertifiedTable, Diagnostic, LintPattern, TraceAnalysis,
     Verdict,
 };
-pub use er_pi_interleave::{ExploreMode, FailedOpsRule, FilterTimings, PruningConfig};
+pub use er_pi_interleave::{
+    enumerate_plans, ExploreMode, FailedOpsRule, FaultProduct, FaultSpace, FilterTimings,
+    PruningConfig,
+};
+pub use er_pi_model::{FaultEvent, FaultKind, FaultPlan};
 /// The structured telemetry layer (sinks, progress, trace export) — see
 /// [`Session::set_telemetry`].
 pub use er_pi_telemetry as telemetry;

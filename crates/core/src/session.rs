@@ -5,11 +5,11 @@ use std::time::Instant;
 
 use er_pi_datalog::InterleavingStore;
 use er_pi_interleave::{
-    DfsExplorer, ErPiExplorer, ExploreMode, Explorer, FilterTimings, IndexedSource, PruneStats,
-    PruningConfig, RandomExplorer,
+    enumerate_plans, DfsExplorer, ErPiExplorer, ExploreMode, Explorer, FaultProduct, FaultSpace,
+    FilterTimings, IndexedSource, PruneStats, PruningConfig, RandomExplorer,
 };
 use er_pi_model::{
-    EventId, Interleaving, OpDescriptor, ReplicaId, Value, Workload, WorkloadBuilder,
+    EventId, FaultPlan, Interleaving, OpDescriptor, ReplicaId, Value, Workload, WorkloadBuilder,
 };
 use er_pi_telemetry::{
     HitRateMonitor, Progress, ProgressSnapshot, Sink, Telemetry, COORDINATOR_TRACK,
@@ -217,6 +217,8 @@ pub struct Session<M: SystemModel> {
     sanitize: bool,
     certify: bool,
     workload: Option<Workload>,
+    fault_plans: Option<Vec<FaultPlan>>,
+    fault_space: Option<FaultSpace>,
     store: Option<InterleavingStore>,
     sanitizer_report: Option<SanitizerReport>,
     telemetry: Telemetry,
@@ -262,6 +264,8 @@ impl<M: SystemModel> Session<M> {
             sanitize: false,
             certify: false,
             workload: None,
+            fault_plans: None,
+            fault_space: None,
             store: None,
             sanitizer_report: None,
             telemetry: Telemetry::disabled(),
@@ -511,6 +515,47 @@ impl<M: SystemModel> Session<M> {
         self
     }
 
+    /// Schedules an explicit list of fault plans: every replay explores the
+    /// product `orders × plans`, with each plan interpreted
+    /// deterministically (drops, duplicates, delays, partition windows,
+    /// crash-restarts are *scheduled choice points*, not random draws).
+    ///
+    /// Fault plans are part of run identity — they enter interleaving
+    /// fingerprints, dedup, persistence, and the checkpoint-trie keys — so
+    /// pooled, incremental, and sequential replays of the same plan list
+    /// produce byte-identical reports ([`Report::diff`] returns `None`).
+    ///
+    /// Takes precedence over [`Session::set_fault_space`]. An empty list
+    /// (or neither setter called) keeps the fault-free pipeline
+    /// bit-identical to previous releases.
+    pub fn set_fault_plans(&mut self, plans: Vec<FaultPlan>) -> &mut Self {
+        self.fault_plans = Some(plans);
+        self
+    }
+
+    /// Schedules a [`FaultSpace`]: each replay enumerates its budget-bounded
+    /// plan list over the *current* workload via [`enumerate_plans`] and
+    /// explores the product `orders × plans` (baseline first when the space
+    /// includes it). See [`Session::set_fault_plans`] for the determinism
+    /// contract.
+    pub fn set_fault_space(&mut self, space: FaultSpace) -> &mut Self {
+        self.fault_space = Some(space);
+        self
+    }
+
+    /// The fault plans the next replay will explore over `workload`:
+    /// explicit plans win, else the configured space is enumerated, else
+    /// the single fault-free baseline.
+    fn resolve_fault_plans(&self, workload: &Workload) -> Vec<FaultPlan> {
+        if let Some(plans) = &self.fault_plans {
+            return plans.clone();
+        }
+        if let Some(space) = &self.fault_space {
+            return enumerate_plans(workload, space);
+        }
+        Vec::new()
+    }
+
     /// The recorded workload, if any.
     pub fn workload(&self) -> Option<&Workload> {
         self.workload.as_ref()
@@ -536,16 +581,23 @@ impl<M: SystemModel> Session<M> {
             .ok_or(ErPiError::NothingRecorded)
     }
 
+    /// Builds the exploration source for one replay: the mode's explorer
+    /// lifted to the `orders × plans` product. With no fault configuration
+    /// the product holds the single empty plan and is a transparent
+    /// pass-through — emitted interleavings are bit-identical to the bare
+    /// explorer's.
     fn build_explorer<'w>(
         &self,
         workload: &'w Workload,
         config: &PruningConfig,
-    ) -> AnyExplorer<'w> {
-        match self.mode {
+        plans: &[FaultPlan],
+    ) -> FaultProduct<AnyExplorer<'w>> {
+        let explorer = match self.mode {
             ExploreMode::ErPi => AnyExplorer::ErPi(ErPiExplorer::new(workload, config)),
             ExploreMode::Dfs => AnyExplorer::Dfs(DfsExplorer::new(workload)),
             ExploreMode::Random { seed } => AnyExplorer::Rand(RandomExplorer::new(workload, seed)),
-        }
+        };
+        FaultProduct::new(explorer, plans.to_vec())
     }
 
     /// Replays the recorded workload's interleavings and checks `suite`
@@ -812,11 +864,12 @@ impl<M: SystemModel> Session<M> {
         instrument: &Instrument,
     ) -> Result<ReplayOutcome, ErPiError> {
         let telemetry = instrument.telemetry.clone();
-        let mut explorer = self.build_explorer(workload, effective);
+        let plans = self.resolve_fault_plans(workload);
+        let mut explorer = self.build_explorer(workload, effective, &plans);
         if telemetry.is_active() {
-            explorer.enable_timing();
+            explorer.inner_mut().enable_timing();
         }
-        let mode = explorer.mode_name().to_owned();
+        let mode = explorer.inner().mode_name().to_owned();
         let mut source = IndexedSource::new(explorer, self.max_interleavings);
         let mut runs: Vec<RunRecord> = Vec::new();
         let mut violations: Vec<Violation> = Vec::new();
@@ -924,7 +977,7 @@ impl<M: SystemModel> Session<M> {
                         self.config.absorb(newer.clone());
                         effective.absorb(newer);
                         if matches!(self.mode, ExploreMode::ErPi) {
-                            source.reseed(self.build_explorer(workload, effective));
+                            source.reseed(self.build_explorer(workload, effective, &plans));
                         }
                     }
                 }
@@ -932,7 +985,7 @@ impl<M: SystemModel> Session<M> {
         }
 
         let stopped_early = stopped_by_violation || source.truncated();
-        let explorer = source.inner();
+        let explorer = source.inner().inner();
         Ok(ReplayOutcome {
             mode,
             runs,
@@ -962,11 +1015,12 @@ impl<M: SystemModel> Session<M> {
     where
         M: Sync,
     {
-        let mut explorer = self.build_explorer(workload, effective);
+        let plans = self.resolve_fault_plans(workload);
+        let mut explorer = self.build_explorer(workload, effective, &plans);
         if instrument.telemetry.is_active() {
-            explorer.enable_timing();
+            explorer.inner_mut().enable_timing();
         }
-        let mode = explorer.mode_name().to_owned();
+        let mode = explorer.inner().mode_name().to_owned();
         let mut source = IndexedSource::new(explorer, self.max_interleavings);
         let pool = ReplayPool::new(self.workers);
         let out = pool.run(
@@ -988,15 +1042,18 @@ impl<M: SystemModel> Session<M> {
         // the sequential strategy would have observed.
         let (prune_stats, wasted) = if out.cancelled {
             let mut redo = IndexedSource::new(
-                self.build_explorer(workload, effective),
+                self.build_explorer(workload, effective, &plans),
                 self.max_interleavings,
             );
             for _ in 0..out.runs.len() {
                 redo.next();
             }
-            (redo.inner().stats(), redo.inner().wasted())
+            (redo.inner().inner().stats(), redo.inner().inner().wasted())
         } else {
-            (source.inner().stats(), source.inner().wasted())
+            (
+                source.inner().inner().stats(),
+                source.inner().inner().wasted(),
+            )
         };
 
         // The persisted store mirrors the retained runs in dispatch order.
@@ -1011,7 +1068,7 @@ impl<M: SystemModel> Session<M> {
         // Timings come from the *live* explorer: they are wall time, so —
         // unlike the counters above — the dispensed-past-the-stop-point
         // measurement is exactly what was really spent.
-        let filter_timings = source.inner().timings();
+        let filter_timings = source.inner().inner().timings();
 
         Ok(ReplayOutcome {
             mode,
@@ -1453,6 +1510,62 @@ mod tests {
         assert_eq!(finding.misconception, 0);
         assert!(finding.message.contains("register writes tie-break"));
         session.config_mut().independent_sets.clear();
+    }
+
+    #[test]
+    fn fault_space_multiplies_run_identity_deterministically() {
+        use er_pi_interleave::FaultSpace;
+        // Default space over two syncs: baseline + (duplicate, delay@1) at
+        // each sync = 5 plans; DFS explores 24 orders → 120 product runs.
+        let mut plain = Session::new(RegApp);
+        record_two_writes(&mut plain);
+        plain.set_mode(ExploreMode::Dfs).set_workers(1);
+        let base = plain.replay(&TestSuite::new()).unwrap();
+        assert_eq!(base.explored, 24);
+
+        let mut reference = None;
+        for workers in [1, 2, 4] {
+            for incremental in [false, true] {
+                let mut session = Session::new(RegApp);
+                record_two_writes(&mut session);
+                session
+                    .set_mode(ExploreMode::Dfs)
+                    .set_workers(workers)
+                    .set_incremental(incremental)
+                    .set_fault_space(FaultSpace::default());
+                let report = session.replay(&TestSuite::new()).unwrap();
+                assert_eq!(report.explored, 120, "24 orders x 5 plans");
+                match &reference {
+                    None => reference = Some(report),
+                    Some(first) => assert_eq!(
+                        report.diff(first),
+                        None,
+                        "workers={workers} incremental={incremental}"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_plans_win_and_baseline_only_is_transparent() {
+        use er_pi_model::FaultPlan;
+        let mut plain = Session::new(RegApp);
+        record_two_writes(&mut plain);
+        plain.set_mode(ExploreMode::Dfs).set_workers(1);
+        let base = plain.replay(&TestSuite::new()).unwrap();
+
+        // Explicit plans override the configured space; the single empty
+        // plan leaves the report byte-identical to a fault-free session.
+        let mut session = Session::new(RegApp);
+        record_two_writes(&mut session);
+        session
+            .set_mode(ExploreMode::Dfs)
+            .set_workers(1)
+            .set_fault_space(er_pi_interleave::FaultSpace::all(2))
+            .set_fault_plans(vec![FaultPlan::empty()]);
+        let report = session.replay(&TestSuite::new()).unwrap();
+        assert_eq!(report.diff(&base), None);
     }
 
     #[test]

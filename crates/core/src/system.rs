@@ -80,6 +80,21 @@ pub trait SystemModel {
             .collect()
     }
 
+    /// Recovers `replica` after a scheduled crash-restart fault
+    /// ([`FaultKind::CrashRestart`](er_pi_model::FaultKind)).
+    ///
+    /// The default models a replica with no durable log: volatile state is
+    /// lost and the replica restarts from [`init`](SystemModel::init).
+    /// Models whose RDL keeps a durable op log should override this with
+    /// log replay (e.g. re-apply `DeltaSync::missing_since(⊥)` into a
+    /// fresh state) so recovery preserves acknowledged updates.
+    ///
+    /// Like [`apply`](SystemModel::apply), this must be deterministic in
+    /// `(states, replica)` — replay correctness depends on it.
+    fn recover(&self, states: &mut [Self::State], replica: ReplicaId) {
+        states[replica.index()] = self.init(replica);
+    }
+
     /// A cheap estimate of one state's resident size in bytes — the unit
     /// the incremental executor's snapshot budget is accounted in (see
     /// [`Session::set_cache_budget`](crate::Session::set_cache_budget)).

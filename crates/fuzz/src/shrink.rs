@@ -1,0 +1,341 @@
+//! Delta-debugging shrinker: reduces a failing [`FuzzCase`] to a minimal
+//! (workload, fault schedule) pair.
+//!
+//! The vendored proptest stand-in does no shrinking, so the fuzzer carries
+//! its own: a fixpoint loop that first tries to remove workload entries
+//! (cascading over tracked-sync references and remapping all indices) and
+//! then tries to remove scheduled faults, keeping a candidate only when the
+//! caller's predicate still accepts it. Because the campaign's predicate
+//! requires the finding to stay *fault-dependent*, the shrinker can never
+//! "simplify" a case into a plain ordering bug — e.g. removing a crdts
+//! anti-entropy chain entry would make fault-free interleavings diverge,
+//! and that candidate is rejected.
+
+use er_pi_model::{FaultKind, ReplicaId};
+
+use crate::spec::{FuzzCase, SpecEntry, WorkloadSpec};
+
+/// Shrinks `case` while `still_fails` keeps returning `true` for the
+/// shrunk candidate. The input case itself must satisfy the predicate.
+///
+/// Deterministic: candidates are tried in a fixed order (entries
+/// last-to-first, then faults last-to-first) until a full pass makes no
+/// progress, so equal inputs shrink to equal outputs.
+pub fn shrink(case: &FuzzCase, still_fails: &dyn Fn(&FuzzCase) -> bool) -> FuzzCase {
+    debug_assert!(still_fails(case), "shrinking a case that does not fail");
+    let mut current = case.clone();
+    loop {
+        let mut progressed = false;
+
+        let mut idx = current.spec.entries.len();
+        while idx > 0 {
+            idx -= 1;
+            if let Some(candidate) = remove_entry(&current, idx) {
+                if still_fails(&candidate) {
+                    current = candidate;
+                    progressed = true;
+                    idx = idx.min(current.spec.entries.len());
+                }
+            }
+        }
+
+        let mut fault = current.faults.len();
+        while fault > 0 {
+            fault -= 1;
+            if current.faults.len() <= 1 {
+                break; // keep at least one fault: the pair is the finding
+            }
+            let mut candidate = current.clone();
+            candidate.faults.remove(fault);
+            if still_fails(&candidate) {
+                current = candidate;
+                progressed = true;
+            }
+        }
+
+        // Canonicalization: shrink op arguments to 1 and relabel replicas
+        // by first appearance, so every instance of the same bug shrinks
+        // to the same fingerprint no matter which seed found it — the
+        // property that keeps the regression corpus small and stable.
+        for i in 0..current.spec.entries.len() {
+            let SpecEntry::Op { args, .. } = &current.spec.entries[i] else {
+                continue;
+            };
+            for j in 0..args.len() {
+                let mut candidate = current.clone();
+                let SpecEntry::Op { args, .. } = &mut candidate.spec.entries[i] else {
+                    unreachable!()
+                };
+                if args[j] == 1 {
+                    continue;
+                }
+                args[j] = 1;
+                if still_fails(&candidate) {
+                    current = candidate;
+                    progressed = true;
+                }
+            }
+        }
+        if let Some(candidate) = canonicalize_replicas(&current) {
+            if still_fails(&candidate) {
+                current = candidate;
+                progressed = true;
+            }
+        }
+
+        if !progressed {
+            return current;
+        }
+    }
+}
+
+/// Relabels replicas in first-appearance order and drops unused ones,
+/// remapping sync endpoints and fault-kind replica references. Returns
+/// `None` when the case is already canonical (or references a replica that
+/// never acts, which the generators never produce).
+fn canonicalize_replicas(case: &FuzzCase) -> Option<FuzzCase> {
+    let mut map: Vec<Option<u16>> = vec![None; usize::from(case.spec.replicas)];
+    let mut next = 0u16;
+    let mut assign = |map: &mut Vec<Option<u16>>, old: u16| {
+        let slot = &mut map[usize::from(old)];
+        if slot.is_none() {
+            *slot = Some(next);
+            next += 1;
+        }
+    };
+    for entry in &case.spec.entries {
+        match entry {
+            SpecEntry::Op { replica, .. } => assign(&mut map, *replica),
+            SpecEntry::SyncPair { from, to, .. } => {
+                assign(&mut map, *from);
+                assign(&mut map, *to);
+            }
+        }
+    }
+    let lookup = |old: u16| map[usize::from(old)];
+    let lookup_id = |old: ReplicaId| lookup(old.raw()).map(ReplicaId::new);
+
+    let entries: Vec<SpecEntry> = case
+        .spec
+        .entries
+        .iter()
+        .map(|entry| match entry {
+            SpecEntry::Op {
+                replica,
+                function,
+                args,
+            } => SpecEntry::Op {
+                replica: lookup(*replica).expect("acting replica was assigned"),
+                function: function.clone(),
+                args: args.clone(),
+            },
+            SpecEntry::SyncPair { from, to, of } => SpecEntry::SyncPair {
+                from: lookup(*from).expect("sender was assigned"),
+                to: lookup(*to).expect("receiver was assigned"),
+                of: *of,
+            },
+        })
+        .collect();
+
+    let mut faults = Vec::with_capacity(case.faults.len());
+    for fault in &case.faults {
+        let kind = match fault.kind {
+            FaultKind::Partition { from, to } => FaultKind::Partition {
+                from: lookup_id(from)?,
+                to: lookup_id(to)?,
+            },
+            FaultKind::Heal { from, to } => FaultKind::Heal {
+                from: lookup_id(from)?,
+                to: lookup_id(to)?,
+            },
+            FaultKind::CrashRestart { replica } => FaultKind::CrashRestart {
+                replica: lookup_id(replica)?,
+            },
+            other => other,
+        };
+        faults.push(crate::spec::SpecFault {
+            anchor: fault.anchor,
+            kind,
+        });
+    }
+
+    let candidate = FuzzCase {
+        target: case.target,
+        spec: WorkloadSpec {
+            replicas: next,
+            entries,
+            chain_from: case.spec.chain_from,
+        },
+        faults,
+    };
+    if candidate == *case {
+        return None;
+    }
+    candidate.spec.validate().ok()?;
+    Some(candidate)
+}
+
+/// Removes entry `idx` (plus, transitively, every tracked sync that
+/// references a removed entry), remapping indices in `of`, fault anchors,
+/// and `chain_from`. Returns `None` when the removal leaves an empty or
+/// invalid spec.
+fn remove_entry(case: &FuzzCase, idx: usize) -> Option<FuzzCase> {
+    let entries = &case.spec.entries;
+    let mut removed = vec![false; entries.len()];
+    removed[idx] = true;
+    // Cascade: a tracked sync whose `of` is gone must go too.
+    loop {
+        let mut changed = false;
+        for (i, entry) in entries.iter().enumerate() {
+            if removed[i] {
+                continue;
+            }
+            if let SpecEntry::SyncPair { of: Some(of), .. } = entry {
+                if removed[*of] {
+                    removed[i] = true;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut map: Vec<Option<usize>> = vec![None; entries.len()];
+    let mut new_entries = Vec::with_capacity(entries.len() - 1);
+    for (i, entry) in entries.iter().enumerate() {
+        if removed[i] {
+            continue;
+        }
+        map[i] = Some(new_entries.len());
+        let mut entry = entry.clone();
+        if let SpecEntry::SyncPair { of: Some(of), .. } = &mut entry {
+            *of = map[*of].expect("`of` precedes its sync and survived the cascade");
+        }
+        new_entries.push(entry);
+    }
+    if new_entries.is_empty() {
+        return None;
+    }
+
+    // Faults anchored on removed entries are dropped with them.
+    let faults: Vec<_> = case
+        .faults
+        .iter()
+        .filter_map(|f| {
+            map[f.anchor].map(|anchor| crate::spec::SpecFault {
+                anchor,
+                kind: f.kind,
+            })
+        })
+        .collect();
+    if faults.is_empty() {
+        return None; // a case without faults cannot stay fault-dependent
+    }
+
+    // The chain head moves to the first surviving chain entry, if any.
+    let chain_from = case
+        .spec
+        .chain_from
+        .and_then(|chain| (chain..entries.len()).find_map(|i| map[i]));
+
+    let candidate = FuzzCase {
+        target: case.target,
+        spec: crate::spec::WorkloadSpec {
+            replicas: case.spec.replicas,
+            entries: new_entries,
+            chain_from,
+        },
+        faults,
+    };
+    candidate.spec.validate().ok()?;
+    Some(candidate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{SpecFault, Target, WorkloadSpec};
+    use er_pi_model::FaultKind;
+
+    /// Three credits each followed by a tracked sync; one Duplicate fault
+    /// on the middle sync.
+    fn fat_ledger_case() -> FuzzCase {
+        let mut entries = Vec::new();
+        for i in 0..3u16 {
+            entries.push(SpecEntry::Op {
+                replica: i % 2,
+                function: "credit".into(),
+                args: vec![i64::from(i) + 10],
+            });
+            entries.push(SpecEntry::SyncPair {
+                from: i % 2,
+                to: (i + 1) % 2,
+                of: Some(entries.len() - 1),
+            });
+        }
+        FuzzCase {
+            target: Target::Ledger,
+            spec: WorkloadSpec {
+                replicas: 2,
+                entries,
+                chain_from: None,
+            },
+            faults: vec![SpecFault {
+                anchor: 3,
+                kind: FaultKind::Duplicate,
+            }],
+        }
+    }
+
+    /// Structural predicate for tests: the faulted sync and its credit
+    /// survive (stand-in for "the oracle still reports the finding").
+    fn has_faulted_tracked_sync(case: &FuzzCase) -> bool {
+        case.faults.iter().any(|f| {
+            matches!(
+                case.spec.entries.get(f.anchor),
+                Some(SpecEntry::SyncPair { of: Some(_), .. })
+            )
+        })
+    }
+
+    #[test]
+    fn shrinks_to_the_minimal_credit_sync_pair() {
+        let shrunk = shrink(&fat_ledger_case(), &has_faulted_tracked_sync);
+        assert_eq!(shrunk.spec.entries.len(), 2, "one credit + one sync");
+        assert_eq!(shrunk.faults.len(), 1);
+        assert_eq!(shrunk.faults[0].anchor, 1, "anchor remapped");
+        assert!(has_faulted_tracked_sync(&shrunk));
+    }
+
+    #[test]
+    fn removing_a_credit_cascades_over_its_sync() {
+        let mut case = fat_ledger_case();
+        case.faults[0].anchor = 5; // fault on the *last* sync
+        let candidate = remove_entry(&case, 2).expect("valid removal");
+        // Entry 2 (credit) takes entry 3 (its sync) with it; the fault on
+        // entry 5 is re-anchored to the remapped index.
+        assert_eq!(candidate.spec.entries.len(), 4);
+        assert_eq!(candidate.faults[0].anchor, 3);
+        assert!(has_faulted_tracked_sync(&candidate));
+        candidate.spec.validate().expect("remap is consistent");
+    }
+
+    #[test]
+    fn removal_that_drops_the_last_fault_is_rejected() {
+        let case = fat_ledger_case();
+        // Removing the faulted sync (directly or via its credit's cascade)
+        // would leave zero faults.
+        assert!(remove_entry(&case, 3).is_none());
+        assert!(remove_entry(&case, 2).is_none());
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let a = shrink(&fat_ledger_case(), &has_faulted_tracked_sync);
+        let b = shrink(&fat_ledger_case(), &has_faulted_tracked_sync);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+}

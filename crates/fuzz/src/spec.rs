@@ -1,0 +1,315 @@
+//! Serializable workload + fault-schedule specifications.
+//!
+//! A [`FuzzCase`] is the fuzzer's unit of work and the corpus' unit of
+//! persistence: a [`WorkloadSpec`] (operations and syncs by *spec index*,
+//! replica ids as raw integers) plus a list of [`SpecFault`]s anchored at
+//! spec indices. Keeping everything index-based makes cases trivially
+//! JSON-serializable, shrinkable by entry removal (indices remap), and
+//! independent of the [`EventId`]s minted at build time.
+
+use er_pi_model::{EventId, FaultEvent, FaultKind, FaultPlan, ReplicaId, Value, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Which subject model a case runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Target {
+    /// The composed CRDT collection ([`er_pi_subjects::CrdtsModel`]) with a
+    /// convergence oracle.
+    Crdts,
+    /// The replicated ledger ([`er_pi_subjects::LedgerApp`]) with an
+    /// exactly-once oracle.
+    Ledger,
+}
+
+impl Target {
+    /// Stable lowercase name (CLI argument / corpus display).
+    pub fn name(self) -> &'static str {
+        match self {
+            Target::Crdts => "crdts",
+            Target::Ledger => "ledger",
+        }
+    }
+}
+
+/// One entry of a workload specification.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpecEntry {
+    /// A local RDL update at `replica`.
+    Op {
+        /// Acting replica (raw id).
+        replica: u16,
+        /// RDL function name.
+        function: String,
+        /// Integer arguments.
+        args: Vec<i64>,
+    },
+    /// A fused synchronization from `from` to `to`.
+    SyncPair {
+        /// Sender (raw id).
+        from: u16,
+        /// Receiver (raw id).
+        to: u16,
+        /// Spec index of the update this sync ships, if tracked. Must
+        /// reference an earlier `Op` entry.
+        of: Option<usize>,
+    },
+}
+
+impl SpecEntry {
+    /// The acting replica of the entry (the sender, for syncs).
+    pub fn replica(&self) -> u16 {
+        match self {
+            SpecEntry::Op { replica, .. } => *replica,
+            SpecEntry::SyncPair { from, .. } => *from,
+        }
+    }
+
+    /// Returns `true` for sync entries.
+    pub fn is_sync(&self) -> bool {
+        matches!(self, SpecEntry::SyncPair { .. })
+    }
+}
+
+/// A scheduled fault anchored at a spec entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecFault {
+    /// Spec index of the anchor entry.
+    pub anchor: usize,
+    /// The fault fired there.
+    pub kind: FaultKind,
+}
+
+/// A well-formed workload over the `rdl` API, by spec index.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of replicas.
+    pub replicas: u16,
+    /// The entries, in recorded order.
+    pub entries: Vec<SpecEntry>,
+    /// Index from which the trailing entries form the *final anti-entropy
+    /// chain*: entry `chain_from` causally depends on every earlier entry
+    /// and each later entry depends on its predecessor, pinning the chain
+    /// to the end of every causal interleaving. This is what makes the
+    /// convergence oracle sound for arbitrary generated workloads.
+    pub chain_from: Option<usize>,
+}
+
+impl WorkloadSpec {
+    /// Checks structural well-formedness (replica ranges, `of` references,
+    /// chain bounds).
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, entry) in self.entries.iter().enumerate() {
+            match entry {
+                SpecEntry::Op { replica, .. } if *replica >= self.replicas => {
+                    return Err(format!("entry {i}: replica {replica} out of range"));
+                }
+                SpecEntry::SyncPair { from, to, of } => {
+                    if *from >= self.replicas || *to >= self.replicas || from == to {
+                        return Err(format!("entry {i}: bad sync pair {from}->{to}"));
+                    }
+                    if let Some(of) = of {
+                        if *of >= i || !matches!(self.entries[*of], SpecEntry::Op { .. }) {
+                            return Err(format!("entry {i}: `of` {of} is not an earlier op"));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(chain) = self.chain_from {
+            if chain >= self.entries.len() {
+                return Err(format!("chain_from {chain} out of range"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the workload, returning it plus the spec-index → [`EventId`]
+    /// map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`WorkloadSpec::validate`] — corpus files
+    /// are repo-controlled, and generated specs are well-formed by
+    /// construction.
+    pub fn build(&self) -> (Workload, Vec<EventId>) {
+        if let Err(e) = self.validate() {
+            panic!("invalid workload spec: {e}");
+        }
+        let mut b = Workload::builder();
+        let mut ids: Vec<EventId> = Vec::with_capacity(self.entries.len());
+        for (i, entry) in self.entries.iter().enumerate() {
+            let id = match entry {
+                SpecEntry::Op {
+                    replica,
+                    function,
+                    args,
+                } => b.update(
+                    ReplicaId::new(*replica),
+                    function,
+                    args.iter().map(|v| Value::from(*v)),
+                ),
+                SpecEntry::SyncPair { from, to, of } => match of {
+                    Some(of) => b.sync_pair(ReplicaId::new(*from), ReplicaId::new(*to), ids[*of]),
+                    None => b.sync_untracked(ReplicaId::new(*from), ReplicaId::new(*to)),
+                },
+            };
+            if let Some(chain) = self.chain_from {
+                if i == chain {
+                    for &dep in &ids {
+                        b.depends(id, dep);
+                    }
+                } else if i > chain {
+                    b.depends(id, ids[i - 1]);
+                }
+            }
+            ids.push(id);
+        }
+        (b.build(), ids)
+    }
+}
+
+/// One fuzz case: a target, a workload spec, and a fault schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FuzzCase {
+    /// Subject model + oracle to run against.
+    pub target: Target,
+    /// The workload.
+    pub spec: WorkloadSpec,
+    /// Scheduled faults, anchored at spec indices.
+    pub faults: Vec<SpecFault>,
+}
+
+impl FuzzCase {
+    /// Builds the workload and resolves the fault schedule against the
+    /// minted event ids.
+    pub fn build(&self) -> (Workload, FaultPlan) {
+        let (workload, ids) = self.spec.build();
+        let plan = FaultPlan::new(
+            self.faults
+                .iter()
+                .map(|f| FaultEvent::new(ids[f.anchor], f.kind))
+                .collect(),
+        );
+        (workload, plan)
+    }
+
+    /// A stable fingerprint of the case: FNV-1a over its canonical JSON.
+    /// Used to match findings against the regression corpus.
+    pub fn fingerprint(&self) -> u64 {
+        let json = serde_json::to_string(self).expect("fuzz cases are serializable");
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in json.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger_case() -> FuzzCase {
+        FuzzCase {
+            target: Target::Ledger,
+            spec: WorkloadSpec {
+                replicas: 2,
+                entries: vec![
+                    SpecEntry::Op {
+                        replica: 0,
+                        function: "credit".into(),
+                        args: vec![100],
+                    },
+                    SpecEntry::SyncPair {
+                        from: 0,
+                        to: 1,
+                        of: Some(0),
+                    },
+                ],
+                chain_from: None,
+            },
+            faults: vec![SpecFault {
+                anchor: 1,
+                kind: FaultKind::Duplicate,
+            }],
+        }
+    }
+
+    #[test]
+    fn build_maps_spec_indices_to_event_ids() {
+        let case = ledger_case();
+        let (workload, plan) = case.build();
+        assert_eq!(workload.len(), 2);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.iter().next().unwrap().anchor, EventId::new(1));
+    }
+
+    #[test]
+    fn chain_from_pins_the_final_syncs() {
+        let spec = WorkloadSpec {
+            replicas: 2,
+            entries: vec![
+                SpecEntry::Op {
+                    replica: 0,
+                    function: "set_add".into(),
+                    args: vec![1],
+                },
+                SpecEntry::SyncPair {
+                    from: 0,
+                    to: 1,
+                    of: None,
+                },
+                SpecEntry::SyncPair {
+                    from: 1,
+                    to: 0,
+                    of: None,
+                },
+            ],
+            chain_from: Some(1),
+        };
+        let (workload, ids) = spec.build();
+        // The chain head depends on the op; the tail depends on the head.
+        let head = workload.event(ids[1]);
+        let tail = workload.event(ids[2]);
+        assert!(head.deps.contains(&ids[0]));
+        assert!(tail.deps.contains(&ids[1]));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_specs() {
+        let mut bad = ledger_case().spec;
+        bad.entries.push(SpecEntry::SyncPair {
+            from: 0,
+            to: 0,
+            of: None,
+        });
+        assert!(bad.validate().is_err(), "self-sync");
+
+        let mut bad = ledger_case().spec;
+        bad.entries[1] = SpecEntry::SyncPair {
+            from: 0,
+            to: 1,
+            of: Some(1),
+        };
+        assert!(bad.validate().is_err(), "`of` must reference an earlier op");
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_distinguishes_cases() {
+        let a = ledger_case();
+        assert_eq!(a.fingerprint(), a.fingerprint());
+        let mut b = a.clone();
+        b.faults.clear();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn cases_roundtrip_through_json() {
+        let case = ledger_case();
+        let json = serde_json::to_string(&case).unwrap();
+        let back: FuzzCase = serde_json::from_str(&json).unwrap();
+        assert_eq!(case, back);
+    }
+}

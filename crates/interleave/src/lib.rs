@@ -67,6 +67,7 @@ mod config;
 mod erpi;
 mod explorer;
 mod failed_ops;
+mod faults;
 mod grouping;
 mod independence;
 mod permute;
@@ -77,6 +78,7 @@ pub use config::{FailedOpsRule, PruningConfig};
 pub use erpi::{ErPiExplorer, FilterTimings, PruneStats};
 pub use explorer::{DfsExplorer, ExploreMode, Explorer, RandomExplorer};
 pub use failed_ops::failed_ops_canonical;
+pub use faults::{enumerate_plans, FaultProduct, FaultSpace};
 pub use grouping::{group_events, GroupedUnits};
 pub use independence::independence_canonical;
 pub use permute::Permutations;

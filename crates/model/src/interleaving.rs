@@ -4,9 +4,10 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::{EventId, LamportTimestamp, Workload};
+use crate::{EventId, FaultPlan, LamportTimestamp, Workload};
 
-/// One total order over a workload's events.
+/// One total order over a workload's events, plus the fault schedule it
+/// executes under (empty by default — the fault-free baseline).
 ///
 /// ```
 /// use er_pi_model::{EventId, Interleaving};
@@ -18,19 +19,37 @@ use crate::{EventId, LamportTimestamp, Workload};
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Interleaving {
     order: Vec<EventId>,
+    /// The fault schedule this order runs under. Part of the run identity:
+    /// equality, hashing, and [`fingerprint`](Interleaving::fingerprint)
+    /// all include it, so the same order under two plans is two runs.
+    /// `default` keeps pre-fault persisted orders deserializable.
+    #[serde(default)]
+    faults: FaultPlan,
 }
 
 impl Interleaving {
-    /// Creates an interleaving from an explicit order.
+    /// Creates an interleaving from an explicit order (fault-free).
     pub fn new(order: Vec<EventId>) -> Self {
-        Interleaving { order }
+        Interleaving {
+            order,
+            faults: FaultPlan::empty(),
+        }
     }
 
     /// The identity order over `n` events (`e0, e1, …`).
     pub fn identity(n: usize) -> Self {
-        Interleaving {
-            order: (0..n as u32).map(EventId::new).collect(),
-        }
+        Interleaving::new((0..n as u32).map(EventId::new).collect())
+    }
+
+    /// Returns this order scheduled under `faults`.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The fault schedule this order runs under.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Number of events in the order.
@@ -53,7 +72,8 @@ impl Interleaving {
         &self.order
     }
 
-    /// Consumes the interleaving, returning the underlying order.
+    /// Consumes the interleaving, returning the underlying order (the fault
+    /// plan, if any, is discarded).
     pub fn into_inner(self) -> Vec<EventId> {
         self.order
     }
@@ -121,6 +141,14 @@ impl Interleaving {
     /// assert_eq!(a.common_prefix_len(&a), 4);
     /// ```
     pub fn common_prefix_len(&self, other: &Interleaving) -> usize {
+        // Two orders under different fault schedules never share replayable
+        // state: even identical leading events can diverge at an anchored
+        // fault, so the conservative (and sound) answer is zero. Finer
+        // per-anchor sharing is the checkpoint trie's job — its edge keys
+        // carry per-event fault digests.
+        if self.faults != other.faults {
+            return 0;
+        }
         self.order
             .iter()
             .zip(&other.order)
@@ -130,10 +158,21 @@ impl Interleaving {
 
     /// A stable 64-bit fingerprint of the order (FNV-1a), used by the Random
     /// explorer's seen-set and by persistence layers as a compact key.
+    ///
+    /// A non-empty fault plan mixes its digest in, so the same order under
+    /// two schedules fingerprints differently; fault-free fingerprints are
+    /// unchanged from earlier versions.
     pub fn fingerprint(&self) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for &id in &self.order {
             for b in id.raw().to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        let plan = self.faults.digest();
+        if plan != 0 {
+            for b in plan.to_le_bytes() {
                 h ^= u64::from(b);
                 h = h.wrapping_mul(0x0000_0100_0000_01b3);
             }
@@ -172,7 +211,11 @@ impl fmt::Display for Interleaving {
             }
             write!(f, "{id}")?;
         }
-        f.write_str("⟩")
+        f.write_str("⟩")?;
+        if !self.faults.is_empty() {
+            write!(f, " ⚡{}", self.faults)?;
+        }
+        Ok(())
     }
 }
 
@@ -285,5 +328,51 @@ mod tests {
     #[test]
     fn display_wraps_in_angle_brackets() {
         assert_eq!(ids(&[1, 0]).to_string(), "⟨e1 e0⟩");
+    }
+
+    #[test]
+    fn fault_plans_enter_the_run_identity() {
+        use crate::{FaultEvent, FaultKind, FaultPlan};
+        let base = ids(&[0, 1, 2]);
+        let plan = FaultPlan::new(vec![FaultEvent::new(EventId::new(1), FaultKind::Duplicate)]);
+        let faulted = base.clone().with_faults(plan.clone());
+        assert_ne!(base, faulted);
+        assert_ne!(base.fingerprint(), faulted.fingerprint());
+        // The fault-free fingerprint is stable across the plan's addition.
+        assert_eq!(
+            base.fingerprint(),
+            base.clone().with_faults(FaultPlan::empty()).fingerprint()
+        );
+        // Different schedules over the same order never share a prefix …
+        assert_eq!(base.common_prefix_len(&faulted), 0);
+        // … but the same schedule shares prefixes as before.
+        let faulted2 = ids(&[0, 1, 2]).with_faults(plan);
+        assert_eq!(faulted.common_prefix_len(&faulted2), 3);
+    }
+
+    #[test]
+    fn legacy_serialized_orders_still_deserialize() {
+        // Persisted interleavings from before the fault model carry no
+        // `faults` field; `#[serde(default)]` reads them as fault-free.
+        let legacy = r#"{"order":[1,0]}"#;
+        let back: Interleaving = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back, ids(&[1, 0]));
+        assert!(back.faults().is_empty());
+        let json = serde_json::to_string(&ids(&[1, 0])).unwrap();
+        let again: Interleaving = serde_json::from_str(&json).unwrap();
+        assert_eq!(again, ids(&[1, 0]));
+    }
+
+    #[test]
+    fn faulted_serialization_roundtrips() {
+        use crate::{FaultEvent, FaultKind, FaultPlan};
+        let il = ids(&[1, 0]).with_faults(FaultPlan::new(vec![FaultEvent::new(
+            EventId::new(0),
+            FaultKind::Drop,
+        )]));
+        let json = serde_json::to_string(&il).unwrap();
+        let back: Interleaving = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, il);
+        assert_eq!(back.faults().len(), 1);
     }
 }

@@ -49,6 +49,7 @@
 mod clock;
 mod dotctx;
 mod event;
+mod fault;
 mod ids;
 mod interleaving;
 mod value;
@@ -58,6 +59,7 @@ mod workload;
 pub use clock::{LamportClock, LamportTimestamp};
 pub use dotctx::DotContext;
 pub use event::{Event, EventKind, OpDescriptor};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use ids::{Dot, EventId, ReplicaId};
 pub use interleaving::{factorial, reduction_factor, Interleaving};
 pub use value::Value;

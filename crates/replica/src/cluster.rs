@@ -166,6 +166,30 @@ where
         &mut self.network
     }
 
+    /// Crash-restarts replica `id`: the in-memory state is discarded and a
+    /// fresh one (built by `make`, as at cluster construction) recovers by
+    /// replaying the replica's durable op log — everything the crashed
+    /// state had observed, i.e. `missing_since(⊥)`. Because [`DeltaSync`]
+    /// ops are idempotent and commutative, recovery lands on a state
+    /// observably equal to the pre-crash one; what a crash *does* lose is
+    /// anything outside the log (and messages the replica had not yet
+    /// executed stay on the wire, unaffected).
+    ///
+    /// Returns the number of operations replayed, charging the host's sync
+    /// cost once for the recovery scan.
+    pub fn crash_restart(&mut self, id: ReplicaId, make: impl FnOnce(ReplicaId) -> T) -> usize {
+        use er_pi_model::VersionVector;
+        let log = self.replicas[id.index()]
+            .state()
+            .missing_since(&VersionVector::default());
+        let cost = self.replicas[id.index()].host().sync_cost_us;
+        self.sim.charge_us(cost);
+        let mut fresh = make(id);
+        fresh.apply_ops(log.iter());
+        *self.replicas[id.index()].state_mut() = fresh;
+        log.len()
+    }
+
     /// Changes the network delivery mode.
     pub fn set_delivery(&mut self, mode: DeliveryMode) {
         self.network.set_mode(mode);

@@ -42,5 +42,5 @@ mod replica;
 
 pub use cluster::Cluster;
 pub use host::{HostProfile, SimClock};
-pub use network::{DeliveryMode, VirtualNetwork};
+pub use network::{DeliveryMode, LinkFault, VirtualNetwork};
 pub use replica::Replica;

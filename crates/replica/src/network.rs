@@ -1,6 +1,6 @@
 //! The virtual network: per-pair message queues with delivery policies.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use er_pi_model::ReplicaId;
 use rand::rngs::StdRng;
@@ -35,6 +35,24 @@ pub enum DeliveryMode {
     },
 }
 
+/// A deterministic, per-link scheduled fault — the plan-driven counterpart
+/// of the probabilistic [`DeliveryMode`] policies. Scheduled faults are
+/// consumed in FIFO order, one per [`VirtualNetwork::deliver`] call on the
+/// link, *before* the delivery mode runs, so a fault schedule produces the
+/// same behaviour under every mode and every seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFault {
+    /// Silently discard the head-of-queue message (counted as dropped).
+    Drop,
+    /// Deliver the head-of-queue message but leave it queued, so the next
+    /// delivery on the link receives it again (at-least-once redelivery —
+    /// the "exactly-once" misconception seeder).
+    Duplicate,
+    /// Deliver the message at queue position `n` (clamped to the tail)
+    /// instead of the head — a bounded reorder window.
+    DeliverNth(usize),
+}
+
 /// A virtual network of per-`(from, to)` message queues.
 ///
 /// ```
@@ -53,11 +71,25 @@ pub struct VirtualNetwork<M> {
     queues: HashMap<(ReplicaId, ReplicaId), VecDeque<M>>,
     mode: DeliveryMode,
     rng: StdRng,
-    /// Pairs currently partitioned (messages are queued but undeliverable).
-    partitions: Vec<(ReplicaId, ReplicaId)>,
+    /// Links currently partitioned, stored as normalized (min, max) pairs:
+    /// a partition severs the link in *both* directions, as a real network
+    /// split would. The set makes the per-delivery lookup O(1) instead of
+    /// the historical linear scan.
+    partitions: HashSet<(ReplicaId, ReplicaId)>,
+    /// Scheduled per-link fault queues, consumed FIFO by `deliver`.
+    link_faults: HashMap<(ReplicaId, ReplicaId), VecDeque<LinkFault>>,
     sent: u64,
     delivered: u64,
     dropped: u64,
+}
+
+/// Normalizes a link to its undirected identity.
+fn link(a: ReplicaId, b: ReplicaId) -> (ReplicaId, ReplicaId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
 }
 
 impl<M> VirtualNetwork<M> {
@@ -76,7 +108,8 @@ impl<M> VirtualNetwork<M> {
             queues: HashMap::new(),
             mode,
             rng: StdRng::seed_from_u64(seed),
-            partitions: Vec::new(),
+            partitions: HashSet::new(),
+            link_faults: HashMap::new(),
             sent: 0,
             delivered: 0,
             dropped: 0,
@@ -96,21 +129,39 @@ impl<M> VirtualNetwork<M> {
         self.mode = mode;
     }
 
-    /// Cuts the `from → to` link (messages queue up, nothing delivers).
+    /// Cuts the link between `from` and `to` in both directions (messages
+    /// queue up, nothing delivers). The endpoint order is irrelevant: the
+    /// link is stored under its normalized undirected identity.
     pub fn partition(&mut self, from: ReplicaId, to: ReplicaId) {
-        if !self.partitions.contains(&(from, to)) {
-            self.partitions.push((from, to));
-        }
+        self.partitions.insert(link(from, to));
     }
 
-    /// Heals the `from → to` link.
+    /// Heals the link between `from` and `to` (either endpoint order).
     pub fn heal(&mut self, from: ReplicaId, to: ReplicaId) {
-        self.partitions.retain(|&p| p != (from, to));
+        self.partitions.remove(&link(from, to));
     }
 
-    /// Returns `true` if the `from → to` link is cut.
+    /// Returns `true` if the link between `from` and `to` is cut (the
+    /// lookup is symmetric, like the partition itself).
     pub fn is_partitioned(&self, from: ReplicaId, to: ReplicaId) -> bool {
-        self.partitions.contains(&(from, to))
+        self.partitions.contains(&link(from, to))
+    }
+
+    /// Schedules a deterministic [`LinkFault`] on the `from → to` link.
+    /// Faults queue per link and are consumed FIFO, one per delivery
+    /// attempt, before the [`DeliveryMode`] policy runs. Unlike partitions,
+    /// fault schedules are directional — they model what happens to the
+    /// messages of one sender.
+    pub fn schedule_fault(&mut self, from: ReplicaId, to: ReplicaId, fault: LinkFault) {
+        self.link_faults
+            .entry((from, to))
+            .or_default()
+            .push_back(fault);
+    }
+
+    /// Number of scheduled faults not yet consumed on the `from → to` link.
+    pub fn pending_faults(&self, from: ReplicaId, to: ReplicaId) -> usize {
+        self.link_faults.get(&(from, to)).map_or(0, VecDeque::len)
     }
 
     /// Enqueues a message on the `from → to` link.
@@ -120,13 +171,51 @@ impl<M> VirtualNetwork<M> {
     }
 
     /// Delivers one message from the `from → to` link according to the
-    /// delivery mode. Returns `None` if the queue is empty or the link is
-    /// partitioned.
-    pub fn deliver(&mut self, from: ReplicaId, to: ReplicaId) -> Option<M> {
+    /// scheduled faults and the delivery mode. Returns `None` if the queue
+    /// is empty or the link is partitioned (in which case no scheduled
+    /// fault is consumed).
+    ///
+    /// A scheduled [`LinkFault`] — if one is pending and a message is
+    /// queued — overrides the mode for this delivery: `Drop` discards the
+    /// head and falls through to the next message (consuming further
+    /// scheduled faults in turn), `Duplicate` delivers the head without
+    /// dequeuing it, `DeliverNth(n)` delivers the message at position `n`
+    /// (clamped to the tail).
+    pub fn deliver(&mut self, from: ReplicaId, to: ReplicaId) -> Option<M>
+    where
+        M: Clone,
+    {
         if self.is_partitioned(from, to) {
             return None;
         }
         loop {
+            if self.queues.get(&(from, to)).is_some_and(|q| !q.is_empty()) {
+                if let Some(fault) = self
+                    .link_faults
+                    .get_mut(&(from, to))
+                    .and_then(VecDeque::pop_front)
+                {
+                    let queue = self.queues.get_mut(&(from, to)).expect("checked above");
+                    match fault {
+                        LinkFault::Drop => {
+                            queue.pop_front();
+                            self.dropped += 1;
+                            continue;
+                        }
+                        LinkFault::Duplicate => {
+                            let msg = queue.front().cloned();
+                            self.delivered += 1;
+                            return msg;
+                        }
+                        LinkFault::DeliverNth(n) => {
+                            let idx = n.min(queue.len() - 1);
+                            let msg = queue.remove(idx);
+                            self.delivered += 1;
+                            return msg;
+                        }
+                    }
+                }
+            }
             let queue = self.queues.get_mut(&(from, to))?;
             if queue.is_empty() {
                 return None;
@@ -168,9 +257,12 @@ impl<M> VirtualNetwork<M> {
         (self.sent, self.delivered, self.dropped)
     }
 
-    /// Clears every queue and counter (used between replayed interleavings).
+    /// Clears every queue, scheduled fault, and counter (used between
+    /// replayed interleavings). Partitions persist — they are topology, not
+    /// traffic.
     pub fn reset(&mut self) {
         self.queues.clear();
+        self.link_faults.clear();
         self.sent = 0;
         self.delivered = 0;
         self.dropped = 0;
@@ -270,8 +362,90 @@ mod tests {
     fn reset_clears_queues_and_stats() {
         let mut net = VirtualNetwork::new();
         net.send(r(0), r(1), 1);
+        net.schedule_fault(r(0), r(1), LinkFault::Drop);
         net.reset();
         assert_eq!(net.in_flight(), 0);
         assert_eq!(net.stats(), (0, 0, 0));
+        assert_eq!(net.pending_faults(r(0), r(1)), 0);
+    }
+
+    #[test]
+    fn partition_lookup_is_symmetric() {
+        // Regression for the directed Vec-scan representation: cutting
+        // (a, b) must sever the link both ways, and healing with the
+        // endpoints swapped must restore it.
+        let mut net = VirtualNetwork::new();
+        net.send(r(0), r(1), 1);
+        net.send(r(1), r(0), 2);
+        net.partition(r(0), r(1));
+        assert!(net.is_partitioned(r(0), r(1)));
+        assert!(net.is_partitioned(r(1), r(0)), "lookup must be symmetric");
+        assert_eq!(net.deliver(r(0), r(1)), None);
+        assert_eq!(
+            net.deliver(r(1), r(0)),
+            None,
+            "reverse direction is cut too"
+        );
+        net.heal(r(1), r(0));
+        assert!(!net.is_partitioned(r(0), r(1)));
+        assert_eq!(net.deliver(r(0), r(1)), Some(1));
+        assert_eq!(net.deliver(r(1), r(0)), Some(2));
+        // Re-partitioning the same link twice is idempotent.
+        net.partition(r(0), r(1));
+        net.partition(r(1), r(0));
+        net.heal(r(0), r(1));
+        assert!(!net.is_partitioned(r(1), r(0)));
+    }
+
+    #[test]
+    fn scheduled_drop_discards_the_head() {
+        let mut net = VirtualNetwork::new();
+        net.send(r(0), r(1), 1);
+        net.send(r(0), r(1), 2);
+        net.schedule_fault(r(0), r(1), LinkFault::Drop);
+        assert_eq!(net.deliver(r(0), r(1)), Some(2), "1 was dropped");
+        let (sent, delivered, dropped) = net.stats();
+        assert_eq!((sent, delivered, dropped), (2, 1, 1));
+    }
+
+    #[test]
+    fn scheduled_duplicate_redelivers_the_same_message() {
+        let mut net = VirtualNetwork::new();
+        net.send(r(0), r(1), 7);
+        net.send(r(0), r(1), 8);
+        net.schedule_fault(r(0), r(1), LinkFault::Duplicate);
+        assert_eq!(net.deliver(r(0), r(1)), Some(7));
+        assert_eq!(net.deliver(r(0), r(1)), Some(7), "redelivered");
+        assert_eq!(net.deliver(r(0), r(1)), Some(8));
+    }
+
+    #[test]
+    fn scheduled_deliver_nth_reorders_within_the_window() {
+        let mut net = VirtualNetwork::new();
+        for i in 0..3 {
+            net.send(r(0), r(1), i);
+        }
+        net.schedule_fault(r(0), r(1), LinkFault::DeliverNth(2));
+        net.schedule_fault(r(0), r(1), LinkFault::DeliverNth(99)); // clamped
+        assert_eq!(net.deliver(r(0), r(1)), Some(2));
+        assert_eq!(net.deliver(r(0), r(1)), Some(1), "99 clamps to the tail");
+        assert_eq!(net.deliver(r(0), r(1)), Some(0));
+    }
+
+    #[test]
+    fn faults_wait_for_messages_and_override_the_mode() {
+        // A fault scheduled on an empty queue is not consumed by the empty
+        // delivery attempt; once traffic arrives it fires, regardless of a
+        // lossy mode's RNG (determinism: scheduled faults preempt draws).
+        let mut net = VirtualNetwork::with_mode(DeliveryMode::Lossy {
+            loss_permille: 1000,
+            seed: 3,
+        });
+        net.schedule_fault(r(0), r(1), LinkFault::Duplicate);
+        assert_eq!(net.deliver(r(0), r(1)), None);
+        assert_eq!(net.pending_faults(r(0), r(1)), 1);
+        net.send(r(0), r(1), 5);
+        assert_eq!(net.deliver(r(0), r(1)), Some(5), "fault preempts the mode");
+        assert_eq!(net.pending_faults(r(0), r(1)), 0);
     }
 }

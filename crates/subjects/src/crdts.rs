@@ -231,6 +231,17 @@ impl SystemModel for CrdtsModel {
         }
     }
 
+    /// Crash-restart recovery: the CRDT structures are the RDL's durable
+    /// state and survive intact; only the volatile inbox of received but
+    /// not-yet-executed sync payloads is lost. This mirrors an op-log-backed
+    /// deployment where every acknowledged update is persisted before the
+    /// crash, so scheduled [`CrashRestart`](er_pi_model::FaultKind) faults
+    /// never break convergence for this subject — what they *can* do is
+    /// turn a pending `SyncExec` into a failed op.
+    fn recover(&self, states: &mut [CrdtsState], replica: ReplicaId) {
+        states[replica.index()].inbox.clear();
+    }
+
     fn observe(&self, state: &CrdtsState) -> Value {
         let set: Value = state.set.elements().into_iter().copied().collect();
         let list: Value = state.list.values().into_iter().copied().collect();

@@ -20,6 +20,7 @@
 
 mod bugs;
 mod crdts;
+mod ledger;
 mod misconceive;
 mod orbitdb;
 mod replicadb;
@@ -29,6 +30,7 @@ mod yorkie;
 
 pub use bugs::{Bug, BugCtx, BugStatus, CloneProbe, ReplayOptions, Repro, SubjectKind};
 pub use crdts::{CrdtsModel, CrdtsState};
+pub use ledger::{LedgerApp, LedgerState};
 pub use misconceive::{detect_misconception, misconception_matrix, MatrixCell};
 pub use orbitdb::{OrbitConfig, OrbitModel, OrbitState};
 pub use replicadb::{ReplicaDbModel, ReplicaDbState, ReplicationMode};
