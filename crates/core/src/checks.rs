@@ -1,5 +1,7 @@
 //! Test assertions: per-interleaving and cross-interleaving checks.
 
+use std::sync::Arc;
+
 use er_pi_model::{Interleaving, Value};
 
 use crate::{OpOutcome, RunRecord};
@@ -31,15 +33,26 @@ impl<S> CheckContext<'_, S> {
     }
 }
 
-/// The boxed predicate an [`Assertion`] runs against one replayed
-/// interleaving.
-type CheckFn<S> = Box<dyn Fn(&CheckContext<'_, S>) -> Result<(), String> + Send + Sync>;
+/// The shared predicate an [`Assertion`] runs against one replayed
+/// interleaving. `Arc` rather than `Box` so suites are `Clone` — campaign
+///-service jobs own their suite.
+type CheckFn<S> = Arc<dyn Fn(&CheckContext<'_, S>) -> Result<(), String> + Send + Sync>;
 
 /// A per-interleaving assertion (the functions passed to `ER-π.End(...)`
 /// in the paper's Go snippet).
 pub struct Assertion<S> {
     name: String,
     check: CheckFn<S>,
+}
+
+// Manual impl: `S` itself need not be `Clone` (the closure is shared).
+impl<S> Clone for Assertion<S> {
+    fn clone(&self) -> Self {
+        Assertion {
+            name: self.name.clone(),
+            check: Arc::clone(&self.check),
+        }
+    }
 }
 
 impl<S> Assertion<S> {
@@ -50,7 +63,7 @@ impl<S> Assertion<S> {
     ) -> Self {
         Assertion {
             name: name.into(),
-            check: Box::new(check),
+            check: Arc::new(check),
         }
     }
 
@@ -125,12 +138,13 @@ pub struct CrossContext<'a> {
     pub runs: &'a [RunRecord],
 }
 
-/// The boxed predicate a [`CrossCheck`] runs over the whole run set.
-type CrossFn = Box<dyn Fn(&CrossContext<'_>) -> Result<(), String> + Send + Sync>;
+/// The shared predicate a [`CrossCheck`] runs over the whole run set.
+type CrossFn = Arc<dyn Fn(&CrossContext<'_>) -> Result<(), String> + Send + Sync>;
 
 /// A check over *all* replayed interleavings — e.g. "this replica's final
 /// state must be identical no matter the interleaving" (misconceptions #1
 /// and #5 are detected this way).
+#[derive(Clone)]
 pub struct CrossCheck {
     name: String,
     check: CrossFn,
@@ -144,7 +158,7 @@ impl CrossCheck {
     ) -> Self {
         CrossCheck {
             name: name.into(),
-            check: Box::new(check),
+            check: Arc::new(check),
         }
     }
 
@@ -192,10 +206,21 @@ impl std::fmt::Debug for CrossCheck {
 }
 
 /// The assertions passed to one replay — the parameter of `ER-π.End(...)`.
+///
+/// Cloning is cheap: the check closures are shared, not re-allocated.
 #[derive(Debug, Default)]
 pub struct TestSuite<S> {
     per_run: Vec<Assertion<S>>,
     cross_run: Vec<CrossCheck>,
+}
+
+impl<S> Clone for TestSuite<S> {
+    fn clone(&self) -> Self {
+        TestSuite {
+            per_run: self.per_run.clone(),
+            cross_run: self.cross_run.clone(),
+        }
+    }
 }
 
 impl<S> TestSuite<S> {

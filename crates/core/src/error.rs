@@ -21,6 +21,12 @@ pub enum ErPiError {
     /// contained: the session stays usable and partial shard results are
     /// discarded.
     ExecutorPanic(String),
+    /// The campaign was cancelled through its [`CancelToken`] before
+    /// exploration finished. Partial results are discarded; the session
+    /// stays usable.
+    ///
+    /// [`CancelToken`]: crate::CancelToken
+    Cancelled,
 }
 
 impl fmt::Display for ErPiError {
@@ -34,6 +40,7 @@ impl fmt::Display for ErPiError {
                 write!(f, "constraints file {}: {cause}", path.display())
             }
             ErPiError::ExecutorPanic(what) => write!(f, "replica thread panicked: {what}"),
+            ErPiError::Cancelled => f.write_str("campaign cancelled before replay finished"),
         }
     }
 }

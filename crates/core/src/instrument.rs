@@ -12,7 +12,10 @@ pub type ProgressHook = Arc<dyn Fn(&ProgressSnapshot) + Send + Sync>;
 /// Everything the replay paths need to observe a campaign: the telemetry
 /// handle, the shared progress aggregator, and the user's periodic hook.
 /// A disabled instrument is the common case and costs one branch per
-/// instrumented site.
+/// instrumented site. Clones share the progress aggregator and hook —
+/// that is what lets the [`ExecutorService`](crate::ExecutorService) own
+/// an instrument per campaign while the session keeps sampling it.
+#[derive(Clone)]
 pub(crate) struct Instrument {
     pub telemetry: Telemetry,
     pub progress: Option<Arc<Progress>>,

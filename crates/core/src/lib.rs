@@ -126,6 +126,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cancel;
 mod checks;
 mod constraints;
 mod error;
@@ -138,11 +139,13 @@ mod pool;
 mod profile;
 mod report;
 mod sanitizer;
+mod service;
 mod session;
 mod summary;
 mod system;
 mod time;
 
+pub use cancel::CancelToken;
 pub use checks::{Assertion, CheckContext, CrossCheck, CrossContext, TestSuite};
 pub use constraints::ConstraintsDir;
 pub use error::ErPiError;
@@ -153,6 +156,7 @@ pub use pool::ReplayPool;
 pub use profile::{CacheStats, FailureStats, ReplicaLoad, ResourceProfile, WorkerLoad};
 pub use report::{Report, RunRecord, Violation};
 pub use sanitizer::{IndependenceViolation, SanitizerReport};
+pub use service::ExecutorService;
 pub use session::{LiveSystem, Session};
 pub use summary::{PrunerRow, SessionSummary};
 pub use system::{OpOutcome, SystemModel};

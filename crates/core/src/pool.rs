@@ -30,12 +30,12 @@ use parking_lot::Mutex;
 
 use crate::instrument::Instrument;
 use crate::{
-    CacheStats, CheckContext, ErPiError, IncrementalExecutor, InlineExecutor, Report, RunRecord,
-    SystemModel, TestSuite, TimeModel, Violation, WorkerLoad,
+    CacheStats, CancelToken, CheckContext, ErPiError, IncrementalExecutor, InlineExecutor, Report,
+    RunRecord, SystemModel, TestSuite, TimeModel, Violation, WorkerLoad,
 };
 
 /// Sentinel for "no violation found yet" in the atomic minimum.
-const NO_VIOLATION: usize = usize::MAX;
+pub(crate) const NO_VIOLATION: usize = usize::MAX;
 
 /// Interleavings claimed per dispenser lock acquisition. Contiguous chunks
 /// (rather than strided or item-at-a-time claims) preserve per-worker
@@ -44,7 +44,7 @@ const NO_VIOLATION: usize = usize::MAX;
 /// also amortize the dispenser lock. Cooperative cancellation is checked
 /// *between* chunks only — a claimed chunk always executes to completion,
 /// keeping the dispensed index range dense for the merge.
-const CLAIM_CHUNK: usize = 32;
+pub(crate) const CLAIM_CHUNK: usize = 32;
 
 /// A pool of replay workers fanning the pruned interleaving set across
 /// threads.
@@ -58,10 +58,10 @@ pub struct ReplayPool {
 }
 
 /// What one worker hands back per replayed interleaving.
-struct WorkerRun {
-    index: usize,
-    record: RunRecord,
-    violations: Vec<(String, String)>,
+pub(crate) struct WorkerRun {
+    pub(crate) index: usize,
+    pub(crate) record: RunRecord,
+    pub(crate) violations: Vec<(String, String)>,
 }
 
 /// The merged result of a pooled replay, before the session dresses it up
@@ -104,10 +104,21 @@ impl ReplayPool {
 
     /// The platform's available parallelism (used for worker count `0` and
     /// the session default); `1` when it cannot be queried.
+    ///
+    /// An `ER_PI_WORKERS` environment variable overrides the probe:
+    /// cgroup-limited deployments (containers with a CPU quota) report the
+    /// host's core count through `available_parallelism`, so operators pin
+    /// the real budget explicitly. Unparsable or zero values are ignored.
     pub fn available_workers() -> usize {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
+        std::env::var("ER_PI_WORKERS")
+            .ok()
+            .as_deref()
+            .and_then(parse_workers_override)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
     }
 
     /// Replays everything `source` dispenses and merges the results into a
@@ -147,6 +158,7 @@ impl ReplayPool {
             stop_on_first_violation,
             None,
             &Instrument::disabled(),
+            None,
         )?;
         let keep = !suite.cross_checks().is_empty();
         let mut violations = out.violations;
@@ -198,6 +210,11 @@ impl ReplayPool {
     /// prefixes — and push results into a shared sink; the merge restores
     /// sequential order. Used by both [`ReplayPool::replay`] and the
     /// session.
+    ///
+    /// `external_cancel` is the campaign-level [`CancelToken`]: polled at
+    /// the same chunk boundaries as the internal stop-on-first flag, and
+    /// when tripped the whole result set is discarded as
+    /// [`ErPiError::Cancelled`].
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn run<M, I>(
         &self,
@@ -209,6 +226,7 @@ impl ReplayPool {
         stop_on_first_violation: bool,
         incremental_budget: Option<usize>,
         instrument: &Instrument,
+        external_cancel: Option<&CancelToken>,
     ) -> Result<PoolOutput, ErPiError>
     where
         M: SystemModel + Sync,
@@ -246,7 +264,9 @@ impl ReplayPool {
                             && telemetry.is_active())
                         .then(HitRateMonitor::default);
                         'claim: loop {
-                            if cancel.load(Ordering::Acquire) {
+                            if cancel.load(Ordering::Acquire)
+                                || external_cancel.is_some_and(CancelToken::is_cancelled)
+                            {
                                 break;
                             }
                             // Claim-then-execute: once a chunk is claimed it
@@ -355,6 +375,13 @@ impl ReplayPool {
             // Discard every shard's results; the session stays usable.
             return Err(ErPiError::ExecutorPanic(what));
         }
+        if external_cancel.is_some_and(CancelToken::is_cancelled) {
+            // The campaign was cancelled from outside: partial results are
+            // discarded wholesale (no deterministic prefix is promised —
+            // the caller asked for the campaign to stop, not for an
+            // answer). The session itself stays usable.
+            return Err(ErPiError::Cancelled);
+        }
 
         let mut worker_loads = Vec::with_capacity(worker_results.len());
         let mut cache_stats: Option<CacheStats> = None;
@@ -412,7 +439,7 @@ impl ReplayPool {
 /// from the worker's trie when an incremental executor is supplied — and
 /// checks the suite. The per-item body shared by all workers.
 #[allow(clippy::too_many_arguments)]
-fn execute_one<M: SystemModel>(
+pub(crate) fn execute_one<M: SystemModel>(
     model: &M,
     workload: &Workload,
     index: usize,
@@ -465,8 +492,18 @@ fn execute_one<M: SystemModel>(
     }
 }
 
+/// Parses an `ER_PI_WORKERS` override: a positive integer (surrounding
+/// whitespace tolerated). Anything else — empty, zero, garbage — is `None`
+/// so the platform probe stays authoritative.
+fn parse_workers_override(raw: &str) -> Option<usize> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => None,
+    }
+}
+
 /// Extracts a human-readable message from a panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -590,6 +627,7 @@ mod tests {
                     false,
                     None,
                     &Instrument::disabled(),
+                    None,
                 )
                 .unwrap();
             let mut inc_src = IndexedSource::new(DfsExplorer::new(&w), usize::MAX);
@@ -603,6 +641,7 @@ mod tests {
                     false,
                     Some(crate::DEFAULT_CACHE_BUDGET),
                     &Instrument::disabled(),
+                    None,
                 )
                 .unwrap();
             assert_eq!(scratch.runs, incremental.runs);
@@ -649,9 +688,61 @@ mod tests {
     }
 
     #[test]
-    fn zero_workers_means_available_parallelism() {
+    fn workers_override_parses_strictly() {
+        assert_eq!(parse_workers_override("4"), Some(4));
+        assert_eq!(parse_workers_override(" 16 "), Some(16));
+        assert_eq!(parse_workers_override("0"), None, "zero workers is absurd");
+        assert_eq!(parse_workers_override(""), None);
+        assert_eq!(parse_workers_override("-2"), None);
+        assert_eq!(parse_workers_override("many"), None);
+        assert_eq!(parse_workers_override("4.5"), None);
+    }
+
+    // One test covers both the platform probe and the env override:
+    // `available_workers` reads `ER_PI_WORKERS` on every call, so keeping
+    // the two scenarios in a single #[test] stops the parallel harness
+    // from interleaving them.
+    #[test]
+    fn zero_workers_and_the_er_pi_workers_override() {
         let pool = ReplayPool::new(0);
         assert_eq!(pool.workers(), ReplayPool::available_workers());
         assert!(pool.workers() >= 1);
+
+        std::env::set_var("ER_PI_WORKERS", "3");
+        let seen = ReplayPool::available_workers();
+        let pinned = ReplayPool::new(0);
+        std::env::remove_var("ER_PI_WORKERS");
+        assert_eq!(seen, 3, "cgroup-limited deployments pin the real budget");
+        assert_eq!(pinned.workers(), 3);
+
+        std::env::set_var("ER_PI_WORKERS", "not-a-number");
+        let garbage = ReplayPool::available_workers();
+        std::env::remove_var("ER_PI_WORKERS");
+        assert!(garbage >= 1, "garbage overrides fall back to the probe");
+    }
+
+    #[test]
+    fn a_pre_tripped_token_cancels_the_pool() {
+        let w = two_writes();
+        let time = TimeModel::paper_setup();
+        let suite = TestSuite::new();
+        let token = CancelToken::new();
+        token.cancel();
+        let mut source = IndexedSource::new(DfsExplorer::new(&w), usize::MAX);
+        let result = ReplayPool::new(2).run(
+            &RegApp,
+            &w,
+            &mut source,
+            &time,
+            &suite,
+            false,
+            None,
+            &Instrument::disabled(),
+            Some(&token),
+        );
+        match result {
+            Err(ErPiError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {:?}", other.map(|o| o.runs.len())),
+        }
     }
 }

@@ -128,7 +128,7 @@ impl ResourceProfile {
 /// fig10 timing pipelines can attribute cost per worker; the *assignment*
 /// of runs to workers is scheduling-dependent, but the totals across
 /// workers are not.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct WorkerLoad {
     /// Worker index within the pool (0-based).
     pub worker: usize,
@@ -148,7 +148,7 @@ pub struct WorkerLoad {
 /// [`WorkerLoad`], the counters are legitimately scheduling-dependent under
 /// a parallel pool (each worker owns its own trie), so they are excluded
 /// from [`Report::diff`](crate::Report::diff).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct CacheStats {
     /// Runs that resumed from a cached prefix checkpoint (depth > 0).
     pub hits: u64,
@@ -198,7 +198,7 @@ impl CacheStats {
 }
 
 /// Failure statistics across a set of replayed runs.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct FailureStats {
     /// Runs with at least one failed operation.
     pub runs_with_failures: usize,

@@ -7,7 +7,7 @@ use er_pi_model::{Interleaving, Value};
 use crate::{CacheStats, SessionSummary, WorkerLoad};
 
 /// The record of one replayed interleaving.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct RunRecord {
     /// The executed order.
     pub interleaving: Interleaving,
@@ -20,7 +20,7 @@ pub struct RunRecord {
 }
 
 /// One assertion violation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
 pub struct Violation {
     /// Index of the violating run (replay order); `None` for cross-run
     /// checks, which look at the whole set.
@@ -127,6 +127,31 @@ impl Report {
         None
     }
 
+    /// Serializes exactly the *deterministic* fields — the same set
+    /// [`Report::diff`] compares, in the same order — as one JSON object.
+    /// Two reports are [`diff`](Report::diff)-equivalent iff their canonical
+    /// JSON strings are byte-identical, which is the determinism contract
+    /// the campaign server's equivalence suite pins: a report served over
+    /// HTTP must match the standalone session byte for byte, regardless of
+    /// worker count or co-scheduled campaigns.
+    pub fn canonical_json(&self) -> String {
+        use serde::{Content, Serialize as _};
+        let entry = |k: &str, v: Content| (Content::Str(k.to_owned()), v);
+        let map = Content::Map(vec![
+            entry("mode", self.mode.to_content()),
+            entry("explored", self.explored.to_content()),
+            entry("first_violation_at", self.first_violation_at.to_content()),
+            entry("prune_stats", self.prune_stats.to_content()),
+            entry("wasted_work", self.wasted_work.to_content()),
+            entry("sim_us", self.sim_us.to_content()),
+            entry("stopped_early", self.stopped_early.to_content()),
+            entry("violations", self.violations.to_content()),
+            entry("runs", self.runs.to_content()),
+            entry("diagnostics", self.diagnostics.to_content()),
+        ]);
+        serde_json::to_string(&map).expect("deterministic report fields contain no floats")
+    }
+
     /// Compact one-line summary.
     pub fn summary(&self) -> String {
         format!(
@@ -210,6 +235,37 @@ mod tests {
             ..CacheStats::default()
         });
         assert_eq!(report.sim_us_actual(), 600);
+    }
+
+    #[test]
+    fn canonical_json_tracks_diff_equivalence() {
+        let base = Report {
+            mode: "ER-π".into(),
+            explored: 19,
+            ..Report::default()
+        };
+        // Scheduling-dependent fields don't reach the canonical bytes.
+        let rescheduled = Report {
+            mode: "ER-π".into(),
+            explored: 19,
+            wall_ms: 777,
+            worker_loads: vec![WorkerLoad {
+                worker: 1,
+                runs: 19,
+                sim_us: 5,
+            }],
+            ..Report::default()
+        };
+        assert_eq!(base.diff(&rescheduled), None);
+        assert_eq!(base.canonical_json(), rescheduled.canonical_json());
+        // A deterministic field difference changes the bytes.
+        let other = Report {
+            mode: "ER-π".into(),
+            explored: 20,
+            ..Report::default()
+        };
+        assert!(base.diff(&other).is_some());
+        assert_ne!(base.canonical_json(), other.canonical_json());
     }
 
     #[test]

@@ -15,14 +15,15 @@ use er_pi_telemetry::{
     HitRateMonitor, Progress, ProgressSnapshot, Sink, Telemetry, COORDINATOR_TRACK,
 };
 
-use er_pi_analysis::TraceAnalysis;
+use er_pi_analysis::{Diagnostic, TraceAnalysis};
 
 use crate::instrument::{Instrument, ProgressHook};
+use crate::service::CampaignParams;
 use crate::{
-    CacheStats, CheckContext, ConstraintsDir, CrossContext, ErPiError, FailureStats,
-    IncrementalExecutor, InlineExecutor, OpOutcome, ReplayPool, Report, ResourceProfile, RunRecord,
-    SanitizerReport, SessionSummary, SystemModel, TestSuite, TimeModel, Violation, WorkerLoad,
-    DEFAULT_CACHE_BUDGET,
+    CacheStats, CancelToken, CheckContext, ConstraintsDir, CrossContext, ErPiError,
+    ExecutorService, FailureStats, IncrementalExecutor, InlineExecutor, OpOutcome, ReplayPool,
+    Report, ResourceProfile, RunRecord, SanitizerReport, SessionSummary, SystemModel, TestSuite,
+    TimeModel, Violation, WorkerLoad, DEFAULT_CACHE_BUDGET,
 };
 
 /// The live, recording instance of the system under test.
@@ -224,6 +225,7 @@ pub struct Session<M: SystemModel> {
     telemetry: Telemetry,
     progress_hook: Option<ProgressHook>,
     progress_every: usize,
+    cancel: Option<CancelToken>,
 }
 
 /// What either replay strategy produces before the report is assembled.
@@ -271,6 +273,7 @@ impl<M: SystemModel> Session<M> {
             telemetry: Telemetry::disabled(),
             progress_hook: None,
             progress_every: 256,
+            cancel: None,
         }
     }
 
@@ -491,6 +494,20 @@ impl<M: SystemModel> Session<M> {
         self
     }
 
+    /// Attaches a cooperative [`CancelToken`] to every subsequent replay.
+    ///
+    /// Cancellation is checked between runs (sequential strategy) or
+    /// between claimed chunks (pooled and service strategies): tripping
+    /// the token makes the in-flight replay stop at the next boundary and
+    /// return [`ErPiError::Cancelled`], discarding its partial results.
+    /// The session stays usable — replace or clear the token and replay
+    /// again. The campaign server trips a per-campaign token from its
+    /// `DELETE /campaigns/:id` handler.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) -> &mut Self {
+        self.cancel = token;
+        self
+    }
+
     /// `ER-π.Start()` … `ER-π.End()`: runs `drive` against a live instance
     /// of the system, intercepting every call as an event. Returns the
     /// extracted workload.
@@ -600,6 +617,25 @@ impl<M: SystemModel> Session<M> {
         FaultProduct::new(explorer, plans.to_vec())
     }
 
+    /// [`Session::build_explorer`] with an owned workload: the `'static`
+    /// source a campaign needs to outlive this call on the shared
+    /// [`ExecutorService`] threads. Emits bit-identical interleavings —
+    /// [`ErPiExplorer::owned`] is the same explorer over a `Cow::Owned`
+    /// workload, and the other two modes never borrowed it to begin with.
+    fn build_explorer_owned(
+        &self,
+        workload: &Workload,
+        config: &PruningConfig,
+        plans: &[FaultPlan],
+    ) -> FaultProduct<AnyExplorer<'static>> {
+        let explorer = match self.mode {
+            ExploreMode::ErPi => AnyExplorer::ErPi(ErPiExplorer::owned(workload.clone(), config)),
+            ExploreMode::Dfs => AnyExplorer::Dfs(DfsExplorer::new(workload)),
+            ExploreMode::Random { seed } => AnyExplorer::Rand(RandomExplorer::new(workload, seed)),
+        };
+        FaultProduct::new(explorer, plans.to_vec())
+    }
+
     /// Replays the recorded workload's interleavings and checks `suite`
     /// after each one — States 2–4 of the paper's workflow.
     ///
@@ -621,12 +657,93 @@ impl<M: SystemModel> Session<M> {
     {
         let workload = self.workload.clone().ok_or(ErPiError::NothingRecorded)?;
         let started = Instant::now();
-        let instrument = self.build_instrument(&workload);
+        let slots = if self.workers > 1 && self.constraints.is_none() {
+            self.workers
+        } else {
+            1
+        };
+        let instrument = self.build_instrument(&workload, slots);
+        let (diagnostics, mut effective) = self.prepare_replay(&workload)?;
 
+        // Constraint watching is a feedback loop on the live exploration
+        // order (State 4 → State 2), so it pins the sequential strategy.
+        let outcome = if self.workers > 1 && self.constraints.is_none() {
+            self.replay_pooled(&workload, &effective, suite, &instrument)?
+        } else {
+            self.replay_sequential(&workload, &mut effective, suite, &instrument)?
+        };
+
+        Ok(self.finish_replay(
+            &workload,
+            &effective,
+            suite,
+            &instrument,
+            started,
+            outcome,
+            diagnostics,
+        ))
+    }
+
+    /// Replays the recorded workload on a shared [`ExecutorService`]
+    /// instead of a private [`ReplayPool`]: the campaign is queued at
+    /// `priority` (lower is more urgent) and its chunks are multiplexed
+    /// over the service's process-wide worker threads alongside every
+    /// co-scheduled campaign. The merged report is deterministically
+    /// identical to [`Session::replay`] on the same session — byte for
+    /// byte under [`Report::canonical_json`], for any co-tenancy mix — the
+    /// contract the `server_equivalence` suite pins.
+    ///
+    /// Unlike [`Session::replay`], the service path needs to ship the
+    /// campaign to threads that outlive this call, hence the stronger
+    /// bounds (`M: Clone + Send + Sync + 'static`). A watched constraints
+    /// directory is polled once before generation (as always) but not
+    /// between runs — State-4 live ingestion stays a sequential-replay
+    /// feature.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Session::replay`] returns, plus
+    /// [`ErPiError::Cancelled`] if the session's
+    /// [cancel token](Session::set_cancel_token) trips mid-campaign.
+    pub fn replay_on(
+        &mut self,
+        service: &ExecutorService,
+        priority: u8,
+        suite: &TestSuite<M::State>,
+    ) -> Result<Report, ErPiError>
+    where
+        M: Clone + Send + Sync + 'static,
+        M::State: Send,
+    {
+        let workload = self.workload.clone().ok_or(ErPiError::NothingRecorded)?;
+        let started = Instant::now();
+        let instrument = self.build_instrument(&workload, service.workers());
+        let (diagnostics, effective) = self.prepare_replay(&workload)?;
+        let outcome =
+            self.replay_service(service, priority, &workload, &effective, suite, &instrument)?;
+        Ok(self.finish_replay(
+            &workload,
+            &effective,
+            suite,
+            &instrument,
+            started,
+            outcome,
+            diagnostics,
+        ))
+    }
+
+    /// The shared pre-replay pipeline: static analysis, pending-constraint
+    /// ingestion, the effective pruning configuration, and (optionally)
+    /// table certification. Returns the pre-replay diagnostics plus the
+    /// configuration the exploration will run under.
+    fn prepare_replay(
+        &mut self,
+        workload: &Workload,
+    ) -> Result<(Vec<Diagnostic>, PruningConfig), ErPiError> {
         // The static pass always runs: its lints land in the report, and —
         // if enabled — its derived independence feeds Algorithm 3.
         let t_analyze = self.telemetry.start();
-        let analysis = er_pi_analysis::analyze(&workload);
+        let analysis = er_pi_analysis::analyze(workload);
         let mut diagnostics = analysis.diagnostics.clone();
         self.telemetry.span_since(
             COORDINATOR_TRACK,
@@ -662,7 +779,7 @@ impl<M: SystemModel> Session<M> {
             let table = er_pi_analysis::certify_table();
             let mut findings = er_pi_analysis::validate_table(&table);
             findings.extend(er_pi_analysis::validate_independence(
-                &workload, &effective, &table,
+                workload, &effective, &table,
             ));
             self.telemetry.span_since(
                 COORDINATOR_TRACK,
@@ -679,14 +796,23 @@ impl<M: SystemModel> Session<M> {
             diagnostics.extend(findings);
         }
 
-        // Constraint watching is a feedback loop on the live exploration
-        // order (State 4 → State 2), so it pins the sequential strategy.
-        let mut outcome = if self.workers > 1 && self.constraints.is_none() {
-            self.replay_pooled(&workload, &effective, suite, &instrument)?
-        } else {
-            self.replay_sequential(&workload, &mut effective, suite, &instrument)?
-        };
+        Ok((diagnostics, effective))
+    }
 
+    /// The shared post-replay pipeline: the independence sanitizer, the
+    /// cross-interleaving checks, retry-cost accounting, pruner spans, the
+    /// session summary, and the assembled [`Report`].
+    #[allow(clippy::too_many_arguments)]
+    fn finish_replay(
+        &mut self,
+        workload: &Workload,
+        effective: &PruningConfig,
+        suite: &TestSuite<M::State>,
+        instrument: &Instrument,
+        started: Instant,
+        mut outcome: ReplayOutcome,
+        diagnostics: Vec<Diagnostic>,
+    ) -> Report {
         // Dynamic independence cross-check: re-execute every adjacent
         // declared-independent pair swap the pruners relied on. Strictly
         // read-only with respect to the report — findings live on the
@@ -694,7 +820,7 @@ impl<M: SystemModel> Session<M> {
         self.sanitizer_report = self.sanitize.then(|| {
             let t_sanitize = self.telemetry.start();
             let report =
-                crate::sanitizer::sanitize(&self.model, &workload, &effective, &outcome.runs);
+                crate::sanitizer::sanitize(&self.model, workload, effective, &outcome.runs);
             self.telemetry.span_since(
                 COORDINATOR_TRACK,
                 "sanitize",
@@ -767,7 +893,7 @@ impl<M: SystemModel> Session<M> {
         self.telemetry.flush();
 
         self.store = outcome.store;
-        Ok(Report {
+        Report {
             mode: outcome.mode,
             explored: outcome.runs.len(),
             first_violation_at: outcome.first_violation_at,
@@ -786,22 +912,19 @@ impl<M: SystemModel> Session<M> {
             worker_loads: outcome.worker_loads,
             cache_stats: outcome.cache_stats,
             session_summary,
-        })
+        }
     }
 
     /// Builds the per-replay instrument: the cloned telemetry handle plus —
-    /// when anyone is watching — the shared progress aggregator seeded with
-    /// the session cap and the a-priori campaign projection.
-    fn build_instrument(&self, workload: &Workload) -> Instrument {
+    /// when anyone is watching — the shared progress aggregator sized for
+    /// `slots` worker tallies and seeded with the session cap and the
+    /// a-priori campaign projection.
+    fn build_instrument(&self, workload: &Workload, slots: usize) -> Instrument {
         let watching = self.telemetry.is_active() || self.progress_hook.is_some();
         if !watching {
             return Instrument::disabled();
         }
-        let workers = if self.workers > 1 && self.constraints.is_none() {
-            self.workers
-        } else {
-            1
-        };
+        let workers = slots.max(1);
         let expected =
             (self.max_interleavings < usize::MAX).then_some(self.max_interleavings as u64);
         let campaign_secs = expected.map(|cap| {
@@ -884,6 +1007,11 @@ impl<M: SystemModel> Session<M> {
             (self.incremental && telemetry.is_active()).then(HitRateMonitor::default);
 
         while let Some((run_index, il)) = source.next() {
+            // Cooperative cancellation: between runs only, so a cancelled
+            // campaign never leaves a half-executed interleaving behind.
+            if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                return Err(ErPiError::Cancelled);
+            }
             if let Some(store) = store.as_mut() {
                 store.store(&il);
             }
@@ -1032,6 +1160,7 @@ impl<M: SystemModel> Session<M> {
             self.stop_on_first_violation,
             self.incremental.then_some(self.cache_budget),
             instrument,
+            self.cancel.as_ref(),
         )?;
 
         // Deterministic explorer counters: after a cooperative cancellation
@@ -1068,6 +1197,89 @@ impl<M: SystemModel> Session<M> {
         // Timings come from the *live* explorer: they are wall time, so —
         // unlike the counters above — the dispensed-past-the-stop-point
         // measurement is exactly what was really spent.
+        let filter_timings = source.inner().inner().timings();
+
+        Ok(ReplayOutcome {
+            mode,
+            stopped_early: out.cancelled || source.truncated(),
+            runs: out.runs,
+            violations: out.violations,
+            first_violation_at: out.first_violation_at,
+            sim_us: out.sim_us,
+            prune_stats,
+            wasted,
+            store,
+            worker_loads: out.worker_loads,
+            cache_stats: out.cache_stats,
+            filter_timings,
+        })
+    }
+
+    /// The service strategy: [`Session::replay_pooled`] with the worker
+    /// threads replaced by a shared, process-wide [`ExecutorService`]. The
+    /// campaign owns its exploration source; the service multiplexes chunk
+    /// claims over its slots and hands the source back for the same
+    /// post-processing the pooled path does.
+    fn replay_service(
+        &self,
+        service: &ExecutorService,
+        priority: u8,
+        workload: &Workload,
+        effective: &PruningConfig,
+        suite: &TestSuite<M::State>,
+        instrument: &Instrument,
+    ) -> Result<ReplayOutcome, ErPiError>
+    where
+        M: Clone + Send + Sync + 'static,
+        M::State: Send,
+    {
+        let plans = self.resolve_fault_plans(workload);
+        let mut explorer = self.build_explorer_owned(workload, effective, &plans);
+        if instrument.telemetry.is_active() {
+            explorer.inner_mut().enable_timing();
+        }
+        let mode = explorer.inner().mode_name().to_owned();
+        let source = IndexedSource::new(explorer, self.max_interleavings);
+        let params = CampaignParams {
+            model: self.model.clone(),
+            workload: workload.clone(),
+            time: self.time.clone(),
+            suite: suite.clone(),
+            stop_on_first_violation: self.stop_on_first_violation,
+            incremental_budget: self.incremental.then_some(self.cache_budget),
+            instrument: instrument.clone(),
+            cancel: self.cancel.clone(),
+        };
+        let (out, source) = service.run_campaign(params, source, priority)?;
+
+        // Deterministic explorer counters after a stop-on-first
+        // cancellation: same re-derivation as the pooled path (see
+        // `replay_pooled`).
+        let (prune_stats, wasted) = if out.cancelled {
+            let mut redo = IndexedSource::new(
+                self.build_explorer(workload, effective, &plans),
+                self.max_interleavings,
+            );
+            for _ in 0..out.runs.len() {
+                redo.next();
+            }
+            (redo.inner().inner().stats(), redo.inner().inner().wasted())
+        } else {
+            (
+                source.inner().inner().stats(),
+                source.inner().inner().wasted(),
+            )
+        };
+
+        // The persisted store mirrors the retained runs in dispatch order.
+        let store = self.persist.then(|| {
+            let mut store = InterleavingStore::new(workload);
+            for run in &out.runs {
+                store.store(&run.interleaving);
+            }
+            store
+        });
+
         let filter_timings = source.inner().inner().timings();
 
         Ok(ReplayOutcome {

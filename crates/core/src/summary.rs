@@ -5,7 +5,7 @@ use er_pi_interleave::{FilterTimings, PruneStats};
 use crate::{CacheStats, FailureStats, WorkerLoad};
 
 /// One pruning algorithm's row in the attribution table.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize)]
 pub struct PrunerRow {
     /// Filter name (`replica-specific`, `independence`, `failed-ops`,
     /// `causal`).
@@ -30,7 +30,7 @@ pub struct PrunerRow {
 /// It aggregates scheduling-dependent inputs (wall time, run→worker
 /// assignment, per-worker cache counters), so — like those inputs — it is
 /// excluded from [`Report::diff`](crate::Report::diff).
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize)]
 pub struct SessionSummary {
     /// Exploration mode name.
     pub mode: String,
@@ -80,6 +80,13 @@ impl SessionSummary {
                     .map_or(0, |&(_, ns)| ns),
             })
             .collect()
+    }
+
+    /// Serializes the summary as one JSON object — the machine-readable
+    /// sibling of [`SessionSummary::render`], served verbatim by the
+    /// campaign server and reusable by the `fig_*` bench binaries.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("summary has no non-finite floats")
     }
 
     /// Renders the multi-line attribution table.
@@ -214,6 +221,43 @@ mod tests {
         assert!(text.contains("worker 0"), "{text}");
         assert!(text.contains("94.7%"), "{text}");
         assert!(text.contains("5/19 runs"), "{text}");
+    }
+
+    #[test]
+    fn to_json_exposes_every_field() {
+        let summary = SessionSummary {
+            mode: "ER-π".into(),
+            explored: 19,
+            violations: 1,
+            sim_us: 123_000,
+            wall_ms: 4,
+            grouping_factor: Some(210),
+            pruners: vec![PrunerRow {
+                name: "failed-ops",
+                checked: 24,
+                rejected: 5,
+                wall_ns: 1_500,
+            }],
+            workers: Vec::new(),
+            cache: None,
+            failures: FailureStats::default(),
+        };
+        let json = summary.to_json();
+        for key in [
+            "\"mode\"",
+            "\"explored\"",
+            "\"violations\"",
+            "\"sim_us\"",
+            "\"wall_ms\"",
+            "\"grouping_factor\"",
+            "\"pruners\"",
+            "\"failed-ops\"",
+            "\"workers\"",
+            "\"cache\"",
+            "\"failures\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
     }
 
     #[test]

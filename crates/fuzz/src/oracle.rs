@@ -8,9 +8,11 @@
 //! that rules out plain ordering bugs (which the catalogue-driven tests
 //! already hunt) and pins the blame on the schedule.
 
-use er_pi::{Assertion, Report, Session, TestSuite};
+use er_pi::{
+    Assertion, CancelToken, ErPiError, ExecutorService, Report, Session, SystemModel, TestSuite,
+};
 use er_pi_model::FaultPlan;
-use er_pi_subjects::{CrdtsModel, LedgerApp};
+use er_pi_subjects::{CrdtsModel, LedgerApp, ProgressFn};
 use serde::{Deserialize, Serialize};
 
 use crate::spec::{FuzzCase, Target};
@@ -112,6 +114,87 @@ pub fn report_for(case: &FuzzCase, opts: &OracleOptions) -> Report {
             session.config_mut().require_causal = true;
             session.replay(&ledger_suite()).expect("replay cannot fail")
         }
+    }
+}
+
+/// The sample period of the optional progress hook, in runs.
+const PROGRESS_EVERY: usize = 16;
+
+#[allow(clippy::too_many_arguments)]
+fn replay_case_on<M>(
+    model: M,
+    case: &FuzzCase,
+    opts: &OracleOptions,
+    suite: &TestSuite<M::State>,
+    service: &ExecutorService,
+    priority: u8,
+    cancel: Option<CancelToken>,
+    progress: Option<ProgressFn>,
+) -> Result<Report, ErPiError>
+where
+    M: SystemModel + Clone + Send + Sync + 'static,
+    M::State: Send,
+{
+    let (workload, plan) = case.build();
+    let mut plans = vec![FaultPlan::empty()];
+    if !plan.is_empty() {
+        plans.push(plan);
+    }
+    let mut session = Session::new(model);
+    session
+        .set_workload(workload)
+        .set_fault_plans(plans)
+        .set_cap(opts.cap)
+        .set_incremental(opts.incremental)
+        .set_cancel_token(cancel);
+    session.config_mut().require_causal = true;
+    if let Some(hook) = progress {
+        session.set_progress_hook(PROGRESS_EVERY, move |snap| hook(snap));
+    }
+    session.replay_on(service, priority, suite)
+}
+
+/// Replays `case` as one campaign on a shared [`ExecutorService`] — the
+/// path the campaign server takes for submitted traces. The resulting
+/// [`Report`] must be byte-identical (under [`Report::canonical_json`]) to
+/// [`report_for`] with the same options, for any mix of co-scheduled
+/// campaigns. `opts.workers` is ignored: the service owns the threads.
+///
+/// # Errors
+///
+/// [`ErPiError::Cancelled`] if `cancel` trips mid-campaign;
+/// [`ErPiError::ExecutorPanic`] if a model panics in a worker.
+#[allow(clippy::too_many_arguments)]
+pub fn report_for_on(
+    case: &FuzzCase,
+    opts: &OracleOptions,
+    service: &ExecutorService,
+    priority: u8,
+    cancel: Option<CancelToken>,
+    progress: Option<ProgressFn>,
+) -> Result<Report, ErPiError> {
+    let replicas = usize::from(case.spec.replicas);
+    match case.target {
+        Target::Crdts => replay_case_on(
+            CrdtsModel::new(replicas),
+            case,
+            opts,
+            &crdts_suite(),
+            service,
+            priority,
+            cancel,
+            progress,
+        ),
+        Target::Ledger => replay_case_on(
+            LedgerApp::new(replicas),
+            case,
+            opts,
+            &ledger_suite(),
+            service,
+            priority,
+            cancel,
+            progress,
+        ),
     }
 }
 

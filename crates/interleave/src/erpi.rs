@@ -1,5 +1,7 @@
 //! The ER-π pruned explorer: grouping + canonical-form filters.
 
+use std::borrow::Cow;
+
 use er_pi_model::{Interleaving, Workload};
 
 use crate::{
@@ -18,7 +20,7 @@ use crate::{
 /// each filter's count-in is the previous filter's survivors; all counters
 /// are deterministic functions of the workload and pruning config and are
 /// therefore safe to compare in `Report::diff`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct PruneStats {
     /// Interleavings merged away by event grouping, per unit permutation
     /// (analytic): `n!/u!` interleavings collapse into every emitted one.
@@ -120,7 +122,7 @@ impl FilterTimings {
 /// (5040 → 24 → 19).
 #[derive(Debug)]
 pub struct ErPiExplorer<'w> {
-    workload: &'w Workload,
+    workload: Cow<'w, Workload>,
     config: PruningConfig,
     grouped: GroupedUnits,
     perms: crate::Permutations,
@@ -132,7 +134,19 @@ pub struct ErPiExplorer<'w> {
 impl<'w> ErPiExplorer<'w> {
     /// Creates the explorer for `workload` under `config`.
     pub fn new(workload: &'w Workload, config: &PruningConfig) -> Self {
-        let grouped = group_events(workload, config);
+        ErPiExplorer::build(Cow::Borrowed(workload), config)
+    }
+
+    /// Like [`ErPiExplorer::new`], but taking ownership of the workload so
+    /// the explorer has no borrowed lifetime — required when an explorer
+    /// outlives the stack frame that configured it (the shared executor
+    /// service keeps one per campaign).
+    pub fn owned(workload: Workload, config: &PruningConfig) -> ErPiExplorer<'static> {
+        ErPiExplorer::build(Cow::Owned(workload), config)
+    }
+
+    fn build(workload: Cow<'w, Workload>, config: &PruningConfig) -> Self {
+        let grouped = group_events(&workload, config);
         let grouping_factor = if grouped.len() == workload.len() {
             1
         } else {
@@ -183,7 +197,7 @@ impl<'w> ErPiExplorer<'w> {
         if let Some(target) = self.config.target_replica {
             self.stats.replica_specific_checked += 1;
             let t = self.timing.then(std::time::Instant::now);
-            let ok = replica_specific_canonical(self.workload, order, target);
+            let ok = replica_specific_canonical(&self.workload, order, target);
             if let Some(t) = t {
                 self.timings.replica_specific_ns += t.elapsed().as_nanos() as u64;
             }

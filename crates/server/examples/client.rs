@@ -1,0 +1,104 @@
+//! Submit → poll → report against a running `er-pi-server`.
+//!
+//! ```text
+//! cargo run -p er-pi-server --example client -- 127.0.0.1:7420
+//! ```
+//!
+//! Submits one catalogue-bug campaign, polls its live status until it
+//! finishes, then fetches the canonical report and prints the headline
+//! numbers.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One `Connection: close` HTTP exchange; returns (status code, body).
+fn exchange(addr: &str, request: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.write_all(request.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let code = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or(0);
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    Ok((code, body))
+}
+
+fn get(addr: &str, path: &str) -> std::io::Result<(u16, String)> {
+    exchange(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn post(addr: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+    exchange(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+/// Pulls a scalar field out of a flat JSON object (good enough for the
+/// example's known payloads).
+fn field<'a>(json: &'a str, name: &str) -> Option<&'a str> {
+    let key = format!("\"{name}\":");
+    let at = json.find(&key)? + key.len();
+    let rest = json[at..].trim_start();
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+fn main() -> std::io::Result<()> {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7420".to_owned());
+
+    let (code, body) = get(&addr, "/healthz")?;
+    assert_eq!(code, 200, "daemon not healthy: {body}");
+    println!("healthz: {body}");
+
+    let spec = r#"{"tenant": "example", "priority": 3, "bug": "Roshi-1", "cap": 2000}"#;
+    let (code, body) = post(&addr, "/campaigns", spec)?;
+    assert_eq!(code, 202, "submission refused: {body}");
+    let id = field(&body, "id")
+        .expect("submission returns an id")
+        .to_owned();
+    println!("submitted: {body}");
+
+    loop {
+        let (code, body) = get(&addr, &format!("/campaigns/{id}"))?;
+        assert_eq!(code, 200, "status poll failed: {body}");
+        let state = field(&body, "state").unwrap_or("?").to_owned();
+        let runs = field(&body, "runs_done").unwrap_or("0").to_owned();
+        println!("poll: state={state} runs_done={runs}");
+        match state.as_str() {
+            "done" => break,
+            "cancelled" | "failed" => {
+                eprintln!("campaign ended without a report: {body}");
+                std::process::exit(1);
+            }
+            _ => std::thread::sleep(Duration::from_millis(100)),
+        }
+    }
+
+    let (code, report) = get(&addr, &format!("/campaigns/{id}/report"))?;
+    assert_eq!(code, 200, "report fetch failed: {report}");
+    println!(
+        "report: explored={} violations at first={}",
+        field(&report, "explored").unwrap_or("?"),
+        field(&report, "first_violation_at").unwrap_or("?"),
+    );
+
+    let (_, metrics) = get(&addr, "/metrics")?;
+    println!("metrics: {metrics}");
+    Ok(())
+}

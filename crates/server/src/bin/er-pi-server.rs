@@ -1,0 +1,48 @@
+//! The campaign daemon binary.
+//!
+//! ```text
+//! er-pi-server [--port N] [--workers N] [--runners N] [--queue-cap N]
+//! ```
+//!
+//! `--workers 0` (the default) sizes the shared executor service to the
+//! available cores, honouring the `ER_PI_WORKERS` override.
+
+use er_pi_server::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: er-pi-server [--port N] [--workers N] [--runners N] [--queue-cap N]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> ServerConfig {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else { usage() };
+        let parse = |v: &str| v.parse::<usize>().unwrap_or_else(|_| usage());
+        match flag.as_str() {
+            "--port" => config.port = value.parse().unwrap_or_else(|_| usage()),
+            "--workers" => config.workers = parse(&value),
+            "--runners" => config.runners = parse(&value).max(1),
+            "--queue-cap" => config.queue_cap = parse(&value).max(1),
+            _ => usage(),
+        }
+    }
+    config
+}
+
+fn main() {
+    let config = parse_args();
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("er-pi-server: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!("er-pi-server listening on {addr}"),
+        Err(e) => eprintln!("er-pi-server: local_addr: {e}"),
+    }
+    server.run();
+}

@@ -1,0 +1,273 @@
+//! A deliberately small HTTP/1.1 layer over `std::net` — request parsing,
+//! the route table, and canned responses. One thread per connection,
+//! `Connection: close`; campaign replays never run on connection threads,
+//! so a slow client cannot stall the service.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread;
+
+use crate::metrics::Metrics;
+use crate::ServerState;
+
+/// Upper bound on request size (headers + body); larger submissions are
+/// refused with 413.
+const MAX_REQUEST_BYTES: usize = 4 << 20;
+
+/// A parsed request.
+struct Request {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+}
+
+/// Accept loop. Returns when the state's shutdown flag is raised (the
+/// shutdown path makes one dummy connection to unblock `accept`).
+pub(crate) fn serve(state: Arc<ServerState>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if state.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let state = Arc::clone(&state);
+        let _ = thread::Builder::new()
+            .name("er-pi-http".to_owned())
+            .spawn(move || handle(&state, stream));
+    }
+}
+
+/// Serves one connection: parse, route, respond, close.
+fn handle(state: &ServerState, mut stream: TcpStream) {
+    let request = match read_request(&mut stream) {
+        Ok(Some(request)) => request,
+        Ok(None) => {
+            respond(
+                &mut stream,
+                413,
+                "Payload Too Large",
+                error_body("too large"),
+            );
+            return;
+        }
+        Err(_) => {
+            respond(
+                &mut stream,
+                400,
+                "Bad Request",
+                error_body("malformed request"),
+            );
+            return;
+        }
+    };
+    let (code, reason, body) = route(state, &request);
+    respond(&mut stream, code, reason, body);
+}
+
+/// Dispatches one request to its handler.
+fn route(state: &ServerState, request: &Request) -> (u16, &'static str, String) {
+    let segments: Vec<&str> = request
+        .path
+        .split('?')
+        .next()
+        .unwrap_or("")
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => (200, "OK", r#"{"status":"ok"}"#.to_owned()),
+        ("GET", ["metrics"]) => (200, "OK", metrics_body(state)),
+        ("POST", ["campaigns"]) => submit(state, &request.body),
+        ("GET", ["campaigns", id]) => match state.campaign(id) {
+            Some(c) => (200, "OK", c.status_json()),
+            None => not_found(id),
+        },
+        ("GET", ["campaigns", id, "report"]) => match state.campaign(id) {
+            Some(c) => match c.report_json() {
+                Some(json) => (200, "OK", json),
+                None => (
+                    409,
+                    "Conflict",
+                    error_body(&format!("campaign is {}", c.phase().as_str())),
+                ),
+            },
+            None => not_found(id),
+        },
+        ("DELETE", ["campaigns", id]) => match state.cancel_campaign(id) {
+            Some(phase) => (
+                202,
+                "Accepted",
+                format!(r#"{{"id":{},"state":"{}"}}"#, json_str(id), phase),
+            ),
+            None => not_found(id),
+        },
+        (_, ["healthz" | "metrics" | "campaigns", ..]) => {
+            (405, "Method Not Allowed", error_body("method not allowed"))
+        }
+        _ => (404, "Not Found", error_body("no such route")),
+    }
+}
+
+/// `POST /campaigns`: parse, validate, admit.
+fn submit(state: &ServerState, body: &[u8]) -> (u16, &'static str, String) {
+    let text = match std::str::from_utf8(body) {
+        Ok(text) => text,
+        Err(_) => return (400, "Bad Request", error_body("body is not UTF-8")),
+    };
+    match state.submit(text) {
+        Ok(campaign) => (
+            202,
+            "Accepted",
+            format!(r#"{{"id":{},"state":"queued"}}"#, json_str(&campaign.id)),
+        ),
+        Err(crate::SubmitError::Invalid(e)) => (400, "Bad Request", error_body(&e)),
+        Err(crate::SubmitError::QueueFull) => {
+            Metrics::bump(&state.metrics.rejected);
+            (429, "Too Many Requests", error_body("queue full"))
+        }
+    }
+}
+
+fn metrics_body(state: &ServerState) -> String {
+    let running = state.running_count();
+    let body = state.metrics.body(
+        state.queue.depth(),
+        running,
+        state.service.workers(),
+        state.service.queued(),
+    );
+    serde_json::to_string(&body).expect("metrics bodies are serializable")
+}
+
+fn not_found(id: &str) -> (u16, &'static str, String) {
+    (404, "Not Found", error_body(&format!("no campaign {id}")))
+}
+
+fn error_body(message: &str) -> String {
+    format!(r#"{{"error":{}}}"#, json_str(message))
+}
+
+/// Minimal JSON string escaping for hand-built bodies.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Reads one request. `Ok(None)` means the request exceeded
+/// [`MAX_REQUEST_BYTES`].
+fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> {
+    let mut buf = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(at) = find_header_end(&buf) {
+            break at;
+        }
+        if buf.len() > MAX_REQUEST_BYTES {
+            return Ok(None);
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-request",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..header_end])
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 header"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_owned();
+    let path = parts.next().unwrap_or("").to_owned();
+    if method.is_empty() || path.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "bad request line",
+        ));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            }
+        }
+    }
+    if content_length > MAX_REQUEST_BYTES {
+        return Ok(None);
+    }
+    let mut body = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Some(Request { method, path, body }))
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes one response and lets the connection close.
+fn respond(stream: &mut TcpStream, code: u16, reason: &str, body: String) {
+    let head = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_str("plain"), r#""plain""#);
+        assert_eq!(json_str("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn header_end_detection() {
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
+        assert_eq!(find_header_end(b"partial\r\n"), None);
+    }
+
+    // The route table itself is exercised end-to-end (over a real socket)
+    // by the workspace-level `server_equivalence` suite.
+
+    #[test]
+    fn phase_names_are_wire_stable() {
+        use crate::campaign::Phase;
+        // The report endpoint leans on these names in its 409 body.
+        assert_eq!(Phase::Queued.as_str(), "queued");
+        assert_eq!(Phase::Running.as_str(), "running");
+    }
+}

@@ -1,0 +1,141 @@
+//! Daemon-wide counters behind `GET /metrics`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use serde::Serialize;
+
+/// Monotonic counters, written by the HTTP layer and the runners.
+pub struct Metrics {
+    started: Instant,
+    /// Campaigns admitted.
+    pub submitted: AtomicU64,
+    /// Submissions refused with 429.
+    pub rejected: AtomicU64,
+    /// Campaigns finished with a report.
+    pub completed: AtomicU64,
+    /// Campaigns cancelled.
+    pub cancelled: AtomicU64,
+    /// Campaigns that errored.
+    pub failed: AtomicU64,
+    /// Interleavings replayed across all finished campaigns.
+    pub runs_total: AtomicU64,
+}
+
+/// JSON body of `GET /metrics`.
+#[derive(Serialize)]
+pub struct MetricsBody {
+    /// Seconds since the daemon started.
+    pub uptime_secs: f64,
+    /// Campaigns admitted since start.
+    pub submitted: u64,
+    /// Submissions refused with 429 since start.
+    pub rejected: u64,
+    /// Campaigns finished with a report.
+    pub completed: u64,
+    /// Campaigns cancelled.
+    pub cancelled: u64,
+    /// Campaigns that errored.
+    pub failed: u64,
+    /// Interleavings replayed across all finished campaigns.
+    pub runs_total: u64,
+    /// `runs_total / uptime` — the aggregate replay throughput.
+    pub runs_per_sec: f64,
+    /// Campaigns waiting for a runner.
+    pub queue_depth: usize,
+    /// Campaigns currently replaying.
+    pub running: usize,
+    /// Worker threads of the shared executor service.
+    pub service_workers: usize,
+    /// Campaign jobs currently multiplexed over those workers.
+    pub service_jobs: usize,
+    /// `min(1, service_jobs / service_workers)` — the fraction of service
+    /// workers with a job to pull chunks from.
+    pub worker_utilization: f64,
+}
+
+impl Metrics {
+    /// Fresh counters, clock started now.
+    pub fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            runs_total: AtomicU64::new(0),
+        }
+    }
+
+    /// Renders the metrics payload. `queue_depth`/`running` come from the
+    /// queue and registry; `service_*` from the executor service.
+    pub fn body(
+        &self,
+        queue_depth: usize,
+        running: usize,
+        service_workers: usize,
+        service_jobs: usize,
+    ) -> MetricsBody {
+        let uptime = self.started.elapsed().as_secs_f64().max(1e-9);
+        let runs_total = self.runs_total.load(Ordering::Relaxed);
+        MetricsBody {
+            uptime_secs: uptime,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            runs_total,
+            runs_per_sec: runs_total as f64 / uptime,
+            queue_depth,
+            running,
+            service_workers,
+            service_jobs,
+            worker_utilization: if service_workers == 0 {
+                0.0
+            } else {
+                (service_jobs as f64 / service_workers as f64).min(1.0)
+            },
+        }
+    }
+
+    /// Bumps a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` replayed runs to the throughput tally.
+    pub fn add_runs(&self, n: u64) {
+        self.runs_total.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_body_derives_rates_from_the_counters() {
+        let m = Metrics::new();
+        Metrics::bump(&m.submitted);
+        Metrics::bump(&m.submitted);
+        Metrics::bump(&m.completed);
+        m.add_runs(500);
+        let body = m.body(3, 1, 4, 2);
+        assert_eq!(body.submitted, 2);
+        assert_eq!(body.completed, 1);
+        assert_eq!(body.runs_total, 500);
+        assert!(body.runs_per_sec > 0.0);
+        assert_eq!(body.queue_depth, 3);
+        assert_eq!(body.worker_utilization, 0.5);
+        let json = serde_json::to_string(&body).expect("serializes");
+        assert!(json.contains("\"runs_per_sec\""), "{json}");
+    }
+}

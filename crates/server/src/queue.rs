@@ -1,0 +1,148 @@
+//! The bounded admission queue: campaigns wait here for a runner slot.
+//!
+//! Admission is bounded (`cap`), so a burst of submissions degrades into
+//! HTTP 429 instead of unbounded memory growth. Runners pop the lowest
+//! `(priority, seq)` key — strict priority order, FIFO within a class —
+//! mirroring the executor service's own job pick so a campaign's queue
+//! position and its worker-time position agree.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::campaign::Campaign;
+
+/// Admission refused: the queue is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+struct QueueState {
+    items: Vec<Arc<Campaign>>,
+    closed: bool,
+}
+
+/// A bounded, priority-ordered campaign queue.
+pub struct CampaignQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    cap: usize,
+}
+
+impl CampaignQueue {
+    /// Creates a queue admitting at most `cap` waiting campaigns.
+    pub fn new(cap: usize) -> Self {
+        CampaignQueue {
+            state: Mutex::new(QueueState {
+                items: Vec::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Admits a campaign, or refuses with [`QueueFull`].
+    pub fn push(&self, campaign: Arc<Campaign>) -> Result<(), QueueFull> {
+        let mut state = self.state.lock();
+        if state.closed || state.items.len() >= self.cap {
+            return Err(QueueFull);
+        }
+        state.items.push(campaign);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a campaign is available and returns the one with the
+    /// lowest `(priority, seq)` key. Returns `None` once the queue is
+    /// closed and drained.
+    pub fn pop(&self) -> Option<Arc<Campaign>> {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(best) = state
+                .items
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| c.order_key())
+                .map(|(i, _)| i)
+            {
+                return Some(state.items.remove(best));
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state);
+        }
+    }
+
+    /// Removes a still-queued campaign by ID (the `DELETE`-before-start
+    /// path). Returns it if it was waiting here.
+    pub fn remove(&self, id: &str) -> Option<Arc<Campaign>> {
+        let mut state = self.state.lock();
+        let at = state.items.iter().position(|c| c.id == id)?;
+        Some(state.items.remove(at))
+    }
+
+    /// Number of waiting campaigns.
+    pub fn depth(&self) -> usize {
+        self.state.lock().items.len()
+    }
+
+    /// Closes the queue: further pushes refuse, and poppers drain what is
+    /// left, then see `None`.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CampaignSpec;
+
+    fn campaign(id: &str, seq: u64, priority: u8) -> Arc<Campaign> {
+        let spec: CampaignSpec =
+            serde_json::from_str(&format!(r#"{{"bug": "Roshi-1", "priority": {priority}}}"#))
+                .expect("parses");
+        Arc::new(Campaign::new(
+            id.to_owned(),
+            seq,
+            spec.validate().expect("valid"),
+        ))
+    }
+
+    #[test]
+    fn pops_by_priority_then_fifo() {
+        let q = CampaignQueue::new(8);
+        q.push(campaign("c-1", 1, 5)).unwrap();
+        q.push(campaign("c-2", 2, 1)).unwrap();
+        q.push(campaign("c-3", 3, 1)).unwrap();
+        assert_eq!(q.depth(), 3);
+        assert_eq!(q.pop().unwrap().id, "c-2", "urgent class first");
+        assert_eq!(q.pop().unwrap().id, "c-3", "FIFO within the class");
+        assert_eq!(q.pop().unwrap().id, "c-1");
+    }
+
+    #[test]
+    fn admission_is_bounded_and_removal_targets_by_id() {
+        let q = CampaignQueue::new(2);
+        q.push(campaign("c-1", 1, 5)).unwrap();
+        q.push(campaign("c-2", 2, 5)).unwrap();
+        assert_eq!(q.push(campaign("c-3", 3, 5)), Err(QueueFull));
+        assert_eq!(q.remove("c-1").unwrap().id, "c-1");
+        assert!(q.remove("c-1").is_none(), "already gone");
+        q.push(campaign("c-4", 4, 5)).unwrap();
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_signals_the_end() {
+        let q = Arc::new(CampaignQueue::new(4));
+        q.push(campaign("c-1", 1, 5)).unwrap();
+        q.close();
+        assert_eq!(q.push(campaign("c-2", 2, 5)), Err(QueueFull), "closed");
+        assert_eq!(q.pop().unwrap().id, "c-1", "drains the backlog");
+        assert!(q.pop().is_none(), "then reports closure");
+    }
+}

@@ -1,0 +1,91 @@
+//! Runner threads: pop admitted campaigns and replay them as jobs on the
+//! shared [`ExecutorService`](er_pi::ExecutorService).
+//!
+//! The runner count bounds how many campaigns are *co-scheduled* — each
+//! occupies one blocked runner thread while its chunks are multiplexed
+//! over the service's workers. The service picks chunks by the same
+//! `(priority, seq)` key the queue uses, so a high-priority submission
+//! overtakes lower classes at both hand-offs.
+
+use std::sync::Arc;
+
+use er_pi::telemetry::ProgressSnapshot;
+use er_pi::ErPiError;
+use er_pi_fuzz::{report_for_on, OracleOptions};
+use er_pi_subjects::{ProgressFn, ReplayOptions};
+
+use crate::campaign::{Campaign, Phase};
+use crate::metrics::Metrics;
+use crate::spec::SubjectSpec;
+use crate::ServerState;
+
+/// One runner thread: drain the queue until it closes.
+pub(crate) fn runner_loop(state: Arc<ServerState>) {
+    while let Some(campaign) = state.queue.pop() {
+        run_one(&state, &campaign);
+    }
+}
+
+/// Replays one campaign and records its outcome.
+fn run_one(state: &ServerState, campaign: &Arc<Campaign>) {
+    if campaign.cancel.is_cancelled() {
+        // DELETE raced the pop; honour it without spending worker time.
+        campaign.status.lock().phase = Phase::Cancelled;
+        Metrics::bump(&state.metrics.cancelled);
+        return;
+    }
+    campaign.status.lock().phase = Phase::Running;
+    let progress: ProgressFn = {
+        let campaign = Arc::clone(campaign);
+        Arc::new(move |snap: &ProgressSnapshot| {
+            campaign.status.lock().progress = Some(snap.clone());
+        })
+    };
+    let spec = &campaign.spec;
+    let result = match &spec.subject {
+        SubjectSpec::Bug(bug) => bug.replay_report_on(
+            &state.service,
+            spec.priority,
+            Some(campaign.cancel.clone()),
+            Some(progress),
+            &ReplayOptions {
+                cap: spec.cap,
+                stop_on_first_violation: spec.stop_on_first_violation,
+                workers: 1,
+                incremental: spec.incremental,
+                telemetry: None,
+                sanitize: false,
+            },
+        ),
+        SubjectSpec::Trace(case) => report_for_on(
+            case,
+            &OracleOptions {
+                workers: 1,
+                cap: spec.cap,
+                incremental: spec.incremental,
+            },
+            &state.service,
+            spec.priority,
+            Some(campaign.cancel.clone()),
+            Some(progress),
+        ),
+    };
+    let mut status = campaign.status.lock();
+    match result {
+        Ok(report) => {
+            state.metrics.add_runs(report.explored as u64);
+            Metrics::bump(&state.metrics.completed);
+            status.report = Some(report);
+            status.phase = Phase::Done;
+        }
+        Err(ErPiError::Cancelled) => {
+            Metrics::bump(&state.metrics.cancelled);
+            status.phase = Phase::Cancelled;
+        }
+        Err(e) => {
+            Metrics::bump(&state.metrics.failed);
+            status.error = Some(e.to_string());
+            status.phase = Phase::Failed;
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! The campaign submission schema: what a `POST /campaigns` body means.
+//!
+//! A spec names exactly one subject — a catalogue bug by name, or a
+//! recorded trace as a [`FuzzCase`] (workload spec + fault schedule) — plus
+//! the replay knobs the paper's campaigns vary: the interleaving cap (the
+//! per-campaign run budget), stop-on-first, and incremental replay. All
+//! knobs are optional in the JSON; [`CampaignSpec::validate`] fills the
+//! defaults and rejects malformed submissions *before* a campaign ID is
+//! assigned, so the queue only ever holds runnable work.
+
+use er_pi_fuzz::FuzzCase;
+use er_pi_subjects::Bug;
+use serde::Deserialize;
+
+/// Default interleaving cap when the spec leaves it out (the paper's
+/// campaign bound, §6.2).
+pub const DEFAULT_CAP: usize = 10_000;
+
+/// Default scheduling priority (0 is the most urgent; FIFO within equal
+/// priority).
+pub const DEFAULT_PRIORITY: u8 = 5;
+
+/// A `POST /campaigns` request body, as deserialized. Every field is
+/// optional except the subject choice: exactly one of `bug` / `trace`
+/// must be present.
+#[derive(Debug, Clone, Deserialize)]
+pub struct CampaignSpec {
+    /// Submitting tenant; campaigns from the same tenant share its queue
+    /// position fairness. Defaults to `"anon"`.
+    #[serde(default)]
+    pub tenant: Option<String>,
+    /// Scheduling priority, 0 (most urgent) .. 9. Defaults to 5.
+    #[serde(default)]
+    pub priority: Option<u8>,
+    /// Replay a catalogue bug by name (e.g. `"Roshi-1"`).
+    #[serde(default)]
+    pub bug: Option<String>,
+    /// Replay a recorded trace: a workload spec plus fault schedule in the
+    /// fuzzer's exchange format.
+    #[serde(default)]
+    pub trace: Option<FuzzCase>,
+    /// Per-campaign run budget: replay at most this many interleavings.
+    #[serde(default)]
+    pub cap: Option<usize>,
+    /// Stop at the first violating interleaving.
+    #[serde(default)]
+    pub stop_on_first_violation: Option<bool>,
+    /// Prefix-sharing incremental replay (default on).
+    #[serde(default)]
+    pub incremental: Option<bool>,
+}
+
+/// The subject a validated campaign replays.
+#[derive(Debug)]
+pub enum SubjectSpec {
+    /// A catalogue bug.
+    Bug(Box<Bug>),
+    /// A submitted trace.
+    Trace(Box<FuzzCase>),
+}
+
+impl SubjectSpec {
+    /// Short display label for status payloads (`"bug:Roshi-1"`,
+    /// `"trace:ledger"`).
+    pub fn label(&self) -> String {
+        match self {
+            SubjectSpec::Bug(bug) => format!("bug:{}", bug.name),
+            SubjectSpec::Trace(case) => format!("trace:{:?}", case.target).to_lowercase(),
+        }
+    }
+}
+
+/// A spec that passed validation: defaults filled, subject resolved.
+#[derive(Debug)]
+pub struct ValidSpec {
+    /// Submitting tenant.
+    pub tenant: String,
+    /// Scheduling priority, clamped to 0..=9.
+    pub priority: u8,
+    /// What to replay.
+    pub subject: SubjectSpec,
+    /// Run budget.
+    pub cap: usize,
+    /// Stop at the first violation.
+    pub stop_on_first_violation: bool,
+    /// Incremental replay.
+    pub incremental: bool,
+}
+
+impl CampaignSpec {
+    /// Resolves defaults and checks the spec is runnable. The returned
+    /// error string is the HTTP 400 body — it names the offending field.
+    pub fn validate(self) -> Result<ValidSpec, String> {
+        let subject = match (self.bug, self.trace) {
+            (Some(_), Some(_)) => {
+                return Err("spec names both 'bug' and 'trace'; pick one".to_owned())
+            }
+            (None, None) => return Err("spec names neither 'bug' nor 'trace'".to_owned()),
+            (Some(name), None) => match Bug::by_name(&name) {
+                Some(bug) => SubjectSpec::Bug(Box::new(bug)),
+                None => return Err(format!("unknown catalogue bug '{name}'")),
+            },
+            (None, Some(case)) => {
+                // The fuzzer's validate covers intra-workload references;
+                // the degenerate shapes and fault anchors below would only
+                // surface as a panic inside `FuzzCase::build`, so the
+                // daemon rejects them at admission.
+                if case.spec.replicas == 0 {
+                    return Err("invalid trace: replicas must be at least 1".to_owned());
+                }
+                if case.spec.entries.is_empty() {
+                    return Err("invalid trace: workload has no entries".to_owned());
+                }
+                case.spec
+                    .validate()
+                    .map_err(|e| format!("invalid trace: {e}"))?;
+                if let Some(fault) = case
+                    .faults
+                    .iter()
+                    .find(|f| f.anchor >= case.spec.entries.len())
+                {
+                    return Err(format!(
+                        "invalid trace: fault anchor {} out of range",
+                        fault.anchor
+                    ));
+                }
+                SubjectSpec::Trace(Box::new(case))
+            }
+        };
+        let cap = self.cap.unwrap_or(DEFAULT_CAP);
+        if cap == 0 {
+            return Err("cap must be at least 1".to_owned());
+        }
+        Ok(ValidSpec {
+            tenant: self.tenant.unwrap_or_else(|| "anon".to_owned()),
+            priority: self.priority.unwrap_or(DEFAULT_PRIORITY).min(9),
+            subject,
+            cap,
+            stop_on_first_violation: self.stop_on_first_violation.unwrap_or(false),
+            incremental: self.incremental.unwrap_or(true),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_bug_spec_fills_defaults() {
+        let spec: CampaignSpec = serde_json::from_str(r#"{"bug": "Roshi-1"}"#).expect("parses");
+        let valid = spec.validate().expect("valid");
+        assert_eq!(valid.tenant, "anon");
+        assert_eq!(valid.priority, DEFAULT_PRIORITY);
+        assert_eq!(valid.cap, DEFAULT_CAP);
+        assert!(valid.incremental);
+        assert!(!valid.stop_on_first_violation);
+        assert_eq!(valid.subject.label(), "bug:Roshi-1");
+    }
+
+    #[test]
+    fn a_trace_spec_round_trips() {
+        let json = r#"{
+            "tenant": "team-a",
+            "priority": 2,
+            "cap": 500,
+            "trace": {
+                "target": "Ledger",
+                "spec": {
+                    "replicas": 2,
+                    "entries": [
+                        {"Op": {"replica": 0, "function": "credit", "args": [5]}},
+                        {"SyncPair": {"from": 0, "to": 1, "of": 0}}
+                    ],
+                    "chain_from": null
+                },
+                "faults": [{"anchor": 1, "kind": "Duplicate"}]
+            }
+        }"#;
+        let spec: CampaignSpec = serde_json::from_str(json).expect("parses");
+        let valid = spec.validate().expect("valid");
+        assert_eq!(valid.tenant, "team-a");
+        assert_eq!(valid.priority, 2);
+        assert_eq!(valid.cap, 500);
+        assert_eq!(valid.subject.label(), "trace:ledger");
+    }
+
+    #[test]
+    fn malformed_specs_name_the_offence() {
+        let both: CampaignSpec = serde_json::from_str(
+            r#"{"bug": "Roshi-1", "trace": {"target": "Crdts", "spec": {"replicas": 2, "entries": [], "chain_from": null}, "faults": []}}"#,
+        )
+        .expect("parses");
+        assert!(both.validate().unwrap_err().contains("pick one"));
+
+        let neither: CampaignSpec = serde_json::from_str("{}").expect("parses");
+        assert!(neither.validate().unwrap_err().contains("neither"));
+
+        let unknown: CampaignSpec =
+            serde_json::from_str(r#"{"bug": "No-Such-Bug"}"#).expect("parses");
+        assert!(unknown.validate().unwrap_err().contains("No-Such-Bug"));
+
+        let empty_trace: CampaignSpec = serde_json::from_str(
+            r#"{"trace": {"target": "Crdts", "spec": {"replicas": 2, "entries": [], "chain_from": null}, "faults": []}}"#,
+        )
+        .expect("parses");
+        assert!(empty_trace
+            .validate()
+            .unwrap_err()
+            .contains("invalid trace"));
+
+        let zero_cap: CampaignSpec =
+            serde_json::from_str(r#"{"bug": "Roshi-1", "cap": 0}"#).expect("parses");
+        assert!(zero_cap.validate().unwrap_err().contains("cap"));
+    }
+}

@@ -19,10 +19,10 @@ mod yorkie_bugs;
 
 use std::sync::Arc;
 
-use er_pi::telemetry::Sink;
+use er_pi::telemetry::{ProgressSnapshot, Sink};
 use er_pi::{
-    Assertion, ExploreMode, InlineExecutor, PruningConfig, Report, SanitizerReport, Session,
-    SystemModel, TestSuite, TimeModel,
+    Assertion, CancelToken, ErPiError, ExecutorService, ExploreMode, InlineExecutor, PruningConfig,
+    Report, SanitizerReport, Session, SystemModel, TestSuite, TimeModel,
 };
 use er_pi_interleave::{DfsExplorer, PruneStats};
 use er_pi_model::{EventId, Workload};
@@ -31,6 +31,17 @@ use crate::{
     CrdtsState, OrbitModel, OrbitState, ReplicaDbModel, ReplicaDbState, RoshiModel, RoshiState,
     YorkieModel, YorkieState,
 };
+
+/// Periodic progress callback for service-scheduled campaigns: invoked
+/// with a live [`ProgressSnapshot`] every few runs (see
+/// [`Bug::replay_report_on`]). The callback runs on service worker
+/// threads — keep it cheap and non-blocking.
+pub type ProgressFn = Arc<dyn Fn(&ProgressSnapshot) + Send + Sync>;
+
+/// Sample period (in runs) of the [`ProgressFn`] hook. Small catalogue
+/// workloads finish in a few hundred runs, so a tight period keeps the
+/// live view fresh without measurable overhead.
+const PROGRESS_EVERY: usize = 16;
 
 /// The five evaluation subjects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -361,6 +372,55 @@ where
     (report, session.sanitizer_report().cloned())
 }
 
+/// [`run_report`] with the replay submitted to a shared [`ExecutorService`]
+/// instead of a session-private pool — the campaign-server path. Returns
+/// `Err` (instead of panicking) because service campaigns are routinely
+/// cancelled from outside.
+#[allow(clippy::too_many_arguments)]
+fn run_report_on<M, S>(
+    model: M,
+    workload: &Workload,
+    config: &PruningConfig,
+    plan: &RunPlan,
+    check: for<'a> fn(&BugCtx<'a, S>) -> Option<String>,
+    service: &ExecutorService,
+    priority: u8,
+    cancel: Option<CancelToken>,
+    progress: Option<ProgressFn>,
+) -> Result<Report, ErPiError>
+where
+    M: SystemModel<State = S> + Clone + Send + Sync + 'static,
+    S: Send + 'static,
+{
+    let mut session = Session::new(model);
+    session.set_workload(workload.clone());
+    if matches!(plan.mode, ExploreMode::ErPi) {
+        session.set_config(config.clone());
+    }
+    session.set_mode(plan.mode);
+    session.set_cap(plan.cap);
+    session.set_stop_on_first_violation(plan.stop_on_first_violation);
+    session.set_incremental(plan.incremental);
+    if let Some(sink) = &plan.telemetry {
+        session.set_telemetry(Arc::clone(sink));
+    }
+    session.set_cancel_token(cancel);
+    if let Some(hook) = progress {
+        session.set_progress_hook(PROGRESS_EVERY, move |snap| hook(snap));
+    }
+    let suite = TestSuite::new().with(Assertion::new("bug-manifested", move |ctx| {
+        let bug_ctx = BugCtx {
+            states: ctx.states,
+            failed_ops: ctx.failed_ops(),
+        };
+        match check(&bug_ctx) {
+            Some(symptom) => Err(symptom),
+            None => Ok(()),
+        }
+    }));
+    session.replay_on(service, priority, &suite)
+}
+
 fn run<M, S>(
     model: M,
     workload: &Workload,
@@ -640,6 +700,97 @@ impl Bug {
             BugImpl::Crdts { model, check } => {
                 run_report(model.clone(), &self.workload, &self.config, &plan, *check)
             }
+        }
+    }
+
+    /// Replays the bug as one campaign on a shared [`ExecutorService`] —
+    /// the path the campaign server takes. The resulting [`Report`] must be
+    /// byte-identical (under [`Report::canonical_json`]) to
+    /// [`Bug::replay_report_opts`] with the same options, for any mix of
+    /// co-scheduled campaigns — the `server_equivalence` suite pins this.
+    ///
+    /// `opts.workers` and `opts.sanitize` are ignored: the service owns the
+    /// worker threads, and the sanitizer is a session-side diagnostic.
+    /// `progress`, when given, receives a live snapshot every few runs —
+    /// the campaign server streams these to its clients.
+    ///
+    /// # Errors
+    ///
+    /// [`ErPiError::Cancelled`] if `cancel` trips mid-campaign;
+    /// [`ErPiError::ExecutorPanic`] if the model panics in a worker.
+    pub fn replay_report_on(
+        &self,
+        service: &ExecutorService,
+        priority: u8,
+        cancel: Option<CancelToken>,
+        progress: Option<ProgressFn>,
+        opts: &ReplayOptions,
+    ) -> Result<Report, ErPiError> {
+        let plan = RunPlan {
+            mode: ExploreMode::ErPi,
+            cap: opts.cap,
+            stop_on_first_violation: opts.stop_on_first_violation,
+            workers: 1,
+            incremental: opts.incremental,
+            telemetry: opts.telemetry.clone(),
+            sanitize: false,
+        };
+        match &self.imp {
+            BugImpl::Roshi { model, check } => run_report_on(
+                model.clone(),
+                &self.workload,
+                &self.config,
+                &plan,
+                *check,
+                service,
+                priority,
+                cancel.clone(),
+                progress.clone(),
+            ),
+            BugImpl::Orbit { model, check } => run_report_on(
+                model.clone(),
+                &self.workload,
+                &self.config,
+                &plan,
+                *check,
+                service,
+                priority,
+                cancel.clone(),
+                progress.clone(),
+            ),
+            BugImpl::ReplicaDb { model, check } => run_report_on(
+                model.clone(),
+                &self.workload,
+                &self.config,
+                &plan,
+                *check,
+                service,
+                priority,
+                cancel.clone(),
+                progress.clone(),
+            ),
+            BugImpl::Yorkie { model, check } => run_report_on(
+                model.clone(),
+                &self.workload,
+                &self.config,
+                &plan,
+                *check,
+                service,
+                priority,
+                cancel.clone(),
+                progress.clone(),
+            ),
+            BugImpl::Crdts { model, check } => run_report_on(
+                model.clone(),
+                &self.workload,
+                &self.config,
+                &plan,
+                *check,
+                service,
+                priority,
+                cancel.clone(),
+                progress.clone(),
+            ),
         }
     }
 

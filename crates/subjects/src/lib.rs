@@ -28,7 +28,7 @@ mod roshi;
 mod town;
 mod yorkie;
 
-pub use bugs::{Bug, BugCtx, BugStatus, CloneProbe, ReplayOptions, Repro, SubjectKind};
+pub use bugs::{Bug, BugCtx, BugStatus, CloneProbe, ProgressFn, ReplayOptions, Repro, SubjectKind};
 pub use crdts::{CrdtsModel, CrdtsState};
 pub use ledger::{LedgerApp, LedgerState};
 pub use misconceive::{detect_misconception, misconception_matrix, MatrixCell};

@@ -90,12 +90,16 @@ impl Progress {
         } else {
             None
         };
+        // ETA only once throughput is measurable: with zero completed runs
+        // (or a zero-elapsed window) the division would fabricate an
+        // estimate out of nothing, and the old `Some(0.0)` sentinel leaked
+        // "done" into JSON payloads before the first run even finished.
         let eta_secs = match self.expected_total {
             Some(total) if runs_per_sec > 0.0 && total > runs_done => {
                 Some((total - runs_done) as f64 / runs_per_sec)
             }
-            Some(_) => Some(0.0),
-            None => None,
+            Some(total) if runs_per_sec > 0.0 && runs_done >= total => Some(0.0),
+            _ => None,
         };
         ProgressSnapshot {
             elapsed_secs: elapsed,
@@ -115,8 +119,9 @@ impl Progress {
 }
 
 /// A point-in-time view of campaign progress, handed to the periodic
-/// progress callback installed with `Session::set_progress_hook`.
-#[derive(Debug, Clone, PartialEq)]
+/// progress callback installed with `Session::set_progress_hook` and
+/// serialized as-is by the campaign server's `GET /campaigns/:id`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ProgressSnapshot {
     /// Wall-clock seconds since replay started.
     pub elapsed_secs: f64,
@@ -248,6 +253,35 @@ mod tests {
         let s = p.snapshot();
         assert_eq!(s.cache_hit_rate, None);
         assert_eq!(s.eta_secs, None);
+    }
+
+    #[test]
+    fn eta_is_absent_until_throughput_is_measurable() {
+        // A bounded campaign with zero completed runs used to report
+        // `Some(0.0)` — indistinguishable from "finished" — and a zero
+        // elapsed window divides by zero. Both must yield no estimate.
+        let p = Progress::new(1).with_expected_total(Some(100));
+        let s = p.snapshot();
+        assert_eq!(s.runs_done, 0);
+        assert_eq!(s.eta_secs, None, "no runs done yet: no ETA");
+        assert!(
+            s.eta_secs.is_none_or(f64::is_finite),
+            "ETA must never be inf/NaN"
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let p = Progress::new(2).with_expected_total(Some(8));
+        p.record_run(0, Some(true));
+        p.record_run(1, Some(false));
+        let s = p.snapshot();
+        let json = serde_json::to_string(&s).expect("snapshot serializes");
+        let back: ProgressSnapshot = serde_json::from_str(&json).expect("snapshot parses");
+        assert_eq!(back.runs_done, s.runs_done);
+        assert_eq!(back.per_worker_runs, s.per_worker_runs);
+        assert_eq!(back.expected_total, s.expected_total);
+        assert_eq!(back.cache_hit_rate, s.cache_hit_rate);
     }
 
     #[test]

@@ -48,6 +48,42 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// A condition variable paired with [`Mutex`].
+///
+/// One deliberate divergence from upstream parking_lot: `wait` takes the
+/// guard by value and returns it (the `std::sync::Condvar` shape) instead
+/// of `&mut guard` — the by-reference form needs raw lock internals this
+/// std-backed stand-in does not have.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until notified, releasing the lock while parked. Spurious
+    /// wake-ups are possible — re-check the predicate in a loop.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.inner.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Wakes one parked waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
 /// A readers-writer lock with the parking_lot API shape.
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized> {
@@ -90,6 +126,28 @@ mod tests {
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
         assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn condvar_wakes_a_parked_waiter() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (lock, cv) = &*pair;
+                let mut ready = lock.lock();
+                while !*ready {
+                    ready = cv.wait(ready);
+                }
+            })
+        };
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        waiter.join().unwrap();
     }
 
     #[test]

@@ -239,6 +239,18 @@ impl Deserialize for char {
     }
 }
 
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
 impl Serialize for () {
     fn to_content(&self) -> Content {
         Content::Null
