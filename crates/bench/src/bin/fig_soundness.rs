@@ -97,6 +97,7 @@ fn main() {
         incremental: true,
         telemetry: None,
         sanitize,
+        ..ReplayOptions::default()
     };
 
     let mut catalogue = Vec::new();

@@ -236,6 +236,32 @@ impl<'p> FaultInterpreter<'p> {
         }
     }
 
+    /// A 64-bit digest of the interpreter's fault context: the plan itself
+    /// (faults anchored at future events change suffix behavior even when
+    /// nothing has fired yet), the cut links (sorted — the set is
+    /// unordered), and the outstanding delayed effects in scheduling order
+    /// (firing order is behavior, so the `Vec` order is hashed as-is).
+    /// Subsumption folds this into its key: two runs at the same
+    /// replica-state digest but under different plans, partitions, or
+    /// in-flight deliveries behave differently under the same suffix.
+    pub(crate) fn pending_digest(&self) -> u64 {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&self.plan.digest().to_le_bytes());
+        let mut links: Vec<(ReplicaId, ReplicaId)> = self.partitions.iter().copied().collect();
+        links.sort_unstable();
+        buf.extend_from_slice(&(links.len() as u64).to_le_bytes());
+        for (a, b) in links {
+            buf.extend_from_slice(&a.raw().to_le_bytes());
+            buf.extend_from_slice(&b.raw().to_le_bytes());
+        }
+        buf.extend_from_slice(&(self.pending.len() as u64).to_le_bytes());
+        for &(fire, id) in &self.pending {
+            buf.extend_from_slice(&(fire as u64).to_le_bytes());
+            buf.extend_from_slice(&id.raw().to_le_bytes());
+        }
+        er_pi_rdl::fnv1a64(&buf)
+    }
+
     /// The outcome recorded for a non-`Normal` delivery.
     pub(crate) fn faulted_outcome(delivery: Delivery) -> OpOutcome {
         match delivery {
@@ -420,6 +446,41 @@ mod tests {
         let (states, _) = run(&w, &il);
         // Crash before op3 wipes ops 1 and 2.
         assert_eq!(states[0], vec![3]);
+    }
+
+    #[test]
+    fn pending_digest_separates_plans_topology_and_delays() {
+        let (w, ids) = three_ops();
+        let order: Vec<_> = w.event_ids().collect();
+
+        let empty = FaultPlan::empty();
+        let base = FaultInterpreter::new(&empty).pending_digest();
+
+        // A different plan — even before anything fires — changes the key.
+        let drop_plan = FaultPlan::new(vec![FaultEvent::new(ids[2], FaultKind::Drop)]);
+        let fresh = FaultInterpreter::new(&drop_plan);
+        assert_ne!(fresh.pending_digest(), base);
+
+        // Live partition state changes the key.
+        let pplan = FaultPlan::new(vec![FaultEvent::new(
+            ids[0],
+            FaultKind::Partition {
+                from: r(0),
+                to: r(1),
+            },
+        )]);
+        let mut cut = FaultInterpreter::new(&pplan);
+        let before = cut.pending_digest();
+        cut.fast_forward(&w, &order, 1);
+        assert_ne!(cut.pending_digest(), before);
+
+        // Outstanding delayed effects change the key, and firing order
+        // matters (the pending Vec is hashed in order).
+        let dplan = FaultPlan::new(vec![FaultEvent::new(ids[1], FaultKind::Delay { by: 2 })]);
+        let mut delayed = FaultInterpreter::new(&dplan);
+        let before = delayed.pending_digest();
+        delayed.fast_forward(&w, &order, 2);
+        assert_ne!(delayed.pending_digest(), before);
     }
 
     #[test]

@@ -26,9 +26,12 @@
 //! `CacheStats::sim_us_saved` separately records how much of that total was
 //! never physically re-executed.
 
+use std::sync::Arc;
+
 use er_pi_model::{EventId, Interleaving, Workload};
 
 use crate::faultexec::{Delivery, FaultInterpreter};
+use crate::subsume::{suffix_hashes, RunMemo, SubsumeHit, SubsumeKey, SubsumeSet};
 use crate::{CacheStats, Execution, OpOutcome, SystemModel, TimeModel};
 
 /// Default snapshot budget for incremental sessions: 64 MiB of
@@ -286,6 +289,12 @@ pub struct IncrementalExecutor<M: SystemModel> {
     trie: CheckpointTrie<M::State>,
     stats: CacheStats,
     last_resume_depth: usize,
+    last_run_subsumed: bool,
+    /// The campaign-wide explored-set, when state-hash subsumption is on.
+    subsume: Option<Arc<SubsumeSet<M::State>>>,
+    /// Whether the model supports a faithful state encoding — probed once
+    /// per executor on the first run (`None` = not yet probed).
+    subsume_supported: Option<bool>,
 }
 
 impl<M: SystemModel> IncrementalExecutor<M> {
@@ -296,7 +305,17 @@ impl<M: SystemModel> IncrementalExecutor<M> {
             trie: CheckpointTrie::new(budget),
             stats: CacheStats::default(),
             last_resume_depth: 0,
+            last_run_subsumed: false,
+            subsume: None,
+            subsume_supported: None,
         }
+    }
+
+    /// Attaches the campaign's shared explored-set; subsequent runs may be
+    /// short-circuited by subsumption (and feed the set). Inert when the
+    /// model declines [`SystemModel::state_encode`].
+    pub(crate) fn enable_subsumption(&mut self, set: Arc<SubsumeSet<M::State>>) {
+        self.subsume = Some(set);
     }
 
     /// The prefix depth the most recent [`IncrementalExecutor::execute`]
@@ -304,6 +323,12 @@ impl<M: SystemModel> IncrementalExecutor<M> {
     /// each run as a cache hit or miss.
     pub fn last_resume_depth(&self) -> usize {
         self.last_resume_depth
+    }
+
+    /// Whether the most recent run was short-circuited (or, in audit mode,
+    /// verified) by state-hash subsumption.
+    pub fn last_run_subsumed(&self) -> bool {
+        self.last_run_subsumed
     }
 
     /// The cache counters so far. `bytes_resident` reflects the trie's
@@ -375,38 +400,156 @@ impl<M: SystemModel> IncrementalExecutor<M> {
         let mut faults = FaultInterpreter::new(il.faults());
         faults.fast_forward(workload, il.as_slice(), resume_depth);
 
-        let mut cur = path[resume_depth];
-        for (pos, &id) in il.iter().enumerate().skip(resume_depth) {
-            let event = workload.event(id);
-            faults.begin_step(model, &mut states, event);
-            let outcome = match faults.delivery(event, pos) {
-                Delivery::Normal => {
-                    let out = model.apply(&mut states, event);
-                    if faults.duplicate(event) {
-                        let _ = model.apply(&mut states, event);
-                    }
-                    out
-                }
-                other => FaultInterpreter::faulted_outcome(other),
+        // Subsumption bookkeeping. The probe runs at the resume depth
+        // (states come straight from the snapshot — a hit costs zero event
+        // applications) and again after every applied suffix step: two
+        // orders that permute only commuting events coincide a step or two
+        // *past* their divergence point, so the resume-depth probe alone
+        // would miss nearly every hit.
+        self.last_run_subsumed = false;
+        if self.subsume.is_some() && self.subsume_supported.is_none() {
+            self.subsume_supported = Some(model.state_digest(&model.init_all()).is_some());
+        }
+        let n = il.len();
+        let sub: Option<&SubsumeSet<M::State>> = match self.subsume_supported {
+            Some(true) => self.subsume.as_deref(),
+            _ => None,
+        };
+        let suffixes = sub.map(|_| suffix_hashes(il));
+        let mut pending: Vec<(SubsumeKey, Option<Arc<[u8]>>)> = Vec::new();
+        // In audit mode a hit does not short-circuit: the tail executes
+        // anyway and is compared against the memo at the end of the run.
+        let mut audit_hit: Option<(usize, SubsumeHit<M::State>)> = None;
+        let mut stitched_at: Option<usize> = None;
+
+        let mut probe = |states: &[M::State],
+                         faults: &FaultInterpreter<'_>,
+                         depth: usize|
+         -> Option<SubsumeHit<M::State>> {
+            let set = sub?;
+            if depth >= n {
+                return None;
+            }
+            let digest = model.state_digest(states)?;
+            let bytes: Option<Arc<[u8]>> = if set.audit() {
+                encode_states(model, states).map(Arc::from)
+            } else {
+                None
             };
-            cur = self
-                .trie
-                .child_or_insert(cur, id, il.faults().digest_at(id), outcome.clone());
-            outcomes.push(outcome);
-            // Delayed effects due at this step land before the snapshot, so
-            // a stored prefix is the full deterministic function of its
-            // `(events, anchored faults)` path.
-            faults.end_step(model, &mut states, workload, pos);
-            // Snapshot every interior prefix we just reached; the final
-            // depth is never resumed from (a repeat of the same
-            // interleaving resumes at N-1 and re-applies the last event),
-            // and the end-of-run fault flush below therefore never leaks
-            // into a cached snapshot.
-            if pos + 1 < il.len() {
-                self.trie.store(model, cur, &states);
+            let key = SubsumeKey {
+                state: digest,
+                faults: faults.pending_digest(),
+                suffix: suffixes.as_ref().expect("suffixes computed with sub")[depth],
+                depth: depth as u32,
+            };
+            if let Some(hit) = set.lookup(&key) {
+                if let (Some(a), Some(b)) = (&bytes, &hit.bytes) {
+                    assert!(
+                        a == b,
+                        "ER_PI_SUBSUME_AUDIT: 128-bit digest collision at depth {depth}: \
+                         distinct canonical states share digest {digest:#034x}"
+                    );
+                }
+                return Some(hit);
+            }
+            pending.push((key, bytes));
+            None
+        };
+
+        if let Some(hit) = probe(&states, &faults, resume_depth) {
+            if self.subsume.as_deref().is_some_and(SubsumeSet::audit) {
+                audit_hit = Some((resume_depth, hit));
+            } else {
+                outcomes.extend_from_slice(&hit.memo.outcomes[resume_depth..]);
+                states = hit.memo.states.clone();
+                stitched_at = Some(resume_depth);
             }
         }
-        faults.finish(model, &mut states, workload);
+
+        if stitched_at.is_none() {
+            let mut cur = path[resume_depth];
+            for (pos, &id) in il.iter().enumerate().skip(resume_depth) {
+                let event = workload.event(id);
+                faults.begin_step(model, &mut states, event);
+                let outcome = match faults.delivery(event, pos) {
+                    Delivery::Normal => {
+                        let out = model.apply(&mut states, event);
+                        if faults.duplicate(event) {
+                            let _ = model.apply(&mut states, event);
+                        }
+                        out
+                    }
+                    other => FaultInterpreter::faulted_outcome(other),
+                };
+                cur =
+                    self.trie
+                        .child_or_insert(cur, id, il.faults().digest_at(id), outcome.clone());
+                outcomes.push(outcome);
+                // Delayed effects due at this step land before the snapshot, so
+                // a stored prefix is the full deterministic function of its
+                // `(events, anchored faults)` path.
+                faults.end_step(model, &mut states, workload, pos);
+                // Snapshot every interior prefix we just reached; the final
+                // depth is never resumed from (a repeat of the same
+                // interleaving resumes at N-1 and re-applies the last event),
+                // and the end-of-run fault flush below therefore never leaks
+                // into a cached snapshot.
+                if pos + 1 < il.len() {
+                    self.trie.store(model, cur, &states);
+                }
+                if audit_hit.is_none() {
+                    if let Some(hit) = probe(&states, &faults, pos + 1) {
+                        if self.subsume.as_deref().is_some_and(SubsumeSet::audit) {
+                            audit_hit = Some((pos + 1, hit));
+                        } else {
+                            outcomes.extend_from_slice(&hit.memo.outcomes[pos + 1..]);
+                            states = hit.memo.states.clone();
+                            stitched_at = Some(pos + 1);
+                            break;
+                        }
+                    }
+                }
+            }
+            if stitched_at.is_none() {
+                faults.finish(model, &mut states, workload);
+            }
+        }
+
+        if let Some((depth, hit)) = audit_hit {
+            assert_eq!(
+                &outcomes[depth..],
+                &hit.memo.outcomes[depth..],
+                "ER_PI_SUBSUME_AUDIT: false subsumption at depth {depth}: \
+                 executed outcomes diverge from the memoized run"
+            );
+            assert_eq!(
+                encode_states(model, &states),
+                encode_states(model, &hit.memo.states),
+                "ER_PI_SUBSUME_AUDIT: false subsumption at depth {depth}: \
+                 final states diverge from the memoized run"
+            );
+            stitched_at = Some(depth);
+        }
+        if let Some(depth) = stitched_at {
+            self.stats.subsumed += 1;
+            self.stats.subsume_events_saved += (n - depth) as u64;
+            self.last_run_subsumed = true;
+        }
+        if let Some(set) = sub {
+            if !pending.is_empty() {
+                // The run's full outcome vector and final states are now
+                // known (executed, stitched, or audit-verified — all
+                // byte-identical by determinism): every depth probed as a
+                // miss becomes a donor entry, shared through one memo.
+                let memo = Arc::new(RunMemo {
+                    outcomes: outcomes.clone(),
+                    states: states.clone(),
+                });
+                for (key, bytes) in pending {
+                    set.insert(key, Arc::clone(&memo), bytes);
+                }
+            }
+        }
 
         Execution {
             states,
@@ -414,6 +557,25 @@ impl<M: SystemModel> IncrementalExecutor<M> {
             sim_us,
         }
     }
+}
+
+/// Concatenates every replica's canonical encoding, each length-prefixed so
+/// adjacent replicas can never alias — the byte string whose digest is
+/// [`SystemModel::state_digest`]'s default. Audit mode stores and compares
+/// these bytes to tell digest collisions from honest hits. `None` when the
+/// model declines encoding.
+fn encode_states<M: SystemModel>(model: &M, states: &[M::State]) -> Option<Vec<u8>> {
+    let mut buf = Vec::new();
+    for state in states {
+        let at = buf.len();
+        buf.extend_from_slice(&[0u8; 8]);
+        if !model.state_encode(state, &mut buf) {
+            return None;
+        }
+        let len = (buf.len() - at - 8) as u64;
+        buf[at..at + 8].copy_from_slice(&len.to_le_bytes());
+    }
+    Some(buf)
 }
 
 #[cfg(test)]

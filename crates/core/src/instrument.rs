@@ -38,12 +38,13 @@ impl Instrument {
     /// Records one finished run on `worker`'s tally and, every
     /// [`Instrument::every`] runs, samples the progress counters into the
     /// sink and invokes the hook. `cache_hit` is `None` when incremental
-    /// replay is off.
-    pub fn run_done(&self, worker: usize, cache_hit: Option<bool>) {
+    /// replay is off; `subsumed` whether state-hash subsumption stitched
+    /// the run's tail instead of executing it.
+    pub fn run_done(&self, worker: usize, cache_hit: Option<bool>, subsumed: bool) {
         let Some(progress) = &self.progress else {
             return;
         };
-        let total = progress.record_run(worker, cache_hit);
+        let total = progress.record_run(worker, cache_hit, subsumed);
         if self.every > 0 && total % self.every as u64 == 0 {
             self.sample(progress);
         }
@@ -80,7 +81,7 @@ mod tests {
     #[test]
     fn disabled_instrument_ignores_runs() {
         let i = Instrument::disabled();
-        i.run_done(0, Some(true)); // no progress attached: no-op
+        i.run_done(0, Some(true), false); // no progress attached: no-op
     }
 
     #[test]
@@ -98,7 +99,7 @@ mod tests {
             every: 3,
         };
         for _ in 0..7 {
-            i.run_done(0, Some(false));
+            i.run_done(0, Some(false), false);
         }
         assert_eq!(fired.load(Ordering::Relaxed), 2, "fires at runs 3 and 6");
         assert!(sink

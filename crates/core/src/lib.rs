@@ -141,6 +141,7 @@ mod report;
 mod sanitizer;
 mod service;
 mod session;
+mod subsume;
 mod summary;
 mod system;
 mod time;
@@ -152,7 +153,7 @@ pub use error::ErPiError;
 pub use executor::{Execution, InlineExecutor, ThreadedExecutor};
 pub use incremental::{CheckpointTrie, IncrementalExecutor, DEFAULT_CACHE_BUDGET};
 pub use misconceptions::{misconception, Misconception};
-pub use pool::ReplayPool;
+pub use pool::{ReplayPool, DEFAULT_CHUNK_SIZE};
 pub use profile::{CacheStats, FailureStats, ReplicaLoad, ResourceProfile, WorkerLoad};
 pub use report::{Report, RunRecord, Violation};
 pub use sanitizer::{IndependenceViolation, SanitizerReport};

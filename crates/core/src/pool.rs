@@ -22,6 +22,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use er_pi_interleave::IndexedSource;
 use er_pi_model::{Interleaving, Value, Workload};
@@ -29,6 +30,7 @@ use er_pi_telemetry::{worker_track, HitRateMonitor, Telemetry, TrackId};
 use parking_lot::Mutex;
 
 use crate::instrument::Instrument;
+use crate::subsume::SubsumeSet;
 use crate::{
     CacheStats, CancelToken, CheckContext, ErPiError, IncrementalExecutor, InlineExecutor, Report,
     RunRecord, SystemModel, TestSuite, TimeModel, Violation, WorkerLoad,
@@ -37,14 +39,17 @@ use crate::{
 /// Sentinel for "no violation found yet" in the atomic minimum.
 pub(crate) const NO_VIOLATION: usize = usize::MAX;
 
-/// Interleavings claimed per dispenser lock acquisition. Contiguous chunks
-/// (rather than strided or item-at-a-time claims) preserve per-worker
-/// prefix locality: lexicographically adjacent interleavings land in the
-/// same worker's checkpoint trie, so incremental resumes stay hot. Chunks
-/// also amortize the dispenser lock. Cooperative cancellation is checked
-/// *between* chunks only — a claimed chunk always executes to completion,
-/// keeping the dispensed index range dense for the merge.
-pub(crate) const CLAIM_CHUNK: usize = 32;
+/// Default interleavings claimed per dispenser lock acquisition
+/// (tunable per session via
+/// [`Session::set_chunk_size`](crate::Session::set_chunk_size)).
+/// Contiguous chunks (rather than strided or item-at-a-time claims)
+/// preserve per-worker prefix locality: lexicographically adjacent
+/// interleavings land in the same worker's checkpoint trie, so incremental
+/// resumes stay hot. Chunks also amortize the dispenser lock. Cooperative
+/// cancellation is checked *between* chunks only — a claimed chunk always
+/// executes to completion, keeping the dispensed index range dense for the
+/// merge.
+pub const DEFAULT_CHUNK_SIZE: usize = 32;
 
 /// A pool of replay workers fanning the pruned interleaving set across
 /// threads.
@@ -145,6 +150,7 @@ impl ReplayPool {
     ) -> Result<Report, ErPiError>
     where
         M: SystemModel + Sync,
+        M::State: Send + Sync,
         I: Iterator<Item = Interleaving> + Send,
     {
         let started = std::time::Instant::now();
@@ -157,6 +163,8 @@ impl ReplayPool {
             suite,
             stop_on_first_violation,
             None,
+            None,
+            DEFAULT_CHUNK_SIZE,
             &Instrument::disabled(),
             None,
         )?;
@@ -215,6 +223,14 @@ impl ReplayPool {
     /// the same chunk boundaries as the internal stop-on-first flag, and
     /// when tripped the whole result set is discarded as
     /// [`ErPiError::Cancelled`].
+    ///
+    /// `subsume` is the campaign-wide explored-set for state-hash
+    /// subsumption, shared across all workers (each worker's executor
+    /// probes and feeds it); with subsumption on but incremental replay
+    /// off, every worker still gets an executor — with a zero snapshot
+    /// budget, so the trie caches nothing and only the subsumption layer
+    /// is live. `chunk_size` is the dispenser claim granularity (see
+    /// [`DEFAULT_CHUNK_SIZE`] for the trade-off; values below 1 are clamped).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn run<M, I>(
         &self,
@@ -225,13 +241,17 @@ impl ReplayPool {
         suite: &TestSuite<M::State>,
         stop_on_first_violation: bool,
         incremental_budget: Option<usize>,
+        subsume: Option<&Arc<SubsumeSet<M::State>>>,
+        chunk_size: usize,
         instrument: &Instrument,
         external_cancel: Option<&CancelToken>,
     ) -> Result<PoolOutput, ErPiError>
     where
         M: SystemModel + Sync,
+        M::State: Send + Sync,
         I: Iterator<Item = Interleaving> + Send,
     {
+        let chunk_size = chunk_size.max(1);
         let dispenser = Mutex::new(source);
         let sink: Mutex<Vec<WorkerRun>> = Mutex::new(Vec::new());
         let cancel = AtomicBool::new(false);
@@ -257,7 +277,16 @@ impl ReplayPool {
                         // Each worker owns its trie: no cross-thread
                         // snapshot sharing, and the chunked dispenser keeps
                         // the worker's stream prefix-coherent.
-                        let mut executor = incremental_budget.map(IncrementalExecutor::<M>::new);
+                        let mut executor = match (incremental_budget, subsume) {
+                            (None, None) => None,
+                            (budget, sub) => {
+                                let mut e = IncrementalExecutor::<M>::new(budget.unwrap_or(0));
+                                if let Some(set) = sub {
+                                    e.enable_subsumption(Arc::clone(set));
+                                }
+                                Some(e)
+                            }
+                        };
                         // Each worker also watches its own trie's hit rate
                         // — the warning names the worker via its track.
                         let mut hit_monitor = (incremental_budget.is_some()
@@ -275,7 +304,7 @@ impl ReplayPool {
                             // index range stays dense — the merge relies on
                             // it.
                             let t_claim = telemetry.start();
-                            let chunk = dispenser.lock().next_chunk(CLAIM_CHUNK);
+                            let chunk = dispenser.lock().next_chunk(chunk_size);
                             if chunk.is_empty() {
                                 break;
                             }
@@ -335,7 +364,13 @@ impl ReplayPool {
                                                 ],
                                             );
                                         }
-                                        let cache_hit = resumed_depth.map(|d| d > 0);
+                                        // Only attribute hit/miss when the
+                                        // trie has a budget: a zero-budget
+                                        // subsumption-only executor always
+                                        // resumes from depth 0 and would
+                                        // report a fictitious 0% hit rate.
+                                        let cache_hit =
+                                            incremental_budget.and(resumed_depth).map(|d| d > 0);
                                         if let (Some(monitor), Some(hit)) =
                                             (hit_monitor.as_mut(), cache_hit)
                                         {
@@ -347,7 +382,10 @@ impl ReplayPool {
                                                 );
                                             }
                                         }
-                                        instrument.run_done(worker, cache_hit);
+                                        let subsumed = executor
+                                            .as_ref()
+                                            .is_some_and(IncrementalExecutor::last_run_subsumed);
+                                        instrument.run_done(worker, cache_hit, subsumed);
                                         sink.lock().push(run);
                                     }
                                     Err(payload) => {
@@ -551,6 +589,11 @@ mod tests {
         fn observe(&self, state: &i64) -> Value {
             Value::from(*state)
         }
+
+        fn state_encode(&self, state: &i64, out: &mut Vec<u8>) -> bool {
+            out.extend_from_slice(&state.to_le_bytes());
+            true
+        }
     }
 
     fn two_writes() -> Workload {
@@ -626,6 +669,8 @@ mod tests {
                     &suite,
                     false,
                     None,
+                    None,
+                    DEFAULT_CHUNK_SIZE,
                     &Instrument::disabled(),
                     None,
                 )
@@ -640,6 +685,8 @@ mod tests {
                     &suite,
                     false,
                     Some(crate::DEFAULT_CACHE_BUDGET),
+                    None,
+                    DEFAULT_CHUNK_SIZE,
                     &Instrument::disabled(),
                     None,
                 )
@@ -650,6 +697,60 @@ mod tests {
             assert!(scratch.cache_stats.is_none());
             let stats = incremental.cache_stats.expect("incremental counters");
             assert_eq!(stats.hits + stats.misses, 24);
+        }
+    }
+
+    #[test]
+    fn subsuming_pool_matches_plain_pool() {
+        let w = two_writes();
+        let time = TimeModel::paper_setup();
+        let suite = TestSuite::new().with_cross(crate::CrossCheck::new("keep", |_| Ok(())));
+        for workers in [1, 2, 4] {
+            let pool = ReplayPool::new(workers);
+            let mut plain_src = IndexedSource::new(DfsExplorer::new(&w), usize::MAX);
+            let plain = pool
+                .run(
+                    &RegApp,
+                    &w,
+                    &mut plain_src,
+                    &time,
+                    &suite,
+                    false,
+                    None,
+                    None,
+                    DEFAULT_CHUNK_SIZE,
+                    &Instrument::disabled(),
+                    None,
+                )
+                .unwrap();
+            let set = Arc::new(SubsumeSet::new());
+            let mut sub_src = IndexedSource::new(DfsExplorer::new(&w), usize::MAX);
+            let subsuming = pool
+                .run(
+                    &RegApp,
+                    &w,
+                    &mut sub_src,
+                    &time,
+                    &suite,
+                    false,
+                    None,
+                    Some(&set),
+                    DEFAULT_CHUNK_SIZE,
+                    &Instrument::disabled(),
+                    None,
+                )
+                .unwrap();
+            assert_eq!(plain.runs, subsuming.runs);
+            assert_eq!(plain.violations, subsuming.violations);
+            assert!(plain.cache_stats.is_none());
+            assert!(set.len() > 0, "every worker feeds the shared set");
+            let stats = subsuming.cache_stats.expect("subsumption-only counters");
+            assert_eq!(stats.hits + stats.misses, 24);
+            if workers == 1 {
+                // Deterministic with a single worker: later permutations of
+                // the two-writes space re-reach explored states.
+                assert!(stats.subsumed > 0, "subsumption must fire");
+            }
         }
     }
 
@@ -737,6 +838,8 @@ mod tests {
             &suite,
             false,
             None,
+            None,
+            DEFAULT_CHUNK_SIZE,
             &Instrument::disabled(),
             Some(&token),
         );

@@ -168,6 +168,17 @@ pub struct CacheStats {
     /// total was never physically re-executed, so latency models built on
     /// `sim_us` can subtract it and stay honest.
     pub sim_us_saved: u64,
+    /// Runs short-circuited by state-hash subsumption: the run reached a
+    /// `(state digest, fault context, remaining suffix)` an earlier run had
+    /// already explored, so its tail was stitched from the memoized run
+    /// instead of executing. "Executed replays" = `hits + misses -
+    /// subsumed`.
+    #[serde(default)]
+    pub subsumed: u64,
+    /// Event applications skipped by subsumption short-circuits (beyond
+    /// those already counted in `events_saved` by prefix resume).
+    #[serde(default)]
+    pub subsume_events_saved: u64,
 }
 
 impl CacheStats {
@@ -179,6 +190,8 @@ impl CacheStats {
         self.events_saved += other.events_saved;
         self.bytes_resident += other.bytes_resident;
         self.sim_us_saved += other.sim_us_saved;
+        self.subsumed += other.subsumed;
+        self.subsume_events_saved += other.subsume_events_saved;
     }
 
     /// Fraction of runs that resumed from a checkpoint (0 when no runs).
@@ -194,6 +207,21 @@ impl CacheStats {
     /// Simulated seconds saved by prefix reuse.
     pub fn saved_secs(&self) -> f64 {
         self.sim_us_saved as f64 / 1e6
+    }
+
+    /// Fraction of runs short-circuited by subsumption (0 when no runs).
+    pub fn subsume_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.subsumed as f64 / total as f64
+        }
+    }
+
+    /// Runs that physically executed events (i.e. were not subsumed).
+    pub fn executed_runs(&self) -> u64 {
+        (self.hits + self.misses).saturating_sub(self.subsumed)
     }
 }
 
@@ -290,6 +318,8 @@ mod tests {
             events_saved: 30,
             bytes_resident: 100,
             sim_us_saved: 2_000_000,
+            subsumed: 2,
+            subsume_events_saved: 8,
         };
         let b = CacheStats {
             hits: 1,
@@ -297,15 +327,22 @@ mod tests {
             events_saved: 10,
             bytes_resident: 50,
             sim_us_saved: 500_000,
+            subsumed: 1,
+            subsume_events_saved: 4,
         };
         a.absorb(&b);
         assert_eq!(a.hits, 4);
         assert_eq!(a.misses, 4);
         assert_eq!(a.events_saved, 40);
         assert_eq!(a.bytes_resident, 150);
+        assert_eq!(a.subsumed, 3);
+        assert_eq!(a.subsume_events_saved, 12);
         assert!((a.hit_rate() - 0.5).abs() < 1e-12);
         assert!((a.saved_secs() - 2.5).abs() < 1e-12);
+        assert!((a.subsume_rate() - 0.375).abs() < 1e-12);
+        assert_eq!(a.executed_runs(), 5);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        assert_eq!(CacheStats::default().subsume_rate(), 0.0);
     }
 
     #[test]

@@ -213,6 +213,8 @@ mod tests {
                 events_saved: 40,
                 bytes_resident: 512,
                 sim_us_saved: 7,
+                subsumed: 2,
+                subsume_events_saved: 9,
             }),
             ..Report::default()
         };

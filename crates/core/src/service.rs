@@ -12,7 +12,8 @@
 //!   produce, no matter how many campaigns are co-scheduled;
 //! * worker threads always serve the oldest campaign of the most urgent
 //!   priority (`(priority, submission)` order — FIFO within a priority
-//!   band), claiming [`CLAIM_CHUNK`]-sized contiguous chunks exactly like
+//!   band), claiming contiguous chunks of the campaign's configured size
+//!   ([`DEFAULT_CHUNK_SIZE`](crate::DEFAULT_CHUNK_SIZE) by default) exactly like
 //!   the pool, with per-`(campaign, slot)` checkpoint tries so incremental
 //!   prefix locality survives the multiplexing;
 //! * cancellation is cooperative and per-campaign: a tripped
@@ -39,7 +40,8 @@ use er_pi_telemetry::worker_track;
 use parking_lot::{Condvar, Mutex};
 
 use crate::instrument::Instrument;
-use crate::pool::{execute_one, panic_message, PoolOutput, WorkerRun, CLAIM_CHUNK, NO_VIOLATION};
+use crate::pool::{execute_one, panic_message, PoolOutput, WorkerRun, NO_VIOLATION};
+use crate::subsume::SubsumeSet;
 use crate::{
     CacheStats, CancelToken, ErPiError, IncrementalExecutor, ReplayPool, SystemModel, TestSuite,
     TimeModel, Violation, WorkerLoad,
@@ -54,6 +56,11 @@ pub(crate) struct CampaignParams<M: SystemModel> {
     pub suite: TestSuite<M::State>,
     pub stop_on_first_violation: bool,
     pub incremental_budget: Option<usize>,
+    /// The campaign-wide explored-set for state-hash subsumption, shared
+    /// by every slot's executor (`None` when subsumption is off).
+    pub subsume: Option<Arc<SubsumeSet<M::State>>>,
+    /// Dispenser claim granularity, in interleavings (min 1).
+    pub chunk_size: usize,
     pub instrument: Instrument,
     pub cancel: Option<CancelToken>,
 }
@@ -110,7 +117,7 @@ struct CampaignTask<M: SystemModel, I> {
 impl<M, I> CampaignTask<M, I>
 where
     M: SystemModel + Send + Sync,
-    M::State: Send,
+    M::State: Send + Sync,
     I: Iterator<Item = Interleaving> + Send,
 {
     /// Finalizes the campaign if every claimed chunk has completed and no
@@ -189,7 +196,7 @@ where
 impl<M, I> ServiceJob for CampaignTask<M, I>
 where
     M: SystemModel + Send + Sync,
-    M::State: Send,
+    M::State: Send + Sync,
     I: Iterator<Item = Interleaving> + Send,
 {
     fn order_key(&self) -> (u8, u64) {
@@ -226,7 +233,7 @@ where
                 .source
                 .as_mut()
                 .expect("source stays in place until the campaign completes")
-                .next_chunk(CLAIM_CHUNK);
+                .next_chunk(self.params.chunk_size.max(1));
             if chunk.is_empty() {
                 disp.exhausted = true;
                 self.maybe_finalize(&mut disp);
@@ -241,9 +248,16 @@ where
         // Take the slot's trie out for the whole chunk; another slot
         // serving this campaign concurrently uses its own.
         let mut executor = self.executors.lock().remove(&slot).or_else(|| {
-            self.params
-                .incremental_budget
-                .map(IncrementalExecutor::<M>::new)
+            match (self.params.incremental_budget, &self.params.subsume) {
+                (None, None) => None,
+                (budget, sub) => {
+                    let mut e = IncrementalExecutor::<M>::new(budget.unwrap_or(0));
+                    if let Some(set) = sub {
+                        e.enable_subsumption(Arc::clone(set));
+                    }
+                    Some(e)
+                }
+            }
         });
 
         for (index, il) in chunk {
@@ -278,8 +292,16 @@ where
                             self.stop.store(true, Ordering::Release);
                         }
                     }
-                    let cache_hit = executor.as_ref().map(|e| e.last_resume_depth() > 0);
-                    self.params.instrument.run_done(slot, cache_hit);
+                    // As in the pool: no hit/miss attribution from a
+                    // zero-budget subsumption-only executor.
+                    let cache_hit = self
+                        .params
+                        .incremental_budget
+                        .and_then(|_| executor.as_ref().map(|e| e.last_resume_depth() > 0));
+                    let subsumed = executor
+                        .as_ref()
+                        .is_some_and(IncrementalExecutor::last_run_subsumed);
+                    self.params.instrument.run_done(slot, cache_hit, subsumed);
                     self.sink.lock().push(run);
                 }
                 Err(payload) => {
@@ -452,7 +474,7 @@ impl ExecutorService {
     ) -> Result<(PoolOutput, IndexedSource<I>), ErPiError>
     where
         M: SystemModel + Send + Sync + 'static,
-        M::State: Send,
+        M::State: Send + Sync,
         I: Iterator<Item = Interleaving> + Send + 'static,
     {
         let task = Arc::new(CampaignTask {
@@ -577,6 +599,8 @@ mod tests {
             suite,
             stop_on_first_violation,
             incremental_budget: None,
+            subsume: None,
+            chunk_size: crate::DEFAULT_CHUNK_SIZE,
             instrument: Instrument::disabled(),
             cancel,
         }
@@ -692,6 +716,8 @@ mod tests {
                 suite: TestSuite::new(),
                 stop_on_first_violation: false,
                 incremental_budget: None,
+                subsume: None,
+                chunk_size: crate::DEFAULT_CHUNK_SIZE,
                 instrument: Instrument::disabled(),
                 cancel: None,
             },

@@ -19,11 +19,12 @@ use er_pi_analysis::{Diagnostic, TraceAnalysis};
 
 use crate::instrument::{Instrument, ProgressHook};
 use crate::service::CampaignParams;
+use crate::subsume::SubsumeSet;
 use crate::{
     CacheStats, CancelToken, CheckContext, ConstraintsDir, CrossContext, ErPiError,
     ExecutorService, FailureStats, IncrementalExecutor, InlineExecutor, OpOutcome, ReplayPool,
     Report, ResourceProfile, RunRecord, SanitizerReport, SessionSummary, SystemModel, TestSuite,
-    TimeModel, Violation, WorkerLoad, DEFAULT_CACHE_BUDGET,
+    TimeModel, Violation, WorkerLoad, DEFAULT_CACHE_BUDGET, DEFAULT_CHUNK_SIZE,
 };
 
 /// The live, recording instance of the system under test.
@@ -135,7 +136,7 @@ impl<'m, M: SystemModel> LiveSystem<'m, M> {
 
 /// An exploration source over any of the three modes.
 enum AnyExplorer<'w> {
-    ErPi(ErPiExplorer<'w>),
+    ErPi(Box<ErPiExplorer<'w>>),
     Dfs(DfsExplorer),
     Rand(RandomExplorer),
 }
@@ -190,6 +191,14 @@ impl AnyExplorer<'_> {
             _ => None,
         }
     }
+
+    /// Attaches the live sleep-set prune tally (ER-π mode only; inert when
+    /// sleep sets are off or no pair of units commutes).
+    fn set_sleep_tally(&mut self, tally: Arc<std::sync::atomic::AtomicU64>) {
+        if let AnyExplorer::ErPi(e) = self {
+            e.set_sleep_tally(tally);
+        }
+    }
 }
 
 /// One integration-testing session over a [`SystemModel`].
@@ -211,6 +220,9 @@ pub struct Session<M: SystemModel> {
     workers: usize,
     incremental: bool,
     cache_budget: usize,
+    subsume: bool,
+    sleep_sets: bool,
+    chunk_size: usize,
     time: TimeModel,
     constraints: Option<ConstraintsDir>,
     constraint_poll_every: usize,
@@ -259,6 +271,9 @@ impl<M: SystemModel> Session<M> {
             workers: ReplayPool::available_workers(),
             incremental: true,
             cache_budget: DEFAULT_CACHE_BUDGET,
+            subsume: false,
+            sleep_sets: false,
+            chunk_size: DEFAULT_CHUNK_SIZE,
             time: TimeModel::paper_setup(),
             constraints: None,
             constraint_poll_every: 100,
@@ -391,6 +406,73 @@ impl<M: SystemModel> Session<M> {
     /// The configured snapshot budget.
     pub fn cache_budget(&self) -> usize {
         self.cache_budget
+    }
+
+    /// Enables or disables state-hash subsumption (default: **off**).
+    ///
+    /// Each replay then keeps a campaign-wide explored-set of
+    /// `(state digest, fault digest, suffix hash, depth)` keys; whenever a
+    /// run reaches a state some memoized run already continued from — with
+    /// the same pending faults and the same remaining events — the
+    /// memoized tail is stitched in instead of executed. The report stays
+    /// byte-identical to a subsumption-off replay ([`Report::diff`]
+    /// returns `None`; the dpor-equivalence suite pins it), and
+    /// [`CacheStats::subsumed`] / [`CacheStats::subsume_events_saved`]
+    /// count the skipped work.
+    ///
+    /// Requires [`SystemModel::state_encode`]: models that decline it run
+    /// unchanged (the set never fires). `ER_PI_SUBSUME_AUDIT=1` keeps the
+    /// full encodings next to the digests and panics on any 128-bit
+    /// collision or false subsumption.
+    pub fn set_subsumption(&mut self, subsume: bool) -> &mut Self {
+        self.subsume = subsume;
+        self
+    }
+
+    /// Whether state-hash subsumption is enabled.
+    pub fn subsumption(&self) -> bool {
+        self.subsume
+    }
+
+    /// Enables or disables sleep-set (DPOR-style) pruning (default:
+    /// **off**); equivalent to setting
+    /// [`PruningConfig::sleep_sets`] on the session's configuration, except
+    /// that the session flag also merges the auto-derived (certified)
+    /// independence relation into the effective pruning configuration, so
+    /// workloads that declare no independent sets by hand still get a live
+    /// commute matrix.
+    ///
+    /// Unit permutations with a descending adjacent pair of commuting
+    /// units (every cross event pair declared independent) are rejected
+    /// before they are even flattened. Sound — one representative per
+    /// commutation class always survives, so the violation set is
+    /// unchanged — but the surviving representative may differ from the
+    /// one the event-level independence filter would have kept, so reports
+    /// are violation-equivalent rather than byte-identical.
+    pub fn set_sleep_sets(&mut self, sleep: bool) -> &mut Self {
+        self.sleep_sets = sleep;
+        self
+    }
+
+    /// Whether sleep-set pruning is enabled.
+    pub fn sleep_sets(&self) -> bool {
+        self.sleep_sets
+    }
+
+    /// Sets the pool dispenser's claim granularity, in interleavings per
+    /// claim (default: [`DEFAULT_CHUNK_SIZE`]; values below 1 are
+    /// clamped). Larger chunks amortize the dispenser lock and keep each
+    /// worker's stream prefix-coherent (hotter checkpoint tries); smaller
+    /// chunks react faster to stop-on-first-violation cancellation, which
+    /// is only checked between chunks. Sequential replay ignores it.
+    pub fn set_chunk_size(&mut self, chunk: usize) -> &mut Self {
+        self.chunk_size = chunk.max(1);
+        self
+    }
+
+    /// The configured claim-chunk granularity.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
     }
 
     /// Replaces the simulated-time model.
@@ -610,7 +692,7 @@ impl<M: SystemModel> Session<M> {
         plans: &[FaultPlan],
     ) -> FaultProduct<AnyExplorer<'w>> {
         let explorer = match self.mode {
-            ExploreMode::ErPi => AnyExplorer::ErPi(ErPiExplorer::new(workload, config)),
+            ExploreMode::ErPi => AnyExplorer::ErPi(Box::new(ErPiExplorer::new(workload, config))),
             ExploreMode::Dfs => AnyExplorer::Dfs(DfsExplorer::new(workload)),
             ExploreMode::Random { seed } => AnyExplorer::Rand(RandomExplorer::new(workload, seed)),
         };
@@ -629,7 +711,9 @@ impl<M: SystemModel> Session<M> {
         plans: &[FaultPlan],
     ) -> FaultProduct<AnyExplorer<'static>> {
         let explorer = match self.mode {
-            ExploreMode::ErPi => AnyExplorer::ErPi(ErPiExplorer::owned(workload.clone(), config)),
+            ExploreMode::ErPi => {
+                AnyExplorer::ErPi(Box::new(ErPiExplorer::owned(workload.clone(), config)))
+            }
             ExploreMode::Dfs => AnyExplorer::Dfs(DfsExplorer::new(workload)),
             ExploreMode::Random { seed } => AnyExplorer::Rand(RandomExplorer::new(workload, seed)),
         };
@@ -654,6 +738,7 @@ impl<M: SystemModel> Session<M> {
     pub fn replay(&mut self, suite: &TestSuite<M::State>) -> Result<Report, ErPiError>
     where
         M: Sync,
+        M::State: Send + Sync,
     {
         let workload = self.workload.clone().ok_or(ErPiError::NothingRecorded)?;
         let started = Instant::now();
@@ -713,7 +798,7 @@ impl<M: SystemModel> Session<M> {
     ) -> Result<Report, ErPiError>
     where
         M: Clone + Send + Sync + 'static,
-        M::State: Send,
+        M::State: Send + Sync,
     {
         let workload = self.workload.clone().ok_or(ErPiError::NothingRecorded)?;
         let started = Instant::now();
@@ -767,9 +852,12 @@ impl<M: SystemModel> Session<M> {
         // rules, optionally extended by the analysis-derived independence.
         // Kept local so repeated replays never accumulate duplicates.
         let mut effective = self.config.clone();
-        if self.auto_independence {
+        // Sleep sets consume the analysis-derived independence relation, so
+        // enabling them implies the auto-independence merge.
+        if self.auto_independence || self.sleep_sets {
             effective.absorb(analysis.to_pruning_config());
         }
+        effective.sleep_sets |= self.sleep_sets;
 
         // Pre-campaign certification: audit the commutativity table itself
         // and cross-check the effective independence declarations against
@@ -958,6 +1046,7 @@ impl<M: SystemModel> Session<M> {
                 "independence" => "prune:independence",
                 "failed-ops" => "prune:failed-ops",
                 "causal" => "prune:causal",
+                "sleep" => "prune:sleep",
                 _ => "prune:other",
             };
             let dur_us = row.wall_ns / 1_000;
@@ -992,6 +1081,9 @@ impl<M: SystemModel> Session<M> {
         if telemetry.is_active() {
             explorer.inner_mut().enable_timing();
         }
+        if let Some(progress) = &instrument.progress {
+            explorer.inner_mut().set_sleep_tally(progress.sleep_tally());
+        }
         let mode = explorer.inner().mode_name().to_owned();
         let mut source = IndexedSource::new(explorer, self.max_interleavings);
         let mut runs: Vec<RunRecord> = Vec::new();
@@ -1000,9 +1092,21 @@ impl<M: SystemModel> Session<M> {
         let mut sim_us: u64 = 0;
         let mut stopped_by_violation = false;
         let mut store = self.persist.then(|| InterleavingStore::new(workload));
-        let mut incremental = self
-            .incremental
-            .then(|| IncrementalExecutor::<M>::new(self.cache_budget));
+        // Subsumption without incremental replay still rides on the
+        // incremental executor — with a zero snapshot budget, so the trie
+        // caches nothing and only the explored-set layer is live.
+        let mut incremental = (self.incremental || self.subsume).then(|| {
+            let budget = if self.incremental {
+                self.cache_budget
+            } else {
+                0
+            };
+            let mut e = IncrementalExecutor::<M>::new(budget);
+            if self.subsume {
+                e.enable_subsumption(Arc::new(SubsumeSet::new()));
+            }
+            e
+        });
         let mut hit_monitor =
             (self.incremental && telemetry.is_active()).then(HitRateMonitor::default);
 
@@ -1076,13 +1180,18 @@ impl<M: SystemModel> Session<M> {
                     ],
                 );
             }
-            let cache_hit = resumed_depth.map(|d| d > 0);
+            // No hit/miss attribution from a zero-budget subsumption-only
+            // executor — it always resumes from depth 0.
+            let cache_hit = self.incremental.then(|| resumed_depth.unwrap_or(0) > 0);
             if let (Some(monitor), Some(hit)) = (hit_monitor.as_mut(), cache_hit) {
                 if let Some(message) = monitor.record(hit) {
                     telemetry.warn(COORDINATOR_TRACK, "cache:low-hit-rate", message);
                 }
             }
-            instrument.run_done(0, cache_hit);
+            let subsumed = incremental
+                .as_ref()
+                .is_some_and(IncrementalExecutor::last_run_subsumed);
+            instrument.run_done(0, cache_hit, subsumed);
 
             runs.push(RunRecord {
                 interleaving: il,
@@ -1142,15 +1251,20 @@ impl<M: SystemModel> Session<M> {
     ) -> Result<ReplayOutcome, ErPiError>
     where
         M: Sync,
+        M::State: Send + Sync,
     {
         let plans = self.resolve_fault_plans(workload);
         let mut explorer = self.build_explorer(workload, effective, &plans);
         if instrument.telemetry.is_active() {
             explorer.inner_mut().enable_timing();
         }
+        if let Some(progress) = &instrument.progress {
+            explorer.inner_mut().set_sleep_tally(progress.sleep_tally());
+        }
         let mode = explorer.inner().mode_name().to_owned();
         let mut source = IndexedSource::new(explorer, self.max_interleavings);
         let pool = ReplayPool::new(self.workers);
+        let subsume = self.subsume.then(|| Arc::new(SubsumeSet::new()));
         let out = pool.run(
             &self.model,
             workload,
@@ -1159,6 +1273,8 @@ impl<M: SystemModel> Session<M> {
             suite,
             self.stop_on_first_violation,
             self.incremental.then_some(self.cache_budget),
+            subsume.as_ref(),
+            self.chunk_size,
             instrument,
             self.cancel.as_ref(),
         )?;
@@ -1231,12 +1347,15 @@ impl<M: SystemModel> Session<M> {
     ) -> Result<ReplayOutcome, ErPiError>
     where
         M: Clone + Send + Sync + 'static,
-        M::State: Send,
+        M::State: Send + Sync,
     {
         let plans = self.resolve_fault_plans(workload);
         let mut explorer = self.build_explorer_owned(workload, effective, &plans);
         if instrument.telemetry.is_active() {
             explorer.inner_mut().enable_timing();
+        }
+        if let Some(progress) = &instrument.progress {
+            explorer.inner_mut().set_sleep_tally(progress.sleep_tally());
         }
         let mode = explorer.inner().mode_name().to_owned();
         let source = IndexedSource::new(explorer, self.max_interleavings);
@@ -1247,6 +1366,8 @@ impl<M: SystemModel> Session<M> {
             suite: suite.clone(),
             stop_on_first_violation: self.stop_on_first_violation,
             incremental_budget: self.incremental.then_some(self.cache_budget),
+            subsume: self.subsume.then(|| Arc::new(SubsumeSet::new())),
+            chunk_size: self.chunk_size,
             instrument: instrument.clone(),
             cancel: self.cancel.clone(),
         };

@@ -142,6 +142,16 @@ impl SessionSummary {
                 cache.saved_secs(),
                 cache.bytes_resident,
             );
+            if cache.subsumed > 0 {
+                let _ = writeln!(
+                    out,
+                    "  subsumption: {} runs short-circuited ({:.1}%), {} executed, {} events skipped",
+                    cache.subsumed,
+                    cache.subsume_rate() * 100.0,
+                    cache.executed_runs(),
+                    cache.subsume_events_saved,
+                );
+            }
         }
         let _ = writeln!(
             out,
@@ -207,6 +217,8 @@ mod tests {
                 events_saved: 40,
                 bytes_resident: 512,
                 sim_us_saved: 2_000,
+                subsumed: 6,
+                subsume_events_saved: 24,
             }),
             failures: FailureStats {
                 runs_with_failures: 5,
@@ -220,6 +232,8 @@ mod tests {
         assert!(text.contains("failed-ops"), "{text}");
         assert!(text.contains("worker 0"), "{text}");
         assert!(text.contains("94.7%"), "{text}");
+        assert!(text.contains("subsumption: 6 runs"), "{text}");
+        assert!(text.contains("13 executed"), "{text}");
         assert!(text.contains("5/19 runs"), "{text}");
     }
 

@@ -95,6 +95,48 @@ pub trait SystemModel {
         states[replica.index()] = self.init(replica);
     }
 
+    /// Writes a *canonical encoding* of one replica's state into `out` and
+    /// returns `true`, or returns `false` (writing nothing) when the model
+    /// cannot encode its state faithfully.
+    ///
+    /// This is the soundness gate of state-hash subsumption
+    /// ([`Session::set_subsumption`](crate::Session::set_subsumption)):
+    /// equal encodings must imply *behaviorally identical* states — same
+    /// outcomes, observations, and reachable states under every suffix of
+    /// events. [`observe`](SystemModel::observe) is deliberately NOT used
+    /// as a fallback: it is a lossy projection (an OR-set's element view
+    /// drops add-tags and tombstones that change future remove semantics),
+    /// and hashing it would merge states that still behave differently.
+    ///
+    /// The default declines, which silently disables subsumption for the
+    /// model — a safe no-op. Override it (typically via
+    /// [`CanonicalEncode`](er_pi_model::CanonicalEncode)) only when the
+    /// encoding covers every field that influences future behavior.
+    fn state_encode(&self, _state: &Self::State, _out: &mut Vec<u8>) -> bool {
+        false
+    }
+
+    /// A 128-bit digest over all replicas' canonical encodings, or `None`
+    /// when the model declines [`state_encode`](SystemModel::state_encode).
+    ///
+    /// The default length-prefixes each replica's encoding (so adjacent
+    /// replicas can never alias) and hashes the concatenation with
+    /// [`fnv1a128`](er_pi_rdl::fnv1a128). Override only to swap the digest
+    /// function; the subsumption layer treats the value as opaque.
+    fn state_digest(&self, states: &[Self::State]) -> Option<u128> {
+        let mut buf = Vec::new();
+        for state in states {
+            let at = buf.len();
+            buf.extend_from_slice(&[0u8; 8]); // length placeholder
+            if !self.state_encode(state, &mut buf) {
+                return None;
+            }
+            let len = (buf.len() - at - 8) as u64;
+            buf[at..at + 8].copy_from_slice(&len.to_le_bytes());
+        }
+        Some(er_pi_rdl::fnv1a128(&buf))
+    }
+
     /// A cheap estimate of one state's resident size in bytes — the unit
     /// the incremental executor's snapshot budget is accounted in (see
     /// [`Session::set_cache_budget`](crate::Session::set_cache_budget)).
@@ -156,5 +198,46 @@ mod tests {
     #[test]
     fn default_state_size_hint_is_shallow_size() {
         assert_eq!(Dummy.state_size_hint(&7), std::mem::size_of::<u32>());
+    }
+
+    #[test]
+    fn default_state_digest_declines() {
+        assert_eq!(Dummy.state_digest(&[1, 2, 3]), None);
+    }
+
+    struct Encodable;
+
+    impl SystemModel for Encodable {
+        type State = u32;
+
+        fn replicas(&self) -> usize {
+            2
+        }
+
+        fn init(&self, replica: ReplicaId) -> u32 {
+            u32::from(replica.raw())
+        }
+
+        fn apply(&self, _states: &mut [u32], _event: &Event) -> OpOutcome {
+            OpOutcome::Applied
+        }
+
+        fn observe(&self, state: &u32) -> Value {
+            Value::from(i64::from(*state))
+        }
+
+        fn state_encode(&self, state: &u32, out: &mut Vec<u8>) -> bool {
+            out.extend_from_slice(&state.to_le_bytes());
+            true
+        }
+    }
+
+    #[test]
+    fn state_digest_distinguishes_states_and_replica_boundaries() {
+        let m = Encodable;
+        let d1 = m.state_digest(&[1, 2]).expect("encodable");
+        assert_eq!(m.state_digest(&[1, 2]), Some(d1), "deterministic");
+        assert_ne!(m.state_digest(&[2, 1]), Some(d1), "per-replica placement");
+        assert_ne!(m.state_digest(&[1, 3]), Some(d1));
     }
 }

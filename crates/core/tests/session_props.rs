@@ -130,7 +130,7 @@ fn observation_set<M>(
 ) -> (usize, BTreeSet<Vec<Value>>)
 where
     M: SystemModel + Sync,
-    M::State: 'static,
+    M::State: Send + Sync + 'static,
 {
     let mut session = Session::new(model);
     session.set_workload(workload.clone());

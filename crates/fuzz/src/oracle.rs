@@ -26,6 +26,9 @@ pub struct OracleOptions {
     pub cap: usize,
     /// Whether the checkpoint-trie incremental executor is enabled.
     pub incremental: bool,
+    /// Whether state-hash subsumption is enabled (byte-identical reports
+    /// either way; subsumed runs land in the report's cache counters).
+    pub subsumption: bool,
 }
 
 impl Default for OracleOptions {
@@ -34,6 +37,7 @@ impl Default for OracleOptions {
             workers: 1,
             cap: 2048,
             incremental: true,
+            subsumption: false,
         }
     }
 }
@@ -99,7 +103,8 @@ pub fn report_for(case: &FuzzCase, opts: &OracleOptions) -> Report {
                 .set_fault_plans(plans)
                 .set_workers(opts.workers)
                 .set_cap(opts.cap)
-                .set_incremental(opts.incremental);
+                .set_incremental(opts.incremental)
+                .set_subsumption(opts.subsumption);
             session.config_mut().require_causal = true;
             session.replay(&crdts_suite()).expect("replay cannot fail")
         }
@@ -110,7 +115,8 @@ pub fn report_for(case: &FuzzCase, opts: &OracleOptions) -> Report {
                 .set_fault_plans(plans)
                 .set_workers(opts.workers)
                 .set_cap(opts.cap)
-                .set_incremental(opts.incremental);
+                .set_incremental(opts.incremental)
+                .set_subsumption(opts.subsumption);
             session.config_mut().require_causal = true;
             session.replay(&ledger_suite()).expect("replay cannot fail")
         }
@@ -133,7 +139,7 @@ fn replay_case_on<M>(
 ) -> Result<Report, ErPiError>
 where
     M: SystemModel + Clone + Send + Sync + 'static,
-    M::State: Send,
+    M::State: Send + Sync,
 {
     let (workload, plan) = case.build();
     let mut plans = vec![FaultPlan::empty()];
@@ -146,6 +152,7 @@ where
         .set_fault_plans(plans)
         .set_cap(opts.cap)
         .set_incremental(opts.incremental)
+        .set_subsumption(opts.subsumption)
         .set_cancel_token(cancel);
     session.config_mut().require_causal = true;
     if let Some(hook) = progress {

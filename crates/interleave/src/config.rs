@@ -66,6 +66,16 @@ pub struct PruningConfig {
     /// entirely instead of replaying them as wasted no-op runs.
     #[serde(default)]
     pub require_causal: bool,
+    /// Extension: sleep-set (DPOR-style) pruning over unit permutations.
+    /// Precomputes which grouped units commute (every cross event pair
+    /// co-members of a declared independent set) and rejects permutations
+    /// with a descending adjacent commuting pair — before the candidate is
+    /// even flattened. Sound (one representative per commutation class
+    /// always survives) but off by default: it changes *which*
+    /// representative of a merged class is replayed, so reports are
+    /// violation-equivalent rather than byte-identical to a sleep-off run.
+    #[serde(default)]
+    pub sleep_sets: bool,
 }
 
 impl PruningConfig {
@@ -104,6 +114,13 @@ impl PruningConfig {
         self
     }
 
+    /// Builder-style: enables sleep-set pruning over unit permutations.
+    #[must_use]
+    pub fn with_sleep_sets(mut self, enabled: bool) -> Self {
+        self.sleep_sets = enabled;
+        self
+    }
+
     /// Merges constraints discovered at runtime (State 4 of the paper's
     /// workflow) into this configuration.
     pub fn absorb(&mut self, newer: PruningConfig) {
@@ -116,6 +133,7 @@ impl PruningConfig {
         self.interference.extend(newer.interference);
         self.failed_ops.extend(newer.failed_ops);
         self.require_causal |= newer.require_causal;
+        self.sleep_sets |= newer.sleep_sets;
     }
 
     /// Returns `true` if any dynamic (developer-parameterized) pruning is

@@ -6,7 +6,7 @@ use er_pi_model::{Interleaving, Workload};
 
 use crate::{
     failed_ops_canonical, group_events, independence_canonical, replica_specific_canonical,
-    Explorer, GroupedUnits, PruningConfig,
+    sleep::SleepSet, Explorer, GroupedUnits, PruningConfig,
 };
 
 /// Per-algorithm pruning counters, observed while exploring.
@@ -25,6 +25,13 @@ pub struct PruneStats {
     /// Interleavings merged away by event grouping, per unit permutation
     /// (analytic): `n!/u!` interleavings collapse into every emitted one.
     pub grouping_factor: u128,
+    /// Unit permutations that reached the sleep-set filter (the first
+    /// filter — it runs on the raw permutation, before flattening).
+    #[serde(default)]
+    pub sleep_checked: u64,
+    /// Unit permutations rejected by the sleep-set filter.
+    #[serde(default)]
+    pub sleep_rejected: u64,
     /// Candidates that reached replica-specific canonicalization.
     pub replica_specific_checked: u64,
     /// Candidates rejected by replica-specific canonicalization.
@@ -49,6 +56,7 @@ impl PruneStats {
     /// Total candidates examined (emitted + rejected by any filter).
     pub fn examined(&self) -> u64 {
         self.emitted
+            + self.sleep_rejected
             + self.replica_specific_rejected
             + self.independence_rejected
             + self.failed_ops_rejected
@@ -61,6 +69,7 @@ impl PruneStats {
     /// everything earlier) are omitted.
     pub fn per_filter(&self) -> Vec<(&'static str, u64, u64)> {
         [
+            ("sleep", self.sleep_checked, self.sleep_rejected),
             (
                 "replica-specific",
                 self.replica_specific_checked,
@@ -93,6 +102,8 @@ impl PruneStats {
 /// telemetry layer turns these into per-pruner spans.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FilterTimings {
+    /// Nanoseconds spent in the sleep-set permutation filter.
+    pub sleep_ns: u64,
     /// Nanoseconds spent in replica-specific canonicalization.
     pub replica_specific_ns: u64,
     /// Nanoseconds spent in event-independence canonicalization.
@@ -105,8 +116,9 @@ pub struct FilterTimings {
 
 impl FilterTimings {
     /// `(name, nanoseconds)` rows in filter evaluation order.
-    pub fn per_filter(&self) -> [(&'static str, u64); 4] {
+    pub fn per_filter(&self) -> [(&'static str, u64); 5] {
         [
+            ("sleep", self.sleep_ns),
             ("replica-specific", self.replica_specific_ns),
             ("independence", self.independence_ns),
             ("failed-ops", self.failed_ops_ns),
@@ -126,6 +138,7 @@ pub struct ErPiExplorer<'w> {
     config: PruningConfig,
     grouped: GroupedUnits,
     perms: crate::Permutations,
+    sleep: SleepSet,
     stats: PruneStats,
     timing: bool,
     timings: FilterTimings,
@@ -153,11 +166,17 @@ impl<'w> ErPiExplorer<'w> {
             er_pi_model::reduction_factor(workload.total_orders(), grouped.total_orders())
                 .unwrap_or(1)
         };
+        let sleep = if config.sleep_sets {
+            SleepSet::new(&grouped, config)
+        } else {
+            SleepSet::default()
+        };
         ErPiExplorer {
             workload,
             config: config.clone(),
             perms: crate::Permutations::new(grouped.len()),
             grouped,
+            sleep,
             stats: PruneStats {
                 grouping_factor,
                 ..PruneStats::default()
@@ -188,6 +207,13 @@ impl<'w> ErPiExplorer<'w> {
     /// [`ErPiExplorer::enable_timing`] was called.
     pub fn timings(&self) -> FilterTimings {
         self.timings
+    }
+
+    /// Attaches a live sleep-set rejection tally (an atomic the progress
+    /// layer shares with the campaign server). The deterministic counts
+    /// stay in [`PruneStats`]; the tally only feeds live metrics.
+    pub fn set_sleep_tally(&mut self, tally: std::sync::Arc<std::sync::atomic::AtomicU64>) {
+        self.sleep.set_tally(tally);
     }
 
     /// Checks every configured canonical predicate, updating the per-filter
@@ -257,6 +283,20 @@ impl Iterator for ErPiExplorer<'_> {
     fn next(&mut self) -> Option<Interleaving> {
         loop {
             let perm = self.perms.next()?;
+            // The sleep-set check runs on the raw unit permutation, before
+            // the flatten: a pruned candidate never pays event-level work.
+            if self.sleep.is_active() {
+                self.stats.sleep_checked += 1;
+                let t = self.timing.then(std::time::Instant::now);
+                let ok = self.sleep.is_canonical(&perm);
+                if let Some(t) = t {
+                    self.timings.sleep_ns += t.elapsed().as_nanos() as u64;
+                }
+                if !ok {
+                    self.stats.sleep_rejected += 1;
+                    continue;
+                }
+            }
             let order = self.grouped.flatten(&perm);
             match self.rejecting_filter(&order) {
                 None => {
@@ -473,5 +513,53 @@ mod tests {
         let config = PruningConfig::default().with_independent_set(vec![x, y, z]);
         let explorer = ErPiExplorer::new(&w, &config);
         assert_eq!(explorer.count(), 1, "3! orders merge into one");
+    }
+
+    #[test]
+    fn sleep_sets_emit_the_same_orders_with_fewer_event_level_checks() {
+        // Sleep pruning runs on the unit permutation before flattening, so
+        // the independence filter sees fewer candidates — but the emitted
+        // set must be unchanged (both keep the ascending representative).
+        let mut w = Workload::builder();
+        for i in 0..4u16 {
+            w.update(r(i), "set", [Value::from(i as i64)]);
+        }
+        let w = w.build();
+        let ids: Vec<EventId> = (0..4).map(EventId::new).collect();
+        let base = PruningConfig::default().with_independent_set(ids.clone());
+        let mut plain = ErPiExplorer::new(&w, &base);
+        let plain_out: Vec<Interleaving> = plain.by_ref().collect();
+
+        let slept = base.clone().with_sleep_sets(true);
+        let mut pruned = ErPiExplorer::new(&w, &slept);
+        let pruned_out: Vec<Interleaving> = pruned.by_ref().collect();
+
+        assert_eq!(plain_out, pruned_out, "same canonical representatives");
+        let stats = pruned.stats();
+        assert_eq!(stats.sleep_checked, 24);
+        assert!(
+            stats.sleep_rejected > 0,
+            "sleep must prune before the flatten: {stats:?}"
+        );
+        assert!(
+            stats.independence_checked < plain.stats().independence_checked,
+            "event-level filter saw fewer candidates"
+        );
+        assert_eq!(
+            stats.per_filter()[0],
+            ("sleep", stats.sleep_checked, stats.sleep_rejected)
+        );
+        assert_eq!(stats.examined(), 24);
+    }
+
+    #[test]
+    fn sleep_sets_without_independence_declarations_are_inert() {
+        let (w, _) = motivating();
+        let config = PruningConfig::default().with_sleep_sets(true);
+        let mut explorer = ErPiExplorer::new(&w, &config);
+        assert_eq!(explorer.by_ref().count(), 24);
+        let stats = explorer.stats();
+        assert_eq!(stats.sleep_checked, 0, "no commuting pair, no check");
+        assert_eq!(stats.sleep_rejected, 0);
     }
 }

@@ -73,6 +73,7 @@ mod independence;
 mod permute;
 mod replica_specific;
 mod shard;
+mod sleep;
 
 pub use config::{FailedOpsRule, PruningConfig};
 pub use erpi::{ErPiExplorer, FilterTimings, PruneStats};

@@ -55,6 +55,13 @@ impl fmt::Display for LamportTimestamp {
     }
 }
 
+impl crate::CanonicalEncode for LamportTimestamp {
+    fn encode_canonical(&self, out: &mut Vec<u8>) {
+        self.time.encode_canonical(out);
+        self.replica.encode_canonical(out);
+    }
+}
+
 /// A per-replica Lamport clock.
 ///
 /// `tick` advances local time for a local event; `observe` merges a remote
@@ -117,6 +124,13 @@ impl LamportClock {
     /// should never need this.
     pub fn force(&mut self, time: u64) {
         self.time = time;
+    }
+}
+
+impl crate::CanonicalEncode for LamportClock {
+    fn encode_canonical(&self, out: &mut Vec<u8>) {
+        self.replica.encode_canonical(out);
+        self.time.encode_canonical(out);
     }
 }
 

@@ -98,6 +98,17 @@ impl DotContext {
     }
 }
 
+impl crate::CanonicalEncode for DotContext {
+    fn encode_canonical(&self, out: &mut Vec<u8>) {
+        self.vector.encode_canonical(out);
+        // The cloud is a BTreeSet: iteration order is sorted, deterministic.
+        (self.cloud.len() as u64).encode_canonical(out);
+        for dot in &self.cloud {
+            dot.encode_canonical(out);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -48,6 +48,7 @@
 
 mod clock;
 mod dotctx;
+mod encode;
 mod event;
 mod fault;
 mod ids;
@@ -58,6 +59,7 @@ mod workload;
 
 pub use clock::{LamportClock, LamportTimestamp};
 pub use dotctx::DotContext;
+pub use encode::CanonicalEncode;
 pub use event::{Event, EventKind, OpDescriptor};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use ids::{Dot, EventId, ReplicaId};

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use er_pi_model::ReplicaId;
+use er_pi_model::{CanonicalEncode, ReplicaId};
 use serde::{Deserialize, Serialize};
 
 use crate::StateCrdt;
@@ -11,7 +11,7 @@ use crate::StateCrdt;
 /// A grow-only counter: one monotone count per replica; value = sum.
 ///
 /// ```
-/// use er_pi_model::ReplicaId;
+/// use er_pi_model::{CanonicalEncode, ReplicaId};
 /// use er_pi_rdl::{GCounter, StateCrdt};
 ///
 /// let mut a = GCounter::new(ReplicaId::new(0));
@@ -78,7 +78,7 @@ impl fmt::Display for GCounter {
 /// for decrements.
 ///
 /// ```
-/// use er_pi_model::ReplicaId;
+/// use er_pi_model::{CanonicalEncode, ReplicaId};
 /// use er_pi_rdl::{PnCounter, StateCrdt};
 ///
 /// let mut a = PnCounter::new(ReplicaId::new(0));
@@ -126,6 +126,20 @@ impl StateCrdt for PnCounter {
     fn merge(&mut self, other: &Self) {
         self.inc.merge(&other.inc);
         self.dec.merge(&other.dec);
+    }
+}
+
+impl CanonicalEncode for GCounter {
+    fn encode_canonical(&self, out: &mut Vec<u8>) {
+        self.replica.encode_canonical(out);
+        self.counts.encode_canonical(out);
+    }
+}
+
+impl CanonicalEncode for PnCounter {
+    fn encode_canonical(&self, out: &mut Vec<u8>) {
+        self.inc.encode_canonical(out);
+        self.dec.encode_canonical(out);
     }
 }
 

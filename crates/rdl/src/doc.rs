@@ -13,7 +13,8 @@
 use std::collections::BTreeMap;
 
 use er_pi_model::{
-    Dot, DotContext, LamportClock, LamportTimestamp, ReplicaId, Value, VersionVector,
+    CanonicalEncode, Dot, DotContext, LamportClock, LamportTimestamp, ReplicaId, Value,
+    VersionVector,
 };
 use serde::{Deserialize, Serialize};
 
@@ -514,6 +515,97 @@ impl DeltaSync for JsonDoc {
 impl StateCrdt for JsonDoc {
     fn merge(&mut self, other: &Self) {
         self.sync_from(other);
+    }
+}
+
+impl CanonicalEncode for DocOp {
+    fn encode_canonical(&self, out: &mut Vec<u8>) {
+        match self {
+            DocOp::SetPrim {
+                path,
+                value,
+                ts,
+                dot,
+            } => {
+                out.push(0);
+                path.encode_canonical(out);
+                value.encode_canonical(out);
+                ts.encode_canonical(out);
+                dot.encode_canonical(out);
+            }
+            DocOp::SetObject {
+                path,
+                entries,
+                ts,
+                dot,
+            } => {
+                out.push(1);
+                path.encode_canonical(out);
+                entries.encode_canonical(out);
+                ts.encode_canonical(out);
+                dot.encode_canonical(out);
+            }
+            DocOp::Remove { path, ts, dot } => {
+                out.push(2);
+                path.encode_canonical(out);
+                ts.encode_canonical(out);
+                dot.encode_canonical(out);
+            }
+            DocOp::NewArray { path, ts, dot } => {
+                out.push(3);
+                path.encode_canonical(out);
+                ts.encode_canonical(out);
+                dot.encode_canonical(out);
+            }
+            DocOp::Arr { path, op, dot } => {
+                out.push(4);
+                path.encode_canonical(out);
+                op.encode_canonical(out);
+                dot.encode_canonical(out);
+            }
+        }
+    }
+}
+
+impl CanonicalEncode for Node {
+    fn encode_canonical(&self, out: &mut Vec<u8>) {
+        match self {
+            Node::Prim(v) => {
+                out.push(0);
+                v.encode_canonical(out);
+            }
+            Node::Obj(entries) => {
+                out.push(1);
+                entries.encode_canonical(out);
+            }
+            Node::Arr(rga) => {
+                out.push(2);
+                rga.encode_canonical(out);
+            }
+            Node::Removed => out.push(3),
+        }
+    }
+}
+
+impl CanonicalEncode for Entry {
+    fn encode_canonical(&self, out: &mut Vec<u8>) {
+        self.ts.encode_canonical(out);
+        self.replaced_at.encode_canonical(out);
+        self.node.encode_canonical(out);
+    }
+}
+
+impl CanonicalEncode for JsonDoc {
+    fn encode_canonical(&self, out: &mut Vec<u8>) {
+        // The LWW timestamps inside each entry steer conflict resolution of
+        // future writes, so they are part of behavioral state — as are the
+        // pending buffer and the dot context's delivery filter.
+        self.replica.encode_canonical(out);
+        self.clock.encode_canonical(out);
+        self.root.encode_canonical(out);
+        self.ctx.encode_canonical(out);
+        self.log.encode_canonical(out);
+        self.pending.encode_canonical(out);
     }
 }
 

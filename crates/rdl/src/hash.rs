@@ -21,6 +21,31 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// FNV-1a over a byte slice, 128-bit variant.
+///
+/// The state-hash subsumption layer keys its explored-set on digests of
+/// canonical replica-state encodings; at campaign scale (10⁴–10⁶ entries) a
+/// 64-bit digest has a non-negligible birthday-collision probability, while
+/// 128 bits puts it far below any practical campaign length. Same stability
+/// rationale as [`fnv1a64`]: reproducible across processes and platforms.
+///
+/// ```
+/// use er_pi_rdl::{fnv1a128, fnv1a64};
+///
+/// assert_eq!(fnv1a128(b"abc"), fnv1a128(b"abc"));
+/// assert_ne!(fnv1a128(b"abc"), fnv1a128(b"abd"));
+/// // Not a widening of the 64-bit variant: an independent permutation.
+/// assert_ne!(fnv1a128(b"abc") as u64, fnv1a64(b"abc"));
+/// ```
+pub fn fnv1a128(bytes: &[u8]) -> u128 {
+    let mut h: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    for &b in bytes {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(0x0000_0000_0100_0000_0000_0000_0000_013b);
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -41,5 +66,20 @@ mod tests {
     #[test]
     fn sensitive_to_order() {
         assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+    }
+
+    #[test]
+    fn known_vectors_128() {
+        // FNV-1a 128 reference values (offset basis and the standard
+        // test-vector "a" from the FNV reference code).
+        assert_eq!(fnv1a128(b""), 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d);
+        assert_eq!(fnv1a128(b"a"), 0xd228_cb69_6f1a_8caf_7891_2b70_4e4a_8964);
+    }
+
+    #[test]
+    fn fnv128_is_deterministic_and_order_sensitive() {
+        assert_eq!(fnv1a128(b"er-pi"), fnv1a128(b"er-pi"));
+        assert_ne!(fnv1a128(b"ab"), fnv1a128(b"ba"));
+        assert_ne!(fnv1a128(b"ab"), fnv1a128(b"abc"));
     }
 }

@@ -64,7 +64,7 @@ mod traits;
 pub use commute::{conflict_reasons, ConflictReason, CrdtType, OpKind, OpProfile};
 pub use counter::{GCounter, PnCounter};
 pub use doc::{DocError, DocOp, JsonDoc, JsonValue, PathSegment};
-pub use hash::fnv1a64;
+pub use hash::{fnv1a128, fnv1a64};
 pub use lwwset::{Bias, LwwElementSet};
 pub use map::{LwwMap, OrMap};
 pub use oplog::{LogEntry, LogSortOrder, MerkleHash, MerkleLog, MerkleLogOp};

@@ -19,7 +19,8 @@
 //!   head references ([`MerkleLog::dangling_refs`]).
 
 use er_pi_model::{
-    Dot, DotContext, LamportClock, LamportTimestamp, ReplicaId, Value, VersionVector,
+    CanonicalEncode, Dot, DotContext, LamportClock, LamportTimestamp, ReplicaId, Value,
+    VersionVector,
 };
 use serde::{Deserialize, Serialize};
 
@@ -291,6 +292,43 @@ impl DeltaSync for MerkleLog {
 impl StateCrdt for MerkleLog {
     fn merge(&mut self, other: &Self) {
         self.sync_from(other);
+    }
+}
+
+impl CanonicalEncode for MerkleHash {
+    fn encode_canonical(&self, out: &mut Vec<u8>) {
+        self.0.encode_canonical(out);
+    }
+}
+
+impl CanonicalEncode for LogEntry {
+    fn encode_canonical(&self, out: &mut Vec<u8>) {
+        self.hash.encode_canonical(out);
+        self.clock.encode_canonical(out);
+        self.identity.encode_canonical(out);
+        self.payload.encode_canonical(out);
+        self.refs.encode_canonical(out);
+        self.dot.encode_canonical(out);
+    }
+}
+
+impl CanonicalEncode for MerkleLog {
+    fn encode_canonical(&self, out: &mut Vec<u8>) {
+        // Entries are kept in arrival order and `LogSortOrder::ClockOnly`
+        // makes reads depend on it, so the raw entry vector (not a sorted
+        // view) is the faithful encoding; the clock, skew policy and
+        // rejection count steer future appends.
+        self.replica.encode_canonical(out);
+        self.identity.encode_canonical(out);
+        self.clock.encode_canonical(out);
+        out.push(match self.sort {
+            LogSortOrder::ClockThenIdentity => 0,
+            LogSortOrder::ClockOnly => 1,
+        });
+        self.entries.encode_canonical(out);
+        self.ctx.encode_canonical(out);
+        self.max_clock_skew.encode_canonical(out);
+        self.rejected.encode_canonical(out);
     }
 }
 

@@ -2,7 +2,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use er_pi_model::{Dot, DotContext, ReplicaId, VersionVector};
+use er_pi_model::{CanonicalEncode, Dot, DotContext, ReplicaId, VersionVector};
 use serde::{Deserialize, Serialize};
 
 use crate::{DeltaSync, StateCrdt};
@@ -201,6 +201,55 @@ impl<T: Ord + Clone> StateCrdt for OrSet<T> {
     }
 }
 
+impl<T: CanonicalEncode> CanonicalEncode for OrSetOp<T> {
+    fn encode_canonical(&self, out: &mut Vec<u8>) {
+        match self {
+            OrSetOp::Add { element, dot } => {
+                out.push(0);
+                element.encode_canonical(out);
+                dot.encode_canonical(out);
+            }
+            OrSetOp::Remove {
+                element,
+                observed,
+                dot,
+            } => {
+                out.push(1);
+                element.encode_canonical(out);
+                observed.encode_canonical(out);
+                dot.encode_canonical(out);
+            }
+        }
+    }
+}
+
+/// Canonical encoding of the *complete* behavioral state.
+///
+/// Subsumption soundness demands that equal encodings imply equal future
+/// behavior under any suffix of events, so every field that influences a
+/// future operation is included: the visible entries *and* their add-tags
+/// (observed removes kill exactly these), the removed-tag tombstones
+/// (resurrection protection), the full op log in arrival order (delta sync
+/// replays it), the dot context (idempotent redelivery + tag allocation),
+/// and the owning replica id. This is strictly stronger than hashing
+/// `elements()`, which is a lossy projection.
+impl<T: Ord + CanonicalEncode> CanonicalEncode for OrSet<T> {
+    fn encode_canonical(&self, out: &mut Vec<u8>) {
+        self.replica.encode_canonical(out);
+        (self.entries.len() as u64).encode_canonical(out);
+        for (element, tags) in &self.entries {
+            element.encode_canonical(out);
+            tags.encode_canonical(out);
+        }
+        (self.removed_tags.len() as u64).encode_canonical(out);
+        for dot in &self.removed_tags {
+            dot.encode_canonical(out);
+        }
+        self.log.encode_canonical(out);
+        self.ctx.encode_canonical(out);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,6 +357,44 @@ mod tests {
         assert_eq!(a.elements(), c.elements());
         assert_eq!(b.elements(), c.elements());
         assert_eq!(c.len(), 3);
+    }
+
+    fn enc<T: Ord + Clone + CanonicalEncode>(s: &OrSet<T>) -> Vec<u8> {
+        let mut out = Vec::new();
+        s.encode_canonical(&mut out);
+        out
+    }
+
+    #[test]
+    fn canonical_encoding_is_deterministic_and_clone_stable() {
+        let mut a = OrSet::new(r(0));
+        a.insert("x");
+        a.insert("y");
+        a.remove(&"x");
+        assert_eq!(enc(&a), enc(&a));
+        assert_eq!(enc(&a), enc(&a.clone()));
+    }
+
+    #[test]
+    fn canonical_encoding_sees_past_the_visible_projection() {
+        // Same `elements()` on both sides, but different hidden state: a
+        // remove left tombstones + log entries behind. A digest of the
+        // visible set would wrongly subsume these; the canonical encoding
+        // must distinguish them.
+        let mut a = OrSet::new(r(0));
+        a.insert("x");
+        let mut b = a.clone();
+        b.insert("tmp");
+        b.remove(&"tmp");
+        assert_eq!(a.elements(), b.elements());
+        assert_ne!(enc(&a), enc(&b));
+    }
+
+    #[test]
+    fn canonical_encoding_includes_replica_identity() {
+        let a: OrSet<i32> = OrSet::new(r(0));
+        let b: OrSet<i32> = OrSet::new(r(1));
+        assert_ne!(enc(&a), enc(&b));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use er_pi_model::{Dot, LamportTimestamp, ReplicaId, VersionVector};
+use er_pi_model::{CanonicalEncode, Dot, LamportTimestamp, ReplicaId, VersionVector};
 use serde::{Deserialize, Serialize};
 
 use crate::StateCrdt;
@@ -73,6 +73,13 @@ impl<T: Clone> StateCrdt for LwwRegister<T> {
 impl<T: fmt::Display> fmt::Display for LwwRegister<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}@{}", self.value, self.timestamp)
+    }
+}
+
+impl<T: CanonicalEncode> CanonicalEncode for LwwRegister<T> {
+    fn encode_canonical(&self, out: &mut Vec<u8>) {
+        self.value.encode_canonical(out);
+        self.timestamp.encode_canonical(out);
     }
 }
 

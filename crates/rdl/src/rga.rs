@@ -4,7 +4,9 @@
 //! #3 (move duplication) of the paper's §6.2, and behind the Yorkie-1 bug
 //! (`Array.MoveAfter` divergence, issue #676).
 
-use er_pi_model::{Dot, DotContext, LamportClock, LamportTimestamp, ReplicaId, VersionVector};
+use er_pi_model::{
+    CanonicalEncode, Dot, DotContext, LamportClock, LamportTimestamp, ReplicaId, VersionVector,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::{DeltaSync, StateCrdt};
@@ -421,6 +423,70 @@ impl<T: Clone + PartialEq> DeltaSync for Rga<T> {
 impl<T: Clone + PartialEq> StateCrdt for Rga<T> {
     fn merge(&mut self, other: &Self) {
         self.sync_from(other);
+    }
+}
+
+impl CanonicalEncode for ElementId {
+    fn encode_canonical(&self, out: &mut Vec<u8>) {
+        self.0.encode_canonical(out);
+    }
+}
+
+impl<T: CanonicalEncode> CanonicalEncode for RgaOp<T> {
+    fn encode_canonical(&self, out: &mut Vec<u8>) {
+        match self {
+            RgaOp::Insert {
+                id,
+                after,
+                value,
+                dot,
+            } => {
+                out.push(0);
+                id.encode_canonical(out);
+                after.encode_canonical(out);
+                value.encode_canonical(out);
+                dot.encode_canonical(out);
+            }
+            RgaOp::Delete { id, dot } => {
+                out.push(1);
+                id.encode_canonical(out);
+                dot.encode_canonical(out);
+            }
+            RgaOp::Move {
+                id,
+                after,
+                moved_at,
+                dot,
+            } => {
+                out.push(2);
+                id.encode_canonical(out);
+                after.encode_canonical(out);
+                moved_at.encode_canonical(out);
+                dot.encode_canonical(out);
+            }
+        }
+    }
+}
+
+impl<T: CanonicalEncode> CanonicalEncode for Rga<T> {
+    fn encode_canonical(&self, out: &mut Vec<u8>) {
+        // The node vector *is* the linearized list (tombstones included);
+        // pending buffers ops whose dependencies have not arrived, and the
+        // dot context is the delivery filter — all three steer future
+        // integrations.
+        self.replica.encode_canonical(out);
+        self.clock.encode_canonical(out);
+        (self.nodes.len() as u64).encode_canonical(out);
+        for node in &self.nodes {
+            node.id.encode_canonical(out);
+            node.pos_id.encode_canonical(out);
+            node.value.encode_canonical(out);
+            node.deleted.encode_canonical(out);
+            node.moved_at.encode_canonical(out);
+        }
+        self.ctx.encode_canonical(out);
+        self.log.encode_canonical(out);
+        self.pending.encode_canonical(out);
     }
 }
 

@@ -12,6 +12,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use crate::StateCrdt;
+use er_pi_model::CanonicalEncode;
 
 /// What happens when an insert and a delete of the same member carry the
 /// *same* score.
@@ -243,6 +244,54 @@ impl LwwTimeSeries {
 impl Default for LwwTimeSeries {
     fn default() -> Self {
         Self::new(TieBreak::InsertWins)
+    }
+}
+
+impl CanonicalEncode for ScoredMember {
+    fn encode_canonical(&self, out: &mut Vec<u8>) {
+        self.score.encode_canonical(out);
+        self.member.encode_canonical(out);
+    }
+}
+
+impl CanonicalEncode for TsOp {
+    fn encode_canonical(&self, out: &mut Vec<u8>) {
+        let (tag, key, member, score) = match self {
+            TsOp::Insert { key, member, score } => (0u8, key, member, score),
+            TsOp::Delete { key, member, score } => (1u8, key, member, score),
+        };
+        out.push(tag);
+        key.encode_canonical(out);
+        member.encode_canonical(out);
+        score.encode_canonical(out);
+    }
+}
+
+impl CanonicalEncode for LwwTimeSeries {
+    fn encode_canonical(&self, out: &mut Vec<u8>) {
+        // Everything a future op can observe: the tie policy steers LWW
+        // resolution, the per-member cells steer insert/delete acceptance
+        // and reads, and the op log is what sync ships (and what
+        // `assemble`-style history reads iterate).
+        out.push(match self.tie {
+            TieBreak::InsertWins => 0,
+            TieBreak::DeleteWins => 1,
+            TieBreak::LastApplied => 2,
+        });
+        (self.keys.len() as u64).encode_canonical(out);
+        for (key, set) in &self.keys {
+            key.encode_canonical(out);
+            (set.len() as u64).encode_canonical(out);
+            for (member, cell) in set {
+                member.encode_canonical(out);
+                cell.score.encode_canonical(out);
+                out.push(match cell.kind {
+                    OpKind::Insert => 0,
+                    OpKind::Delete => 1,
+                });
+            }
+        }
+        self.log.encode_canonical(out);
     }
 }
 

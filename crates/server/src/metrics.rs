@@ -20,6 +20,10 @@ pub struct Metrics {
     pub failed: AtomicU64,
     /// Interleavings replayed across all finished campaigns.
     pub runs_total: AtomicU64,
+    /// Runs answered from the subsumption set instead of being executed.
+    pub subsumed_total: AtomicU64,
+    /// Interleavings rejected by sleep-set pruning before replay.
+    pub sleep_prunes_total: AtomicU64,
 }
 
 /// JSON body of `GET /metrics`.
@@ -39,6 +43,13 @@ pub struct MetricsBody {
     pub failed: u64,
     /// Interleavings replayed across all finished campaigns.
     pub runs_total: u64,
+    /// Runs answered from the subsumption set instead of being executed.
+    pub subsumed_total: u64,
+    /// Interleavings rejected by sleep-set pruning before replay.
+    pub sleep_prunes_total: u64,
+    /// `subsumed_total / runs_total` — the fraction of finished runs that
+    /// were stitched from a memoized tail.
+    pub subsume_rate: f64,
     /// `runs_total / uptime` — the aggregate replay throughput.
     pub runs_per_sec: f64,
     /// Campaigns waiting for a runner.
@@ -65,6 +76,8 @@ impl Metrics {
             cancelled: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             runs_total: AtomicU64::new(0),
+            subsumed_total: AtomicU64::new(0),
+            sleep_prunes_total: AtomicU64::new(0),
         }
     }
 
@@ -79,6 +92,7 @@ impl Metrics {
     ) -> MetricsBody {
         let uptime = self.started.elapsed().as_secs_f64().max(1e-9);
         let runs_total = self.runs_total.load(Ordering::Relaxed);
+        let subsumed_total = self.subsumed_total.load(Ordering::Relaxed);
         MetricsBody {
             uptime_secs: uptime,
             submitted: self.submitted.load(Ordering::Relaxed),
@@ -87,6 +101,13 @@ impl Metrics {
             cancelled: self.cancelled.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             runs_total,
+            subsumed_total,
+            sleep_prunes_total: self.sleep_prunes_total.load(Ordering::Relaxed),
+            subsume_rate: if runs_total == 0 {
+                0.0
+            } else {
+                subsumed_total as f64 / runs_total as f64
+            },
             runs_per_sec: runs_total as f64 / uptime,
             queue_depth,
             running,
@@ -109,6 +130,16 @@ impl Metrics {
     pub fn add_runs(&self, n: u64) {
         self.runs_total.fetch_add(n, Ordering::Relaxed);
     }
+
+    /// Adds `n` subsumption-stitched runs to the campaign-wide tally.
+    pub fn add_subsumed(&self, n: u64) {
+        self.subsumed_total.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds `n` sleep-set rejections to the campaign-wide tally.
+    pub fn add_sleep_prunes(&self, n: u64) {
+        self.sleep_prunes_total.fetch_add(n, Ordering::Relaxed);
+    }
 }
 
 impl Default for Metrics {
@@ -128,10 +159,15 @@ mod tests {
         Metrics::bump(&m.submitted);
         Metrics::bump(&m.completed);
         m.add_runs(500);
+        m.add_subsumed(125);
+        m.add_sleep_prunes(40);
         let body = m.body(3, 1, 4, 2);
         assert_eq!(body.submitted, 2);
         assert_eq!(body.completed, 1);
         assert_eq!(body.runs_total, 500);
+        assert_eq!(body.subsumed_total, 125);
+        assert_eq!(body.sleep_prunes_total, 40);
+        assert_eq!(body.subsume_rate, 0.25);
         assert!(body.runs_per_sec > 0.0);
         assert_eq!(body.queue_depth, 3);
         assert_eq!(body.worker_utilization, 0.5);

@@ -53,8 +53,9 @@ fn run_one(state: &ServerState, campaign: &Arc<Campaign>) {
                 stop_on_first_violation: spec.stop_on_first_violation,
                 workers: 1,
                 incremental: spec.incremental,
-                telemetry: None,
-                sanitize: false,
+                subsumption: spec.subsumption,
+                sleep_sets: spec.sleep_sets,
+                ..ReplayOptions::default()
             },
         ),
         SubjectSpec::Trace(case) => report_for_on(
@@ -63,6 +64,7 @@ fn run_one(state: &ServerState, campaign: &Arc<Campaign>) {
                 workers: 1,
                 cap: spec.cap,
                 incremental: spec.incremental,
+                subsumption: spec.subsumption,
             },
             &state.service,
             spec.priority,
@@ -74,6 +76,12 @@ fn run_one(state: &ServerState, campaign: &Arc<Campaign>) {
     match result {
         Ok(report) => {
             state.metrics.add_runs(report.explored as u64);
+            if let Some(cache) = &report.cache_stats {
+                state.metrics.add_subsumed(cache.subsumed);
+            }
+            if let Some(prune) = &report.prune_stats {
+                state.metrics.add_sleep_prunes(prune.sleep_rejected);
+            }
             Metrics::bump(&state.metrics.completed);
             status.report = Some(report);
             status.phase = Phase::Done;

@@ -48,6 +48,15 @@ pub struct CampaignSpec {
     /// Prefix-sharing incremental replay (default on).
     #[serde(default)]
     pub incremental: Option<bool>,
+    /// State-hash subsumption (default off; reports are byte-identical
+    /// either way, subsumed runs show up in the cache counters and the
+    /// progress stream).
+    #[serde(default)]
+    pub subsumption: Option<bool>,
+    /// Sleep-set (DPOR-style) pruning (default off; the violation set is
+    /// unchanged, the replayed representatives may differ).
+    #[serde(default)]
+    pub sleep_sets: Option<bool>,
 }
 
 /// The subject a validated campaign replays.
@@ -85,6 +94,10 @@ pub struct ValidSpec {
     pub stop_on_first_violation: bool,
     /// Incremental replay.
     pub incremental: bool,
+    /// State-hash subsumption.
+    pub subsumption: bool,
+    /// Sleep-set pruning.
+    pub sleep_sets: bool,
 }
 
 impl CampaignSpec {
@@ -138,6 +151,8 @@ impl CampaignSpec {
             cap,
             stop_on_first_violation: self.stop_on_first_violation.unwrap_or(false),
             incremental: self.incremental.unwrap_or(true),
+            subsumption: self.subsumption.unwrap_or(false),
+            sleep_sets: self.sleep_sets.unwrap_or(false),
         })
     }
 }
@@ -155,6 +170,8 @@ mod tests {
         assert_eq!(valid.cap, DEFAULT_CAP);
         assert!(valid.incremental);
         assert!(!valid.stop_on_first_violation);
+        assert!(!valid.subsumption, "deep pruning is opt-in");
+        assert!(!valid.sleep_sets, "deep pruning is opt-in");
         assert_eq!(valid.subject.label(), "bug:Roshi-1");
     }
 

@@ -273,6 +273,13 @@ struct RunPlan {
     /// byte-identical with or without this (pinned by the
     /// sanitizer-equivalence suite).
     sanitize: bool,
+    /// State-hash subsumption; `false` pins the execute-everything
+    /// reference the dpor-equivalence suite compares against.
+    subsumption: bool,
+    /// Sleep-set (DPOR-style) pruning over unit permutations.
+    sleep_sets: bool,
+    /// Pool dispenser claim granularity, in interleavings.
+    chunk_size: usize,
 }
 
 /// Options for [`Bug::replay_report_opts`] — the fully general scheduling
@@ -305,6 +312,16 @@ pub struct ReplayOptions {
     /// Run the replay-time independence sanitizer alongside the replay;
     /// retrieve its findings via [`Bug::replay_report_checked`].
     pub sanitize: bool,
+    /// State-hash subsumption ([`Session::set_subsumption`]); the report
+    /// stays byte-identical either way.
+    pub subsumption: bool,
+    /// Sleep-set pruning ([`Session::set_sleep_sets`]); violation sets
+    /// stay identical, replayed representatives may differ.
+    pub sleep_sets: bool,
+    /// Pool dispenser claim granularity
+    /// ([`Session::set_chunk_size`]; default
+    /// [`DEFAULT_CHUNK_SIZE`](er_pi::DEFAULT_CHUNK_SIZE)).
+    pub chunk_size: usize,
 }
 
 impl Default for ReplayOptions {
@@ -316,6 +333,9 @@ impl Default for ReplayOptions {
             incremental: true,
             telemetry: None,
             sanitize: false,
+            subsumption: false,
+            sleep_sets: false,
+            chunk_size: er_pi::DEFAULT_CHUNK_SIZE,
         }
     }
 }
@@ -329,6 +349,9 @@ impl std::fmt::Debug for ReplayOptions {
             .field("incremental", &self.incremental)
             .field("telemetry", &self.telemetry.is_some())
             .field("sanitize", &self.sanitize)
+            .field("subsumption", &self.subsumption)
+            .field("sleep_sets", &self.sleep_sets)
+            .field("chunk_size", &self.chunk_size)
             .finish()
     }
 }
@@ -342,7 +365,7 @@ fn run_report<M, S>(
 ) -> (Report, Option<SanitizerReport>)
 where
     M: SystemModel<State = S> + Sync,
-    S: 'static,
+    S: Send + Sync + 'static,
 {
     let mut session = Session::new(model);
     session.set_workload(workload.clone());
@@ -355,6 +378,9 @@ where
     session.set_workers(plan.workers);
     session.set_incremental(plan.incremental);
     session.set_sanitizer(plan.sanitize);
+    session.set_subsumption(plan.subsumption);
+    session.set_sleep_sets(plan.sleep_sets);
+    session.set_chunk_size(plan.chunk_size);
     if let Some(sink) = &plan.telemetry {
         session.set_telemetry(Arc::clone(sink));
     }
@@ -390,7 +416,7 @@ fn run_report_on<M, S>(
 ) -> Result<Report, ErPiError>
 where
     M: SystemModel<State = S> + Clone + Send + Sync + 'static,
-    S: Send + 'static,
+    S: Send + Sync + 'static,
 {
     let mut session = Session::new(model);
     session.set_workload(workload.clone());
@@ -401,6 +427,9 @@ where
     session.set_cap(plan.cap);
     session.set_stop_on_first_violation(plan.stop_on_first_violation);
     session.set_incremental(plan.incremental);
+    session.set_subsumption(plan.subsumption);
+    session.set_sleep_sets(plan.sleep_sets);
+    session.set_chunk_size(plan.chunk_size);
     if let Some(sink) = &plan.telemetry {
         session.set_telemetry(Arc::clone(sink));
     }
@@ -431,7 +460,7 @@ fn run<M, S>(
 ) -> Repro
 where
     M: SystemModel<State = S> + Sync,
-    S: 'static,
+    S: Send + Sync + 'static,
 {
     let plan = RunPlan {
         mode,
@@ -441,6 +470,9 @@ where
         incremental: true,
         telemetry: None,
         sanitize: false,
+        subsumption: false,
+        sleep_sets: false,
+        chunk_size: er_pi::DEFAULT_CHUNK_SIZE,
     };
     let (report, _) = run_report(model, workload, config, &plan, check);
     Repro {
@@ -659,8 +691,7 @@ impl Bug {
             stop_on_first_violation,
             workers,
             incremental,
-            telemetry: None,
-            sanitize: false,
+            ..ReplayOptions::default()
         })
     }
 
@@ -683,6 +714,9 @@ impl Bug {
             incremental: opts.incremental,
             telemetry: opts.telemetry.clone(),
             sanitize: opts.sanitize,
+            subsumption: opts.subsumption,
+            sleep_sets: opts.sleep_sets,
+            chunk_size: opts.chunk_size,
         };
         match &self.imp {
             BugImpl::Roshi { model, check } => {
@@ -734,6 +768,9 @@ impl Bug {
             incremental: opts.incremental,
             telemetry: opts.telemetry.clone(),
             sanitize: false,
+            subsumption: opts.subsumption,
+            sleep_sets: opts.sleep_sets,
+            chunk_size: opts.chunk_size,
         };
         match &self.imp {
             BugImpl::Roshi { model, check } => run_report_on(

@@ -8,7 +8,7 @@
 use std::collections::VecDeque;
 
 use er_pi::{OpOutcome, SystemModel};
-use er_pi_model::{Event, EventKind, LamportTimestamp, ReplicaId, Value};
+use er_pi_model::{CanonicalEncode, Event, EventKind, LamportTimestamp, ReplicaId, Value};
 use er_pi_rdl::{DeltaSync, LwwRegister, OrSet, PnCounter, Rga, StateCrdt};
 
 /// One replica of the composed CRDT collection.
@@ -257,6 +257,30 @@ impl SystemModel for CrdtsModel {
             Value::from(*state.register.get()),
             todos,
         ])
+    }
+
+    fn state_encode(&self, state: &CrdtsState, out: &mut Vec<u8>) -> bool {
+        fn snapshot(snap: &CrdtsSnapshot, out: &mut Vec<u8>) {
+            snap.set.encode_canonical(out);
+            snap.list.encode_canonical(out);
+            snap.counter.encode_canonical(out);
+            snap.register.encode_canonical(out);
+            snap.todos.encode_canonical(out);
+        }
+        // One component per structure, plus the app-level to-do list, the
+        // register clock (it mints future write timestamps) and the inbox
+        // of queued snapshots.
+        state.set.encode_canonical(out);
+        state.list.encode_canonical(out);
+        state.counter.encode_canonical(out);
+        state.register.encode_canonical(out);
+        state.todos.encode_canonical(out);
+        state.clock.encode_canonical(out);
+        (state.inbox.len() as u64).encode_canonical(out);
+        for snap in &state.inbox {
+            snapshot(snap, out);
+        }
+        true
     }
 }
 

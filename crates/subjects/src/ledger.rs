@@ -15,7 +15,7 @@
 //! schedules exist for.
 
 use er_pi::{OpOutcome, SystemModel};
-use er_pi_model::{Event, EventId, EventKind, ReplicaId, Value};
+use er_pi_model::{CanonicalEncode, Event, EventId, EventKind, ReplicaId, Value};
 
 /// One replica of the ledger application.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -122,6 +122,12 @@ impl SystemModel for LedgerApp {
             .map(|(id, v)| Value::List(vec![Value::from(i64::from(id.raw())), Value::from(*v)]))
             .collect();
         Value::List(vec![Value::from(state.balance()), entries])
+    }
+
+    fn state_encode(&self, state: &LedgerState, out: &mut Vec<u8>) -> bool {
+        state.log.encode_canonical(out);
+        state.entries.encode_canonical(out);
+        true
     }
 }
 

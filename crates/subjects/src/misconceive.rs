@@ -44,7 +44,10 @@ fn r(i: u16) -> ReplicaId {
 fn detected<M: SystemModel + Sync>(
     mut session: Session<M>,
     suite: &TestSuite<M::State>,
-) -> MatrixCell {
+) -> MatrixCell
+where
+    M::State: Send + Sync,
+{
     let report = session.replay(suite).expect("workload recorded");
     if report.passed() {
         MatrixCell::NotDetected

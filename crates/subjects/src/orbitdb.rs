@@ -4,7 +4,7 @@
 use std::collections::{BTreeSet, VecDeque};
 
 use er_pi::{OpOutcome, SystemModel};
-use er_pi_model::{Event, EventKind, ReplicaId, Value};
+use er_pi_model::{CanonicalEncode, Event, EventKind, ReplicaId, Value};
 use er_pi_rdl::{DeltaSync, LogEntry, LogSortOrder, MerkleLog};
 
 /// Static configuration of the OrbitDB subject.
@@ -273,6 +273,22 @@ impl SystemModel for OrbitModel {
             Value::from(state.lock_stuck),
             Value::from(i64::from(state.log.rejected_count() as u32)),
         ])
+    }
+
+    fn state_encode(&self, state: &OrbitState, out: &mut Vec<u8>) -> bool {
+        // The access controller, its (possibly stale) cache, and the repo
+        // lock flags all steer future appends/opens, so they are part of
+        // behavioral state alongside the Merkle log and the sync inbox.
+        state.log.encode_canonical(out);
+        state.inbox.encode_canonical(out);
+        state.access.encode_canonical(out);
+        state.access_cache.encode_canonical(out);
+        state.rejected_appends.encode_canonical(out);
+        state.repo_locked.encode_canonical(out);
+        state.lock_stuck.encode_canonical(out);
+        state.busy.encode_canonical(out);
+        state.failed_opens.encode_canonical(out);
+        true
     }
 }
 

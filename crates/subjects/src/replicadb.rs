@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 
 use er_pi::{OpOutcome, SystemModel};
-use er_pi_model::{Event, EventKind, ReplicaId, Value};
+use er_pi_model::{CanonicalEncode, Event, EventKind, ReplicaId, Value};
 
 /// ReplicaDB's replication modes (the real tool offers `complete`,
 /// `complete-atomic`, and `incremental`).
@@ -184,6 +184,16 @@ impl SystemModel for ReplicaDbModel {
             Value::from(state.oom),
             Value::from(state.peak_staging_bytes as i64),
         ])
+    }
+
+    fn state_encode(&self, state: &ReplicaDbState, out: &mut Vec<u8>) -> bool {
+        state.table.encode_canonical(out);
+        state.staging.encode_canonical(out);
+        state.staging_bytes.encode_canonical(out);
+        state.peak_staging_bytes.encode_canonical(out);
+        state.oom.encode_canonical(out);
+        state.snapshot.encode_canonical(out);
+        true
     }
 }
 

@@ -4,6 +4,7 @@
 use std::collections::VecDeque;
 
 use er_pi::{OpOutcome, SystemModel};
+use er_pi_model::CanonicalEncode;
 use er_pi_model::{Event, EventKind, ReplicaId, Value};
 use er_pi_rdl::{LwwTimeSeries, ScoredMember, StateCrdt, TieBreak, TsOp};
 
@@ -193,6 +194,19 @@ impl SystemModel for RoshiModel {
             .map(|v| v.iter().cloned().collect())
             .unwrap_or(Value::Null);
         Value::List(vec![Value::List(keys), selected, deleted, assembled])
+    }
+
+    fn state_encode(&self, state: &RoshiState, out: &mut Vec<u8>) -> bool {
+        // Faithful: the store's canonical form covers cells + tie policy +
+        // the op log (which `assemble` iterates), and the remaining fields
+        // are exactly the read results and inbox the assertions and future
+        // `SyncExec`s observe.
+        state.store.encode_canonical(out);
+        state.inbox.encode_canonical(out);
+        state.last_select.encode_canonical(out);
+        state.last_deleted.encode_canonical(out);
+        state.assembled.encode_canonical(out);
+        true
     }
 }
 

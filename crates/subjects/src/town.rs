@@ -1,7 +1,7 @@
 //! The paper's motivating example (§2.3): the town issue-reporting app.
 
 use er_pi::{OpOutcome, SystemModel};
-use er_pi_model::{Event, EventKind, ReplicaId, Value};
+use er_pi_model::{CanonicalEncode, Event, EventKind, ReplicaId, Value};
 use er_pi_rdl::{DeltaSync, OrSet};
 
 /// One resident's replica: the replicated set of reported issues plus the
@@ -140,6 +140,16 @@ impl SystemModel for TownApp {
         Value::List(vec![issues, transmitted])
     }
 
+    fn state_encode(&self, state: &TownState, out: &mut Vec<u8>) -> bool {
+        // Faithful encoding for subsumption: the OR-set's canonical form
+        // covers entries + add-tags, tombstones, the op log, and the dot
+        // context — everything a future add/remove/sync can observe — and
+        // `transmitted` is the only other field `apply` reads or writes.
+        state.issues.encode_canonical(out);
+        state.transmitted.encode_canonical(out);
+        true
+    }
+
     fn state_size_hint(&self, state: &TownState) -> usize {
         // Proportional estimate for the incremental executor's snapshot
         // budget: tagged OR-set entries dominate, the transmitted snapshot
@@ -251,6 +261,52 @@ mod tests {
             app.state_size_hint(&states[0]) > empty,
             "heap payload must be reflected in the budget charge"
         );
+    }
+
+    #[test]
+    fn state_digest_merges_commuted_orders_but_not_lossy_lookalikes() {
+        let app = TownApp::new(2);
+        let a = ReplicaId::new(0);
+        let b = ReplicaId::new(1);
+        let mut w = er_pi_model::Workload::builder();
+        w.update(a, "add", [Value::from("otb")]);
+        w.update(b, "add", [Value::from("ph")]);
+        let w = w.build();
+        let (e0, e1) = (
+            w.event(er_pi_model::EventId::new(0)),
+            w.event(er_pi_model::EventId::new(1)),
+        );
+
+        // Two independent local updates on different replicas: applying
+        // them in either order must reach the same digest — the hit that
+        // powers subsumption.
+        let mut s1 = app.init_all();
+        app.apply(&mut s1, e0);
+        app.apply(&mut s1, e1);
+        let mut s2 = app.init_all();
+        app.apply(&mut s2, e1);
+        app.apply(&mut s2, e0);
+        let d1 = app.state_digest(&s1).expect("TownApp encodes");
+        assert_eq!(app.state_digest(&s2), Some(d1));
+
+        // Same visible elements but a different history (an extra add that
+        // was removed again) must NOT collide: the digest sees tombstones.
+        let mut w2 = er_pi_model::Workload::builder();
+        w2.update(a, "add", [Value::from("otb")]);
+        w2.update(b, "add", [Value::from("ph")]);
+        w2.update(a, "add", [Value::from("tmp")]);
+        w2.update(a, "remove", [Value::from("tmp")]);
+        let w2 = w2.build();
+        let mut s3 = app.init_all();
+        for i in 0..4 {
+            app.apply(&mut s3, w2.event(er_pi_model::EventId::new(i)));
+        }
+        assert_eq!(
+            app.observe(&s3[0]).as_list().unwrap()[0],
+            app.observe(&s1[0]).as_list().unwrap()[0],
+            "visible projection agrees"
+        );
+        assert_ne!(app.state_digest(&s3), Some(d1), "hidden state differs");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use er_pi::{OpOutcome, SystemModel};
-use er_pi_model::{Event, EventKind, ReplicaId, Value};
+use er_pi_model::{CanonicalEncode, Event, EventKind, ReplicaId, Value};
 use er_pi_rdl::{DeltaSync, DocOp, JsonDoc};
 
 /// One Yorkie replica: the document plus a sync inbox.
@@ -185,6 +185,16 @@ impl SystemModel for YorkieModel {
             }
         }
         render(&state.doc.root())
+    }
+
+    fn state_encode(&self, state: &YorkieState, out: &mut Vec<u8>) -> bool {
+        // The document's canonical form keeps the per-entry LWW timestamps
+        // (they steer future conflict resolution), not just the rendered
+        // snapshot `observe` exposes.
+        state.doc.encode_canonical(out);
+        state.inbox.encode_canonical(out);
+        state.last_snapshot.encode_canonical(out);
+        true
     }
 }
 

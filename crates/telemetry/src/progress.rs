@@ -2,6 +2,7 @@
 //! workers, plus the checkpoint-trie hit-rate monitor.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Lock-free progress aggregator shared between the session thread and
@@ -13,6 +14,13 @@ pub struct Progress {
     runs_done: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    /// Runs short-circuited by state-hash subsumption (a subset of
+    /// `runs_done` — a subsumed run still completes and is reported).
+    subsumed: AtomicU64,
+    /// Unit permutations pruned by the sleep-set filter. Behind an `Arc`
+    /// so the exploring thread can bump it without holding the aggregator
+    /// (see [`Progress::sleep_tally`]).
+    sleep_prunes: Arc<AtomicU64>,
     per_worker: Vec<AtomicU64>,
     /// Expected total number of runs, when the campaign is bounded.
     expected_total: Option<u64>,
@@ -30,6 +38,8 @@ impl Progress {
             runs_done: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            subsumed: AtomicU64::new(0),
+            sleep_prunes: Arc::new(AtomicU64::new(0)),
             per_worker: (0..workers.max(1)).map(|_| AtomicU64::new(0)).collect(),
             expected_total: None,
             campaign_secs_hint: None,
@@ -50,9 +60,11 @@ impl Progress {
 
     /// Records one finished run on `worker`'s tally. `cache_hit` says
     /// whether the run resumed from a checkpoint (`None` when incremental
-    /// replay is off). Returns the new total, so callers can trigger
-    /// periodic work every N runs without a second load.
-    pub fn record_run(&self, worker: usize, cache_hit: Option<bool>) -> u64 {
+    /// replay is off); `subsumed` whether state-hash subsumption stitched
+    /// the run's tail instead of executing it. Returns the new total, so
+    /// callers can trigger periodic work every N runs without a second
+    /// load.
+    pub fn record_run(&self, worker: usize, cache_hit: Option<bool>, subsumed: bool) -> u64 {
         if let Some(w) = self.per_worker.get(worker) {
             w.fetch_add(1, Ordering::Relaxed);
         }
@@ -65,7 +77,17 @@ impl Progress {
             }
             None => {}
         }
+        if subsumed {
+            self.subsumed.fetch_add(1, Ordering::Relaxed);
+        }
         self.runs_done.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The shared sleep-set prune tally: hand the `Arc` to the explorer
+    /// (`ErPiExplorer::set_sleep_tally`) and it shows up live in
+    /// [`ProgressSnapshot::sleep_prunes`].
+    pub fn sleep_tally(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.sleep_prunes)
     }
 
     /// Number of workers this aggregator tracks.
@@ -101,6 +123,12 @@ impl Progress {
             Some(total) if runs_per_sec > 0.0 && runs_done >= total => Some(0.0),
             _ => None,
         };
+        let subsumed_runs = self.subsumed.load(Ordering::Relaxed);
+        let subsume_rate = if runs_done > 0 {
+            Some(subsumed_runs as f64 / runs_done as f64)
+        } else {
+            None
+        };
         ProgressSnapshot {
             elapsed_secs: elapsed,
             runs_done,
@@ -109,6 +137,9 @@ impl Progress {
             eta_secs,
             campaign_secs_hint: self.campaign_secs_hint,
             cache_hit_rate,
+            subsumed_runs,
+            subsume_rate,
+            sleep_prunes: self.sleep_prunes.load(Ordering::Relaxed),
             per_worker_runs: self
                 .per_worker
                 .iter()
@@ -141,6 +172,16 @@ pub struct ProgressSnapshot {
     /// Checkpoint-trie hit rate in `[0, 1]` (`None` before any
     /// incremental-replay run finishes).
     pub cache_hit_rate: Option<f64>,
+    /// Runs short-circuited by state-hash subsumption so far.
+    #[serde(default)]
+    pub subsumed_runs: u64,
+    /// `subsumed_runs / runs_done` in `[0, 1]` (`None` before the first
+    /// run finishes).
+    #[serde(default)]
+    pub subsume_rate: Option<f64>,
+    /// Unit permutations pruned live by the sleep-set filter.
+    #[serde(default)]
+    pub sleep_prunes: u64,
     /// Runs completed per worker — utilization skew at a glance.
     pub per_worker_runs: Vec<u64>,
 }
@@ -235,9 +276,9 @@ mod tests {
     #[test]
     fn progress_counts_runs_and_cache_hits() {
         let p = Progress::new(2).with_expected_total(Some(10));
-        assert_eq!(p.record_run(0, Some(true)), 1);
-        assert_eq!(p.record_run(1, Some(false)), 2);
-        assert_eq!(p.record_run(1, None), 3);
+        assert_eq!(p.record_run(0, Some(true), true), 1);
+        assert_eq!(p.record_run(1, Some(false), false), 2);
+        assert_eq!(p.record_run(1, None, false), 3);
         let s = p.snapshot();
         assert_eq!(s.runs_done, 3);
         assert_eq!(s.per_worker_runs, vec![1, 2]);
@@ -249,7 +290,7 @@ mod tests {
     #[test]
     fn snapshot_without_incremental_has_no_hit_rate() {
         let p = Progress::new(1);
-        p.record_run(0, None);
+        p.record_run(0, None, false);
         let s = p.snapshot();
         assert_eq!(s.cache_hit_rate, None);
         assert_eq!(s.eta_secs, None);
@@ -273,8 +314,8 @@ mod tests {
     #[test]
     fn snapshot_round_trips_through_json() {
         let p = Progress::new(2).with_expected_total(Some(8));
-        p.record_run(0, Some(true));
-        p.record_run(1, Some(false));
+        p.record_run(0, Some(true), true);
+        p.record_run(1, Some(false), false);
         let s = p.snapshot();
         let json = serde_json::to_string(&s).expect("snapshot serializes");
         let back: ProgressSnapshot = serde_json::from_str(&json).expect("snapshot parses");
@@ -287,7 +328,7 @@ mod tests {
     #[test]
     fn out_of_range_worker_index_is_tolerated() {
         let p = Progress::new(1);
-        p.record_run(7, None);
+        p.record_run(7, None, false);
         assert_eq!(p.snapshot().runs_done, 1);
     }
 
@@ -295,9 +336,9 @@ mod tests {
     fn utilization_is_relative_to_even_split() {
         let p = Progress::new(2);
         for _ in 0..3 {
-            p.record_run(0, None);
+            p.record_run(0, None, false);
         }
-        p.record_run(1, None);
+        p.record_run(1, None, false);
         let u = p.snapshot().worker_utilization();
         assert_eq!(u[0], 1.0);
         assert_eq!(u[1], 0.5);

@@ -28,6 +28,7 @@ fn opts(stop: bool, workers: usize, sanitize: bool) -> ReplayOptions {
         incremental: true,
         telemetry: None,
         sanitize,
+        ..ReplayOptions::default()
     }
 }
 

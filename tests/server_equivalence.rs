@@ -32,6 +32,7 @@ fn opts() -> ReplayOptions {
         incremental: true,
         telemetry: None,
         sanitize: false,
+        ..ReplayOptions::default()
     }
 }
 

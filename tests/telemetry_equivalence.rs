@@ -31,6 +31,7 @@ fn opts(stop: bool, workers: usize, telemetry: Option<Arc<dyn Sink>>) -> ReplayO
         incremental: true,
         telemetry,
         sanitize: false,
+        ..ReplayOptions::default()
     }
 }
 
