@@ -1,0 +1,36 @@
+//! `er-pi-promlint` — Prometheus text-exposition linter for CI.
+//!
+//! Reads an exposition from stdin (as scraped from the campaign daemon's
+//! `GET /metrics` with `Accept: text/plain`) and checks it against the
+//! subset of the text format the registry emits: `HELP`/`TYPE` comment
+//! pairs before each family, one-line samples with escaped label values,
+//! histograms with cumulative `_bucket` series capped by `le="+Inf"` and
+//! matching `_sum`/`_count`. Exits 0 when clean, 1 with a diagnostic on
+//! stderr otherwise.
+//!
+//! Usage: `curl -s -H 'Accept: text/plain' :7420/metrics | er-pi-promlint`
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut exposition = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut exposition) {
+        eprintln!("er-pi-promlint: reading stdin: {e}");
+        return ExitCode::FAILURE;
+    }
+    match er_pi::telemetry::lint_exposition(&exposition) {
+        Ok(()) => {
+            let families = exposition
+                .lines()
+                .filter(|l| l.starts_with("# TYPE "))
+                .count();
+            println!("OK: {families} metric families");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("er-pi-promlint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -15,6 +15,14 @@
 //! | `fig_prefix` | Prefix-sharing incremental replay: events applied, scratch vs incremental (JSON) |
 //! | `fig_telemetry` | Telemetry overhead (NullSink vs detached) and trace-event schema (JSON) |
 //! | `fig_faults` | Fault-schedule exploration: fault-space size vs pruned replays (JSON) |
+//! | `fig_observability` | Metrics-registry overhead (attached vs detached) and forensic-bundle determinism (JSON) |
+//!
+//! Two operator-facing tools ride along with the figure binaries:
+//! `er-pi-explain` prints the deterministic forensic bundle for a
+//! catalogue bug's violation (the same bytes the campaign daemon serves
+//! at `/campaigns/:id/violations/:n`), and `er-pi-promlint` lints a
+//! Prometheus text exposition read from stdin (CI pipes the daemon's
+//! `GET /metrics` scrape through it).
 
 /// The seed used for the Random exploration mode across all experiments.
 /// Fixed for reproducibility; any seed produces the same qualitative shape

@@ -35,6 +35,26 @@ impl InlineExecutor {
         il: &Interleaving,
         time: &TimeModel,
     ) -> Execution<M::State> {
+        Self::execute_stepwise(model, workload, il, time, |_, _, _, _| {})
+    }
+
+    /// Like [`InlineExecutor::execute`], invoking `on_step` after every
+    /// completed step with `(position, event id, outcome, states)` — the
+    /// states as left *after* the step's fault surgery. The closure is
+    /// observational only; the default no-op compiles away, so the fast
+    /// path is unchanged. Used by the violation flight recorder to capture
+    /// per-step state digests without a second executor.
+    pub fn execute_stepwise<M, F>(
+        model: &M,
+        workload: &Workload,
+        il: &Interleaving,
+        time: &TimeModel,
+        mut on_step: F,
+    ) -> Execution<M::State>
+    where
+        M: SystemModel,
+        F: FnMut(usize, er_pi_model::EventId, &OpOutcome, &[M::State]),
+    {
         let mut states = model.init_all();
         let mut outcomes = Vec::with_capacity(il.len());
         let mut sim_us = time.reset_cost_us;
@@ -53,8 +73,9 @@ impl InlineExecutor {
                 }
                 other => FaultInterpreter::faulted_outcome(other),
             };
-            outcomes.push(outcome);
             faults.end_step(model, &mut states, workload, pos);
+            on_step(pos, id, &outcome, &states);
+            outcomes.push(outcome);
         }
         faults.finish(model, &mut states, workload);
         Execution {

@@ -5,6 +5,8 @@ use std::sync::Arc;
 
 use er_pi_telemetry::{Progress, ProgressSnapshot, Telemetry, COORDINATOR_TRACK};
 
+use crate::metrics::SessionMetrics;
+
 /// The periodic progress callback installed with
 /// [`Session::set_progress_hook`](crate::Session::set_progress_hook).
 pub type ProgressHook = Arc<dyn Fn(&ProgressSnapshot) + Send + Sync>;
@@ -22,16 +24,19 @@ pub(crate) struct Instrument {
     pub hook: Option<ProgressHook>,
     /// Sample period of the progress counters and hook, in runs.
     pub every: usize,
+    /// Label-scoped registry counters bumped per finished run.
+    pub metrics: Option<SessionMetrics>,
 }
 
 impl Instrument {
-    /// No telemetry, no progress, no hook.
+    /// No telemetry, no progress, no hook, no registry.
     pub fn disabled() -> Self {
         Instrument {
             telemetry: Telemetry::disabled(),
             progress: None,
             hook: None,
             every: 0,
+            metrics: None,
         }
     }
 
@@ -41,6 +46,9 @@ impl Instrument {
     /// replay is off; `subsumed` whether state-hash subsumption stitched
     /// the run's tail instead of executing it.
     pub fn run_done(&self, worker: usize, cache_hit: Option<bool>, subsumed: bool) {
+        if let Some(metrics) = &self.metrics {
+            metrics.run_done(cache_hit, subsumed);
+        }
         let Some(progress) = &self.progress else {
             return;
         };
@@ -97,6 +105,7 @@ mod tests {
                 fired2.fetch_add(1, Ordering::Relaxed);
             })),
             every: 3,
+            metrics: None,
         };
         for _ in 0..7 {
             i.run_done(0, Some(false), false);

@@ -132,8 +132,10 @@ mod constraints;
 mod error;
 mod executor;
 mod faultexec;
+mod forensics;
 mod incremental;
 mod instrument;
+mod metrics;
 mod misconceptions;
 mod pool;
 mod profile;
@@ -151,7 +153,11 @@ pub use checks::{Assertion, CheckContext, CrossCheck, CrossContext, TestSuite};
 pub use constraints::ConstraintsDir;
 pub use error::ErPiError;
 pub use executor::{Execution, InlineExecutor, ThreadedExecutor};
+pub use forensics::{
+    explain_violation, DigestSource, DivergencePoint, ForensicBundle, ForensicStep, Provenance,
+};
 pub use incremental::{CheckpointTrie, IncrementalExecutor, DEFAULT_CACHE_BUDGET};
+pub use metrics::SessionMetrics;
 pub use misconceptions::{misconception, Misconception};
 pub use pool::{ReplayPool, DEFAULT_CHUNK_SIZE};
 pub use profile::{CacheStats, FailureStats, ReplicaLoad, ResourceProfile, WorkerLoad};

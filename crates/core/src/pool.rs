@@ -208,6 +208,7 @@ impl ReplayPool {
             worker_loads: out.worker_loads,
             cache_stats: out.cache_stats,
             session_summary,
+            advisories: Vec::new(),
         })
     }
 

@@ -73,6 +73,12 @@ pub struct Report {
     /// fields above (wall time, worker loads, cache counters), so it is
     /// likewise excluded from [`Report::diff`].
     pub session_summary: SessionSummary,
+    /// Operational advisories (e.g. the degraded checkpoint-cache
+    /// warning), surfaced here so headless campaigns see them without a
+    /// telemetry sink. Derived from the scheduling-dependent cache
+    /// counters, so — like `wall_ms` and `worker_loads` — advisories are
+    /// excluded from [`Report::diff`] and [`Report::canonical_json`].
+    pub advisories: Vec<String>,
 }
 
 impl Report {
@@ -268,6 +274,17 @@ mod tests {
         };
         assert!(base.diff(&other).is_some());
         assert_ne!(base.canonical_json(), other.canonical_json());
+    }
+
+    #[test]
+    fn advisories_stay_outside_the_determinism_contract() {
+        let quiet = Report::default();
+        let warned = Report {
+            advisories: vec!["checkpoint-cache hit rate 2.0% ...".into()],
+            ..Report::default()
+        };
+        assert_eq!(quiet.diff(&warned), None);
+        assert_eq!(quiet.canonical_json(), warned.canonical_json());
     }
 
     #[test]

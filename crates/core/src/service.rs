@@ -36,10 +36,11 @@ use std::thread::JoinHandle;
 
 use er_pi_interleave::IndexedSource;
 use er_pi_model::{Interleaving, Workload};
-use er_pi_telemetry::worker_track;
+use er_pi_telemetry::{worker_track, Registry};
 use parking_lot::{Condvar, Mutex};
 
 use crate::instrument::Instrument;
+use crate::metrics::SvcMetrics;
 use crate::pool::{execute_one, panic_message, PoolOutput, WorkerRun, NO_VIOLATION};
 use crate::subsume::SubsumeSet;
 use crate::{
@@ -72,8 +73,9 @@ trait ServiceJob: Send + Sync {
     fn order_key(&self) -> (u8, u64);
     /// Claims and executes one chunk on worker `slot`. Returns `true` when
     /// the campaign will never hand out another chunk (drained, stopped,
-    /// or cancelled) and should leave the queue.
-    fn run_chunk(&self, slot: usize) -> bool;
+    /// or cancelled) and should leave the queue. `metrics` is the
+    /// service's shared latency histograms, when a registry is attached.
+    fn run_chunk(&self, slot: usize, metrics: Option<&SvcMetrics>) -> bool;
     /// Fulfils the campaign as cancelled (service shutdown path).
     fn abort(&self);
 }
@@ -203,11 +205,12 @@ where
         (self.priority, self.seq)
     }
 
-    fn run_chunk(&self, slot: usize) -> bool {
+    fn run_chunk(&self, slot: usize, metrics: Option<&SvcMetrics>) -> bool {
         // Claim-then-execute under the campaign's own dispenser lock —
         // chunk boundaries are the only places stop flags and the cancel
         // token are honoured, so a claimed chunk always executes in full
         // and the dispensed index range stays dense for the merge.
+        let claim_started = metrics.map(|_| std::time::Instant::now());
         let chunk = {
             let mut disp = self.disp.lock();
             if disp.exhausted {
@@ -242,6 +245,11 @@ where
             disp.inflight += 1;
             chunk
         };
+        if let (Some(metrics), Some(started)) = (metrics, claim_started) {
+            metrics
+                .claim_wait
+                .observe_us(started.elapsed().as_micros() as u64);
+        }
 
         let telemetry = self.params.instrument.telemetry.clone();
         let track = worker_track(slot);
@@ -261,6 +269,7 @@ where
         });
 
         for (index, il) in chunk {
+            let run_started = metrics.map(|_| std::time::Instant::now());
             let executed = catch_unwind(AssertUnwindSafe(|| {
                 execute_one(
                     &self.params.model,
@@ -274,6 +283,11 @@ where
                     track,
                 )
             }));
+            if let (Some(metrics), Some(started)) = (metrics, run_started) {
+                metrics
+                    .run_latency
+                    .observe_us(started.elapsed().as_micros() as u64);
+            }
             match executed {
                 Ok(run) => {
                     {
@@ -343,6 +357,10 @@ struct ServiceCore {
     queue: Mutex<Vec<Arc<dyn ServiceJob>>>,
     available: Condvar,
     shutdown: AtomicBool,
+    /// Shared latency histograms, when the embedder attached a metric
+    /// registry ([`ExecutorService::with_registry`]). Installed before the
+    /// workers spawn, immutable after.
+    metrics: Option<SvcMetrics>,
 }
 
 impl ServiceCore {
@@ -368,7 +386,7 @@ impl ServiceCore {
                     queue = self.available.wait(queue);
                 }
             };
-            if job.run_chunk(slot) {
+            if job.run_chunk(slot, self.metrics.as_ref()) {
                 // The campaign is drained: drop it from the queue. Retain
                 // by identity — several slots can discover the drain and
                 // the removal must be idempotent.
@@ -419,6 +437,19 @@ impl ExecutorService {
     /// cores", honouring the `ER_PI_WORKERS` override like
     /// [`ReplayPool::new`]).
     pub fn new(workers: usize) -> Self {
+        Self::spawn(workers, None)
+    }
+
+    /// Like [`ExecutorService::new`], with service-wide latency histograms
+    /// (chunk-claim wait, per-run replay latency) registered into
+    /// `registry`. The registry must be attached at construction because
+    /// the worker threads capture their observation handles when they
+    /// spawn.
+    pub fn with_registry(workers: usize, registry: &Registry) -> Self {
+        Self::spawn(workers, Some(SvcMetrics::new(registry)))
+    }
+
+    fn spawn(workers: usize, metrics: Option<SvcMetrics>) -> Self {
         let workers = if workers == 0 {
             ReplayPool::available_workers()
         } else {
@@ -428,6 +459,7 @@ impl ExecutorService {
             queue: Mutex::new(Vec::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            metrics,
         });
         let handles = (0..workers)
             .map(|slot| {

@@ -13,6 +13,7 @@ use er_pi_model::{
 };
 use er_pi_telemetry::{
     HitRateMonitor, Progress, ProgressSnapshot, Sink, Telemetry, COORDINATOR_TRACK,
+    HIT_RATE_THRESHOLD, HIT_RATE_WINDOW,
 };
 
 use er_pi_analysis::{Diagnostic, TraceAnalysis};
@@ -23,8 +24,9 @@ use crate::subsume::SubsumeSet;
 use crate::{
     CacheStats, CancelToken, CheckContext, ConstraintsDir, CrossContext, ErPiError,
     ExecutorService, FailureStats, IncrementalExecutor, InlineExecutor, OpOutcome, ReplayPool,
-    Report, ResourceProfile, RunRecord, SanitizerReport, SessionSummary, SystemModel, TestSuite,
-    TimeModel, Violation, WorkerLoad, DEFAULT_CACHE_BUDGET, DEFAULT_CHUNK_SIZE,
+    Report, ResourceProfile, RunRecord, SanitizerReport, SessionMetrics, SessionSummary,
+    SystemModel, TestSuite, TimeModel, Violation, WorkerLoad, DEFAULT_CACHE_BUDGET,
+    DEFAULT_CHUNK_SIZE,
 };
 
 /// The live, recording instance of the system under test.
@@ -238,6 +240,7 @@ pub struct Session<M: SystemModel> {
     progress_hook: Option<ProgressHook>,
     progress_every: usize,
     cancel: Option<CancelToken>,
+    metrics: Option<SessionMetrics>,
 }
 
 /// What either replay strategy produces before the report is assembled.
@@ -289,6 +292,7 @@ impl<M: SystemModel> Session<M> {
             progress_hook: None,
             progress_every: 256,
             cancel: None,
+            metrics: None,
         }
     }
 
@@ -558,6 +562,20 @@ impl<M: SystemModel> Session<M> {
     /// site.
     pub fn set_telemetry(&mut self, sink: Arc<dyn Sink>) -> &mut Self {
         self.telemetry = Telemetry::new(sink);
+        self
+    }
+
+    /// Attaches label-scoped registry metrics
+    /// ([`SessionMetrics`](crate::SessionMetrics)): every subsequent
+    /// replay bumps the campaign's run/cache/subsumption counters per
+    /// finished run and folds pruner statistics and the final cache hit
+    /// rate in when the replay completes.
+    ///
+    /// Like telemetry sinks, the registry is strictly write-only: an
+    /// attached registry leaves the [`Report`] byte-identical to a
+    /// detached run.
+    pub fn set_metrics(&mut self, metrics: SessionMetrics) -> &mut Self {
+        self.metrics = Some(metrics);
         self
     }
 
@@ -980,8 +998,36 @@ impl<M: SystemModel> Session<M> {
         }
         self.telemetry.flush();
 
+        // Headless surfacing of the degraded-cache warning (the sink-side
+        // `HitRateMonitor` sees it live; this covers campaigns with no
+        // sink attached, across every replay strategy). Advisories are
+        // scheduling-dependent — pooled attribution depends on which
+        // worker got which run — so they live OUTSIDE the byte-identical
+        // report contract, like `wall_ms` and `worker_loads`.
+        let mut advisories: Vec<String> = Vec::new();
+        if self.incremental {
+            if let Some(cache) = &outcome.cache_stats {
+                let attributed = cache.hits + cache.misses;
+                if attributed >= HIT_RATE_WINDOW {
+                    let rate = cache.hits as f64 / attributed as f64;
+                    if rate < HIT_RATE_THRESHOLD {
+                        advisories.push(format!(
+                            "checkpoint-cache hit rate {:.1}% over {attributed} attributed \
+                             runs is below the {:.0}% floor — raise the cache budget or \
+                             disable incremental replay",
+                            rate * 100.0,
+                            HIT_RATE_THRESHOLD * 100.0,
+                        ));
+                        if let Some(metrics) = &self.metrics {
+                            metrics.warn_low_hit_rate();
+                        }
+                    }
+                }
+            }
+        }
+
         self.store = outcome.store;
-        Report {
+        let report = Report {
             mode: outcome.mode,
             explored: outcome.runs.len(),
             first_violation_at: outcome.first_violation_at,
@@ -1000,7 +1046,12 @@ impl<M: SystemModel> Session<M> {
             worker_loads: outcome.worker_loads,
             cache_stats: outcome.cache_stats,
             session_summary,
+            advisories,
+        };
+        if let Some(metrics) = &self.metrics {
+            metrics.finish(&report);
         }
+        report
     }
 
     /// Builds the per-replay instrument: the cloned telemetry handle plus —
@@ -1008,7 +1059,8 @@ impl<M: SystemModel> Session<M> {
     /// `slots` worker tallies and seeded with the session cap and the
     /// a-priori campaign projection.
     fn build_instrument(&self, workload: &Workload, slots: usize) -> Instrument {
-        let watching = self.telemetry.is_active() || self.progress_hook.is_some();
+        let watching =
+            self.telemetry.is_active() || self.progress_hook.is_some() || self.metrics.is_some();
         if !watching {
             return Instrument::disabled();
         }
@@ -1027,6 +1079,7 @@ impl<M: SystemModel> Session<M> {
             )),
             hook: self.progress_hook.clone(),
             every: self.progress_every,
+            metrics: self.metrics.clone(),
         }
     }
 
@@ -1107,8 +1160,9 @@ impl<M: SystemModel> Session<M> {
             }
             e
         });
-        let mut hit_monitor =
-            (self.incremental && telemetry.is_active()).then(HitRateMonitor::default);
+        let mut hit_monitor = (self.incremental
+            && (telemetry.is_active() || self.metrics.is_some()))
+        .then(HitRateMonitor::default);
 
         while let Some((run_index, il)) = source.next() {
             // Cooperative cancellation: between runs only, so a cancelled
@@ -1185,6 +1239,9 @@ impl<M: SystemModel> Session<M> {
             let cache_hit = self.incremental.then(|| resumed_depth.unwrap_or(0) > 0);
             if let (Some(monitor), Some(hit)) = (hit_monitor.as_mut(), cache_hit) {
                 if let Some(message) = monitor.record(hit) {
+                    if let Some(metrics) = &self.metrics {
+                        metrics.warn_low_hit_rate();
+                    }
                     telemetry.warn(COORDINATOR_TRACK, "cache:low-hit-rate", message);
                 }
             }

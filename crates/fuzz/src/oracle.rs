@@ -9,7 +9,8 @@
 //! already hunt) and pins the blame on the schedule.
 
 use er_pi::{
-    Assertion, CancelToken, ErPiError, ExecutorService, Report, Session, SystemModel, TestSuite,
+    Assertion, CancelToken, ErPiError, ExecutorService, ForensicBundle, Report, Session,
+    SessionMetrics, SystemModel, TestSuite, Violation,
 };
 use er_pi_model::FaultPlan;
 use er_pi_subjects::{CrdtsModel, LedgerApp, ProgressFn};
@@ -136,6 +137,7 @@ fn replay_case_on<M>(
     priority: u8,
     cancel: Option<CancelToken>,
     progress: Option<ProgressFn>,
+    metrics: Option<SessionMetrics>,
 ) -> Result<Report, ErPiError>
 where
     M: SystemModel + Clone + Send + Sync + 'static,
@@ -154,6 +156,9 @@ where
         .set_incremental(opts.incremental)
         .set_subsumption(opts.subsumption)
         .set_cancel_token(cancel);
+    if let Some(metrics) = metrics {
+        session.set_metrics(metrics);
+    }
     session.config_mut().require_causal = true;
     if let Some(hook) = progress {
         session.set_progress_hook(PROGRESS_EVERY, move |snap| hook(snap));
@@ -171,6 +176,11 @@ where
 ///
 /// [`ErPiError::Cancelled`] if `cancel` trips mid-campaign;
 /// [`ErPiError::ExecutorPanic`] if a model panics in a worker.
+///
+/// `metrics`, when given, exports the campaign's run and pruning counters
+/// to a shared registry ([`Session::set_metrics`]). [`OracleOptions`] stays
+/// `Copy`, so the handle rides as its own argument; like telemetry it is
+/// write-only and cannot change the report bytes.
 #[allow(clippy::too_many_arguments)]
 pub fn report_for_on(
     case: &FuzzCase,
@@ -179,6 +189,7 @@ pub fn report_for_on(
     priority: u8,
     cancel: Option<CancelToken>,
     progress: Option<ProgressFn>,
+    metrics: Option<SessionMetrics>,
 ) -> Result<Report, ErPiError> {
     let replicas = usize::from(case.spec.replicas);
     match case.target {
@@ -191,6 +202,7 @@ pub fn report_for_on(
             priority,
             cancel,
             progress,
+            metrics,
         ),
         Target::Ledger => replay_case_on(
             LedgerApp::new(replicas),
@@ -201,7 +213,22 @@ pub fn report_for_on(
             priority,
             cancel,
             progress,
+            metrics,
         ),
+    }
+}
+
+/// Rebuilds `case`'s workload and assembles the deterministic forensic
+/// bundle for one of its violations ([`er_pi::explain_violation`]): the
+/// exact interleaving + fault plan, per-step state digests with the first
+/// divergence from the recorded order, and the happens-before DOT graph.
+/// Returns `None` for cross-run violations (no single interleaving).
+pub fn explain_for(case: &FuzzCase, violation: &Violation) -> Option<ForensicBundle> {
+    let (workload, _) = case.build();
+    let replicas = usize::from(case.spec.replicas);
+    match case.target {
+        Target::Crdts => er_pi::explain_violation(&CrdtsModel::new(replicas), &workload, violation),
+        Target::Ledger => er_pi::explain_violation(&LedgerApp::new(replicas), &workload, violation),
     }
 }
 

@@ -1,12 +1,15 @@
 //! One admitted campaign: identity, scheduling key, cancellation handle,
 //! and the mutable status the HTTP layer reads while runners write.
 
+use std::time::Instant;
+
 use er_pi::telemetry::ProgressSnapshot;
 use er_pi::{CancelToken, Report, SessionSummary};
 use parking_lot::Mutex;
 use serde::Serialize;
 
-use crate::spec::ValidSpec;
+use crate::events::EventLog;
+use crate::spec::{SubjectSpec, ValidSpec};
 
 /// Lifecycle of a campaign, as reported by `GET /campaigns/:id`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +70,23 @@ pub struct Campaign {
     pub cancel: CancelToken,
     /// Mutable status.
     pub status: Mutex<CampaignStatus>,
+    /// When the submission was admitted (feeds the queue-wait and
+    /// submit-to-report histograms).
+    pub submitted_at: Instant,
+    /// The live SSE stream behind `GET /campaigns/:id/events`.
+    pub events: EventLog,
+}
+
+/// Why `GET /campaigns/:id/violations/:n` could not serve a bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExplainError {
+    /// The campaign has not finished (HTTP 409).
+    NotDone,
+    /// The index is past the report's violation list (HTTP 404).
+    OutOfRange,
+    /// The violation is a cross-run check with no single interleaving to
+    /// re-execute (HTTP 422).
+    NoInterleaving,
 }
 
 /// JSON body of `GET /campaigns/:id`.
@@ -97,6 +117,8 @@ impl Campaign {
                 report: None,
                 error: None,
             }),
+            submitted_at: Instant::now(),
+            events: EventLog::new(),
         }
     }
 
@@ -133,6 +155,40 @@ impl Campaign {
     pub fn report_json(&self) -> Option<String> {
         let status = self.status.lock();
         status.report.as_ref().map(Report::canonical_json)
+    }
+
+    /// Re-executes violation `n` of the final report and renders its
+    /// forensic bundle. The bundle is a pure function of the campaign
+    /// spec and the violation, so every client — and the `er-pi-explain`
+    /// CLI replaying the same subject offline — gets byte-identical JSON
+    /// regardless of how the campaign was scheduled.
+    pub fn violation_json(&self, n: usize) -> Result<String, ExplainError> {
+        let violation = {
+            let status = self.status.lock();
+            let report = status.report.as_ref().ok_or(ExplainError::NotDone)?;
+            report
+                .violations
+                .get(n)
+                .ok_or(ExplainError::OutOfRange)?
+                .clone()
+            // Drop the lock before the (cheap, single-interleaving)
+            // re-execution below.
+        };
+        let bundle = match &self.spec.subject {
+            SubjectSpec::Bug(bug) => bug.explain(&violation),
+            SubjectSpec::Trace(case) => er_pi_fuzz::explain_for(case, &violation),
+        };
+        bundle
+            .map(|b| b.canonical_json())
+            .ok_or(ExplainError::NoInterleaving)
+    }
+
+    /// Marks the campaign terminal: records `phase`, appends the terminal
+    /// SSE event (named after the phase, carrying the final status body),
+    /// and closes the event stream. The status lock must NOT be held.
+    pub fn finish(&self, phase: Phase) {
+        self.status.lock().phase = phase;
+        self.events.close_with(phase.as_str(), &self.status_json());
     }
 }
 

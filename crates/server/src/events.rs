@@ -1,0 +1,115 @@
+//! The per-campaign event log behind `GET /campaigns/:id/events`.
+//!
+//! Runners append pre-rendered Server-Sent-Event frames while a campaign
+//! runs; any number of HTTP connection threads replay the log from the
+//! start and then block for more, so a client that connects late still
+//! sees the full history, and a client that connects after the terminal
+//! event gets the whole stream and an immediate end.
+
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+struct LogState {
+    /// Pre-rendered SSE frames (`event: …\ndata: …\n\n`), in order.
+    frames: Vec<String>,
+    /// Set once the terminal frame is in; no further pushes land.
+    closed: bool,
+}
+
+/// An append-only, multi-reader event log. One per [`Campaign`](crate::Campaign).
+pub struct EventLog {
+    state: Mutex<LogState>,
+    available: Condvar,
+}
+
+impl EventLog {
+    /// An empty, open log.
+    pub fn new() -> Self {
+        EventLog {
+            state: Mutex::new(LogState {
+                frames: Vec::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Appends one event. `data` must be a single line (JSON from
+    /// `serde_json` never contains raw newlines). Ignored once closed, so
+    /// a progress hook racing the terminal transition cannot append after
+    /// `done`.
+    pub fn push(&self, event: &str, data: &str) {
+        debug_assert!(!data.contains('\n'), "SSE data must be one line");
+        let mut state = self.state.lock();
+        if state.closed {
+            return;
+        }
+        state
+            .frames
+            .push(format!("event: {event}\ndata: {data}\n\n"));
+        drop(state);
+        self.available.notify_all();
+    }
+
+    /// Appends the terminal event and closes the log; readers drain what
+    /// is left and stop.
+    pub fn close_with(&self, event: &str, data: &str) {
+        let mut state = self.state.lock();
+        if !state.closed {
+            state
+                .frames
+                .push(format!("event: {event}\ndata: {data}\n\n"));
+            state.closed = true;
+        }
+        drop(state);
+        self.available.notify_all();
+    }
+
+    /// Returns the frames at index `from..` as soon as any exist, waiting
+    /// at most `timeout` for news. The bool is the closed flag: once it is
+    /// `true` and the returned batch is empty, the stream has ended.
+    pub fn wait_from(&self, from: usize, timeout: Duration) -> (Vec<String>, bool) {
+        let mut state = self.state.lock();
+        if state.frames.len() <= from && !state.closed {
+            (state, _) = self.available.wait_timeout(state, timeout);
+        }
+        let frames = state.frames.get(from..).unwrap_or(&[]).to_vec();
+        (frames, state.closed)
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_replay_from_any_offset_and_close_sticks() {
+        let log = EventLog::new();
+        log.push("progress", r#"{"runs_done":5}"#);
+        log.close_with("done", r#"{"state":"done"}"#);
+        log.push("progress", r#"{"runs_done":9}"#);
+        let (frames, closed) = log.wait_from(0, Duration::from_millis(1));
+        assert!(closed);
+        assert_eq!(frames.len(), 2, "the post-close push is dropped");
+        assert!(frames[0].starts_with("event: progress\n"), "{}", frames[0]);
+        assert!(frames[1].starts_with("event: done\n"), "{}", frames[1]);
+        let (tail, closed) = log.wait_from(2, Duration::from_millis(1));
+        assert!(closed && tail.is_empty(), "stream has ended");
+    }
+
+    #[test]
+    fn wait_returns_promptly_on_timeout_when_nothing_is_new() {
+        let log = EventLog::new();
+        let started = std::time::Instant::now();
+        let (frames, closed) = log.wait_from(0, Duration::from_millis(10));
+        assert!(frames.is_empty() && !closed);
+        assert!(started.elapsed() < Duration::from_secs(5));
+    }
+}

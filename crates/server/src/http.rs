@@ -2,25 +2,55 @@
 //! the route table, and canned responses. One thread per connection,
 //! `Connection: close`; campaign replays never run on connection threads,
 //! so a slow client cannot stall the service.
+//!
+//! The one exception to request/response/close is
+//! `GET /campaigns/:id/events`: that connection switches to a
+//! Server-Sent-Events stream over keep-alive and its thread tails the
+//! campaign's [`EventLog`](crate::EventLog) until the terminal frame.
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
-use crate::metrics::Metrics;
+use crate::campaign::ExplainError;
 use crate::ServerState;
 
 /// Upper bound on request size (headers + body); larger submissions are
 /// refused with 413.
 const MAX_REQUEST_BYTES: usize = 4 << 20;
 
+/// How long an idle SSE stream waits for news before emitting a
+/// `: keep-alive` comment so proxies and clients see a live socket.
+const SSE_KEEP_ALIVE: Duration = Duration::from_secs(10);
+
 /// A parsed request.
 struct Request {
     method: String,
     path: String,
+    /// Header `(name, value)` pairs, names lowercased.
+    headers: Vec<(String, String)>,
     body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of `name` (lowercase), if present.
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the `Accept` header asks for the Prometheus text format
+    /// rather than JSON. Prometheus scrapers send `text/plain` (with a
+    /// `version=` parameter) or `application/openmetrics-text`.
+    fn wants_prometheus_text(&self) -> bool {
+        self.header("accept")
+            .is_some_and(|accept| accept.contains("text/plain") || accept.contains("openmetrics"))
+    }
 }
 
 /// Accept loop. Returns when the state's shutdown flag is raised (the
@@ -47,6 +77,7 @@ fn handle(state: &ServerState, mut stream: TcpStream) {
                 &mut stream,
                 413,
                 "Payload Too Large",
+                JSON,
                 error_body("too large"),
             );
             return;
@@ -56,37 +87,64 @@ fn handle(state: &ServerState, mut stream: TcpStream) {
                 &mut stream,
                 400,
                 "Bad Request",
+                JSON,
                 error_body("malformed request"),
             );
             return;
         }
     };
-    let (code, reason, body) = route(state, &request);
-    respond(&mut stream, code, reason, body);
+    // The SSE endpoint streams instead of responding once; everything
+    // else goes through the route table.
+    {
+        let segments = path_segments(&request.path);
+        if request.method == "GET"
+            && segments.len() == 3
+            && segments[0] == "campaigns"
+            && segments[2] == "events"
+        {
+            stream_events(state, stream, segments[1]);
+            return;
+        }
+    }
+    let (code, reason, content_type, body) = route(state, &request);
+    respond(&mut stream, code, reason, content_type, body);
 }
 
-/// Dispatches one request to its handler.
-fn route(state: &ServerState, request: &Request) -> (u16, &'static str, String) {
-    let segments: Vec<&str> = request
-        .path
-        .split('?')
+fn path_segments(path: &str) -> Vec<&str> {
+    path.split('?')
         .next()
         .unwrap_or("")
         .split('/')
         .filter(|s| !s.is_empty())
-        .collect();
+        .collect()
+}
+
+const JSON: &str = "application/json";
+/// The Prometheus text exposition format's content type.
+const PROM_TEXT: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Dispatches one request to its handler.
+fn route(state: &ServerState, request: &Request) -> (u16, &'static str, &'static str, String) {
+    let segments = path_segments(&request.path);
+    let json = |code, reason, body| (code, reason, JSON, body);
     match (request.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => (200, "OK", r#"{"status":"ok"}"#.to_owned()),
-        ("GET", ["metrics"]) => (200, "OK", metrics_body(state)),
-        ("POST", ["campaigns"]) => submit(state, &request.body),
+        ("GET", ["healthz"]) => json(200, "OK", r#"{"status":"ok"}"#.to_owned()),
+        ("GET", ["metrics"]) if request.wants_prometheus_text() => {
+            (200, "OK", PROM_TEXT, prometheus_body(state))
+        }
+        ("GET", ["metrics"]) => json(200, "OK", metrics_body(state)),
+        ("POST", ["campaigns"]) => {
+            let (code, reason, body) = submit(state, &request.body);
+            json(code, reason, body)
+        }
         ("GET", ["campaigns", id]) => match state.campaign(id) {
-            Some(c) => (200, "OK", c.status_json()),
+            Some(c) => json(200, "OK", c.status_json()),
             None => not_found(id),
         },
         ("GET", ["campaigns", id, "report"]) => match state.campaign(id) {
             Some(c) => match c.report_json() {
-                Some(json) => (200, "OK", json),
-                None => (
+                Some(body) => json(200, "OK", body),
+                None => json(
                     409,
                     "Conflict",
                     error_body(&format!("campaign is {}", c.phase().as_str())),
@@ -94,8 +152,34 @@ fn route(state: &ServerState, request: &Request) -> (u16, &'static str, String) 
             },
             None => not_found(id),
         },
+        ("GET", ["campaigns", id, "violations", n]) => match state.campaign(id) {
+            Some(c) => match n.parse::<usize>() {
+                Ok(n) => match c.violation_json(n) {
+                    Ok(body) => json(200, "OK", body),
+                    Err(ExplainError::NotDone) => json(
+                        409,
+                        "Conflict",
+                        error_body(&format!("campaign is {}", c.phase().as_str())),
+                    ),
+                    Err(ExplainError::OutOfRange) => {
+                        json(404, "Not Found", error_body(&format!("no violation {n}")))
+                    }
+                    Err(ExplainError::NoInterleaving) => json(
+                        422,
+                        "Unprocessable Entity",
+                        error_body("cross-run violation has no interleaving to replay"),
+                    ),
+                },
+                Err(_) => json(
+                    400,
+                    "Bad Request",
+                    error_body("violation index not a number"),
+                ),
+            },
+            None => not_found(id),
+        },
         ("DELETE", ["campaigns", id]) => match state.cancel_campaign(id) {
-            Some(phase) => (
+            Some(phase) => json(
                 202,
                 "Accepted",
                 format!(r#"{{"id":{},"state":"{}"}}"#, json_str(id), phase),
@@ -103,9 +187,56 @@ fn route(state: &ServerState, request: &Request) -> (u16, &'static str, String) 
             None => not_found(id),
         },
         (_, ["healthz" | "metrics" | "campaigns", ..]) => {
-            (405, "Method Not Allowed", error_body("method not allowed"))
+            json(405, "Method Not Allowed", error_body("method not allowed"))
         }
-        _ => (404, "Not Found", error_body("no such route")),
+        _ => json(404, "Not Found", error_body("no such route")),
+    }
+}
+
+/// `GET /campaigns/:id/events`: switch the connection to a Server-Sent-
+/// Events stream. The client immediately gets a `status` frame, then the
+/// campaign's full event history, then live frames as the runner appends
+/// them, then the terminal frame — at which point the stream ends.
+fn stream_events(state: &ServerState, mut stream: TcpStream, id: &str) {
+    let Some(campaign) = state.campaign(id) else {
+        let (code, reason, body) = (404, "Not Found", error_body(&format!("no campaign {id}")));
+        respond(&mut stream, code, reason, JSON, body);
+        return;
+    };
+    let head = "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nConnection: keep-alive\r\n\r\n";
+    if stream.write_all(head.as_bytes()).is_err() {
+        return;
+    }
+    // The greeting frame guarantees at least one event even for a
+    // campaign that is still queued (and, with the terminal frame, at
+    // least two over any complete stream).
+    let greeting = format!("event: status\ndata: {}\n\n", campaign.status_json());
+    if stream.write_all(greeting.as_bytes()).is_err() {
+        return;
+    }
+    let mut cursor = 0usize;
+    loop {
+        let (frames, closed) = campaign.events.wait_from(cursor, SSE_KEEP_ALIVE);
+        if frames.is_empty() {
+            if closed {
+                return;
+            }
+            // Nothing new within the window: prove the socket is alive.
+            if stream.write_all(b": keep-alive\n\n").is_err() {
+                return;
+            }
+            continue;
+        }
+        cursor += frames.len();
+        for frame in frames {
+            if stream.write_all(frame.as_bytes()).is_err() {
+                return;
+            }
+        }
+        if closed {
+            return;
+        }
+        let _ = stream.flush();
     }
 }
 
@@ -123,7 +254,8 @@ fn submit(state: &ServerState, body: &[u8]) -> (u16, &'static str, String) {
         ),
         Err(crate::SubmitError::Invalid(e)) => (400, "Bad Request", error_body(&e)),
         Err(crate::SubmitError::QueueFull) => {
-            Metrics::bump(&state.metrics.rejected);
+            // The rejection counters (fleet + per-tenant) are bumped in
+            // `ServerState::submit`, where the tenant is known.
             (429, "Too Many Requests", error_body("queue full"))
         }
     }
@@ -140,8 +272,26 @@ fn metrics_body(state: &ServerState) -> String {
     serde_json::to_string(&body).expect("metrics bodies are serializable")
 }
 
-fn not_found(id: &str) -> (u16, &'static str, String) {
-    (404, "Not Found", error_body(&format!("no campaign {id}")))
+/// The Prometheus text exposition: refresh the scrape-time gauges from
+/// live daemon state, then render every family in the shared registry.
+fn prometheus_body(state: &ServerState) -> String {
+    state.metrics.set_live(
+        state.queue.depth(),
+        state.running_count(),
+        state.service.workers(),
+        state.service.queued(),
+        &state.queue.tenant_depths(),
+    );
+    state.metrics.registry().render_prometheus()
+}
+
+fn not_found(id: &str) -> (u16, &'static str, &'static str, String) {
+    (
+        404,
+        "Not Found",
+        JSON,
+        error_body(&format!("no campaign {id}")),
+    )
 }
 
 fn error_body(message: &str) -> String {
@@ -202,6 +352,7 @@ fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> {
         ));
     }
     let mut content_length = 0usize;
+    let mut headers = Vec::new();
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
@@ -209,6 +360,7 @@ fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> {
                     std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
                 })?;
             }
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
         }
     }
     if content_length > MAX_REQUEST_BYTES {
@@ -226,7 +378,12 @@ fn read_request(stream: &mut TcpStream) -> std::io::Result<Option<Request>> {
         body.extend_from_slice(&chunk[..n]);
     }
     body.truncate(content_length);
-    Ok(Some(Request { method, path, body }))
+    Ok(Some(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
 }
 
 fn find_header_end(buf: &[u8]) -> Option<usize> {
@@ -234,9 +391,9 @@ fn find_header_end(buf: &[u8]) -> Option<usize> {
 }
 
 /// Writes one response and lets the connection close.
-fn respond(stream: &mut TcpStream, code: u16, reason: &str, body: String) {
+fn respond(stream: &mut TcpStream, code: u16, reason: &str, content_type: &str, body: String) {
     let head = format!(
-        "HTTP/1.1 {code} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
     let _ = stream.write_all(head.as_bytes());

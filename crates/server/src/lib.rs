@@ -19,8 +19,10 @@
 //! | `POST /campaigns`          | submit a spec; `202` + id, `400` invalid, `429` queue full |
 //! | `GET /campaigns/:id`       | live status: phase, progress snapshot, summary  |
 //! | `GET /campaigns/:id/report`| final canonical report (`409` until done)       |
+//! | `GET /campaigns/:id/events`| live Server-Sent-Events stream: `status`, `progress`, pruner `milestone`s, terminal `done`/`cancelled`/`failed` |
+//! | `GET /campaigns/:id/violations/:n` | forensic bundle for violation `n` (`409` until done, `404` out of range) |
 //! | `DELETE /campaigns/:id`    | cancel; stops at the next chunk boundary        |
-//! | `GET /metrics`             | queue depth, throughput, worker utilization     |
+//! | `GET /metrics`             | JSON by default; Prometheus text exposition when `Accept` asks for `text/plain` |
 //!
 //! ## Shape
 //!
@@ -38,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod campaign;
+mod events;
 mod http;
 mod metrics;
 mod queue;
@@ -51,10 +54,12 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 
+use er_pi::telemetry::Registry;
 use er_pi::ExecutorService;
 use parking_lot::Mutex;
 
-pub use campaign::{Campaign, CampaignStatus, Phase};
+pub use campaign::{Campaign, CampaignStatus, ExplainError, Phase};
+pub use events::EventLog;
 pub use metrics::{Metrics, MetricsBody};
 pub use queue::{CampaignQueue, QueueFull};
 pub use spec::{CampaignSpec, SubjectSpec, ValidSpec, DEFAULT_CAP, DEFAULT_PRIORITY};
@@ -107,11 +112,16 @@ pub(crate) struct ServerState {
 
 impl ServerState {
     fn new(config: ServerConfig) -> Self {
+        // One registry spans the whole daemon: the executor service's
+        // histograms, the fleet counters, and every campaign session's
+        // {tenant, campaign}-labelled series all land in it, so one
+        // `GET /metrics` scrape covers every layer.
+        let metric_registry = Arc::new(Registry::new());
         ServerState {
-            service: ExecutorService::new(config.workers),
+            service: ExecutorService::with_registry(config.workers, &metric_registry),
             queue: CampaignQueue::new(config.queue_cap),
             registry: Mutex::new(BTreeMap::new()),
-            metrics: Metrics::new(),
+            metrics: Metrics::new(metric_registry),
             shutdown: AtomicBool::new(false),
             next_id: AtomicU64::new(0),
             next_seq: AtomicU64::new(0),
@@ -132,9 +142,10 @@ impl ServerState {
             .insert(id.clone(), Arc::clone(&campaign));
         if self.queue.push(Arc::clone(&campaign)).is_err() {
             self.registry.lock().remove(&id);
+            self.metrics.inc_rejected(&campaign.spec.tenant);
             return Err(SubmitError::QueueFull);
         }
-        Metrics::bump(&self.metrics.submitted);
+        self.metrics.inc_submitted();
         Ok(campaign)
     }
 
@@ -152,8 +163,8 @@ impl ServerState {
         let campaign = self.campaign(id)?;
         if let Some(queued) = self.queue.remove(id) {
             queued.cancel.cancel();
-            queued.status.lock().phase = Phase::Cancelled;
-            Metrics::bump(&self.metrics.cancelled);
+            queued.finish(Phase::Cancelled);
+            self.metrics.inc_cancelled();
             return Some(Phase::Cancelled.as_str());
         }
         let phase = campaign.phase();

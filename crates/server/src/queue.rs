@@ -88,6 +88,17 @@ impl CampaignQueue {
         self.state.lock().items.len()
     }
 
+    /// Waiting campaigns broken down by submitting tenant (the
+    /// `er_pi_tenant_queue_depth` gauge's scrape source).
+    pub fn tenant_depths(&self) -> std::collections::BTreeMap<String, usize> {
+        let state = self.state.lock();
+        let mut depths = std::collections::BTreeMap::new();
+        for campaign in &state.items {
+            *depths.entry(campaign.spec.tenant.clone()).or_insert(0) += 1;
+        }
+        depths
+    }
+
     /// Closes the queue: further pushes refuse, and poppers drain what is
     /// left, then see `None`.
     pub fn close(&self) {

@@ -6,16 +6,22 @@
 //! over the service's workers. The service picks chunks by the same
 //! `(priority, seq)` key the queue uses, so a high-priority submission
 //! overtakes lower classes at both hand-offs.
+//!
+//! Each campaign also feeds the observability plane from here: a
+//! [`SessionMetrics`] handle labelled `{tenant, campaign}` exports its run
+//! and pruning counters into the shared registry, and the progress hook
+//! doubles as the SSE producer — `progress` deltas, one-shot pruner
+//! milestones, and the terminal `done`/`cancelled`/`failed` frame.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use er_pi::telemetry::ProgressSnapshot;
-use er_pi::ErPiError;
+use er_pi::{ErPiError, SessionMetrics};
 use er_pi_fuzz::{report_for_on, OracleOptions};
 use er_pi_subjects::{ProgressFn, ReplayOptions};
 
 use crate::campaign::{Campaign, Phase};
-use crate::metrics::Metrics;
 use crate::spec::SubjectSpec;
 use crate::ServerState;
 
@@ -30,18 +36,50 @@ pub(crate) fn runner_loop(state: Arc<ServerState>) {
 fn run_one(state: &ServerState, campaign: &Arc<Campaign>) {
     if campaign.cancel.is_cancelled() {
         // DELETE raced the pop; honour it without spending worker time.
-        campaign.status.lock().phase = Phase::Cancelled;
-        Metrics::bump(&state.metrics.cancelled);
+        campaign.finish(Phase::Cancelled);
+        state.metrics.inc_cancelled();
         return;
     }
+    state
+        .metrics
+        .observe_queue_wait_us(campaign.submitted_at.elapsed().as_micros() as u64);
     campaign.status.lock().phase = Phase::Running;
+    campaign.events.push("status", &campaign.status_json());
     let progress: ProgressFn = {
         let campaign = Arc::clone(campaign);
+        let subsumption_seen = AtomicBool::new(false);
+        let sleep_seen = AtomicBool::new(false);
         Arc::new(move |snap: &ProgressSnapshot| {
             campaign.status.lock().progress = Some(snap.clone());
+            let json = serde_json::to_string(snap).expect("progress snapshots are serializable");
+            campaign.events.push("progress", &json);
+            // One-shot pruner milestones: the first run answered by
+            // state-hash subsumption, the first sleep-set rejection.
+            if snap.subsumed_runs > 0 && !subsumption_seen.swap(true, Ordering::Relaxed) {
+                campaign.events.push(
+                    "milestone",
+                    &format!(
+                        r#"{{"kind":"subsumption-active","runs_done":{}}}"#,
+                        snap.runs_done
+                    ),
+                );
+            }
+            if snap.sleep_prunes > 0 && !sleep_seen.swap(true, Ordering::Relaxed) {
+                campaign.events.push(
+                    "milestone",
+                    &format!(
+                        r#"{{"kind":"sleep-set-active","runs_done":{}}}"#,
+                        snap.runs_done
+                    ),
+                );
+            }
         })
     };
     let spec = &campaign.spec;
+    let metrics = SessionMetrics::new(
+        state.metrics.registry(),
+        &[("tenant", &spec.tenant), ("campaign", &campaign.id)],
+    );
     let result = match &spec.subject {
         SubjectSpec::Bug(bug) => bug.replay_report_on(
             &state.service,
@@ -55,6 +93,7 @@ fn run_one(state: &ServerState, campaign: &Arc<Campaign>) {
                 incremental: spec.incremental,
                 subsumption: spec.subsumption,
                 sleep_sets: spec.sleep_sets,
+                metrics: Some(metrics),
                 ..ReplayOptions::default()
             },
         ),
@@ -70,9 +109,9 @@ fn run_one(state: &ServerState, campaign: &Arc<Campaign>) {
             spec.priority,
             Some(campaign.cancel.clone()),
             Some(progress),
+            Some(metrics),
         ),
     };
-    let mut status = campaign.status.lock();
     match result {
         Ok(report) => {
             state.metrics.add_runs(report.explored as u64);
@@ -82,18 +121,21 @@ fn run_one(state: &ServerState, campaign: &Arc<Campaign>) {
             if let Some(prune) = &report.prune_stats {
                 state.metrics.add_sleep_prunes(prune.sleep_rejected);
             }
-            Metrics::bump(&state.metrics.completed);
-            status.report = Some(report);
-            status.phase = Phase::Done;
+            state.metrics.inc_completed();
+            state
+                .metrics
+                .observe_submit_to_report_us(campaign.submitted_at.elapsed().as_micros() as u64);
+            campaign.status.lock().report = Some(report);
+            campaign.finish(Phase::Done);
         }
         Err(ErPiError::Cancelled) => {
-            Metrics::bump(&state.metrics.cancelled);
-            status.phase = Phase::Cancelled;
+            state.metrics.inc_cancelled();
+            campaign.finish(Phase::Cancelled);
         }
         Err(e) => {
-            Metrics::bump(&state.metrics.failed);
-            status.error = Some(e.to_string());
-            status.phase = Phase::Failed;
+            state.metrics.inc_failed();
+            campaign.status.lock().error = Some(e.to_string());
+            campaign.finish(Phase::Failed);
         }
     }
 }

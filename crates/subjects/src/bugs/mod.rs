@@ -21,8 +21,9 @@ use std::sync::Arc;
 
 use er_pi::telemetry::{ProgressSnapshot, Sink};
 use er_pi::{
-    Assertion, CancelToken, ErPiError, ExecutorService, ExploreMode, InlineExecutor, PruningConfig,
-    Report, SanitizerReport, Session, SystemModel, TestSuite, TimeModel,
+    Assertion, CancelToken, ErPiError, ExecutorService, ExploreMode, ForensicBundle,
+    InlineExecutor, PruningConfig, Report, SanitizerReport, Session, SessionMetrics, SystemModel,
+    TestSuite, TimeModel, Violation,
 };
 use er_pi_interleave::{DfsExplorer, PruneStats};
 use er_pi_model::{EventId, Workload};
@@ -280,6 +281,10 @@ struct RunPlan {
     sleep_sets: bool,
     /// Pool dispenser claim granularity, in interleavings.
     chunk_size: usize,
+    /// Fleet-metrics handle to attach. Like telemetry, metrics are
+    /// write-only: the [`Report`] must be byte-identical with or without
+    /// them.
+    metrics: Option<SessionMetrics>,
 }
 
 /// Options for [`Bug::replay_report_opts`] — the fully general scheduling
@@ -322,6 +327,10 @@ pub struct ReplayOptions {
     /// ([`Session::set_chunk_size`]; default
     /// [`DEFAULT_CHUNK_SIZE`](er_pi::DEFAULT_CHUNK_SIZE)).
     pub chunk_size: usize,
+    /// Fleet-metrics handle ([`Session::set_metrics`]) exporting run and
+    /// pruning counters to a shared registry. Write-only, like
+    /// `telemetry`: the report stays byte-identical either way.
+    pub metrics: Option<SessionMetrics>,
 }
 
 impl Default for ReplayOptions {
@@ -336,6 +345,7 @@ impl Default for ReplayOptions {
             subsumption: false,
             sleep_sets: false,
             chunk_size: er_pi::DEFAULT_CHUNK_SIZE,
+            metrics: None,
         }
     }
 }
@@ -352,6 +362,7 @@ impl std::fmt::Debug for ReplayOptions {
             .field("subsumption", &self.subsumption)
             .field("sleep_sets", &self.sleep_sets)
             .field("chunk_size", &self.chunk_size)
+            .field("metrics", &self.metrics.is_some())
             .finish()
     }
 }
@@ -383,6 +394,9 @@ where
     session.set_chunk_size(plan.chunk_size);
     if let Some(sink) = &plan.telemetry {
         session.set_telemetry(Arc::clone(sink));
+    }
+    if let Some(metrics) = &plan.metrics {
+        session.set_metrics(metrics.clone());
     }
     let suite = TestSuite::new().with(Assertion::new("bug-manifested", move |ctx| {
         let bug_ctx = BugCtx {
@@ -433,6 +447,9 @@ where
     if let Some(sink) = &plan.telemetry {
         session.set_telemetry(Arc::clone(sink));
     }
+    if let Some(metrics) = &plan.metrics {
+        session.set_metrics(metrics.clone());
+    }
     session.set_cancel_token(cancel);
     if let Some(hook) = progress {
         session.set_progress_hook(PROGRESS_EVERY, move |snap| hook(snap));
@@ -473,6 +490,7 @@ where
         subsumption: false,
         sleep_sets: false,
         chunk_size: er_pi::DEFAULT_CHUNK_SIZE,
+        metrics: None,
     };
     let (report, _) = run_report(model, workload, config, &plan, check);
     Repro {
@@ -717,6 +735,7 @@ impl Bug {
             subsumption: opts.subsumption,
             sleep_sets: opts.sleep_sets,
             chunk_size: opts.chunk_size,
+            metrics: opts.metrics.clone(),
         };
         match &self.imp {
             BugImpl::Roshi { model, check } => {
@@ -771,6 +790,7 @@ impl Bug {
             subsumption: opts.subsumption,
             sleep_sets: opts.sleep_sets,
             chunk_size: opts.chunk_size,
+            metrics: opts.metrics.clone(),
         };
         match &self.imp {
             BugImpl::Roshi { model, check } => run_report_on(
@@ -851,6 +871,36 @@ impl Bug {
             }
             BugImpl::Crdts { model, check } => {
                 run_dfs_base(model.clone(), &self.workload, base, cap, *check)
+            }
+        }
+    }
+
+    /// Re-executes a violating interleaving step by step and assembles the
+    /// deterministic forensic bundle — exact order + fault plan, per-step
+    /// state digests, first divergence from the recorded order, and the
+    /// workload's happens-before graph in DOT ([`er_pi::explain_violation`]).
+    ///
+    /// The bundle is a pure function of `(bug, violation)`: the campaign
+    /// server and the `er-pi-explain` CLI must produce byte-identical
+    /// bundles for the same violation regardless of how the campaign that
+    /// found it was scheduled. Returns `None` for cross-run violations,
+    /// which carry no single interleaving to replay.
+    pub fn explain(&self, violation: &Violation) -> Option<ForensicBundle> {
+        match &self.imp {
+            BugImpl::Roshi { model, .. } => {
+                er_pi::explain_violation(model, &self.workload, violation)
+            }
+            BugImpl::Orbit { model, .. } => {
+                er_pi::explain_violation(model, &self.workload, violation)
+            }
+            BugImpl::ReplicaDb { model, .. } => {
+                er_pi::explain_violation(model, &self.workload, violation)
+            }
+            BugImpl::Yorkie { model, .. } => {
+                er_pi::explain_violation(model, &self.workload, violation)
+            }
+            BugImpl::Crdts { model, .. } => {
+                er_pi::explain_violation(model, &self.workload, violation)
             }
         }
     }

@@ -21,8 +21,11 @@
 //!   flamegraph.
 //!
 //! Plus [`MemorySink`] for tests, [`Progress`] for live runs/sec / ETA /
-//! cache-hit sampling, and [`HitRateMonitor`] for the degraded
-//! checkpoint-trie warning.
+//! cache-hit sampling, [`HitRateMonitor`] for the degraded
+//! checkpoint-trie warning, and [`Registry`] — a typed, label-aware
+//! metric registry (counters, gauges, log-bucketed latency histograms)
+//! with Prometheus text exposition that every layer of the engine
+//! registers into.
 //!
 //! Telemetry is strictly write-only: nothing observed through this crate
 //! feeds back into replay results, so attaching any sink leaves `Report`s
@@ -35,6 +38,7 @@
 mod event;
 mod handle;
 mod progress;
+mod registry;
 mod sink;
 
 pub use event::{
@@ -43,6 +47,9 @@ pub use event::{
 pub use handle::Telemetry;
 pub use progress::{
     HitRateMonitor, Progress, ProgressSnapshot, HIT_RATE_THRESHOLD, HIT_RATE_WINDOW,
+};
+pub use registry::{
+    lint_exposition, lint_monotone, Counter, Gauge, Histogram, MetricKind, Registry,
 };
 pub use sink::{
     chrome_trace_object, jsonl_line, ChromeTraceSink, JsonLinesSink, MemorySink, NullSink,

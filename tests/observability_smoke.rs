@@ -1,0 +1,282 @@
+//! End-to-end smoke of the observability surface: Prometheus exposition,
+//! Server-Sent-Event streaming, and violation forensics over a real
+//! socket against an in-process campaign daemon.
+//!
+//! The `server_equivalence` suite pins the determinism contract; this one
+//! pins the *observer* side: `GET /metrics` content-negotiates a lintable
+//! Prometheus text exposition whose counters only ever go up, a campaign's
+//! `/events` stream replays its full history and terminates with the
+//! campaign, and `/violations/:n` serves the same forensic bundle bytes a
+//! standalone replay of the same spec explains locally.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use er_pi::telemetry::{lint_exposition, lint_monotone};
+use er_pi_server::{Server, ServerConfig, ServerHandle};
+use er_pi_subjects::{Bug, ReplayOptions};
+
+// ---------------------------------------------------------------------
+// Socket helpers (one Connection: close exchange per call).
+// ---------------------------------------------------------------------
+
+fn exchange(addr: &str, request: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to the daemon");
+    stream
+        .write_all(request.as_bytes())
+        .expect("write the request");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read the response");
+    let code = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .expect("a status line");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (code, body)
+}
+
+fn get(addr: &str, path: &str) -> (u16, String) {
+    exchange(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn get_accept(addr: &str, path: &str, accept: &str) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to the daemon");
+    stream
+        .write_all(
+            format!(
+                "GET {path} HTTP/1.1\r\nHost: t\r\nAccept: {accept}\r\nConnection: close\r\n\r\n"
+            )
+            .as_bytes(),
+        )
+        .expect("write the request");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read the response");
+    let (head, body) = response.split_once("\r\n\r\n").expect("a header block");
+    let code = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .expect("a status line");
+    let content_type = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Type: "))
+        .unwrap_or_default()
+        .to_owned();
+    (code, content_type, body.to_owned())
+}
+
+fn post(addr: &str, path: &str, body: &str) -> (u16, String) {
+    exchange(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn field<'a>(json: &'a str, name: &str) -> Option<&'a str> {
+    let key = format!("\"{name}\":");
+    let at = json.find(&key)? + key.len();
+    let rest = json[at..].trim_start();
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+fn submit_id(addr: &str, spec: &str) -> String {
+    let (code, body) = post(addr, "/campaigns", spec);
+    assert_eq!(code, 202, "submission refused: {body}");
+    field(&body, "id").expect("an id").to_owned()
+}
+
+fn poll_until_terminal(addr: &str, id: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (code, body) = get(addr, &format!("/campaigns/{id}"));
+        assert_eq!(code, 200, "status poll failed: {body}");
+        let state = field(&body, "state").expect("a state").to_owned();
+        if ["done", "cancelled", "failed"].contains(&state.as_str()) {
+            return state;
+        }
+        assert!(Instant::now() < deadline, "campaign {id} stuck in {state}");
+        thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn tiny_daemon() -> (ServerHandle, String) {
+    let handle = Server::bind(ServerConfig {
+        port: 0,
+        workers: 2,
+        runners: 2,
+        queue_cap: 8,
+    })
+    .expect("binds")
+    .spawn()
+    .expect("spawns");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+// ---------------------------------------------------------------------
+// The smoke itself.
+// ---------------------------------------------------------------------
+
+#[test]
+fn metrics_negotiate_json_and_lintable_monotone_prometheus_text() {
+    let (handle, addr) = tiny_daemon();
+
+    // Default (no Accept): the JSON body with its stable key set.
+    let (code, content_type, body) = get_accept(&addr, "/metrics", "application/json");
+    assert_eq!(code, 200);
+    assert!(
+        content_type.starts_with("application/json"),
+        "{content_type}"
+    );
+    for key in [
+        "uptime_secs",
+        "submitted",
+        "rejected",
+        "completed",
+        "cancelled",
+        "failed",
+        "runs_total",
+        "subsumed_total",
+        "sleep_prunes_total",
+        "subsume_rate",
+        "runs_per_sec",
+        "queue_depth",
+        "running",
+        "service_workers",
+        "service_jobs",
+        "worker_utilization",
+    ] {
+        assert!(
+            body.contains(&format!("\"{key}\"")),
+            "JSON body lost {key}: {body}"
+        );
+    }
+
+    // Accept: text/plain: the Prometheus exposition, lint-clean.
+    let (code, content_type, first) = get_accept(&addr, "/metrics", "text/plain");
+    assert_eq!(code, 200);
+    assert!(content_type.starts_with("text/plain"), "{content_type}");
+    lint_exposition(&first).expect("first scrape lints");
+    assert!(
+        first.contains("# TYPE er_pi_server_submitted_total counter"),
+        "exposition lost the fleet counters:\n{first}"
+    );
+    assert!(
+        first.contains("# TYPE er_pi_run_latency_us histogram"),
+        "exposition lost the executor histograms:\n{first}"
+    );
+
+    // Run a campaign, scrape again: still lint-clean, counters monotone,
+    // and the campaign's labelled series materialized.
+    let id = submit_id(
+        &addr,
+        r#"{"bug": "Roshi-1", "cap": 200, "tenant": "smoke"}"#,
+    );
+    assert_eq!(poll_until_terminal(&addr, &id), "done");
+    let (_, _, second) = get_accept(&addr, "/metrics", "text/plain");
+    lint_exposition(&second).expect("second scrape lints");
+    lint_monotone(&first, &second).expect("counters only go up");
+    assert!(
+        second.contains(&format!(
+            "er_pi_campaign_runs_total{{tenant=\"smoke\",campaign=\"{id}\"}}"
+        )),
+        "campaign series missing:\n{second}"
+    );
+    assert!(
+        second.contains("er_pi_submit_to_report_us_bucket"),
+        "latency histogram missing:\n{second}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn event_stream_replays_history_and_ends_with_the_terminal_event() {
+    let (handle, addr) = tiny_daemon();
+    let id = submit_id(&addr, r#"{"bug": "OrbitDB-2", "cap": 500}"#);
+    // Late subscription is the harder case: the full history must replay.
+    assert_eq!(poll_until_terminal(&addr, &id), "done");
+    let (code, body) = get(&addr, &format!("/campaigns/{id}/events"));
+    assert_eq!(code, 200, "{body}");
+    let events: Vec<&str> = body
+        .lines()
+        .filter_map(|l| l.strip_prefix("event: "))
+        .collect();
+    assert!(
+        events.len() >= 2,
+        "stream carried fewer than 2 events: {events:?}"
+    );
+    assert_eq!(events[0], "status", "greeting frame first: {events:?}");
+    assert_eq!(*events.last().unwrap(), "done", "terminal last: {events:?}");
+    // Every data line is one line of JSON.
+    for line in body.lines() {
+        if let Some(data) = line.strip_prefix("data: ") {
+            assert!(
+                data.starts_with('{') && data.ends_with('}'),
+                "malformed SSE data line: {line}"
+            );
+        }
+    }
+    // Unknown campaigns get a plain 404, not a stream.
+    let (code, _) = get(&addr, "/campaigns/c-999/events");
+    assert_eq!(code, 404);
+    handle.shutdown();
+}
+
+#[test]
+fn violation_bundles_are_served_and_match_a_local_explain() {
+    let (handle, addr) = tiny_daemon();
+    let id = submit_id(&addr, r#"{"bug": "Roshi-1", "cap": 200}"#);
+    assert_eq!(poll_until_terminal(&addr, &id), "done");
+
+    let (code, bundle) = get(&addr, &format!("/campaigns/{id}/violations/0"));
+    assert_eq!(code, 200, "{bundle}");
+    for key in [
+        "assertion",
+        "interleaving",
+        "steps",
+        "hb_dot",
+        "provenance",
+        "first_divergence",
+    ] {
+        assert!(bundle.contains(&format!("\"{key}\"")), "bundle lost {key}");
+    }
+
+    // The served bytes are exactly what a standalone replay of the same
+    // spec explains locally — forensics are scheduling-independent.
+    let bug = Bug::by_name("Roshi-1").expect("catalogue bug");
+    let report = bug.replay_report_opts(&ReplayOptions {
+        cap: 200,
+        ..ReplayOptions::default()
+    });
+    let local = bug
+        .explain(report.violations.first().expect("Roshi-1 reproduces"))
+        .expect("explains")
+        .canonical_json();
+    assert_eq!(bundle, local, "served bundle diverged from local explain");
+
+    // Out of range and unknown ids are 404; junk indexes are 400.
+    let (code, _) = get(&addr, &format!("/campaigns/{id}/violations/999"));
+    assert_eq!(code, 404);
+    let (code, _) = get(&addr, "/campaigns/c-999/violations/0");
+    assert_eq!(code, 404);
+    let (code, _) = get(&addr, &format!("/campaigns/{id}/violations/zero"));
+    assert_eq!(code, 400);
+    handle.shutdown();
+}

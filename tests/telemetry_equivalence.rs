@@ -247,3 +247,75 @@ proptest! {
         check();
     }
 }
+
+/// S3 co-tenancy: two campaigns multiplexed over one shared
+/// [`ExecutorService`], each streaming into its own Chrome trace sink.
+/// Concurrent emission from shared worker threads must never tear a JSON
+/// object or leak one campaign's events into the other's trace — every
+/// line of each buffer parses on its own, and each trace carries a
+/// coherent track set of its own.
+#[test]
+fn co_tenant_chrome_traces_stay_separate_and_well_formed() {
+    use er_pi::ExecutorService;
+
+    let service = Arc::new(ExecutorService::new(2));
+    let spawn = |name: &'static str| {
+        let buf = SharedBuf::new();
+        let sink = Arc::new(ChromeTraceSink::new(buf.clone()));
+        let service = Arc::clone(&service);
+        let handle = std::thread::spawn({
+            let sink = sink.clone();
+            move || {
+                let bug = Bug::by_name(name).expect("catalogue bug");
+                let erased: Arc<dyn Sink> = sink.clone();
+                let report = bug
+                    .replay_report_on(
+                        &service,
+                        5,
+                        None,
+                        None,
+                        &ReplayOptions {
+                            telemetry: Some(erased),
+                            ..ReplayOptions::default()
+                        },
+                    )
+                    .expect("co-scheduled campaign completes");
+                sink.close();
+                report
+            }
+        });
+        (name, buf, handle)
+    };
+    let campaigns = [spawn("Roshi-1"), spawn("ReplicaDB-2")];
+    for (name, buf, handle) in campaigns {
+        let report = handle.join().expect("campaign thread");
+        assert!(report.explored > 0, "{name}: campaign replayed nothing");
+        let contents = buf.contents();
+        assert_chrome_trace_shape(&contents);
+        let mut tracks = std::collections::BTreeSet::new();
+        for line in contents.trim().lines().skip(1) {
+            let object = line.trim_end_matches(&[',', ']'][..]);
+            if object.is_empty() {
+                continue;
+            }
+            let value: serde::Content = serde_json::from_str(object).unwrap_or_else(|e| {
+                panic!("{name}: torn or interleaved trace object {object:?}: {e}")
+            });
+            let serde::Content::Map(entries) = &value else {
+                panic!("{name}: trace line is not an object: {object:?}");
+            };
+            let tid = entries
+                .iter()
+                .find_map(|(k, v)| match (k, v) {
+                    (serde::Content::Str(k), serde::Content::Int(n)) if k == "tid" => Some(*n),
+                    _ => None,
+                })
+                .expect("every object has a tid");
+            tracks.insert(tid);
+        }
+        assert!(
+            !tracks.is_empty(),
+            "{name}: trace carries no addressed events"
+        );
+    }
+}

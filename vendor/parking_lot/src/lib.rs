@@ -73,6 +73,23 @@ impl Condvar {
         self.inner.wait(guard).unwrap_or_else(|e| e.into_inner())
     }
 
+    /// Like [`Condvar::wait`], but gives up after `timeout`. The bool is
+    /// `true` when the wait timed out (std's `WaitTimeoutResult` shape);
+    /// spurious wake-ups are still possible either way.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        match self.inner.wait_timeout(guard, timeout) {
+            Ok((guard, result)) => (guard, result.timed_out()),
+            Err(e) => {
+                let (guard, result) = e.into_inner();
+                (guard, result.timed_out())
+            }
+        }
+    }
+
     /// Wakes one parked waiter.
     pub fn notify_one(&self) {
         self.inner.notify_one();
